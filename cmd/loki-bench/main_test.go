@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// silence redirects the report writer for the duration of a test.
+func silence(t *testing.T) {
+	t.Helper()
+	prev := out
+	out = io.Discard
+	t.Cleanup(func() { out = prev })
+}
+
+// TestRunSelected smoke-tests the experiment driver on the fast
+// experiments.
+func TestRunSelected(t *testing.T) {
+	silence(t)
+	want := map[string]bool{"e6": true, "a5": true, "a6": true}
+	sel := func(ids ...string) bool {
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := run(sel, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunNothing: an unknown id selects no experiment and succeeds.
+func TestRunNothing(t *testing.T) {
+	silence(t)
+	sel := func(...string) bool { return false }
+	if err := run(sel, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"loki/internal/survey"
+)
+
+func TestBuildAnswersDefaults(t *testing.T) {
+	sv := survey.Awareness()
+	answers, err := buildAnswers(sv, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(sv.Questions) {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	resp := survey.Response{SurveyID: sv.ID, WorkerID: "w", Answers: answers}
+	if err := resp.Validate(sv); err != nil {
+		t.Fatalf("default answers invalid: %v", err)
+	}
+}
+
+func TestBuildAnswersParsed(t *testing.T) {
+	sv := survey.Lecturers([]string{"A", "B"})
+	answers, err := buildAnswers(sv, "4, 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Rating != 4 || answers[1].Rating != 2 {
+		t.Fatalf("parsed = %+v", answers)
+	}
+	mc := survey.Awareness()
+	answers, err = buildAnswers(mc, "1,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Choice != 1 || answers[1].Choice != 0 {
+		t.Fatalf("choices = %+v", answers)
+	}
+}
+
+func TestBuildAnswersErrors(t *testing.T) {
+	sv := survey.Lecturers([]string{"A", "B"})
+	if _, err := buildAnswers(sv, "4"); err == nil {
+		t.Error("wrong count accepted")
+	}
+	if _, err := buildAnswers(sv, "4,notanumber"); err == nil {
+		t.Error("garbage rating accepted")
+	}
+	mc := survey.Awareness()
+	if _, err := buildAnswers(mc, "x,0"); err == nil {
+		t.Error("garbage choice accepted")
+	}
+}

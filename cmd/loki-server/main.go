@@ -1,0 +1,114 @@
+// Command loki-server runs the Loki backend: the HTTP/JSON API that
+// serves surveys, accepts at-source-obfuscated responses, and exposes
+// noise-aware aggregates to requesters.
+//
+// Usage:
+//
+//	loki-server -addr :8080 -token secret -store loki.jsonl -seed-catalog
+//
+// With -store mem the server keeps everything in memory; otherwise the
+// given JSON-lines file is opened (and replayed) as the durable store.
+// -seed-catalog publishes the paper's survey catalog on startup so a
+// fresh server has something to serve.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/server"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "mem", `persistence: "mem" or a JSON-lines file path`)
+	token := flag.String("token", "requester-secret", "requester bearer token")
+	seedCatalog := flag.Bool("seed-catalog", false, "publish the paper's survey catalog on startup")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loki-server ", log.LstdFlags)
+	if err := run(*addr, *storePath, *token, *seedCatalog, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(addr, storePath, token string, seedCatalog bool, logger *log.Logger) error {
+	var st store.Store
+	if storePath == "mem" {
+		st = store.NewMem()
+	} else {
+		fs, err := store.OpenFile(storePath)
+		if err != nil {
+			return err
+		}
+		st = fs
+	}
+	defer st.Close()
+
+	if seedCatalog {
+		if err := seedStore(st, logger); err != nil {
+			return err
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Store:          st,
+		Schedule:       core.DefaultSchedule(),
+		RequesterToken: token,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		logger.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}
+
+// seedStore publishes the paper's survey catalog, skipping surveys that a
+// replayed durable store already holds.
+func seedStore(st store.Store, logger *log.Logger) error {
+	lecturers := []string{"Dr. Ada", "Dr. Babbage", "Dr. Curie", "Dr. Dijkstra"}
+	catalog := append(survey.ProfilingSurveys(),
+		survey.Health(), survey.Awareness(), survey.Lecturers(lecturers))
+	for _, sv := range catalog {
+		if err := st.PutSurvey(sv); err != nil {
+			if errors.Is(err, store.ErrExists) {
+				continue // already present in a replayed store
+			}
+			return err
+		}
+		logger.Printf("published survey %q (%d questions)", sv.ID, len(sv.Questions))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package loki_test
+
+import (
+	"fmt"
+
+	"loki"
+)
+
+// Example demonstrates the core at-source flow through the public API:
+// answers are obfuscated on the device and the ledger tracks the
+// cumulative loss.
+func Example() {
+	sv := loki.LecturerSurvey([]string{"Dr. A"})
+	obf, _ := loki.NewObfuscator(loki.DefaultSchedule(), loki.DefaultOptions())
+	ledger, _ := loki.NewLedger(1e-6)
+
+	raw := []loki.Answer{loki.RatingAnswer("lecturer-00", 4)}
+	noisy, _ := obf.ObfuscateResponse(sv, raw, loki.High, loki.NewRNG(7), ledger)
+
+	fmt.Printf("uploads %.2f instead of %.0f\n", noisy[0].Rating, raw[0].Rating)
+	fmt.Printf("responses recorded: %d\n", ledger.Responses())
+	// Output:
+	// uploads 5.93 instead of 4
+	// responses recorded: 1
+}
+
+// ExampleAuditPortfolio shows the platform-level linkage audit flagging
+// the paper's three profiling surveys.
+func ExampleAuditPortfolio() {
+	portfolio := []*loki.Survey{
+		loki.AstrologySurvey(), loki.MatchmakingSurvey(), loki.CoverageSurvey(),
+	}
+	audit := loki.AuditPortfolio(portfolio)
+	fmt.Println("completes quasi-identifier:", audit.CompletesQuasiID)
+	fmt.Println("max severity:", audit.MaxSeverity())
+	// Output:
+	// completes quasi-identifier: true
+	// max severity: critical
+}

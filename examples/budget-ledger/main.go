@@ -1,0 +1,66 @@
+// Budget ledger: the paper's "mathematical framework … so that the
+// cumulative privacy loss can be tracked and balanced". One user answers
+// survey after survey; the ledger composes every noisy release and a
+// budget policy picks the cheapest affordable level — until even the
+// highest level no longer fits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loki"
+)
+
+func main() {
+	obf, err := loki.NewObfuscator(loki.DefaultSchedule(), loki.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ledger, err := loki.NewLedger(1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := loki.NewRNG(7)
+
+	sv := loki.LecturerSurvey([]string{"Dr. A", "Dr. B", "Dr. C"})
+	raw := []loki.Answer{
+		loki.RatingAnswer("lecturer-00", 4),
+		loki.RatingAnswer("lecturer-01", 5),
+		loki.RatingAnswer("lecturer-02", 3),
+	}
+
+	// A (generous) lifetime budget: zCDP-composed ε at δ=1e-6.
+	const budget = 500.0
+	fmt.Printf("lifetime budget: ε ≤ %.0f at δ=1e-6\n\n", budget)
+
+	for k := 1; ; k++ {
+		level, ok, err := ledger.MinAffordableLevel(obf, sv, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("survey %2d: even level high no longer fits the budget — stop answering.\n", k)
+			break
+		}
+		if _, err := obf.ObfuscateResponse(sv, raw, level, rng, ledger); err != nil {
+			log.Fatal(err)
+		}
+		spent := ledger.Spent()
+		fmt.Printf("survey %2d: answered at %-6s  cumulative ε=%.1f (ρ=%.2f)\n",
+			k, level, spent.Epsilon, ledger.Rho())
+		if k > 200 {
+			fmt.Println("…budget still not exhausted after 200 surveys")
+			break
+		}
+	}
+
+	fmt.Println("\nper-survey cost of this questionnaire at each level:")
+	for _, level := range []loki.Level{loki.Low, loki.Medium, loki.High} {
+		cost, _, err := obf.CostOfResponse(sv, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %v\n", level, cost)
+	}
+}

@@ -1,0 +1,53 @@
+// De-anonymization: the paper's §2 attack as a library user would run it
+// — generate a region, open an AMT-style platform, post the three
+// profiling surveys plus the "anonymous" health survey, then link,
+// re-identify and expose. Also shows the countermeasure: per-survey
+// pseudonymous IDs drive the attack to zero.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loki"
+	"loki/internal/platform"
+	"loki/internal/survey"
+)
+
+func main() {
+	cfg := loki.DefaultDeanonConfig()
+	cfg.Seed = 99
+
+	res, err := loki.RunDeanonymization(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("three sample victims (identity recovered + sensitive answers linked):")
+	for i, v := range res.Attack.Victims {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  person %6d  %v  smoking=%q  cough=%d days/week  risk=%.2f\n",
+			v.PersonID, v.QuasiID, v.Smoking, v.CoughDays, v.Risk)
+	}
+
+	// What a platform-side linkage audit would have said about this
+	// requester's portfolio before any of it happened.
+	portfolio := append(survey.ProfilingSurveys(), survey.Health())
+	audit := loki.AuditPortfolio(portfolio)
+	fmt.Println("\nplatform linkage audit of the attacker's portfolio:")
+	for _, f := range audit.Findings {
+		fmt.Printf("  [%s] %s\n", f.Severity, f.Message)
+	}
+
+	// The countermeasure: fresh worker IDs per survey.
+	cfg.Platform.IDPolicy = platform.PseudonymousIDs
+	safe, err := loki.RunDeanonymization(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith per-survey pseudonyms the same attack links %d workers and exposes %d.\n",
+		safe.Attack.Linkable, safe.Attack.HealthExposed)
+}

@@ -1,0 +1,169 @@
+// HTTP platform: the full client–server system over real HTTP on
+// localhost — the paper's Fig. 1 flow. The backend publishes a survey;
+// three app users take it at different privacy levels; their clients
+// obfuscate at source and upload only noisy answers; the requester pulls
+// the noise-aware aggregate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"loki"
+	"loki/internal/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Backend with an in-memory store and the default public schedule.
+	st := loki.NewMemStore()
+	defer st.Close()
+	const token = "requester-secret"
+	backend, err := loki.NewServer(loki.ServerConfig{
+		Store:          st,
+		Schedule:       loki.DefaultSchedule(),
+		RequesterToken: token,
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(backend)
+	defer ts.Close()
+	fmt.Printf("backend listening at %s\n\n", ts.URL)
+
+	// The requester publishes a survey over the API.
+	sv := loki.LecturerSurvey([]string{"Dr. Hopper", "Dr. Knuth"})
+	if err := publish(ts.URL, token, sv); err != nil {
+		return err
+	}
+
+	// Three app users at three privacy levels.
+	users := []struct {
+		name    string
+		level   loki.Level
+		ratings [2]float64
+	}{
+		{"alice", loki.None, [2]float64{5, 4}},
+		{"bob", loki.Medium, [2]float64{4, 4}},
+		{"carol", loki.High, [2]float64{5, 3}},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for i, u := range users {
+		c, err := loki.NewClient(loki.ClientConfig{
+			BaseURL:  ts.URL,
+			Schedule: loki.DefaultSchedule(),
+			Seed:     uint64(1000 + i),
+		})
+		if err != nil {
+			return err
+		}
+		fetched, err := c.GetSurvey(ctx, sv.ID)
+		if err != nil {
+			return err
+		}
+		raw := []loki.Answer{
+			loki.RatingAnswer("lecturer-00", u.ratings[0]),
+			loki.RatingAnswer("lecturer-01", u.ratings[1]),
+		}
+		res, err := c.Take(ctx, fetched, u.name, raw, u.level)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s uploads at level %-6s raw (%.0f, %.0f) → noisy (%.2f, %.2f); ledger ε=%.1f\n",
+			u.name, u.level, u.ratings[0], u.ratings[1],
+			res.Uploaded[0].Rating, res.Uploaded[1].Rating, res.Spent.Epsilon)
+	}
+
+	// The requester pulls the aggregate (authenticated).
+	agg, err := aggregateOf(ts.URL, token, sv.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nrequester's noise-aware aggregate:")
+	fmt.Print(agg)
+
+	// And the Fig. 1(a) survey list, as any app user sees it.
+	c, err := loki.NewClient(loki.ClientConfig{BaseURL: ts.URL, Schedule: loki.DefaultSchedule(), Seed: 1})
+	if err != nil {
+		return err
+	}
+	summaries, err := c.ListSurveys(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(client.RenderSurveyList(summaries))
+	return nil
+}
+
+// publish POSTs a survey with the requester token.
+func publish(baseURL, token string, sv *loki.Survey) error {
+	body, err := json.Marshal(sv)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/api/v1/surveys", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("publish: HTTP %d", resp.StatusCode)
+	}
+	fmt.Printf("published %q\n", sv.ID)
+	return nil
+}
+
+// aggregateOf GETs the requester aggregate and renders the per-question
+// means.
+func aggregateOf(baseURL, token, surveyID string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/api/v1/surveys/"+surveyID+"/aggregate", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("aggregate: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Questions []struct {
+			QuestionID  string  `json:"question_id"`
+			OverallMean float64 `json:"overall_mean"`
+			OverallN    int     `json:"overall_n"`
+			PooledMean  float64 `json:"pooled_mean"`
+		} `json:"questions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	s := ""
+	for _, q := range out.Questions {
+		s += fmt.Sprintf("  %-12s n=%d  overall=%.2f  pooled=%.2f\n",
+			q.QuestionID, q.OverallN, q.OverallMean, q.PooledMean)
+	}
+	return s, nil
+}

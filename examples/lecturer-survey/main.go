@@ -1,0 +1,30 @@
+// Lecturer survey: the paper's §3.2 trial end to end — 131 students rate
+// 13 lecturers through at-source obfuscation with the observed privacy
+// take-up (18 none / 32 low / 51 medium / 30 high), and the requester
+// recovers per-bin and overall means (the paper's Fig. 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loki"
+)
+
+func main() {
+	cfg := loki.DefaultTrialConfig()
+	cfg.Seed = 2024
+
+	res, err := loki.RunLecturerTrial(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("What to look for (the paper's Fig. 2 observations):")
+	fmt.Printf("  • the high-privacy bin deviates most (mean |dev| %.2f vs %.2f for none)\n",
+		res.MeanAbsDeviation[loki.High], res.MeanAbsDeviation[loki.None])
+	fmt.Printf("  • yet the overall estimate stays usable: naive RMSE %.3f across %d lecturers\n",
+		res.NaiveRMSE, len(res.Lecturers))
+	fmt.Printf("  • noise-aware pooling tightens it further to %.3f\n", res.PooledRMSE)
+}

@@ -1,0 +1,222 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"loki/internal/core"
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+func newEst(t *testing.T) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(core.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	bad := core.DefaultSchedule()
+	bad.Sigma[core.None] = 3
+	if _, err := NewEstimator(bad); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+// buildResponses generates noisy responses to a single rating question
+// with the given per-level counts, all rating truth.
+func buildResponses(t *testing.T, sv *survey.Survey, q *survey.Question, truth float64, counts [core.NumLevels]int, seed uint64) []survey.Response {
+	t.Helper()
+	obf, err := core.NewObfuscator(core.DefaultSchedule(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	var out []survey.Response
+	id := 0
+	for l := 0; l < core.NumLevels; l++ {
+		for i := 0; i < counts[l]; i++ {
+			noisy, err := obf.ObfuscateAnswer(q, survey.RatingAnswer(q.ID, truth), core.Level(l), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, survey.Response{
+				SurveyID:     sv.ID,
+				WorkerID:     workerName(id),
+				Answers:      []survey.Answer{noisy},
+				PrivacyLevel: core.Level(l).String(),
+				Obfuscated:   l != 0,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+func workerName(i int) string { return "w" + string(rune('A'+i%26)) + string(rune('0'+i%10)) }
+
+func TestEstimateQuestionErrors(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A"})
+	q := &sv.Questions[0]
+	if _, err := e.EstimateQuestion(sv, nil, nil); err == nil {
+		t.Error("nil question accepted")
+	}
+	ft := survey.Question{ID: "t", Kind: survey.FreeText}
+	if _, err := e.EstimateQuestion(sv, &ft, nil); err == nil {
+		t.Error("free-text question accepted")
+	}
+	wrong := []survey.Response{{SurveyID: "other", WorkerID: "w"}}
+	if _, err := e.EstimateQuestion(sv, q, wrong); err == nil {
+		t.Error("response from a different survey accepted")
+	}
+	badLevel := []survey.Response{{
+		SurveyID: sv.ID, WorkerID: "w", PrivacyLevel: "bogus",
+		Answers: []survey.Answer{survey.RatingAnswer(q.ID, 3)},
+	}}
+	if _, err := e.EstimateQuestion(sv, q, badLevel); err == nil {
+		t.Error("bogus privacy level accepted")
+	}
+}
+
+func TestEstimateQuestionEmpty(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A"})
+	qe, err := e.EstimateQuestion(sv, &sv.Questions[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe.OverallN != 0 || qe.OverallMean != 0 {
+		t.Errorf("empty estimate = %+v", qe)
+	}
+}
+
+func TestEstimateUnbiased(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A"})
+	q := &sv.Questions[0]
+	const truth = 3.8
+	counts := [core.NumLevels]int{500, 500, 500, 500}
+	responses := buildResponses(t, sv, q, truth, counts, 21)
+	qe, err := e.EstimateQuestion(sv, q, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe.OverallN != 2000 {
+		t.Fatalf("n = %d", qe.OverallN)
+	}
+	if math.Abs(qe.OverallMean-truth) > 0.06 {
+		t.Errorf("overall mean = %.3f, want %.1f", qe.OverallMean, truth)
+	}
+	if math.Abs(qe.PooledMean-truth) > 0.06 {
+		t.Errorf("pooled mean = %.3f, want %.1f", qe.PooledMean, truth)
+	}
+	for l := 0; l < core.NumLevels; l++ {
+		b := qe.Bins[l]
+		if b.N != 500 {
+			t.Errorf("bin %v n = %d", core.Level(l), b.N)
+		}
+		if math.Abs(b.Deviation-(b.Mean-qe.OverallMean)) > 1e-12 {
+			t.Errorf("bin %v deviation inconsistent", core.Level(l))
+		}
+		if want := core.DefaultSchedule().Sigma[l]; b.NoiseSigma != want {
+			t.Errorf("bin %v noise sigma %g, want %g", core.Level(l), b.NoiseSigma, want)
+		}
+	}
+	// Variance of the mean grows with the bin's noise.
+	if qe.Bins[core.High].Variance <= qe.Bins[core.None].Variance {
+		t.Errorf("high bin variance %g not above none bin %g",
+			qe.Bins[core.High].Variance, qe.Bins[core.None].Variance)
+	}
+}
+
+func TestEstimateSingleResponseBin(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A"})
+	q := &sv.Questions[0]
+	counts := [core.NumLevels]int{1, 0, 0, 1}
+	responses := buildResponses(t, sv, q, 4, counts, 22)
+	qe, err := e.EstimateQuestion(sv, q, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe.Bins[core.None].Variance <= 0 || qe.Bins[core.High].Variance <= 0 {
+		t.Error("single-observation bins claim zero variance")
+	}
+	if qe.Bins[core.High].Variance <= qe.Bins[core.None].Variance {
+		t.Error("model variance ignores noise for tiny bins")
+	}
+}
+
+func TestEstimateSurvey(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A", "B"})
+	var responses []survey.Response
+	obf, _ := core.NewObfuscator(core.DefaultSchedule(), core.DefaultOptions())
+	r := rng.New(23)
+	for i := 0; i < 50; i++ {
+		a0, _ := obf.ObfuscateAnswer(&sv.Questions[0], survey.RatingAnswer(sv.Questions[0].ID, 4), core.Medium, r)
+		a1, _ := obf.ObfuscateAnswer(&sv.Questions[1], survey.RatingAnswer(sv.Questions[1].ID, 2), core.Medium, r)
+		responses = append(responses, survey.Response{
+			SurveyID: sv.ID, WorkerID: workerName(i), PrivacyLevel: "medium", Obfuscated: true,
+			Answers: []survey.Answer{a0, a1},
+		})
+	}
+	ests, err := e.EstimateSurvey(sv, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 {
+		t.Fatalf("estimates = %d", len(ests))
+	}
+	if ests[sv.Questions[0].ID].OverallMean <= ests[sv.Questions[1].ID].OverallMean {
+		t.Error("survey estimates lost ordering of true means")
+	}
+}
+
+func TestCI(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A"})
+	q := &sv.Questions[0]
+	counts := [core.NumLevels]int{50, 50, 50, 50}
+	responses := buildResponses(t, sv, q, 3.5, counts, 24)
+	qe, err := e.EstimateQuestion(sv, q, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := qe.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(qe.OverallMean) {
+		t.Error("CI excludes its own mean")
+	}
+	if iv.Width() <= 0 || iv.Width() > 2 {
+		t.Errorf("implausible CI width %g", iv.Width())
+	}
+	empty := &QuestionEstimate{}
+	if _, err := empty.CI(0.95); err == nil {
+		t.Error("empty estimate CI accepted")
+	}
+}
+
+func TestCompareEstimators(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Lecturers([]string{"A"})
+	q := &sv.Questions[0]
+	counts := [core.NumLevels]int{100, 100, 100, 100}
+	responses := buildResponses(t, sv, q, 4.2, counts, 25)
+	cmp, err := e.CompareEstimators(sv, q, responses, 4.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.NaiveError < 0 || cmp.PooledError < 0 {
+		t.Error("negative errors")
+	}
+	if math.Abs(cmp.Naive-4.2) > 0.15 || math.Abs(cmp.Pooled-4.2) > 0.15 {
+		t.Errorf("estimators far off: %+v", cmp)
+	}
+}

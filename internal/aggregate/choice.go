@@ -1,0 +1,161 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"loki/internal/core"
+	"loki/internal/dp"
+	"loki/internal/survey"
+)
+
+// ChoiceEstimate is the requester-side view of a multiple-choice
+// question answered through randomized response — the paper's "the
+// underlying method ... can be applied to other question types (e.g.,
+// multiple-choice questions) in which the response set is countable".
+type ChoiceEstimate struct {
+	QuestionID string   `json:"question_id"`
+	Options    []string `json:"options"`
+	// Observed are the raw uploaded counts per option (noisy for bins
+	// above none).
+	Observed []int `json:"observed"`
+	// Estimated are the debiased counts per option: each privacy bin is
+	// inverted with its own randomized-response parameters, then bins
+	// are summed. Individual entries may be slightly negative by
+	// sampling noise.
+	Estimated []float64 `json:"estimated"`
+	// SE is the standard error of each Estimated count: the randomized-
+	// response inversion amplifies multinomial sampling noise by
+	// 1/(p−q), so noisy bins contribute much wider error bars than the
+	// exact none bin.
+	SE []float64 `json:"se"`
+	// N is the total number of responses.
+	N int `json:"n"`
+	// BinN counts responses per privacy bin.
+	BinN [core.NumLevels]int `json:"bin_n"`
+}
+
+// Distribution returns the estimated option shares, clamping negative
+// estimates to zero and renormalizing. It returns zeros when no
+// responses exist.
+func (ce *ChoiceEstimate) Distribution() []float64 {
+	out := make([]float64, len(ce.Estimated))
+	total := 0.0
+	for i, v := range ce.Estimated {
+		if v > 0 {
+			out[i] = v
+			total += v
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// EstimateChoice aggregates a multiple-choice question across privacy
+// bins, debiasing each noisy bin with its published randomized-response
+// ε before combining.
+func (e *Estimator) EstimateChoice(s *survey.Survey, q *survey.Question, responses []survey.Response) (*ChoiceEstimate, error) {
+	if q == nil {
+		return nil, fmt.Errorf("aggregate: nil question")
+	}
+	if q.Kind != survey.MultipleChoice {
+		return nil, fmt.Errorf("aggregate: question %q is %v; choice estimation needs multiple-choice", q.ID, q.Kind)
+	}
+	k := len(q.Options)
+	var binCounts [core.NumLevels][]int
+	for l := range binCounts {
+		binCounts[l] = make([]int, k)
+	}
+	ce := &ChoiceEstimate{
+		QuestionID: q.ID,
+		Options:    append([]string(nil), q.Options...),
+		Observed:   make([]int, k),
+		Estimated:  make([]float64, k),
+		SE:         make([]float64, k),
+	}
+	// variances accumulates Var(Estimated[c]) across bins.
+	variances := make([]float64, k)
+	for i := range responses {
+		resp := &responses[i]
+		if resp.SurveyID != s.ID {
+			return nil, fmt.Errorf("aggregate: response for %q mixed into %q", resp.SurveyID, s.ID)
+		}
+		a := resp.Answer(q.ID)
+		if a == nil {
+			continue
+		}
+		if a.Choice < 0 || a.Choice >= k {
+			return nil, fmt.Errorf("aggregate: response by %s has choice %d outside [0, %d)", resp.WorkerID, a.Choice, k)
+		}
+		lvl, err := core.ParseLevel(resp.PrivacyLevel)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: response by %s: %w", resp.WorkerID, err)
+		}
+		binCounts[lvl][a.Choice]++
+		ce.Observed[a.Choice]++
+		ce.BinN[lvl]++
+		ce.N++
+	}
+
+	for l := 0; l < core.NumLevels; l++ {
+		if ce.BinN[l] == 0 {
+			continue
+		}
+		if core.Level(l) == core.None {
+			// Exact answers contribute directly, with no noise variance
+			// (the multinomial sampling of who answered is the
+			// requester's population uncertainty, not estimator error).
+			for c, n := range binCounts[l] {
+				ce.Estimated[c] += float64(n)
+			}
+			continue
+		}
+		rr, err := dp.NewRandomizedResponse(e.schedule.RREpsilon[l], k)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: question %q bin %v: %w", q.ID, core.Level(l), err)
+		}
+		est, err := rr.DebiasCounts(binCounts[l])
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: question %q bin %v: %w", q.ID, core.Level(l), err)
+		}
+		p := rr.KeepProbability()
+		qFlip := (1 - p) / float64(k-1)
+		nBin := float64(ce.BinN[l])
+		for c, v := range est {
+			ce.Estimated[c] += v
+			// Var(observed_c) for a multinomial cell with plug-in
+			// probability, amplified by the inversion's 1/(p−q).
+			pi := float64(binCounts[l][c]) / nBin
+			variances[c] += nBin * pi * (1 - pi) / ((p - qFlip) * (p - qFlip))
+		}
+	}
+	for c, v := range variances {
+		if v > 0 {
+			ce.SE[c] = math.Sqrt(v)
+		}
+	}
+	return ce, nil
+}
+
+// EstimateSurveyChoices aggregates every multiple-choice question of the
+// survey, keyed by question ID.
+func (e *Estimator) EstimateSurveyChoices(s *survey.Survey, responses []survey.Response) (map[string]*ChoiceEstimate, error) {
+	out := make(map[string]*ChoiceEstimate)
+	for i := range s.Questions {
+		q := &s.Questions[i]
+		if q.Kind != survey.MultipleChoice {
+			continue
+		}
+		ce, err := e.EstimateChoice(s, q, responses)
+		if err != nil {
+			return nil, err
+		}
+		out[q.ID] = ce
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"loki/internal/core"
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// choiceSurvey is a single 4-option question.
+func choiceSurvey() (*survey.Survey, *survey.Question) {
+	sv := &survey.Survey{
+		ID: "cs", Title: "t",
+		Questions: []survey.Question{
+			{ID: "q", Text: "pick one", Kind: survey.MultipleChoice,
+				Options: []string{"a", "b", "c", "d"}},
+		},
+	}
+	return sv, &sv.Questions[0]
+}
+
+// buildChoiceResponses generates responses whose true choices follow
+// dist, obfuscated per level with the default schedule.
+func buildChoiceResponses(t *testing.T, sv *survey.Survey, q *survey.Question, dist []float64, perLevel int, seed uint64) []survey.Response {
+	t.Helper()
+	obf, err := core.NewObfuscator(core.DefaultSchedule(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	var out []survey.Response
+	id := 0
+	for l := 0; l < core.NumLevels; l++ {
+		for i := 0; i < perLevel; i++ {
+			truth := r.MustCategorical(dist)
+			noisy, err := obf.ObfuscateAnswer(q, survey.ChoiceAnswer(q.ID, truth), core.Level(l), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, survey.Response{
+				SurveyID:     sv.ID,
+				WorkerID:     fmt.Sprintf("w%05d", id),
+				Answers:      []survey.Answer{noisy},
+				PrivacyLevel: core.Level(l).String(),
+				Obfuscated:   l != 0,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+func TestEstimateChoiceErrors(t *testing.T) {
+	e := newEst(t)
+	sv, q := choiceSurvey()
+	if _, err := e.EstimateChoice(sv, nil, nil); err == nil {
+		t.Error("nil question accepted")
+	}
+	rq := survey.Question{ID: "r", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5}
+	if _, err := e.EstimateChoice(sv, &rq, nil); err == nil {
+		t.Error("rating question accepted")
+	}
+	wrong := []survey.Response{{SurveyID: "other", WorkerID: "w"}}
+	if _, err := e.EstimateChoice(sv, q, wrong); err == nil {
+		t.Error("foreign response accepted")
+	}
+	outOfDomain := []survey.Response{{
+		SurveyID: sv.ID, WorkerID: "w", PrivacyLevel: "none",
+		Answers: []survey.Answer{survey.ChoiceAnswer(q.ID, 9)},
+	}}
+	if _, err := e.EstimateChoice(sv, q, outOfDomain); err == nil {
+		t.Error("out-of-domain choice accepted")
+	}
+	badLevel := []survey.Response{{
+		SurveyID: sv.ID, WorkerID: "w", PrivacyLevel: "bogus",
+		Answers: []survey.Answer{survey.ChoiceAnswer(q.ID, 0)},
+	}}
+	if _, err := e.EstimateChoice(sv, q, badLevel); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func TestEstimateChoiceDebiases(t *testing.T) {
+	e := newEst(t)
+	sv, q := choiceSurvey()
+	trueDist := []float64{0.55, 0.25, 0.15, 0.05}
+	responses := buildChoiceResponses(t, sv, q, trueDist, 3000, 31)
+	ce, err := e.EstimateChoice(sv, q, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.N != 12000 {
+		t.Fatalf("N = %d", ce.N)
+	}
+	for l := 0; l < core.NumLevels; l++ {
+		if ce.BinN[l] != 3000 {
+			t.Errorf("bin %v n = %d", core.Level(l), ce.BinN[l])
+		}
+	}
+	est := ce.Distribution()
+	for i, want := range trueDist {
+		if math.Abs(est[i]-want) > 0.03 {
+			t.Errorf("option %d share = %.3f, want %.2f", i, est[i], want)
+		}
+	}
+	// Raw observed counts are visibly flattened by randomized response:
+	// the modal option's observed share sits below its true share.
+	observedModal := float64(ce.Observed[0]) / float64(ce.N)
+	if observedModal >= trueDist[0]-0.02 {
+		t.Errorf("observed modal share %.3f not flattened (truth %.2f) — is RR applied?",
+			observedModal, trueDist[0])
+	}
+	// Error bars cover the truth: each estimated count within 4 SE of
+	// the true count, and SEs are non-trivial for noisy bins.
+	for c := range ce.Estimated {
+		trueCount := trueDist[c] * float64(ce.N)
+		if ce.SE[c] <= 0 {
+			t.Errorf("option %d has zero SE despite noisy bins", c)
+			continue
+		}
+		if diff := math.Abs(ce.Estimated[c] - trueCount); diff > 4*ce.SE[c]+float64(ce.BinN[0]) {
+			t.Errorf("option %d estimate %.0f outside 4·SE (%.0f) of truth %.0f",
+				c, ce.Estimated[c], ce.SE[c], trueCount)
+		}
+	}
+}
+
+func TestEstimateChoiceEmptyAndNoneOnly(t *testing.T) {
+	e := newEst(t)
+	sv, q := choiceSurvey()
+	ce, err := e.EstimateChoice(sv, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.N != 0 {
+		t.Errorf("empty N = %d", ce.N)
+	}
+	for _, v := range ce.Distribution() {
+		if v != 0 {
+			t.Error("empty distribution nonzero")
+		}
+	}
+	// None-only bins are exact.
+	exact := []survey.Response{
+		{SurveyID: sv.ID, WorkerID: "w1", PrivacyLevel: "none",
+			Answers: []survey.Answer{survey.ChoiceAnswer(q.ID, 2)}},
+		{SurveyID: sv.ID, WorkerID: "w2", PrivacyLevel: "none",
+			Answers: []survey.Answer{survey.ChoiceAnswer(q.ID, 2)}},
+	}
+	ce, err = e.EstimateChoice(sv, q, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Estimated[2] != 2 {
+		t.Errorf("exact bin estimated = %v", ce.Estimated)
+	}
+	d := ce.Distribution()
+	if d[2] != 1 {
+		t.Errorf("exact distribution = %v", d)
+	}
+}
+
+func TestEstimateSurveyChoices(t *testing.T) {
+	e := newEst(t)
+	sv := survey.Awareness() // two choice questions
+	var responses []survey.Response
+	for i := 0; i < 20; i++ {
+		responses = append(responses, survey.Response{
+			SurveyID: sv.ID, WorkerID: fmt.Sprintf("w%d", i), PrivacyLevel: "none",
+			Answers: []survey.Answer{
+				survey.ChoiceAnswer("aware", i%2),
+				survey.ChoiceAnswer("participate", 1),
+			},
+		})
+	}
+	out, err := e.EstimateSurveyChoices(sv, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("choice estimates = %d", len(out))
+	}
+	if out["participate"].Estimated[1] != 20 {
+		t.Errorf("participate estimates = %v", out["participate"].Estimated)
+	}
+}

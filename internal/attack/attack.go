@@ -1,0 +1,273 @@
+// Package attack implements the paper's §2 de-anonymization pipeline
+// against a crowdsourcing platform: join responses across surveys by the
+// platform-reported worker ID, filter out random responders using the
+// surveys' built-in redundancy, assemble the {date of birth, gender, ZIP}
+// quasi-identifier, re-identify workers against a public registry, and
+// attach the sensitive health answers of the nominally anonymous fourth
+// survey to the re-identified individuals.
+//
+// The attacker sees only what a real AMT requester sees: surveys it
+// posted, responses with worker IDs, and a public identified dataset
+// (census/voter-list analogue). Ground truth enters only through an
+// optional scoring callback used to measure precision.
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"loki/internal/population"
+	"loki/internal/survey"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// FilterInconsistent drops workers who fail any redundancy check in
+	// any survey they took — the paper's random-responder filter.
+	FilterInconsistent bool
+	// ConsistencySlack widens redundancy tolerances, needed only when
+	// attacking obfuscated (Loki) responses.
+	ConsistencySlack float64
+}
+
+// DefaultConfig enables filtering with no slack, matching the paper's
+// raw-response setting.
+func DefaultConfig() Config {
+	return Config{FilterInconsistent: true}
+}
+
+// Profile is everything the attacker has linked for one worker ID.
+type Profile struct {
+	WorkerID string
+	// Surveys taken, in the order encountered.
+	Surveys []string
+	// Attributes maps each harvested attribute to its numeric encoding
+	// (choice answers store the option index). If a worker answered the
+	// same attribute in several surveys, the first answer wins — a real
+	// attacker would cross-check, which the consistency filter subsumes.
+	Attributes map[survey.Attribute]float64
+	// Consistent is false if any of the worker's responses failed its
+	// survey's redundancy checks.
+	Consistent bool
+}
+
+// HasQuasiID reports whether the profile contains the full
+// quasi-identifier (needs all three profiling surveys).
+func (p *Profile) HasQuasiID() bool {
+	_, y := p.Attributes[survey.AttrBirthYear]
+	_, md := p.Attributes[survey.AttrBirthDayMonth]
+	_, g := p.Attributes[survey.AttrGender]
+	_, z := p.Attributes[survey.AttrZIP]
+	return y && md && g && z
+}
+
+// QuasiID assembles the quasi-identifier; call only if HasQuasiID.
+func (p *Profile) QuasiID() population.QuasiID {
+	return population.QuasiID{
+		BirthYear: int(p.Attributes[survey.AttrBirthYear]),
+		MonthDay:  int(p.Attributes[survey.AttrBirthDayMonth]),
+		Gender:    population.Gender(int(p.Attributes[survey.AttrGender])),
+		ZIP:       int(p.Attributes[survey.AttrZIP]),
+	}
+}
+
+// HasHealthAnswers reports whether the profile includes the fourth
+// survey's sensitive answers.
+func (p *Profile) HasHealthAnswers() bool {
+	_, s := p.Attributes[survey.AttrSmoking]
+	_, c := p.Attributes[survey.AttrCough]
+	return s && c
+}
+
+// Victim is a re-identified worker whose sensitive health answers the
+// attacker linked — the paper's "serious breach of privacy".
+type Victim struct {
+	WorkerID string
+	// PersonID is the registry identity the attacker recovered.
+	PersonID  int
+	QuasiID   population.QuasiID
+	Smoking   population.Smoking
+	CoughDays int
+	// Risk is the derived respiratory-health score.
+	Risk float64
+	// Correct is whether the recovered identity matches ground truth
+	// (set only when a scorer is provided; false otherwise).
+	Correct bool
+}
+
+// Result is the pipeline outcome, mirroring the paper's §2 numbers.
+type Result struct {
+	// UniqueWorkers is the number of distinct worker IDs seen across all
+	// surveys (the paper's 400).
+	UniqueWorkers int
+	// FilteredInconsistent is how many workers the redundancy filter
+	// dropped.
+	FilteredInconsistent int
+	// Linkable is how many (surviving) workers took all three profiling
+	// surveys and so have a complete quasi-identifier (the paper's 72).
+	Linkable int
+	// Reidentified is how many linkable workers matched exactly one
+	// registry person.
+	Reidentified int
+	// ReidentifiedCorrect counts re-identifications confirmed by ground
+	// truth (when a scorer is provided).
+	ReidentifiedCorrect int
+	// Ambiguous counts linkable workers whose quasi-identifier matched
+	// more than one registry person (k >= 2).
+	Ambiguous int
+	// Unmatched counts linkable workers with no registry match (random
+	// responders surviving the filter, typically).
+	Unmatched int
+	// HealthExposed is how many re-identified workers also took the
+	// health survey (the paper's 18); Victims lists them.
+	HealthExposed int
+	Victims       []Victim
+	// KHistogram maps anonymity-set size k to the number of linkable
+	// workers whose quasi-identifier has that k in the registry.
+	KHistogram map[int]int
+}
+
+// Pipeline runs the attack against one registry.
+type Pipeline struct {
+	cfg Config
+	reg *population.Registry
+}
+
+// New returns a pipeline using the given public registry.
+func New(reg *population.Registry, cfg Config) (*Pipeline, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("attack: nil registry")
+	}
+	if cfg.ConsistencySlack < 0 {
+		return nil, fmt.Errorf("attack: negative consistency slack %g", cfg.ConsistencySlack)
+	}
+	return &Pipeline{cfg: cfg, reg: reg}, nil
+}
+
+// BuildProfiles joins responses across surveys by worker ID. surveys maps
+// survey ID to its definition; responses holds every response the
+// requester collected, across all surveys.
+func (pl *Pipeline) BuildProfiles(surveys map[string]*survey.Survey, responses []survey.Response) ([]*Profile, error) {
+	byWorker := make(map[string]*Profile)
+	var order []string
+	for i := range responses {
+		resp := &responses[i]
+		s, ok := surveys[resp.SurveyID]
+		if !ok {
+			return nil, fmt.Errorf("attack: response references unknown survey %q", resp.SurveyID)
+		}
+		prof, ok := byWorker[resp.WorkerID]
+		if !ok {
+			prof = &Profile{
+				WorkerID:   resp.WorkerID,
+				Attributes: make(map[survey.Attribute]float64),
+				Consistent: true,
+			}
+			byWorker[resp.WorkerID] = prof
+			order = append(order, resp.WorkerID)
+		}
+		prof.Surveys = append(prof.Surveys, resp.SurveyID)
+		if !resp.Consistent(s, pl.cfg.ConsistencySlack) {
+			prof.Consistent = false
+		}
+		for j := range resp.Answers {
+			a := &resp.Answers[j]
+			q := s.Question(a.QuestionID)
+			if q == nil || q.Attribute == survey.AttrNone || q.Attribute == survey.AttrOpinion {
+				continue
+			}
+			if _, seen := prof.Attributes[q.Attribute]; seen {
+				continue
+			}
+			v, err := a.Value()
+			if err != nil {
+				continue // free-text carries no joinable value
+			}
+			prof.Attributes[q.Attribute] = v
+		}
+	}
+	out := make([]*Profile, 0, len(byWorker))
+	for _, id := range order {
+		out = append(out, byWorker[id])
+	}
+	return out, nil
+}
+
+// Run executes the full pipeline. scorer, if non-nil, resolves a worker
+// ID to the true person for precision scoring (evaluation only).
+func (pl *Pipeline) Run(surveys map[string]*survey.Survey, responses []survey.Response, scorer func(workerID string) (int, bool)) (*Result, error) {
+	profiles, err := pl.BuildProfiles(surveys, responses)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		UniqueWorkers: len(profiles),
+		KHistogram:    make(map[int]int),
+	}
+	for _, prof := range profiles {
+		if pl.cfg.FilterInconsistent && !prof.Consistent {
+			res.FilteredInconsistent++
+			continue
+		}
+		if !prof.HasQuasiID() {
+			continue
+		}
+		res.Linkable++
+		qi := prof.QuasiID()
+		k := pl.reg.KAnonymity(qi)
+		res.KHistogram[k]++
+		switch {
+		case k == 0:
+			res.Unmatched++
+			continue
+		case k > 1:
+			res.Ambiguous++
+			continue
+		}
+		personID, _ := pl.reg.Identify(qi)
+		res.Reidentified++
+		correct := false
+		if scorer != nil {
+			if truth, ok := scorer(prof.WorkerID); ok && truth == personID {
+				correct = true
+				res.ReidentifiedCorrect++
+			}
+		}
+		if prof.HasHealthAnswers() {
+			res.HealthExposed++
+			smoking := population.Smoking(int(prof.Attributes[survey.AttrSmoking]))
+			cough := int(prof.Attributes[survey.AttrCough])
+			res.Victims = append(res.Victims, Victim{
+				WorkerID:  prof.WorkerID,
+				PersonID:  personID,
+				QuasiID:   qi,
+				Smoking:   smoking,
+				CoughDays: cough,
+				Risk:      population.RespiratoryRisk(smoking, cough),
+				Correct:   correct,
+			})
+		}
+	}
+	sort.Slice(res.Victims, func(i, j int) bool { return res.Victims[i].Risk > res.Victims[j].Risk })
+	return res, nil
+}
+
+// Precision returns the fraction of re-identifications confirmed correct.
+// It is meaningful only for runs scored with a ground-truth resolver;
+// unscored runs return 0.
+func (r *Result) Precision() float64 {
+	if r.Reidentified == 0 {
+		return 0
+	}
+	return float64(r.ReidentifiedCorrect) / float64(r.Reidentified)
+}
+
+// KValues returns the sorted anonymity-set sizes present in KHistogram.
+func (r *Result) KValues() []int {
+	ks := make([]int, 0, len(r.KHistogram))
+	for k := range r.KHistogram {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

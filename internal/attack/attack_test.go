@@ -1,0 +1,316 @@
+package attack
+
+import (
+	"testing"
+
+	"loki/internal/population"
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// fixtureRegion builds a small population and registry where person 0's
+// quasi-identifier is unique and persons 1 and 2 share one.
+func fixtureRegion(t *testing.T) (*population.Population, *population.Registry) {
+	t.Helper()
+	cfg := population.DefaultConfig()
+	cfg.RegistrySize = 100
+	cfg.NumZIPs = 5
+	pop, err := population.Generate(cfg, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force known structure.
+	pop.Persons[0].BirthYear, pop.Persons[0].BirthMonth, pop.Persons[0].BirthDay = 1980, 3, 21
+	pop.Persons[0].Gender, pop.Persons[0].ZIP = population.Male, 10001
+	for i := 1; i <= 2; i++ {
+		pop.Persons[i].BirthYear, pop.Persons[i].BirthMonth, pop.Persons[i].BirthDay = 1975, 7, 4
+		pop.Persons[i].Gender, pop.Persons[i].ZIP = population.Female, 10002
+	}
+	// Make sure no one else collides with person 0.
+	for i := 3; i < pop.Size(); i++ {
+		if pop.Persons[i].BirthYear == 1980 && pop.Persons[i].MonthDay() == 321 {
+			pop.Persons[i].BirthYear = 1981
+		}
+	}
+	return pop, population.NewRegistry(pop)
+}
+
+// respond builds a full truthful response by the person to the survey.
+func respond(t *testing.T, p *population.Person, sv *survey.Survey, worker string) survey.Response {
+	t.Helper()
+	answers, err := population.TruthfulAnswers(p, sv, rng.New(uint64(p.ID)+1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return survey.Response{SurveyID: sv.ID, WorkerID: worker, Answers: answers}
+}
+
+func attackSurveys() map[string]*survey.Survey {
+	return map[string]*survey.Survey{
+		survey.AstrologyID: survey.Astrology(),
+		survey.MatchmakeID: survey.Matchmaking(),
+		survey.CoverageID:  survey.Coverage(),
+		survey.HealthID:    survey.Health(),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, reg := fixtureRegion(t)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := New(reg, Config{ConsistencySlack: -1}); err == nil {
+		t.Error("negative slack accepted")
+	}
+}
+
+func TestBuildProfilesJoin(t *testing.T) {
+	pop, reg := fixtureRegion(t)
+	pipe, err := New(reg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := &pop.Persons[0]
+	responses := []survey.Response{
+		respond(t, p0, survey.Astrology(), "w0"),
+		respond(t, p0, survey.Matchmaking(), "w0"),
+		respond(t, p0, survey.Coverage(), "w0"),
+		respond(t, &pop.Persons[5], survey.Astrology(), "w5"),
+	}
+	profiles, err := pipe.BuildProfiles(attackSurveys(), responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profiles))
+	}
+	full := profiles[0]
+	if full.WorkerID != "w0" || len(full.Surveys) != 3 {
+		t.Fatalf("profile[0] = %+v", full)
+	}
+	if !full.HasQuasiID() {
+		t.Fatal("complete worker lacks quasi-identifier")
+	}
+	qi := full.QuasiID()
+	if qi.BirthYear != 1980 || qi.MonthDay != 321 || qi.Gender != population.Male || qi.ZIP != 10001 {
+		t.Fatalf("assembled QI = %v", qi)
+	}
+	if full.HasHealthAnswers() {
+		t.Fatal("health answers without health survey")
+	}
+	partial := profiles[1]
+	if partial.HasQuasiID() {
+		t.Fatal("single-survey worker has full quasi-identifier")
+	}
+}
+
+func TestBuildProfilesUnknownSurvey(t *testing.T) {
+	_, reg := fixtureRegion(t)
+	pipe, _ := New(reg, DefaultConfig())
+	_, err := pipe.BuildProfiles(attackSurveys(), []survey.Response{{SurveyID: "mystery", WorkerID: "w"}})
+	if err == nil {
+		t.Fatal("unknown survey accepted")
+	}
+}
+
+func TestRunPipelineCounts(t *testing.T) {
+	pop, reg := fixtureRegion(t)
+	pipe, err := New(reg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := &pop.Persons[0], &pop.Persons[1]
+
+	var responses []survey.Response
+	// Worker w0 (person 0): all four surveys, unique QI → victim.
+	for _, sv := range []*survey.Survey{survey.Astrology(), survey.Matchmaking(), survey.Coverage(), survey.Health()} {
+		responses = append(responses, respond(t, p0, sv, "w0"))
+	}
+	// Worker w1 (person 1): all three profiling surveys but shares a QI
+	// with person 2 → ambiguous.
+	for _, sv := range []*survey.Survey{survey.Astrology(), survey.Matchmaking(), survey.Coverage()} {
+		responses = append(responses, respond(t, p1, sv, "w1"))
+	}
+	// Worker w9: only one survey → not linkable.
+	responses = append(responses, respond(t, &pop.Persons[9], survey.Astrology(), "w9"))
+
+	truth := map[string]int{"w0": 0, "w1": 1, "w9": 9}
+	res, err := pipe.Run(attackSurveys(), responses, func(w string) (int, bool) {
+		id, ok := truth[w]
+		return id, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueWorkers != 3 {
+		t.Errorf("unique workers = %d", res.UniqueWorkers)
+	}
+	if res.Linkable != 2 {
+		t.Errorf("linkable = %d", res.Linkable)
+	}
+	if res.Reidentified != 1 || res.ReidentifiedCorrect != 1 {
+		t.Errorf("reidentified = %d (%d correct)", res.Reidentified, res.ReidentifiedCorrect)
+	}
+	if res.Ambiguous != 1 {
+		t.Errorf("ambiguous = %d", res.Ambiguous)
+	}
+	if res.HealthExposed != 1 || len(res.Victims) != 1 {
+		t.Fatalf("health exposed = %d, victims = %d", res.HealthExposed, len(res.Victims))
+	}
+	v := res.Victims[0]
+	if v.PersonID != 0 || !v.Correct {
+		t.Errorf("victim = %+v", v)
+	}
+	if v.Smoking != p0.Smoking || v.CoughDays != p0.CoughDays {
+		t.Errorf("victim sensitive answers %v/%d, person %v/%d",
+			v.Smoking, v.CoughDays, p0.Smoking, p0.CoughDays)
+	}
+	if v.Risk != population.RespiratoryRisk(p0.Smoking, p0.CoughDays) {
+		t.Error("victim risk mismatch")
+	}
+	if res.Precision() != 1 {
+		t.Errorf("precision = %g", res.Precision())
+	}
+	if res.KHistogram[1] != 1 || res.KHistogram[2] != 1 {
+		t.Errorf("k histogram = %v", res.KHistogram)
+	}
+	if ks := res.KValues(); len(ks) != 2 || ks[0] != 1 || ks[1] != 2 {
+		t.Errorf("k values = %v", ks)
+	}
+}
+
+func TestFilterDropsInconsistent(t *testing.T) {
+	pop, reg := fixtureRegion(t)
+	p0 := &pop.Persons[0]
+
+	// Build a full profile whose astrology response fails the zodiac
+	// check.
+	var responses []survey.Response
+	astro := respond(t, p0, survey.Astrology(), "w0")
+	badSign := (survey.ZodiacOf(p0.MonthDay()) + 6) % 12
+	astro.Answer("star-sign").Choice = badSign
+	responses = append(responses,
+		astro,
+		respond(t, p0, survey.Matchmaking(), "w0"),
+		respond(t, p0, survey.Coverage(), "w0"),
+	)
+
+	filtered, _ := New(reg, Config{FilterInconsistent: true})
+	res, err := filtered.Run(attackSurveys(), responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilteredInconsistent != 1 || res.Linkable != 0 {
+		t.Errorf("filter on: %+v", res)
+	}
+
+	open, _ := New(reg, Config{FilterInconsistent: false})
+	res, err = open.Run(attackSurveys(), responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilteredInconsistent != 0 || res.Linkable != 1 {
+		t.Errorf("filter off: linkable = %d", res.Linkable)
+	}
+}
+
+func TestUnmatchedQuasiID(t *testing.T) {
+	pop, reg := fixtureRegion(t)
+	p0 := &pop.Persons[0]
+	var responses []survey.Response
+	cov := respond(t, p0, survey.Coverage(), "w0")
+	// A ZIP outside the region: no registry match.
+	cov.Answer("zip").Rating = 99999
+	cov.Answer("zip-confirm").Rating = 99999
+	responses = append(responses,
+		respond(t, p0, survey.Astrology(), "w0"),
+		respond(t, p0, survey.Matchmaking(), "w0"),
+		cov,
+	)
+	pipe, _ := New(reg, DefaultConfig())
+	res, err := pipe.Run(attackSurveys(), responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linkable != 1 || res.Unmatched != 1 || res.Reidentified != 0 {
+		t.Errorf("unmatched path: %+v", res)
+	}
+}
+
+func TestVictimsSortedByRisk(t *testing.T) {
+	pop, reg := fixtureRegion(t)
+	// Give persons 0 and 3 distinct risks and unique QIs.
+	pop.Persons[0].Smoking, pop.Persons[0].CoughDays = population.NeverSmoked, 0
+	pop.Persons[3].Smoking, pop.Persons[3].CoughDays = population.DailySmoker, 7
+	pop.Persons[3].BirthYear, pop.Persons[3].BirthMonth, pop.Persons[3].BirthDay = 1990, 11, 30
+	pop.Persons[3].Gender, pop.Persons[3].ZIP = population.Male, 10003
+	reg = population.NewRegistry(pop)
+
+	var responses []survey.Response
+	for _, w := range []struct {
+		p    *population.Person
+		name string
+	}{{&pop.Persons[0], "wa"}, {&pop.Persons[3], "wb"}} {
+		for _, sv := range []*survey.Survey{survey.Astrology(), survey.Matchmaking(), survey.Coverage(), survey.Health()} {
+			responses = append(responses, respond(t, w.p, sv, w.name))
+		}
+	}
+	pipe, _ := New(reg, DefaultConfig())
+	res, err := pipe.Run(attackSurveys(), responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Victims) != 2 {
+		t.Fatalf("victims = %d", len(res.Victims))
+	}
+	if res.Victims[0].Risk < res.Victims[1].Risk {
+		t.Error("victims not sorted by descending risk")
+	}
+	if res.Victims[0].PersonID != 3 {
+		t.Errorf("highest-risk victim = person %d, want 3", res.Victims[0].PersonID)
+	}
+}
+
+func TestPrecisionNoReidentifications(t *testing.T) {
+	var r Result
+	if r.Precision() != 0 {
+		t.Error("empty precision != 0")
+	}
+}
+
+func TestConsistencySlackForObfuscatedResponses(t *testing.T) {
+	// An honest Loki user's noisy opinion pair differs by more than the
+	// raw tolerance; the adaptive attacker widens tolerances with slack
+	// (the E7 setting) so honest responses survive the filter while raw
+	// ones would not.
+	pop, reg := fixtureRegion(t)
+	p0 := &pop.Persons[0]
+	astro := respond(t, p0, survey.Astrology(), "w0")
+	astro.Obfuscated = true
+	astro.PrivacyLevel = "medium"
+	// Perturb the opinion pair beyond tolerance 1 but within slack 3.
+	astro.Answer("astro-useful").Rating += 2.4
+	responses := []survey.Response{
+		astro,
+		respond(t, p0, survey.Matchmaking(), "w0"),
+		respond(t, p0, survey.Coverage(), "w0"),
+	}
+
+	strict, _ := New(reg, Config{FilterInconsistent: true})
+	res, err := strict.Run(attackSurveys(), responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilteredInconsistent != 1 {
+		t.Errorf("strict filter kept the noisy response: %+v", res)
+	}
+
+	slacked, _ := New(reg, Config{FilterInconsistent: true, ConsistencySlack: 3})
+	res, err = slacked.Run(attackSurveys(), responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilteredInconsistent != 0 || res.Linkable != 1 {
+		t.Errorf("slacked filter dropped the noisy response: %+v", res)
+	}
+}

@@ -1,0 +1,297 @@
+// Package client implements the Loki app: the piece of the system that
+// runs on the user's device. It lists surveys, lets the user pick a
+// privacy level per survey, obfuscates every answer locally, and uploads
+// only the noisy answers — the raw answers never leave the process. A
+// local ledger tracks the cumulative privacy loss of everything uploaded.
+//
+// The package also renders the three app screens of the paper's Fig. 1 as
+// text: the survey list with privacy choices, the ratings questions, and
+// the obfuscated responses shown back to the user.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/dp"
+	"loki/internal/rng"
+	"loki/internal/server"
+	"loki/internal/survey"
+)
+
+// Client is a Loki app instance for one user. It is not safe for
+// concurrent use: like the phone app it models, one client serves one
+// user taking one survey at a time (its noise stream and ledger writes
+// are sequential).
+type Client struct {
+	baseURL    string
+	http       *http.Client
+	obf        *core.Obfuscator
+	ledger     *core.Ledger
+	ledgerPath string
+	r          *rng.RNG
+	verified   bool
+}
+
+// Config configures a client.
+type Config struct {
+	// BaseURL is the backend address, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Schedule must match the server's published schedule.
+	Schedule core.Schedule
+	// Options tune obfuscation; zero value means core.DefaultOptions.
+	Options *core.Options
+	// Seed drives the client's noise generator.
+	Seed uint64
+	// HTTPClient overrides the default client (10 s timeout).
+	HTTPClient *http.Client
+	// LedgerPath, when set, makes the privacy-loss ledger durable: it is
+	// loaded from this file on startup (if present) and saved after
+	// every upload. A user's cumulative loss must survive app restarts,
+	// otherwise a reinstall silently resets it to zero.
+	LedgerPath string
+}
+
+// New builds a client, restoring its ledger from Config.LedgerPath when
+// the file exists.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: config needs a base URL")
+	}
+	opts := core.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	obf, err := core.NewObfuscator(cfg.Schedule, opts)
+	if err != nil {
+		return nil, err
+	}
+	var ledger *core.Ledger
+	if cfg.LedgerPath != "" {
+		if _, statErr := os.Stat(cfg.LedgerPath); statErr == nil {
+			ledger, err = core.LoadLedgerFile(cfg.LedgerPath)
+			if err != nil {
+				return nil, fmt.Errorf("client: restore ledger: %w", err)
+			}
+		}
+	}
+	if ledger == nil {
+		ledger, err = core.NewLedger(opts.Delta)
+		if err != nil {
+			return nil, err
+		}
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{
+		baseURL:    strings.TrimRight(cfg.BaseURL, "/"),
+		http:       hc,
+		obf:        obf,
+		ledger:     ledger,
+		ledgerPath: cfg.LedgerPath,
+		r:          rng.New(cfg.Seed),
+	}, nil
+}
+
+// Ledger returns the client's privacy-loss ledger.
+func (c *Client) Ledger() *core.Ledger { return c.ledger }
+
+// Obfuscator returns the client's obfuscator.
+func (c *Client) Obfuscator() *core.Obfuscator { return c.obf }
+
+// ListSurveys fetches the survey list (the Fig. 1a screen's data).
+func (c *Client) ListSurveys(ctx context.Context) ([]server.SurveySummary, error) {
+	var out []server.SurveySummary
+	if err := c.getJSON(ctx, "/api/v1/surveys", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetSurvey fetches a full survey definition.
+func (c *Client) GetSurvey(ctx context.Context, id string) (*survey.Survey, error) {
+	var sv survey.Survey
+	if err := c.getJSON(ctx, "/api/v1/surveys/"+id, &sv); err != nil {
+		return nil, err
+	}
+	return &sv, nil
+}
+
+// TakeResult reports what a survey submission disclosed.
+type TakeResult struct {
+	// Raw are the user's true answers (never uploaded at level > none).
+	Raw []survey.Answer
+	// Uploaded are the answers actually sent to the server.
+	Uploaded []survey.Answer
+	// Level is the privacy level used.
+	Level core.Level
+	// Spent is the ledger's cumulative privacy loss after this upload.
+	Spent dp.Params
+	// Unprotected is the cumulative count of un-noised answers uploaded.
+	Unprotected int
+}
+
+// VerifySchedule checks that the server's published noise schedule
+// matches this client's. A mismatch means the displayed privacy levels
+// would not correspond to the noise actually added — the transparency
+// the paper's participants valued — so Take refuses to upload until the
+// schedules agree. The check runs once per client and is cached.
+func (c *Client) VerifySchedule(ctx context.Context) error {
+	if c.verified {
+		return nil
+	}
+	info, err := c.Schedule(ctx)
+	if err != nil {
+		return fmt.Errorf("client: fetch server schedule: %w", err)
+	}
+	local := c.obf.Schedule()
+	if len(info.Sigma) != core.NumLevels {
+		return fmt.Errorf("client: server schedule has %d levels, expected %d", len(info.Sigma), core.NumLevels)
+	}
+	for l := 0; l < core.NumLevels; l++ {
+		if diff := info.Sigma[l] - local.Sigma[l]; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("client: server σ[%v]=%g differs from local %g — refusing to upload",
+				core.Level(l), info.Sigma[l], local.Sigma[l])
+		}
+		// The wire encodes unbounded ε as -1.
+		serverRR := info.RREpsilon[l]
+		localRR := local.RREpsilon[l]
+		if serverRR == -1 {
+			if !math.IsInf(localRR, 1) {
+				return fmt.Errorf("client: server rr-ε[%v] unbounded, local %g", core.Level(l), localRR)
+			}
+			continue
+		}
+		if diff := serverRR - localRR; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("client: server rr-ε[%v]=%g differs from local %g — refusing to upload",
+				core.Level(l), serverRR, localRR)
+		}
+	}
+	c.verified = true
+	return nil
+}
+
+// Take answers a survey at the given privacy level: it validates the raw
+// answers strictly, obfuscates them at source, uploads only the noisy
+// versions, and records the privacy cost in the local ledger.
+func (c *Client) Take(ctx context.Context, sv *survey.Survey, workerID string, raw []survey.Answer, level core.Level) (*TakeResult, error) {
+	if sv == nil {
+		return nil, fmt.Errorf("client: nil survey")
+	}
+	if !level.Valid() {
+		return nil, fmt.Errorf("client: invalid privacy level %d", int(level))
+	}
+	if err := c.VerifySchedule(ctx); err != nil {
+		return nil, err
+	}
+	// Strict validation before anything leaves the device.
+	rawResp := survey.Response{SurveyID: sv.ID, WorkerID: workerID, Answers: raw}
+	if err := rawResp.Validate(sv); err != nil {
+		return nil, fmt.Errorf("client: raw answers invalid: %w", err)
+	}
+	// The ledger is charged at noise-generation time, before the upload:
+	// if the upload is retried the same disclosure must not be charged
+	// twice, and a conservative ledger never understates the loss.
+	noisy, err := c.obf.ObfuscateResponse(sv, raw, level, c.r, c.ledger)
+	if err != nil {
+		return nil, err
+	}
+	upload := survey.Response{
+		SurveyID:     sv.ID,
+		WorkerID:     workerID,
+		Answers:      noisy,
+		PrivacyLevel: level.String(),
+		Obfuscated:   level != core.None,
+	}
+	var ack server.SubmitResult
+	if err := c.postJSON(ctx, "/api/v1/surveys/"+sv.ID+"/responses", &upload, &ack); err != nil {
+		return nil, err
+	}
+	if !ack.Accepted {
+		return nil, fmt.Errorf("client: server did not accept response to %q", sv.ID)
+	}
+	if c.ledgerPath != "" {
+		if err := c.ledger.SaveFile(c.ledgerPath); err != nil {
+			return nil, fmt.Errorf("client: persist ledger: %w", err)
+		}
+	}
+	return &TakeResult{
+		Raw:         raw,
+		Uploaded:    noisy,
+		Level:       level,
+		Spent:       c.ledger.Spent(),
+		Unprotected: c.ledger.Unprotected(),
+	}, nil
+}
+
+// Schedule fetches the server's published schedule info.
+func (c *Client) Schedule(ctx context.Context) (*server.ScheduleInfo, error) {
+	var info server.ScheduleInfo
+	if err := c.getJSON(ctx, "/api/v1/schedule", &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+
+func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	return c.do(req, dst)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, dst any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, dst)
+}
+
+func (c *Client) do(req *http.Request, dst any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if dst == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}

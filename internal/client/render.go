@@ -1,0 +1,121 @@
+package client
+
+import (
+	"fmt"
+	"strings"
+
+	"loki/internal/core"
+	"loki/internal/server"
+	"loki/internal/survey"
+)
+
+// RenderSurveyList renders the Fig. 1(a) screen: available surveys with
+// the four privacy levels on offer.
+func RenderSurveyList(summaries []server.SurveySummary) string {
+	var b strings.Builder
+	b.WriteString("━━ Loki — Surveys ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━\n")
+	if len(summaries) == 0 {
+		b.WriteString("  (no surveys available)\n")
+	}
+	for _, s := range summaries {
+		fmt.Fprintf(&b, "  ▸ %-28s %2d questions  %d¢\n", truncate(s.Title, 28), s.Questions, s.RewardCents)
+		fmt.Fprintf(&b, "    privacy: %s\n", strings.Join(s.Levels, " | "))
+	}
+	b.WriteString("━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━\n")
+	return b.String()
+}
+
+// RenderQuestions renders the Fig. 1(b) screen: the survey's questions
+// with their answer scales.
+func RenderQuestions(sv *survey.Survey) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "━━ %s ━━\n", sv.Title)
+	for i := range sv.Questions {
+		q := &sv.Questions[i]
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, q.Text)
+		switch q.Kind {
+		case survey.Rating:
+			fmt.Fprintf(&b, "    [%g … %g]  %s\n", q.ScaleMin, q.ScaleMax, stars(int(q.ScaleMax)))
+		case survey.Numeric:
+			fmt.Fprintf(&b, "    number in [%g, %g]\n", q.ScaleMin, q.ScaleMax)
+		case survey.MultipleChoice:
+			fmt.Fprintf(&b, "    one of: %s\n", strings.Join(q.Options, " / "))
+		case survey.FreeText:
+			b.WriteString("    free text\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderComparison renders the Fig. 1(c) screen: the user's true answers
+// next to what was actually uploaded after obfuscation, so users "see how
+// the mechanism operated".
+func RenderComparison(sv *survey.Survey, res *TakeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "━━ Uploaded at privacy level %q ━━\n", res.Level)
+	for i := range res.Raw {
+		raw, up := res.Raw[i], res.Uploaded[i]
+		q := sv.Question(raw.QuestionID)
+		label := raw.QuestionID
+		if q != nil {
+			label = truncate(q.Text, 34)
+		}
+		fmt.Fprintf(&b, "  %-34s  %s → %s\n", label, answerString(q, &raw), answerString(q, &up))
+	}
+	fmt.Fprintf(&b, "  cumulative privacy loss: %v", res.Spent)
+	if res.Unprotected > 0 {
+		fmt.Fprintf(&b, " (+%d unprotected answers)", res.Unprotected)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// answerString formats an answer for display.
+func answerString(q *survey.Question, a *survey.Answer) string {
+	switch a.Kind {
+	case survey.Rating, survey.Numeric:
+		return fmt.Sprintf("%.2f", a.Rating)
+	case survey.MultipleChoice:
+		if q != nil && a.Choice >= 0 && a.Choice < len(q.Options) {
+			return q.Options[a.Choice]
+		}
+		return fmt.Sprintf("choice %d", a.Choice)
+	default:
+		return a.Text
+	}
+}
+
+// RenderLevelPicker renders the level choice with the ε each level
+// implies for one rating, the transparency the paper's participants
+// valued.
+func RenderLevelPicker(obf *core.Obfuscator) string {
+	eps := obf.EpsilonPerRating()
+	sched := obf.Schedule()
+	var b strings.Builder
+	b.WriteString("Choose your privacy level:\n")
+	for _, l := range core.Levels() {
+		epsStr := "∞ (answers uploaded as-is)"
+		if l != core.None {
+			epsStr = fmt.Sprintf("ε=%.2f per rating", eps[l])
+		}
+		fmt.Fprintf(&b, "  [%d] %-6s σ=%.1f  %s\n", int(l), l, sched.Sigma[l], epsStr)
+	}
+	return b.String()
+}
+
+func stars(n int) string {
+	if n < 1 || n > 10 {
+		return ""
+	}
+	return strings.Repeat("★", n)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"loki/internal/survey"
+)
+
+func newAllocator(t *testing.T) (*Allocator, *Obfuscator) {
+	t.Helper()
+	obf := newObf(t, DefaultOptions())
+	al, err := NewAllocator(obf, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al, obf
+}
+
+func freshUsers(n int, budget float64) []UserBudget {
+	users := make([]UserBudget, n)
+	for i := range users {
+		users[i] = UserBudget{ID: fmt.Sprintf("u%03d", i), BudgetEpsilon: budget}
+	}
+	return users
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	if _, err := NewAllocator(nil, 0.5); err == nil {
+		t.Error("nil obfuscator accepted")
+	}
+	obf := newObf(t, DefaultOptions())
+	if _, err := NewAllocator(obf, -1); err == nil {
+		t.Error("negative answer std accepted")
+	}
+	if _, err := NewAllocator(obf, math.NaN()); err == nil {
+		t.Error("NaN answer std accepted")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	al, _ := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	if _, err := al.Plan(sv, freshUsers(3, 100), 0); err == nil {
+		t.Error("target SE 0 accepted")
+	}
+	if _, err := al.Plan(sv, nil, 0.1); err == nil {
+		t.Error("empty cohort accepted")
+	}
+	bad := freshUsers(2, 100)
+	bad[1].BudgetEpsilon = 0
+	if _, err := al.Plan(sv, bad, 0.1); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad = freshUsers(2, 100)
+	bad[0].SpentRho = -1
+	if _, err := al.Plan(sv, bad, 0.1); err == nil {
+		t.Error("negative spent accepted")
+	}
+	ft := &survey.Survey{ID: "f", Questions: []survey.Question{{ID: "t", Kind: survey.FreeText}}}
+	if _, err := al.Plan(ft, freshUsers(2, 100), 0.1); err == nil {
+		t.Error("free-text survey accepted")
+	}
+}
+
+func TestPlanMeetsTarget(t *testing.T) {
+	al, _ := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	users := freshUsers(131, 1000)
+	res, err := al.Plan(sv, users, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 131 {
+		t.Errorf("participants = %d", res.Participants)
+	}
+	if res.PredictedSE > 0.09 {
+		t.Errorf("predicted SE %.3f misses the target", res.PredictedSE)
+	}
+	if len(res.Assignments) != 131 {
+		t.Errorf("assignments = %d", len(res.Assignments))
+	}
+	total := 0
+	for _, n := range res.PerLevel {
+		total += n
+	}
+	if total != res.Participants {
+		t.Error("per-level counts do not sum to participants")
+	}
+	if res.MaxUserEpsilon <= 0 || res.MaxUserEpsilon > 1000 {
+		t.Errorf("max user ε = %g", res.MaxUserEpsilon)
+	}
+}
+
+func TestPlanUpgradesMinimally(t *testing.T) {
+	al, _ := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	users := freshUsers(131, 1000)
+	// A loose target should be met with everyone at High (most private).
+	loose, err := al.Plan(sv, users, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.PerLevel[High] != 131 {
+		t.Errorf("loose target upgraded users: %v", loose.PerLevel)
+	}
+	// A tight target forces upgrades; a tighter one forces more.
+	tight, err := al.Plan(sv, users, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tighter, err := al.Plan(sv, users, 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.TotalRho >= tighter.TotalRho {
+		t.Errorf("tighter target did not cost more: %g vs %g", tight.TotalRho, tighter.TotalRho)
+	}
+	if tight.PredictedSE < tighter.PredictedSE {
+		t.Error("tighter target has worse predicted SE")
+	}
+}
+
+func TestPlanRespectsBudgets(t *testing.T) {
+	al, obf := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	costHigh, _, err := obf.CostOfResponse(sv, High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One user cannot even afford High; one can afford exactly High.
+	users := []UserBudget{
+		{ID: "broke", BudgetEpsilon: costHigh.Epsilon * 0.5},
+		{ID: "tight", BudgetEpsilon: costHigh.Epsilon * 1.05},
+		{ID: "rich", BudgetEpsilon: 1e6},
+	}
+	res, err := al.Plan(sv, users, 0.0001) // unreachable target: upgrade maximally
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Assignment{}
+	for _, a := range res.Assignments {
+		byID[a.UserID] = a
+	}
+	if byID["broke"].Participate {
+		t.Error("over-budget user was invited")
+	}
+	if !byID["tight"].Participate || byID["tight"].Level != High {
+		t.Errorf("tight user assignment = %+v", byID["tight"])
+	}
+	if !byID["rich"].Participate || byID["rich"].Level != Low {
+		t.Errorf("rich user should be upgraded to low, got %+v", byID["rich"])
+	}
+	if res.MaxUserEpsilon > 1e6 {
+		t.Error("a user exceeded their budget")
+	}
+}
+
+func TestPlanAllBroke(t *testing.T) {
+	al, _ := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	users := freshUsers(5, 0.5) // nobody can afford anything
+	res, err := al.Plan(sv, users, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 0 {
+		t.Errorf("participants = %d", res.Participants)
+	}
+	if !math.IsInf(res.PredictedSE, 1) {
+		t.Errorf("predicted SE = %g, want +Inf", res.PredictedSE)
+	}
+}
+
+func TestUniformPlan(t *testing.T) {
+	al, _ := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	users := freshUsers(50, 1000)
+	if _, err := al.UniformPlan(sv, users, None); err == nil {
+		t.Error("uniform plan at none accepted")
+	}
+	res, err := al.UniformPlan(sv, users, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 50 || res.PerLevel[Medium] != 50 {
+		t.Errorf("uniform medium plan = %+v", res.PerLevel)
+	}
+	// Lower level → better SE, higher cost.
+	low, err := al.UniformPlan(sv, users, Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.PredictedSE >= res.PredictedSE {
+		t.Error("uniform low SE not below medium")
+	}
+	if low.TotalRho <= res.TotalRho {
+		t.Error("uniform low cost not above medium")
+	}
+}
+
+func TestBalancedBeatsUniformTradeoff(t *testing.T) {
+	al, _ := newAllocator(t)
+	sv := survey.Lecturers([]string{"X"})
+	users := freshUsers(131, 1000)
+	uniformLow, err := al.UniformPlan(sv, users, Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask the allocator only for the accuracy uniform-medium cannot give
+	// but uniform-low overshoots.
+	target := uniformLow.PredictedSE * 1.2
+	balanced, err := al.Plan(sv, users, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.PredictedSE > target {
+		t.Errorf("balanced plan misses its own target: %.4f > %.4f", balanced.PredictedSE, target)
+	}
+	if balanced.TotalRho >= uniformLow.TotalRho {
+		t.Errorf("balanced plan (%g) does not save privacy over uniform low (%g)",
+			balanced.TotalRho, uniformLow.TotalRho)
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"loki/internal/core"
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// ExampleObfuscator_ObfuscateResponse shows the at-source flow: the raw
+// answers stay on the device, only the noisy ones are returned for
+// upload, and the ledger is charged.
+func ExampleObfuscator_ObfuscateResponse() {
+	obf, _ := core.NewObfuscator(core.DefaultSchedule(), core.DefaultOptions())
+	ledger, _ := core.NewLedger(1e-6)
+	sv := survey.Lecturers([]string{"Dr. A", "Dr. B"})
+	raw := []survey.Answer{
+		survey.RatingAnswer("lecturer-00", 4),
+		survey.RatingAnswer("lecturer-01", 5),
+	}
+
+	noisy, _ := obf.ObfuscateResponse(sv, raw, core.Medium, rng.New(42), ledger)
+
+	fmt.Printf("raw:   %.2f, %.2f\n", raw[0].Rating, raw[1].Rating)
+	fmt.Printf("noisy: %.2f, %.2f\n", noisy[0].Rating, noisy[1].Rating)
+	fmt.Printf("events charged: %d\n", ledger.Events())
+	// Output:
+	// raw:   4.00, 5.00
+	// noisy: 3.27, 4.79
+	// events charged: 2
+}
+
+// ExampleLedger_MinAffordableLevel shows the budget policy picking the
+// most accurate level that still fits a lifetime allowance.
+func ExampleLedger_MinAffordableLevel() {
+	obf, _ := core.NewObfuscator(core.DefaultSchedule(), core.DefaultOptions())
+	ledger, _ := core.NewLedger(1e-6)
+	sv := survey.Lecturers([]string{"Dr. A"})
+
+	level, ok, _ := ledger.MinAffordableLevel(obf, sv, 100)
+	fmt.Printf("fresh user answers at: %v (ok=%v)\n", level, ok)
+
+	// Burn most of the budget, then only noisier levels fit.
+	for i := 0; i < 10; i++ {
+		_ = ledger.RecordResponse(obf, sv, core.High)
+	}
+	level, ok, _ = ledger.MinAffordableLevel(obf, sv, 100)
+	fmt.Printf("heavy user answers at: %v (ok=%v)\n", level, ok)
+	// Output:
+	// fresh user answers at: low (ok=true)
+	// heavy user answers at: medium (ok=true)
+}
+
+// ExampleParseLevel shows level parsing.
+func ExampleParseLevel() {
+	for _, s := range []string{"none", "MEDIUM", "high"} {
+		l, _ := core.ParseLevel(s)
+		fmt.Println(l)
+	}
+	// Output:
+	// none
+	// medium
+	// high
+}

@@ -1,0 +1,69 @@
+// Package core implements the paper's primary contribution: Loki's
+// at-source obfuscation. Users choose a privacy level per survey (none,
+// low, medium or high); the client perturbs every answer on the device —
+// Gaussian noise for ratings and other numeric scales, randomized
+// response for multiple-choice — and only the noisy answers ever leave
+// the device. A per-user ledger quantifies the cumulative privacy loss of
+// everything uploaded, using the differential-privacy machinery in
+// internal/dp.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level is a user-facing privacy level. The paper deliberately exposes
+// exactly four easy-to-understand levels instead of raw DP parameters;
+// participants "could easily see how the mechanism operated (the privacy
+// level corresponds to the magnitude of Gaussian noise)".
+type Level int
+
+// The four privacy levels, in increasing order of protection.
+const (
+	None Level = iota
+	Low
+	Medium
+	High
+)
+
+// NumLevels is the number of privacy levels.
+const NumLevels = 4
+
+// Levels lists all levels in increasing order of protection.
+func Levels() [NumLevels]Level { return [NumLevels]Level{None, Low, Medium, High} }
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case None:
+		return "none"
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the four defined levels.
+func (l Level) Valid() bool { return l >= None && l <= High }
+
+// ParseLevel converts a level name (case-insensitive) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "":
+		return None, nil
+	case "low":
+		return Low, nil
+	case "medium", "med":
+		return Medium, nil
+	case "high":
+		return High, nil
+	default:
+		return None, fmt.Errorf("core: unknown privacy level %q", s)
+	}
+}

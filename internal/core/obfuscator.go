@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"loki/internal/dp"
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// ReferenceScaleWidth is the width of the 1..5 rating scale the paper's
+// noise schedule is expressed on. Noise for other numeric scales is
+// scaled proportionally so a privacy level means the same relative
+// protection everywhere.
+const ReferenceScaleWidth = 4.0
+
+// Schedule maps each privacy level to the Gaussian noise standard
+// deviation applied to a 1..5 rating, and to the randomized-response
+// epsilon applied to multiple-choice answers.
+type Schedule struct {
+	// Sigma[l] is the noise standard deviation at level l on the
+	// reference 1..5 scale. Sigma[None] must be 0.
+	Sigma [NumLevels]float64
+	// RREpsilon[l] is the randomized-response ε at level l for
+	// multiple-choice questions. RREpsilon[None] is ignored (answers
+	// pass through).
+	RREpsilon [NumLevels]float64
+}
+
+// DefaultSchedule returns the doubling schedule used throughout the
+// reproduction: σ = {0, 0.5, 1, 2} on the 1..5 scale ("standard
+// deviation successively larger for higher privacy level"), and
+// randomized-response ε = {∞, 2, 1, 0.5} for choice questions.
+func DefaultSchedule() Schedule {
+	return Schedule{
+		Sigma:     [NumLevels]float64{0, 0.5, 1.0, 2.0},
+		RREpsilon: [NumLevels]float64{math.Inf(1), 2.0, 1.0, 0.5},
+	}
+}
+
+// LinearSchedule returns the alternative linear schedule σ = {0, 0.5, 1,
+// 1.5} used by the schedule ablation.
+func LinearSchedule() Schedule {
+	return Schedule{
+		Sigma:     [NumLevels]float64{0, 0.5, 1.0, 1.5},
+		RREpsilon: [NumLevels]float64{math.Inf(1), 2.0, 1.0, 0.5},
+	}
+}
+
+// Validate checks that the schedule is monotone: noise must not decrease
+// as the level rises, and level None must add no noise.
+func (s *Schedule) Validate() error {
+	if s.Sigma[None] != 0 {
+		return fmt.Errorf("core: schedule must have zero noise at level none, got %g", s.Sigma[None])
+	}
+	for l := 1; l < NumLevels; l++ {
+		if s.Sigma[l] < s.Sigma[l-1] {
+			return fmt.Errorf("core: sigma schedule not monotone at level %v (%g < %g)",
+				Level(l), s.Sigma[l], s.Sigma[l-1])
+		}
+		if s.Sigma[l] <= 0 {
+			return fmt.Errorf("core: sigma at level %v must be positive, got %g", Level(l), s.Sigma[l])
+		}
+	}
+	for l := 1; l < NumLevels; l++ {
+		if s.RREpsilon[l] <= 0 {
+			return fmt.Errorf("core: randomized-response epsilon at level %v must be positive, got %g",
+				Level(l), s.RREpsilon[l])
+		}
+		if s.RREpsilon[l] > s.RREpsilon[l-1] {
+			return fmt.Errorf("core: randomized-response epsilons must not increase with level, got %g > %g at %v",
+				s.RREpsilon[l], s.RREpsilon[l-1], Level(l))
+		}
+	}
+	return nil
+}
+
+// SigmaFor returns the noise standard deviation applied to the question
+// at the given level, scaled from the reference 1..5 schedule to the
+// question's own scale width so the relative perturbation is constant.
+func (s *Schedule) SigmaFor(q *survey.Question, l Level) float64 {
+	base := s.Sigma[l]
+	if base == 0 {
+		return 0
+	}
+	switch q.Kind {
+	case survey.Rating, survey.Numeric:
+		return base * (q.ScaleMax - q.ScaleMin) / ReferenceScaleWidth
+	default:
+		return 0
+	}
+}
+
+// NoiseKind selects the additive-noise distribution for numeric answers.
+type NoiseKind int
+
+const (
+	// NoiseGaussian is the paper's mechanism.
+	NoiseGaussian NoiseKind = iota
+	// NoiseLaplace swaps in variance-matched Laplace noise (scale
+	// b = σ/√2 has the same variance as N(0, σ²)) and gives a pure-ε
+	// guarantee per release. Ablation A7 compares the two.
+	NoiseLaplace
+)
+
+// String names the noise kind.
+func (n NoiseKind) String() string {
+	switch n {
+	case NoiseGaussian:
+		return "gaussian"
+	case NoiseLaplace:
+		return "laplace"
+	default:
+		return fmt.Sprintf("NoiseKind(%d)", int(n))
+	}
+}
+
+// Options configure an Obfuscator beyond its schedule.
+type Options struct {
+	// Clamp forces noisy numeric answers back into the question's scale.
+	// The paper does NOT clamp — Fig. 1(c) shows noisy ratings such as
+	// 3.86 and values outside the scale keep the aggregate unbiased — so
+	// the default is false; the A1 ablation measures the bias clamping
+	// introduces.
+	Clamp bool
+	// Round rounds noisy numeric answers to the nearest integer.
+	// Default false for the same unbiasedness reason.
+	Round bool
+	// Noise selects the numeric noise distribution (default Gaussian,
+	// as in the paper).
+	Noise NoiseKind
+	// Delta is the δ used when converting Gaussian noise into an (ε, δ)
+	// privacy cost for the ledger.
+	Delta float64
+}
+
+// DefaultOptions returns the options used by the reproduction.
+func DefaultOptions() Options {
+	return Options{Clamp: false, Round: false, Noise: NoiseGaussian, Delta: 1e-6}
+}
+
+// Obfuscator perturbs answers at source according to a schedule. It is
+// stateless apart from its configuration; privacy-loss bookkeeping is
+// the ledger's job.
+type Obfuscator struct {
+	schedule Schedule
+	opts     Options
+}
+
+// NewObfuscator validates the schedule and options and returns an
+// obfuscator.
+func NewObfuscator(schedule Schedule, opts Options) (*Obfuscator, error) {
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Delta <= 0 || opts.Delta >= 1 {
+		return nil, fmt.Errorf("core: options delta must be in (0, 1), got %g", opts.Delta)
+	}
+	return &Obfuscator{schedule: schedule, opts: opts}, nil
+}
+
+// Schedule returns the obfuscator's schedule.
+func (o *Obfuscator) Schedule() Schedule { return o.schedule }
+
+// Options returns the obfuscator's options.
+func (o *Obfuscator) Options() Options { return o.opts }
+
+// ObfuscateAnswer perturbs a single answer at the given level. Free-text
+// answers are rejected: the paper restricts obfuscation to countable
+// response sets. The returned answer is a new value; the input is not
+// modified.
+func (o *Obfuscator) ObfuscateAnswer(q *survey.Question, a survey.Answer, l Level, r *rng.RNG) (survey.Answer, error) {
+	if !l.Valid() {
+		return survey.Answer{}, fmt.Errorf("core: invalid privacy level %d", int(l))
+	}
+	if q == nil {
+		return survey.Answer{}, fmt.Errorf("core: answer %q has no question", a.QuestionID)
+	}
+	if err := survey.ValidateAnswer(q, &a, false); err != nil {
+		return survey.Answer{}, fmt.Errorf("core: refusing to obfuscate invalid answer: %w", err)
+	}
+	if l == None {
+		return a, nil
+	}
+	switch q.Kind {
+	case survey.Rating, survey.Numeric:
+		sigma := o.schedule.SigmaFor(q, l)
+		var noisy float64
+		if o.opts.Noise == NoiseLaplace {
+			// Variance-matched Laplace: Var(Laplace(b)) = 2b², so
+			// b = σ/√2 reproduces the schedule's noise magnitude.
+			noisy = r.Laplace(a.Rating, sigma/math.Sqrt2)
+		} else {
+			noisy = r.Normal(a.Rating, sigma)
+		}
+		if o.opts.Round {
+			noisy = math.Round(noisy)
+		}
+		if o.opts.Clamp {
+			noisy = math.Min(math.Max(noisy, q.ScaleMin), q.ScaleMax)
+		}
+		out := a
+		out.Rating = noisy
+		return out, nil
+	case survey.MultipleChoice:
+		rr, err := dp.NewRandomizedResponse(o.schedule.RREpsilon[l], len(q.Options))
+		if err != nil {
+			return survey.Answer{}, fmt.Errorf("core: question %q: %w", q.ID, err)
+		}
+		choice, err := rr.Release(a.Choice, r)
+		if err != nil {
+			return survey.Answer{}, fmt.Errorf("core: question %q: %w", q.ID, err)
+		}
+		out := a
+		out.Choice = choice
+		return out, nil
+	default:
+		return survey.Answer{}, fmt.Errorf("core: question %q is %v; free-text answers cannot be obfuscated",
+			q.ID, q.Kind)
+	}
+}
+
+// ObfuscateResponse perturbs every answer of a raw response at the given
+// level and, if ledger is non-nil, records the privacy cost of each
+// released answer. Questions whose kind cannot be obfuscated cause an
+// error before anything is recorded, so a response is costed all-or-
+// nothing.
+func (o *Obfuscator) ObfuscateResponse(s *survey.Survey, answers []survey.Answer, l Level, r *rng.RNG, ledger *Ledger) ([]survey.Answer, error) {
+	if !l.Valid() {
+		return nil, fmt.Errorf("core: invalid privacy level %d", int(l))
+	}
+	// Pre-flight: every question must be obfuscatable at l > None.
+	if l != None {
+		for i := range s.Questions {
+			if s.Questions[i].Kind == survey.FreeText {
+				return nil, fmt.Errorf("core: survey %q contains free-text question %q; "+
+					"obfuscation applies only to countable response sets", s.ID, s.Questions[i].ID)
+			}
+		}
+	}
+	out := make([]survey.Answer, len(answers))
+	for i := range answers {
+		q := s.Question(answers[i].QuestionID)
+		noisy, err := o.ObfuscateAnswer(q, answers[i], l, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = noisy
+	}
+	if ledger != nil {
+		if err := ledger.RecordResponse(o, s, l); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// answerCost is the privacy accounting for one released answer. Exactly
+// one of the two cost representations applies: Gaussian releases carry a
+// σ (converted through zCDP), pure-DP releases (Laplace, randomized
+// response) carry an ε.
+type answerCost struct {
+	mechanism string  // "gaussian" | "laplace" | "rr"
+	sigma     float64 // > 0 for gaussian releases
+	pureEps   float64 // > 0 for laplace/rr releases
+	rho       float64 // zCDP cost, always set
+}
+
+// questionCost returns the accounting of releasing one answer to q at
+// level l under the obfuscator's noise kind. l must be above None.
+func (o *Obfuscator) questionCost(q *survey.Question, l Level) (answerCost, error) {
+	switch q.Kind {
+	case survey.Rating, survey.Numeric:
+		sigma := o.schedule.SigmaFor(q, l)
+		if o.opts.Noise == NoiseLaplace {
+			// Laplace(b = σ/√2) with L1-sensitivity Δ is (Δ/b)-DP.
+			eps := q.Sensitivity() * math.Sqrt2 / sigma
+			return answerCost{mechanism: "laplace", pureEps: eps, rho: eps * eps / 2}, nil
+		}
+		return answerCost{
+			mechanism: "gaussian",
+			sigma:     sigma,
+			rho:       dp.RhoFromSigma(sigma, q.Sensitivity()),
+		}, nil
+	case survey.MultipleChoice:
+		eps := o.schedule.RREpsilon[l]
+		return answerCost{mechanism: "rr", pureEps: eps, rho: eps * eps / 2}, nil
+	default:
+		return answerCost{}, fmt.Errorf("core: question %q is %v; it has no finite privacy cost", q.ID, q.Kind)
+	}
+}
+
+// responseRho sums the zCDP cost of answering every question of s once
+// at level l.
+func (o *Obfuscator) responseRho(s *survey.Survey, l Level) (float64, error) {
+	total := 0.0
+	for i := range s.Questions {
+		c, err := o.questionCost(&s.Questions[i], l)
+		if err != nil {
+			return 0, fmt.Errorf("core: survey %q: %w", s.ID, err)
+		}
+		total += c.rho
+	}
+	return total, nil
+}
+
+// CostOfResponse returns the (ε, δ) privacy cost of answering the whole
+// survey once at the given level, composed across questions with zCDP
+// (the ledger's accounting), without releasing anything. Level None
+// returns ok=false: an unprotected disclosure has no finite DP cost.
+func (o *Obfuscator) CostOfResponse(s *survey.Survey, l Level) (cost dp.Params, ok bool, err error) {
+	if !l.Valid() {
+		return dp.Params{}, false, fmt.Errorf("core: invalid privacy level %d", int(l))
+	}
+	if l == None {
+		return dp.Params{}, false, nil
+	}
+	totalRho, err := o.responseRho(s, l)
+	if err != nil {
+		return dp.Params{}, false, err
+	}
+	return dp.Params{Epsilon: dp.EpsilonFromRho(totalRho, o.opts.Delta), Delta: o.opts.Delta}, true, nil
+}
+
+// EpsilonPerRating returns the (ε, δ=opts.Delta) cost of releasing one
+// 1..5 rating at each level — the numbers a Loki deployment would print
+// next to the level picker. Level None reports +Inf.
+func (o *Obfuscator) EpsilonPerRating() [NumLevels]float64 {
+	var out [NumLevels]float64
+	out[None] = math.Inf(1)
+	for l := Low; l <= High; l++ {
+		rho := dp.RhoFromSigma(o.schedule.Sigma[l], ReferenceScaleWidth)
+		out[l] = dp.EpsilonFromRho(rho, o.opts.Delta)
+	}
+	return out
+}

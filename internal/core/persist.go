@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"loki/internal/dp"
+)
+
+// ledgerSnapshot is the serialized form of a Ledger. The event list is
+// kept verbatim so a restored ledger reports exactly the same totals
+// under every composition rule.
+type ledgerSnapshot struct {
+	Version     int        `json:"version"`
+	Delta       float64    `json:"delta"`
+	Unprotected int        `json:"unprotected"`
+	Surveys     []string   `json:"surveys"`
+	Events      []dp.Event `json:"events"`
+}
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// WriteTo serializes the ledger as JSON. It implements enough of the
+// io.WriterTo convention for callers to persist a user's privacy history
+// across app restarts — the history must survive, otherwise a reinstall
+// would silently reset the user's cumulative loss to zero.
+func (lg *Ledger) WriteTo(w io.Writer) (int64, error) {
+	lg.mu.Lock()
+	snap := ledgerSnapshot{
+		Version:     snapshotVersion,
+		Delta:       lg.delta,
+		Unprotected: lg.unprotected,
+		Surveys:     append([]string(nil), lg.surveys...),
+		Events:      lg.acct.Events(),
+	}
+	lg.mu.Unlock()
+	b, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("core: marshal ledger: %w", err)
+	}
+	n, err := w.Write(append(b, '\n'))
+	return int64(n), err
+}
+
+// ReadLedger deserializes a ledger previously written with WriteTo.
+func ReadLedger(r io.Reader) (*Ledger, error) {
+	var snap ledgerSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode ledger: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported ledger snapshot version %d", snap.Version)
+	}
+	lg, err := NewLedger(snap.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	if snap.Unprotected < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative unprotected count %d", snap.Unprotected)
+	}
+	for _, e := range snap.Events {
+		if err := lg.acct.Record(e); err != nil {
+			return nil, fmt.Errorf("core: snapshot event: %w", err)
+		}
+	}
+	lg.unprotected = snap.Unprotected
+	lg.surveys = snap.Surveys
+	return lg, nil
+}
+
+// SaveFile writes the ledger to path atomically (write to a temp file in
+// the same directory, then rename).
+func (lg *Ledger) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ledger-*")
+	if err != nil {
+		return fmt.Errorf("core: save ledger: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := lg.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: save ledger: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: save ledger: %w", err)
+	}
+	return nil
+}
+
+// LoadLedgerFile reads a ledger saved with SaveFile.
+func LoadLedgerFile(path string) (*Ledger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load ledger: %w", err)
+	}
+	defer f.Close()
+	return ReadLedger(f)
+}
+
+// dirOf returns the directory portion of path ("." for bare names).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,173 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAccountantRecordValidation(t *testing.T) {
+	a := NewAccountant()
+	if err := a.Record(Event{}); err == nil {
+		t.Error("zero-cost event accepted")
+	}
+	if err := a.Record(Event{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if err := a.Record(Event{Rho: math.NaN()}); err == nil {
+		t.Error("NaN rho accepted")
+	}
+	if err := a.RecordGaussian(0, 1, "t"); err == nil {
+		t.Error("sigma 0 accepted")
+	}
+	if err := a.RecordGaussian(1, 0, "t"); err == nil {
+		t.Error("sensitivity 0 accepted")
+	}
+	if err := a.RecordPure("laplace", 0, "t"); err == nil {
+		t.Error("pure epsilon 0 accepted")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("invalid events were recorded: len=%d", a.Len())
+	}
+}
+
+func TestAccountantTotals(t *testing.T) {
+	a := NewAccountant()
+	// Gaussian: ρ = 1/(2·4) = 0.125.
+	if err := a.RecordGaussian(2, 1, "survey:s1/question:q1"); err != nil {
+		t.Fatal(err)
+	}
+	// Pure ε=1 → ρ = 0.5.
+	if err := a.RecordPure("rr", 1, "survey:s1/question:q2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.TotalRho(); math.Abs(got-0.625) > 1e-12 {
+		t.Errorf("total rho = %g, want 0.625", got)
+	}
+	z, err := a.TotalZCDP(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := EpsilonFromRho(0.625, 1e-6); math.Abs(z.Epsilon-want) > 1e-12 {
+		t.Errorf("zCDP total = %g, want %g", z.Epsilon, want)
+	}
+	if _, err := a.TotalZCDP(0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, err := a.TotalBasic(1); err == nil {
+		t.Error("delta 1 accepted")
+	}
+	b, err := a.TotalBasic(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Basic: pure ε adds directly, the one Gaussian event gets all of δ.
+	want := 1 + EpsilonFromRho(0.125, 1e-6)
+	if math.Abs(b.Epsilon-want) > 1e-9 || math.Abs(b.Delta-1e-6) > 1e-15 {
+		t.Errorf("basic total = %v, want ε=%g δ=1e-6", b, want)
+	}
+}
+
+func TestAccountantBasicSplitsDelta(t *testing.T) {
+	a := NewAccountant()
+	for i := 0; i < 4; i++ {
+		if err := a.RecordGaussian(1, 1, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := a.TotalBasic(4e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Delta-4e-6) > 1e-15 {
+		t.Errorf("delta total = %g, want 4e-6", b.Delta)
+	}
+	perEvent := EpsilonFromRho(0.5, 1e-6)
+	if math.Abs(b.Epsilon-4*perEvent) > 1e-9 {
+		t.Errorf("epsilon total = %g, want %g", b.Epsilon, 4*perEvent)
+	}
+}
+
+func TestAccountantZCDPTighterThanBasic(t *testing.T) {
+	a := NewAccountant()
+	for i := 0; i < 25; i++ {
+		if err := a.RecordGaussian(1, 1, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	z, _ := a.TotalZCDP(1e-6)
+	b, _ := a.TotalBasic(1e-6)
+	if z.Epsilon >= b.Epsilon {
+		t.Errorf("zCDP %g not tighter than basic %g over 25 events", z.Epsilon, b.Epsilon)
+	}
+}
+
+func TestAccountantByTag(t *testing.T) {
+	a := NewAccountant()
+	mustRecord := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRecord(a.RecordGaussian(1, 1, "survey:a/question:q1"))
+	mustRecord(a.RecordGaussian(1, 1, "survey:a/question:q2"))
+	mustRecord(a.RecordGaussian(1, 1, "survey:b/question:q1"))
+	mustRecord(a.RecordPure("rr", 1, "survey:b/question:q2"))
+
+	tags := a.ByTag()
+	if len(tags) != 2 {
+		t.Fatalf("got %d tags, want 2: %v", len(tags), tags)
+	}
+	if tags[0].Tag != "survey:a" || tags[0].Events != 2 {
+		t.Errorf("tag[0] = %+v", tags[0])
+	}
+	if tags[1].Tag != "survey:b" || tags[1].Events != 2 {
+		t.Errorf("tag[1] = %+v", tags[1])
+	}
+	if math.Abs(tags[1].Rho-(0.5+0.5)) > 1e-12 {
+		t.Errorf("survey:b rho = %g", tags[1].Rho)
+	}
+}
+
+func TestAccountantEventsCopyAndReset(t *testing.T) {
+	a := NewAccountant()
+	if err := a.RecordPure("rr", 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	evs := a.Events()
+	evs[0].Epsilon = 99
+	if a.Events()[0].Epsilon == 99 {
+		t.Error("Events leaked internal state")
+	}
+	a.Reset()
+	if a.Len() != 0 || a.TotalRho() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestAccountantConcurrency(t *testing.T) {
+	a := NewAccountant()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := a.RecordGaussian(1, 1, fmt.Sprintf("survey:%d", g)); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = a.TotalRho()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Len() != 800 {
+		t.Fatalf("recorded %d events, want 800", a.Len())
+	}
+	if got := a.TotalRho(); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("total rho = %g, want 400", got)
+	}
+}

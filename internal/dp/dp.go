@@ -1,0 +1,367 @@
+// Package dp implements the differential-privacy machinery behind Loki's
+// privacy accounting: the Laplace and Gaussian mechanisms, calibration of
+// noise to (ε, δ) targets, randomized response for countable domains,
+// zero-concentrated differential privacy (zCDP) accounting, and sequential
+// composition (basic, advanced, and zCDP).
+//
+// The CoNEXT'13 paper applies Gaussian noise at the user's device and
+// mentions a differential-privacy framework "not discussed in this paper"
+// for quantifying cumulative privacy loss. This package is that framework:
+// it maps each noisy release to a privacy cost and lets a ledger (see
+// internal/core) accumulate costs across surveys.
+//
+// Conventions: ε > 0 and 0 < δ < 1 throughout. Sensitivity Δ is the L1
+// (Laplace) or L2 (Gaussian) distance between neighbouring inputs; for a
+// single bounded rating in [1, hi] the sensitivity is hi-1.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"loki/internal/rng"
+)
+
+// Params is an (ε, δ) differential privacy guarantee. δ == 0 denotes pure
+// ε-DP.
+type Params struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// Validate reports whether the parameters form a meaningful guarantee.
+func (p Params) Validate() error {
+	if p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0) {
+		return fmt.Errorf("dp: epsilon must be positive and finite, got %g", p.Epsilon)
+	}
+	if p.Delta < 0 || p.Delta >= 1 || math.IsNaN(p.Delta) {
+		return fmt.Errorf("dp: delta must be in [0, 1), got %g", p.Delta)
+	}
+	return nil
+}
+
+func (p Params) String() string {
+	if p.Delta == 0 {
+		return fmt.Sprintf("(ε=%.4g)-DP", p.Epsilon)
+	}
+	return fmt.Sprintf("(ε=%.4g, δ=%.3g)-DP", p.Epsilon, p.Delta)
+}
+
+// ---------------------------------------------------------------------------
+// Laplace mechanism
+
+// Laplace is the Laplace mechanism: adding Laplace(Δ/ε) noise to a query
+// with L1-sensitivity Δ yields ε-DP.
+type Laplace struct {
+	Epsilon     float64
+	Sensitivity float64
+}
+
+// NewLaplace returns a Laplace mechanism, validating its parameters.
+func NewLaplace(epsilon, sensitivity float64) (*Laplace, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("dp: laplace epsilon must be positive, got %g", epsilon)
+	}
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("dp: laplace sensitivity must be positive, got %g", sensitivity)
+	}
+	return &Laplace{Epsilon: epsilon, Sensitivity: sensitivity}, nil
+}
+
+// Scale returns the Laplace noise scale b = Δ/ε.
+func (l *Laplace) Scale() float64 { return l.Sensitivity / l.Epsilon }
+
+// Release returns value plus calibrated Laplace noise.
+func (l *Laplace) Release(value float64, r *rng.RNG) float64 {
+	return r.Laplace(value, l.Scale())
+}
+
+// Cost returns the privacy cost of one release.
+func (l *Laplace) Cost() Params { return Params{Epsilon: l.Epsilon} }
+
+// ---------------------------------------------------------------------------
+// Gaussian mechanism
+
+// Gaussian is the Gaussian mechanism with a fixed noise standard
+// deviation. Its privacy cost depends on the sensitivity of the released
+// value and the δ the analyst is willing to tolerate.
+type Gaussian struct {
+	Sigma float64
+}
+
+// NewGaussian returns a Gaussian mechanism with standard deviation sigma.
+func NewGaussian(sigma float64) (*Gaussian, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("dp: gaussian sigma must be positive and finite, got %g", sigma)
+	}
+	return &Gaussian{Sigma: sigma}, nil
+}
+
+// Release returns value plus N(0, σ²) noise.
+func (g *Gaussian) Release(value float64, r *rng.RNG) float64 {
+	return r.Normal(value, g.Sigma)
+}
+
+// RhoZCDP returns the zCDP parameter ρ = Δ²/(2σ²) of one release with
+// L2-sensitivity delta.
+func (g *Gaussian) RhoZCDP(sensitivity float64) float64 {
+	return sensitivity * sensitivity / (2 * g.Sigma * g.Sigma)
+}
+
+// Cost returns the (ε, δ) cost of one release with the given
+// L2-sensitivity at the given δ, derived through zCDP conversion, which
+// is tighter than the classical formula and valid for all ε.
+func (g *Gaussian) Cost(sensitivity, delta float64) (Params, error) {
+	if sensitivity <= 0 {
+		return Params{}, fmt.Errorf("dp: sensitivity must be positive, got %g", sensitivity)
+	}
+	if delta <= 0 || delta >= 1 {
+		return Params{}, fmt.Errorf("dp: delta must be in (0, 1), got %g", delta)
+	}
+	rho := g.RhoZCDP(sensitivity)
+	return Params{Epsilon: EpsilonFromRho(rho, delta), Delta: delta}, nil
+}
+
+// SigmaForEpsilonDelta returns the classical calibration
+// σ = Δ·sqrt(2 ln(1.25/δ))/ε. It is only valid for ε ≤ 1 but is the
+// textbook formula, kept for comparison with AnalyticSigma.
+func SigmaForEpsilonDelta(epsilon, delta, sensitivity float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon must be positive, got %g", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("dp: delta must be in (0, 1), got %g", delta)
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("dp: sensitivity must be positive, got %g", sensitivity)
+	}
+	return sensitivity * math.Sqrt(2*math.Log(1.25/delta)) / epsilon, nil
+}
+
+// AnalyticSigma returns the smallest σ such that the Gaussian mechanism
+// with L2-sensitivity Δ satisfies (ε, δ)-DP, computed with the analytic
+// Gaussian mechanism characterization of Balle and Wang (ICML 2018):
+//
+//	δ(ε, σ) = Φ(Δ/(2σ) − εσ/Δ) − e^ε · Φ(−Δ/(2σ) − εσ/Δ)
+//
+// solved for σ by bisection. It is valid for every ε > 0 and strictly
+// dominates the classical calibration.
+func AnalyticSigma(epsilon, delta, sensitivity float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon must be positive, got %g", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("dp: delta must be in (0, 1), got %g", delta)
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("dp: sensitivity must be positive, got %g", sensitivity)
+	}
+	// δ(ε, σ) is strictly decreasing in σ; bracket then bisect.
+	lo, hi := 1e-10, 1.0
+	for GaussianDelta(epsilon, hi, sensitivity) > delta {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, errors.New("dp: analytic sigma bracket failed")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if GaussianDelta(epsilon, mid, sensitivity) > delta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// GaussianDelta returns the exact δ achieved by the Gaussian mechanism
+// with the given σ and L2-sensitivity at privacy level ε (Balle–Wang).
+func GaussianDelta(epsilon, sigma, sensitivity float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	a := sensitivity / (2 * sigma)
+	b := epsilon * sigma / sensitivity
+	return normCDF(a-b) - math.Exp(epsilon)*normCDF(-a-b)
+}
+
+// EpsilonForSigma returns the smallest ε such that Gaussian noise with
+// standard deviation σ and L2-sensitivity Δ is (ε, δ)-DP, by bisection on
+// the exact Balle–Wang δ(ε).
+func EpsilonForSigma(sigma, delta, sensitivity float64) (float64, error) {
+	if sigma <= 0 {
+		return 0, fmt.Errorf("dp: sigma must be positive, got %g", sigma)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("dp: delta must be in (0, 1), got %g", delta)
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("dp: sensitivity must be positive, got %g", sensitivity)
+	}
+	// δ(ε) is strictly decreasing in ε.
+	lo, hi := 0.0, 1.0
+	for GaussianDelta(hi, sigma, sensitivity) > delta {
+		hi *= 2
+		if hi > 1e9 {
+			return 0, errors.New("dp: epsilon bracket failed (sigma too small for delta)")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if GaussianDelta(mid, sigma, sensitivity) > delta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// ---------------------------------------------------------------------------
+// zCDP accounting
+
+// EpsilonFromRho converts a ρ-zCDP guarantee to (ε, δ)-DP at a chosen δ:
+// ε = ρ + 2·sqrt(ρ·ln(1/δ)) (Bun & Steinke 2016, Prop. 1.3).
+func EpsilonFromRho(rho, delta float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	return rho + 2*math.Sqrt(rho*math.Log(1/delta))
+}
+
+// RhoFromSigma returns the zCDP cost ρ = Δ²/(2σ²) of a single Gaussian
+// release.
+func RhoFromSigma(sigma, sensitivity float64) float64 {
+	if sigma <= 0 {
+		return math.Inf(1)
+	}
+	return sensitivity * sensitivity / (2 * sigma * sigma)
+}
+
+// ---------------------------------------------------------------------------
+// Randomized response
+
+// RandomizedResponse is k-ary randomized response over a countable answer
+// domain of size K: the true answer is kept with probability
+// e^ε/(e^ε+K−1) and otherwise replaced by a uniformly random other
+// answer. One invocation is ε-DP. This is the paper's "the method extends
+// to any countable response set" mechanism for categorical questions.
+type RandomizedResponse struct {
+	Epsilon float64
+	K       int
+}
+
+// NewRandomizedResponse validates and returns a k-ary randomized response
+// mechanism.
+func NewRandomizedResponse(epsilon float64, k int) (*RandomizedResponse, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("dp: randomized response epsilon must be positive, got %g", epsilon)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("dp: randomized response needs a domain of at least 2, got %d", k)
+	}
+	return &RandomizedResponse{Epsilon: epsilon, K: k}, nil
+}
+
+// KeepProbability returns the probability of reporting the true answer.
+func (rr *RandomizedResponse) KeepProbability() float64 {
+	e := math.Exp(rr.Epsilon)
+	return e / (e + float64(rr.K) - 1)
+}
+
+// Release perturbs the true answer index (in [0, K)).
+func (rr *RandomizedResponse) Release(truth int, r *rng.RNG) (int, error) {
+	if truth < 0 || truth >= rr.K {
+		return 0, fmt.Errorf("dp: randomized response answer %d outside domain [0, %d)", truth, rr.K)
+	}
+	if r.Bernoulli(rr.KeepProbability()) {
+		return truth, nil
+	}
+	// Uniform over the K-1 other answers.
+	other := r.Intn(rr.K - 1)
+	if other >= truth {
+		other++
+	}
+	return other, nil
+}
+
+// Cost returns the privacy cost of one release.
+func (rr *RandomizedResponse) Cost() Params { return Params{Epsilon: rr.Epsilon} }
+
+// DebiasCounts converts observed randomized-response counts into unbiased
+// estimates of the true counts. counts must have length K. The estimates
+// may be negative for rare answers; callers that need a distribution
+// should clamp and renormalize.
+func (rr *RandomizedResponse) DebiasCounts(counts []int) ([]float64, error) {
+	if len(counts) != rr.K {
+		return nil, fmt.Errorf("dp: DebiasCounts got %d counts for domain size %d", len(counts), rr.K)
+	}
+	n := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("dp: negative count %d", c)
+		}
+		n += c
+	}
+	p := rr.KeepProbability()
+	q := (1 - p) / float64(rr.K-1)
+	out := make([]float64, rr.K)
+	for i, c := range counts {
+		// E[observed_i] = p·true_i + q·(n − true_i)
+		out[i] = (float64(c) - q*float64(n)) / (p - q)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Composition
+
+// ComposeBasic returns the basic sequential composition of the given
+// guarantees: epsilons and deltas add.
+func ComposeBasic(costs []Params) Params {
+	var out Params
+	for _, c := range costs {
+		out.Epsilon += c.Epsilon
+		out.Delta += c.Delta
+	}
+	return out
+}
+
+// ComposeAdvanced returns the advanced composition bound (Dwork, Rothblum,
+// Vadhan) for k releases each (ε, δ)-DP, with slack δ':
+//
+//	ε_total = ε·sqrt(2k·ln(1/δ')) + k·ε·(e^ε − 1)
+//	δ_total = k·δ + δ'
+//
+// It returns an error if δ' is not in (0, 1).
+func ComposeAdvanced(epsilon, delta float64, k int, deltaSlack float64) (Params, error) {
+	if k < 0 {
+		return Params{}, fmt.Errorf("dp: negative composition count %d", k)
+	}
+	if deltaSlack <= 0 || deltaSlack >= 1 {
+		return Params{}, fmt.Errorf("dp: composition slack must be in (0, 1), got %g", deltaSlack)
+	}
+	if k == 0 {
+		return Params{Delta: deltaSlack}, nil
+	}
+	kf := float64(k)
+	eps := epsilon*math.Sqrt(2*kf*math.Log(1/deltaSlack)) + kf*epsilon*(math.Exp(epsilon)-1)
+	return Params{Epsilon: eps, Delta: kf*delta + deltaSlack}, nil
+}
+
+// ComposeRho sums zCDP costs (zCDP composes additively) and converts the
+// total to (ε, δ) at the chosen δ.
+func ComposeRho(rhos []float64, delta float64) Params {
+	total := 0.0
+	for _, r := range rhos {
+		total += r
+	}
+	return Params{Epsilon: EpsilonFromRho(total, delta), Delta: delta}
+}

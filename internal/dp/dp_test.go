@@ -1,0 +1,346 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loki/internal/rng"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p    Params
+		ok   bool
+		name string
+	}{
+		{Params{Epsilon: 1, Delta: 1e-6}, true, "typical"},
+		{Params{Epsilon: 1}, true, "pure"},
+		{Params{Epsilon: 0, Delta: 0.1}, false, "zero epsilon"},
+		{Params{Epsilon: -1}, false, "negative epsilon"},
+		{Params{Epsilon: math.Inf(1)}, false, "inf epsilon"},
+		{Params{Epsilon: math.NaN()}, false, "nan epsilon"},
+		{Params{Epsilon: 1, Delta: 1}, false, "delta 1"},
+		{Params{Epsilon: 1, Delta: -0.1}, false, "negative delta"},
+		{Params{Epsilon: 1, Delta: math.NaN()}, false, "nan delta"},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if got := (Params{Epsilon: 0.5}).String(); got != "(ε=0.5)-DP" {
+		t.Errorf("pure string = %q", got)
+	}
+	if got := (Params{Epsilon: 1, Delta: 1e-6}).String(); got == "" {
+		t.Error("approx string empty")
+	}
+}
+
+func TestLaplaceMechanism(t *testing.T) {
+	if _, err := NewLaplace(0, 1); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := NewLaplace(1, 0); err == nil {
+		t.Error("sensitivity 0 accepted")
+	}
+	l, err := NewLaplace(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Scale(); got != 4 {
+		t.Errorf("scale = %g, want 4", got)
+	}
+	if got := l.Cost(); got.Epsilon != 0.5 || got.Delta != 0 {
+		t.Errorf("cost = %v", got)
+	}
+	// Release is unbiased.
+	r := rng.New(1)
+	const n = 100_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += l.Release(10, r)
+	}
+	if got := sum / n; math.Abs(got-10) > 0.1 {
+		t.Errorf("release mean = %.3f, want 10", got)
+	}
+}
+
+func TestNewGaussianErrors(t *testing.T) {
+	for _, sigma := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewGaussian(sigma); err == nil {
+			t.Errorf("NewGaussian(%g) accepted", sigma)
+		}
+	}
+}
+
+func TestGaussianRho(t *testing.T) {
+	g, err := NewGaussian(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ = Δ²/(2σ²) = 1/(2·4) = 0.125 for Δ=1.
+	if got := g.RhoZCDP(1); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("rho = %g, want 0.125", got)
+	}
+}
+
+func TestGaussianCostErrors(t *testing.T) {
+	g, _ := NewGaussian(1)
+	if _, err := g.Cost(0, 1e-6); err == nil {
+		t.Error("sensitivity 0 accepted")
+	}
+	if _, err := g.Cost(1, 0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, err := g.Cost(1, 1); err == nil {
+		t.Error("delta 1 accepted")
+	}
+	p, err := g.Cost(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epsilon <= 0 || p.Delta != 1e-6 {
+		t.Errorf("cost = %v", p)
+	}
+}
+
+func TestClassicSigma(t *testing.T) {
+	// σ = Δ·sqrt(2 ln(1.25/δ))/ε
+	sigma, err := SigmaForEpsilonDelta(1, 1e-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2 * math.Log(1.25e5))
+	if math.Abs(sigma-want) > 1e-9 {
+		t.Errorf("sigma = %g, want %g", sigma, want)
+	}
+	for _, c := range []struct{ e, d, s float64 }{{0, 0.1, 1}, {1, 0, 1}, {1, 1, 1}, {1, 0.1, 0}} {
+		if _, err := SigmaForEpsilonDelta(c.e, c.d, c.s); err == nil {
+			t.Errorf("SigmaForEpsilonDelta(%g,%g,%g) accepted", c.e, c.d, c.s)
+		}
+	}
+}
+
+func TestAnalyticSigmaAchievesDelta(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 5} {
+		for _, delta := range []float64{1e-3, 1e-6} {
+			sigma, err := AnalyticSigma(eps, delta, 1)
+			if err != nil {
+				t.Fatalf("AnalyticSigma(%g, %g): %v", eps, delta, err)
+			}
+			got := GaussianDelta(eps, sigma, 1)
+			if got > delta*1.001 {
+				t.Errorf("ε=%g δ=%g: achieved δ %g exceeds target", eps, delta, got)
+			}
+			// The analytic calibration never needs more noise than the
+			// classical formula (valid for ε ≤ 1).
+			if eps <= 1 {
+				classic, _ := SigmaForEpsilonDelta(eps, delta, 1)
+				if sigma > classic+1e-9 {
+					t.Errorf("ε=%g δ=%g: analytic σ %g above classic %g", eps, delta, sigma, classic)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticSigmaErrors(t *testing.T) {
+	for _, c := range []struct{ e, d, s float64 }{{0, 0.1, 1}, {1, 0, 1}, {1, 1, 1}, {1, 0.1, 0}} {
+		if _, err := AnalyticSigma(c.e, c.d, c.s); err == nil {
+			t.Errorf("AnalyticSigma(%g,%g,%g) accepted", c.e, c.d, c.s)
+		}
+	}
+}
+
+func TestGaussianDeltaMonotone(t *testing.T) {
+	// δ decreases in σ and in ε.
+	if !(GaussianDelta(1, 0.5, 1) > GaussianDelta(1, 1.0, 1)) {
+		t.Error("delta not decreasing in sigma")
+	}
+	if !(GaussianDelta(0.5, 1, 1) > GaussianDelta(2, 1, 1)) {
+		t.Error("delta not decreasing in epsilon")
+	}
+	if got := GaussianDelta(1, 0, 1); got != 1 {
+		t.Errorf("sigma 0 delta = %g, want 1", got)
+	}
+}
+
+func TestEpsilonForSigmaRoundTrip(t *testing.T) {
+	err := quick.Check(func(seedE, seedD uint64) bool {
+		eps := 0.1 + float64(seedE%500)/100 // 0.1 .. 5.1
+		delta := math.Pow(10, -(3 + float64(seedD%6)))
+		sigma, err := AnalyticSigma(eps, delta, 1)
+		if err != nil {
+			return false
+		}
+		back, err := EpsilonForSigma(sigma, delta, 1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-eps) < 0.01*eps+1e-6
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonForSigmaErrors(t *testing.T) {
+	for _, c := range []struct{ s, d, sens float64 }{{0, 0.1, 1}, {1, 0, 1}, {1, 1, 1}, {1, 0.1, 0}} {
+		if _, err := EpsilonForSigma(c.s, c.d, c.sens); err == nil {
+			t.Errorf("EpsilonForSigma(%g,%g,%g) accepted", c.s, c.d, c.sens)
+		}
+	}
+}
+
+func TestZCDPConversions(t *testing.T) {
+	if got := EpsilonFromRho(0, 1e-6); got != 0 {
+		t.Errorf("EpsilonFromRho(0) = %g", got)
+	}
+	// ε = ρ + 2·sqrt(ρ ln(1/δ))
+	rho, delta := 0.5, 1e-6
+	want := rho + 2*math.Sqrt(rho*math.Log(1/delta))
+	if got := EpsilonFromRho(rho, delta); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EpsilonFromRho = %g, want %g", got, want)
+	}
+	if got := RhoFromSigma(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("RhoFromSigma(0) = %g, want +Inf", got)
+	}
+	if got := RhoFromSigma(2, 4); math.Abs(got-2) > 1e-12 {
+		t.Errorf("RhoFromSigma(2,4) = %g, want 2", got)
+	}
+}
+
+func TestRandomizedResponse(t *testing.T) {
+	if _, err := NewRandomizedResponse(0, 4); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := NewRandomizedResponse(1, 1); err == nil {
+		t.Error("domain 1 accepted")
+	}
+	rr, err := NewRandomizedResponse(math.Log(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary RR with ε=ln3 keeps with probability 3/4.
+	if got := rr.KeepProbability(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("keep prob = %g, want 0.75", got)
+	}
+	if got := rr.Cost(); got.Epsilon != math.Log(3) {
+		t.Errorf("cost = %v", got)
+	}
+	if _, err := rr.Release(-1, rng.New(1)); err == nil {
+		t.Error("negative answer accepted")
+	}
+	if _, err := rr.Release(2, rng.New(1)); err == nil {
+		t.Error("out-of-domain answer accepted")
+	}
+
+	r := rng.New(2)
+	const n = 100_000
+	kept := 0
+	for i := 0; i < n; i++ {
+		out, err := rr.Release(1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == 1 {
+			kept++
+		}
+	}
+	if got := float64(kept) / n; math.Abs(got-0.75) > 0.01 {
+		t.Errorf("empirical keep rate = %.4f", got)
+	}
+}
+
+func TestRandomizedResponseKeepMonotone(t *testing.T) {
+	prev := 0.0
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 4} {
+		rr, err := NewRandomizedResponse(eps, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := rr.KeepProbability(); p <= prev {
+			t.Errorf("keep probability not increasing at ε=%g", eps)
+		} else {
+			prev = p
+		}
+	}
+}
+
+func TestDebiasCounts(t *testing.T) {
+	rr, _ := NewRandomizedResponse(1.0, 3)
+	if _, err := rr.DebiasCounts([]int{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := rr.DebiasCounts([]int{1, -1, 2}); err == nil {
+		t.Error("negative count accepted")
+	}
+
+	// Generate counts from known truth and check the estimate recovers it.
+	r := rng.New(3)
+	truth := []int{7000, 2000, 1000}
+	counts := make([]int, 3)
+	for ans, m := range truth {
+		for i := 0; i < m; i++ {
+			out, err := rr.Release(ans, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[out]++
+		}
+	}
+	est, err := rr.DebiasCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range truth {
+		if math.Abs(est[i]-float64(want)) > 300 {
+			t.Errorf("debias[%d] = %.0f, want ~%d", i, est[i], want)
+		}
+	}
+}
+
+func TestComposeBasic(t *testing.T) {
+	got := ComposeBasic([]Params{{Epsilon: 1, Delta: 1e-6}, {Epsilon: 0.5, Delta: 1e-7}})
+	if math.Abs(got.Epsilon-1.5) > 1e-12 || math.Abs(got.Delta-1.1e-6) > 1e-12 {
+		t.Errorf("basic composition = %v", got)
+	}
+	if got := ComposeBasic(nil); got.Epsilon != 0 || got.Delta != 0 {
+		t.Errorf("empty composition = %v", got)
+	}
+}
+
+func TestComposeAdvanced(t *testing.T) {
+	if _, err := ComposeAdvanced(1, 0, -1, 1e-6); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := ComposeAdvanced(1, 0, 5, 0); err == nil {
+		t.Error("slack 0 accepted")
+	}
+	zero, err := ComposeAdvanced(1, 0, 0, 1e-6)
+	if err != nil || zero.Epsilon != 0 {
+		t.Errorf("k=0: %v, %v", zero, err)
+	}
+	// For small ε and large k, advanced beats basic.
+	eps, k := 0.1, 100
+	adv, err := ComposeAdvanced(eps, 0, k, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := eps * float64(k)
+	if adv.Epsilon >= basic {
+		t.Errorf("advanced %g not below basic %g for small ε", adv.Epsilon, basic)
+	}
+}
+
+func TestComposeRho(t *testing.T) {
+	got := ComposeRho([]float64{0.1, 0.2, 0.3}, 1e-6)
+	want := EpsilonFromRho(0.6, 1e-6)
+	if math.Abs(got.Epsilon-want) > 1e-12 {
+		t.Errorf("rho composition = %v, want ε=%g", got, want)
+	}
+}

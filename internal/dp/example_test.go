@@ -1,0 +1,44 @@
+package dp_test
+
+import (
+	"fmt"
+
+	"loki/internal/dp"
+)
+
+// ExampleEpsilonForSigma shows what guarantee the paper's noise levels
+// buy for a single 1..5 rating (sensitivity 4) at δ = 1e-6.
+func ExampleEpsilonForSigma() {
+	for _, sigma := range []float64{0.5, 1.0, 2.0} {
+		eps, _ := dp.EpsilonForSigma(sigma, 1e-6, 4)
+		fmt.Printf("σ=%.1f → ε=%.1f\n", sigma, eps)
+	}
+	// Output:
+	// σ=0.5 → ε=69.2
+	// σ=1.0 → ε=26.4
+	// σ=2.0 → ε=11.0
+}
+
+// ExampleAccountant shows cumulative zCDP accounting over mixed
+// mechanisms.
+func ExampleAccountant() {
+	acct := dp.NewAccountant()
+	_ = acct.RecordGaussian(2, 4, "survey:lectures/question:q1") // ρ = 16/8 = 2
+	_ = acct.RecordPure("rr", 1, "survey:lectures/question:q2")  // ρ = 0.5
+	fmt.Printf("events: %d, total ρ: %.1f\n", acct.Len(), acct.TotalRho())
+	total, _ := acct.TotalZCDP(1e-6)
+	fmt.Printf("cumulative: %v\n", total)
+	// Output:
+	// events: 2, total ρ: 2.5
+	// cumulative: (ε=14.25, δ=1e-06)-DP
+}
+
+// ExampleAmplifyBySampling shows privacy amplification when only a
+// tenth of the user base is invited to a survey.
+func ExampleAmplifyBySampling() {
+	base := dp.Params{Epsilon: 1, Delta: 1e-6}
+	amp, _ := dp.AmplifyBySampling(base, 0.1)
+	fmt.Printf("ε %.2f → %.2f at q=0.1\n", base.Epsilon, amp.Epsilon)
+	// Output:
+	// ε 1.00 → 0.16 at q=0.1
+}

@@ -1,0 +1,55 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// AmplifyBySampling returns the privacy guarantee of running an
+// (ε, δ)-DP mechanism on a uniformly subsampled fraction q of the user
+// base (privacy amplification by subsampling):
+//
+//	ε' = ln(1 + q·(e^ε − 1)),  δ' = q·δ
+//
+// For small ε the amplified ε' ≈ q·ε. A survey platform that invites
+// only a random q-fraction of its users to each survey therefore spends
+// roughly q times less of everyone's budget per posting — one of the
+// levers for balancing cumulative loss across the user base.
+func AmplifyBySampling(p Params, q float64) (Params, error) {
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	if q <= 0 || q > 1 || math.IsNaN(q) {
+		return Params{}, fmt.Errorf("dp: sampling fraction %g outside (0, 1]", q)
+	}
+	if q == 1 {
+		return p, nil
+	}
+	return Params{
+		Epsilon: math.Log1p(q * (math.Exp(p.Epsilon) - 1)),
+		Delta:   q * p.Delta,
+	}, nil
+}
+
+// SamplingFractionFor returns the largest sampling fraction q such that
+// the amplified guarantee stays within target ε. It inverts
+// AmplifyBySampling: q = (e^target − 1)/(e^ε − 1), clamped to (0, 1].
+func SamplingFractionFor(p Params, targetEpsilon float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if targetEpsilon <= 0 {
+		return 0, fmt.Errorf("dp: target epsilon %g must be positive", targetEpsilon)
+	}
+	if targetEpsilon >= p.Epsilon {
+		return 1, nil
+	}
+	q := math.Expm1(targetEpsilon) / math.Expm1(p.Epsilon)
+	if q <= 0 {
+		return 0, fmt.Errorf("dp: no positive sampling fraction reaches ε=%g from ε=%g", targetEpsilon, p.Epsilon)
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q, nil
+}

@@ -1,0 +1,101 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAmplifyBySampling(t *testing.T) {
+	p := Params{Epsilon: 1, Delta: 1e-6}
+	if _, err := AmplifyBySampling(p, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := AmplifyBySampling(p, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+	if _, err := AmplifyBySampling(p, math.NaN()); err == nil {
+		t.Error("q NaN accepted")
+	}
+	if _, err := AmplifyBySampling(Params{Epsilon: -1}, 0.5); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// q = 1 is the identity.
+	got, err := AmplifyBySampling(p, 1)
+	if err != nil || got != p {
+		t.Errorf("q=1: %v, %v", got, err)
+	}
+	// Exact formula.
+	got, err = AmplifyBySampling(p, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log1p(0.1 * (math.E - 1))
+	if math.Abs(got.Epsilon-want) > 1e-12 {
+		t.Errorf("ε' = %g, want %g", got.Epsilon, want)
+	}
+	if math.Abs(got.Delta-1e-7) > 1e-20 {
+		t.Errorf("δ' = %g, want 1e-7", got.Delta)
+	}
+	// For small ε, ε' ≈ q·ε.
+	small, _ := AmplifyBySampling(Params{Epsilon: 0.01, Delta: 0}, 0.2)
+	if math.Abs(small.Epsilon-0.002) > 1e-4 {
+		t.Errorf("small-ε amplification %g, want ≈ 0.002", small.Epsilon)
+	}
+}
+
+func TestAmplifyMonotoneInQ(t *testing.T) {
+	p := Params{Epsilon: 2, Delta: 1e-6}
+	prev := 0.0
+	for _, q := range []float64{0.01, 0.1, 0.3, 0.7, 1} {
+		got, err := AmplifyBySampling(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Epsilon <= prev {
+			t.Errorf("ε' not increasing at q=%g", q)
+		}
+		if got.Epsilon > p.Epsilon+1e-12 {
+			t.Errorf("amplified ε %g above original %g", got.Epsilon, p.Epsilon)
+		}
+		prev = got.Epsilon
+	}
+}
+
+func TestSamplingFractionFor(t *testing.T) {
+	p := Params{Epsilon: 3, Delta: 1e-6}
+	if _, err := SamplingFractionFor(p, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := SamplingFractionFor(Params{Epsilon: 0}, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Target above the mechanism's ε needs no subsampling.
+	q, err := SamplingFractionFor(p, 5)
+	if err != nil || q != 1 {
+		t.Errorf("loose target q = %g, %v", q, err)
+	}
+}
+
+func TestSamplingFractionRoundTrip(t *testing.T) {
+	err := quick.Check(func(seedE, seedT uint64) bool {
+		eps := 0.5 + float64(seedE%100)/10 // 0.5 .. 10.4
+		target := 0.05 + float64(seedT%50)/100*eps
+		if target >= eps {
+			target = eps / 2
+		}
+		p := Params{Epsilon: eps, Delta: 1e-6}
+		q, err := SamplingFractionFor(p, target)
+		if err != nil {
+			return false
+		}
+		amp, err := AmplifyBySampling(p, q)
+		if err != nil {
+			return false
+		}
+		return amp.Epsilon <= target*1.000001
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

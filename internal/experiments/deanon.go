@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"loki/internal/attack"
+	"loki/internal/platform"
+	"loki/internal/population"
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// Paper §2 headline numbers, kept in one place for every report.
+const (
+	PaperUniqueWorkers  = 400 // unique users across the surveys
+	PaperLinkable       = 72  // took all three profiling surveys
+	PaperHealthExposed  = 18  // respiratory health inferred
+	PaperCostDollars    = 30  // "cost less than $30"
+	PaperAwarenessN     = 100 // follow-up survey size
+	PaperUnawareRefuse  = 73  // did not know / would not participate
+	PaperVictimsUnaware = 15  // of the 18 exposed, among the 73
+)
+
+// DeanonConfig parameterizes the §2 reproduction.
+type DeanonConfig struct {
+	Seed       uint64
+	Population population.Config
+	Platform   platform.Config
+	// Quotas are the response targets for the astrology, matchmaking,
+	// coverage, health and awareness surveys, in that order.
+	Quotas [5]int
+	// Appeals are the per-survey worker-interest fractions, same order.
+	// The health survey's lower appeal reproduces the paper's limited
+	// overlap between de-anonymized workers and health respondents
+	// (18 of 72).
+	Appeals [5]float64
+	// PostGapDays is the delay between consecutive survey postings
+	// ("posted independently over several days").
+	PostGapDays int
+	// ExtraDays keeps the platform running after the last posting so
+	// late quotas can fill.
+	ExtraDays int
+	Attack    attack.Config
+}
+
+// DefaultDeanonConfig returns the configuration that reproduces the
+// paper's §2 shape.
+func DefaultDeanonConfig() DeanonConfig {
+	return DeanonConfig{
+		Seed:        1,
+		Population:  population.DefaultConfig(),
+		Platform:    platform.DefaultConfig(),
+		Quotas:      [5]int{200, 200, 200, 60, 100},
+		Appeals:     [5]float64{1, 1, 1, 0.30, 1},
+		PostGapDays: 1,
+		ExtraDays:   2,
+		Attack:      attack.DefaultConfig(),
+	}
+}
+
+// DeanonResult is the outcome of the §2 reproduction: the attack
+// pipeline counts (E1) and the awareness survey counts (E2), with
+// platform economics.
+type DeanonResult struct {
+	// Attack is the pipeline outcome over the four §2 surveys.
+	Attack *attack.Result
+	// RegistryUniqueFraction is the population-level quasi-identifier
+	// uniqueness (Sweeney/Golle check).
+	RegistryUniqueFraction float64
+	// CostCents and Days are the requester's spend and elapsed time.
+	CostCents int
+	Days      int
+	// Awareness (E2): of AwarenessRespondents, UnawareRefuse answered
+	// "did not know" and "would not participate"; VictimsUnaware is how
+	// many health-exposed victims are among them.
+	AwarenessRespondents int
+	UnawareRefuse        int
+	VictimsUnaware       int
+	// Stats carries per-survey platform bookkeeping.
+	Stats []platform.HITStats
+	// HealthResponses is the requester's collected health-survey data,
+	// kept so downstream analyses (the E7 utility check) can aggregate
+	// it without re-running the platform.
+	HealthResponses []survey.Response
+}
+
+// RunDeanonymization executes the full §2 reproduction: generate the
+// region, open the platform, post the three profiling surveys plus the
+// health and awareness surveys over several simulated days, then run the
+// linkage→re-identification→inference attack on the requester's view.
+func RunDeanonymization(cfg DeanonConfig) (*DeanonResult, error) {
+	r := rng.New(cfg.Seed)
+	pop, err := population.Generate(cfg.Population, r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+	reg := population.NewRegistry(pop)
+	pl, err := platform.New(pop, cfg.Platform, r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+
+	surveys := []*survey.Survey{
+		survey.Astrology(), survey.Matchmaking(), survey.Coverage(),
+		survey.Health(), survey.Awareness(),
+	}
+	gap := cfg.PostGapDays
+	if gap < 1 {
+		gap = 1
+	}
+	for i, sv := range surveys {
+		appeal := cfg.Appeals[i]
+		if appeal == 0 {
+			appeal = 1
+		}
+		if err := pl.PostSurveyAppeal(sv, cfg.Quotas[i], appeal); err != nil {
+			return nil, fmt.Errorf("deanon: %w", err)
+		}
+		if err := pl.RunDays(gap); err != nil {
+			return nil, fmt.Errorf("deanon: %w", err)
+		}
+	}
+	if err := pl.RunDays(cfg.ExtraDays); err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+
+	// The requester's view: responses to the four attack surveys (the
+	// awareness survey is analysed separately, not joined).
+	attackSurveys := map[string]*survey.Survey{}
+	var responses []survey.Response
+	for _, sv := range surveys[:4] {
+		attackSurveys[sv.ID] = sv
+		rs, err := pl.Responses(sv.ID)
+		if err != nil {
+			return nil, fmt.Errorf("deanon: %w", err)
+		}
+		responses = append(responses, rs...)
+	}
+	pipe, err := attack.New(reg, cfg.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+	atk, err := pipe.Run(attackSurveys, responses, pl.TruePersonOf)
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+
+	healthResponses, err := pl.Responses(survey.HealthID)
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+	res := &DeanonResult{
+		Attack:                 atk,
+		RegistryUniqueFraction: reg.FractionUnique(),
+		CostCents:              pl.CostCents(),
+		Days:                   pl.Day(),
+		Stats:                  pl.Stats(),
+		HealthResponses:        append([]survey.Response(nil), healthResponses...),
+	}
+
+	// E2: tally the awareness survey.
+	aw := surveys[4]
+	awResponses, err := pl.Responses(aw.ID)
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
+	}
+	res.AwarenessRespondents = len(awResponses)
+	unawareRefuseIDs := make(map[string]bool)
+	for i := range awResponses {
+		resp := &awResponses[i]
+		aware := resp.Answer("aware")
+		part := resp.Answer("participate")
+		if aware == nil || part == nil {
+			continue
+		}
+		// Option order is YesNo: index 1 = "No".
+		if aware.Choice == 1 && part.Choice == 1 {
+			res.UnawareRefuse++
+			unawareRefuseIDs[resp.WorkerID] = true
+		}
+	}
+	for _, v := range atk.Victims {
+		if unawareRefuseIDs[v.WorkerID] {
+			res.VictimsUnaware++
+		}
+	}
+	return res, nil
+}
+
+// Render produces the E1/E2 report with paper-vs-measured columns.
+func (res *DeanonResult) Render() string {
+	var b strings.Builder
+
+	t := NewTable("E1 — §2 de-anonymization pipeline (paper vs reproduction)",
+		"stage", "paper", "measured")
+	t.AddVals("unique workers across surveys", PaperUniqueWorkers, res.Attack.UniqueWorkers)
+	t.AddVals("dropped by redundancy filter", "—", res.Attack.FilteredInconsistent)
+	t.AddVals("took all 3 profiling surveys (linkable)", PaperLinkable, res.Attack.Linkable)
+	t.AddVals("re-identified (unique registry match)", "\"de-anonymized\"", res.Attack.Reidentified)
+	t.AddVals("  of which confirmed correct", "—", res.Attack.ReidentifiedCorrect)
+	t.AddVals("  ambiguous (k ≥ 2)", "—", res.Attack.Ambiguous)
+	t.AddVals("  no registry match", "—", res.Attack.Unmatched)
+	t.AddVals("respiratory health inferred", PaperHealthExposed, res.Attack.HealthExposed)
+	t.AddVals("requester cost", fmt.Sprintf("< $%d", PaperCostDollars),
+		fmt.Sprintf("$%.2f", float64(res.CostCents)/100))
+	t.AddVals("elapsed time", "a few days", fmt.Sprintf("%d days", res.Days))
+	b.WriteString(t.String())
+
+	fmt.Fprintf(&b, "\nregistry quasi-identifier uniqueness: %s (literature: 63%%–87%%)\n",
+		fmtPct(res.RegistryUniqueFraction))
+
+	ks := res.Attack.KValues()
+	if len(ks) > 0 {
+		labels := make([]string, len(ks))
+		vals := make([]float64, len(ks))
+		for i, k := range ks {
+			labels[i] = fmt.Sprintf("k=%d", k)
+			vals[i] = float64(res.Attack.KHistogram[k])
+		}
+		b.WriteString("\nanonymity-set sizes of linkable workers:\n")
+		b.WriteString(BarChart(labels, vals, 40))
+	}
+
+	t2 := NewTable("\nE2 — awareness follow-up survey", "quantity", "paper", "measured")
+	t2.AddVals("respondents", PaperAwarenessN, res.AwarenessRespondents)
+	t2.AddVals("did not know & would not participate", PaperUnawareRefuse, res.UnawareRefuse)
+	t2.AddVals("health-exposed victims among them",
+		fmt.Sprintf("%d of %d", PaperVictimsUnaware, PaperHealthExposed),
+		fmt.Sprintf("%d of %d", res.VictimsUnaware, res.Attack.HealthExposed))
+	b.WriteString(t2.String())
+
+	t3 := NewTable("\nplatform bookkeeping", "survey", "responses", "quota", "posted day", "closed day", "cost")
+	for _, st := range res.Stats {
+		closed := "open"
+		if st.ClosedDay >= 0 {
+			closed = fmt.Sprint(st.ClosedDay)
+		}
+		t3.AddVals(st.SurveyID, st.Responses, st.Quota, st.PostedDay, closed,
+			fmt.Sprintf("$%.2f", float64(st.CostCents)/100))
+	}
+	b.WriteString(t3.String())
+	return b.String()
+}
+
+// RunAwareness is the E2 entry point: it runs the §2 pipeline and
+// returns the same result (the awareness tallies are part of it).
+func RunAwareness(cfg DeanonConfig) (*DeanonResult, error) {
+	return RunDeanonymization(cfg)
+}
+
+// RunIDPolicyAblation (A2) runs the §2 pipeline under both worker-ID
+// policies and reports how linkability collapses without stable IDs.
+func RunIDPolicyAblation(cfg DeanonConfig) (stable, pseudonymous *DeanonResult, err error) {
+	cfg.Platform.IDPolicy = platform.StableIDs
+	stable, err = RunDeanonymization(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Platform.IDPolicy = platform.PseudonymousIDs
+	pseudonymous, err = RunDeanonymization(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stable, pseudonymous, nil
+}
+
+// RenderIDPolicyAblation reports A2.
+func RenderIDPolicyAblation(stable, pseudonymous *DeanonResult) string {
+	t := NewTable("A2 — worker-ID policy ablation", "quantity", "stable IDs (AMT)", "per-survey pseudonyms")
+	t.AddVals("unique worker IDs observed", stable.Attack.UniqueWorkers, pseudonymous.Attack.UniqueWorkers)
+	t.AddVals("linkable workers", stable.Attack.Linkable, pseudonymous.Attack.Linkable)
+	t.AddVals("re-identified", stable.Attack.Reidentified, pseudonymous.Attack.Reidentified)
+	t.AddVals("health exposed", stable.Attack.HealthExposed, pseudonymous.Attack.HealthExposed)
+	return t.String()
+}
+
+// RunFilterAblation (A3) runs the §2 pipeline with and without the
+// redundancy filter and reports attack precision under both.
+func RunFilterAblation(cfg DeanonConfig) (filtered, unfiltered *DeanonResult, err error) {
+	cfg.Attack.FilterInconsistent = true
+	filtered, err = RunDeanonymization(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Attack.FilterInconsistent = false
+	unfiltered, err = RunDeanonymization(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return filtered, unfiltered, nil
+}
+
+// RenderFilterAblation reports A3.
+func RenderFilterAblation(filtered, unfiltered *DeanonResult) string {
+	t := NewTable("A3 — redundancy-filter ablation", "quantity", "filter on", "filter off")
+	t.AddVals("workers dropped by filter", filtered.Attack.FilteredInconsistent, unfiltered.Attack.FilteredInconsistent)
+	t.AddVals("linkable workers", filtered.Attack.Linkable, unfiltered.Attack.Linkable)
+	t.AddVals("re-identified", filtered.Attack.Reidentified, unfiltered.Attack.Reidentified)
+	t.AddVals("  confirmed correct", filtered.Attack.ReidentifiedCorrect, unfiltered.Attack.ReidentifiedCorrect)
+	t.AddVals("precision", fmtPct(filtered.Attack.Precision()), fmtPct(unfiltered.Attack.Precision()))
+	t.AddVals("no registry match", filtered.Attack.Unmatched, unfiltered.Attack.Unmatched)
+	return t.String()
+}

@@ -1,0 +1,545 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"loki/internal/core"
+)
+
+// fastDeanonConfig shrinks the §2 setup so the full pipeline stays quick
+// in unit tests while keeping its shape.
+func fastDeanonConfig() DeanonConfig {
+	cfg := DefaultDeanonConfig()
+	cfg.Population.RegistrySize = 40_000
+	cfg.Platform.WorkerPoolSize = 400
+	cfg.Quotas = [5]int{80, 80, 80, 30, 50}
+	return cfg
+}
+
+func TestDeanonShape(t *testing.T) {
+	res, err := RunDeanonymization(fastDeanonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Attack
+	if a.UniqueWorkers == 0 {
+		t.Fatal("no workers")
+	}
+	if a.Linkable == 0 {
+		t.Fatal("no linkable workers — the attack premise failed")
+	}
+	if a.Linkable > a.UniqueWorkers {
+		t.Error("linkable exceeds unique workers")
+	}
+	if a.Reidentified > a.Linkable {
+		t.Error("re-identified exceeds linkable")
+	}
+	if a.Reidentified+a.Ambiguous+a.Unmatched != a.Linkable {
+		t.Errorf("pipeline counts do not add up: %d + %d + %d != %d",
+			a.Reidentified, a.Ambiguous, a.Unmatched, a.Linkable)
+	}
+	if a.HealthExposed > a.Reidentified {
+		t.Error("health exposed exceeds re-identified")
+	}
+	if a.HealthExposed != len(a.Victims) {
+		t.Error("victims list inconsistent")
+	}
+	// Truthful workers give exact answers, so scored re-identifications
+	// are all correct.
+	if a.ReidentifiedCorrect != a.Reidentified {
+		t.Errorf("precision %d/%d — wrong identities recovered", a.ReidentifiedCorrect, a.Reidentified)
+	}
+	if res.RegistryUniqueFraction < 0.4 || res.RegistryUniqueFraction > 0.95 {
+		t.Errorf("registry uniqueness %.3f outside plausible band", res.RegistryUniqueFraction)
+	}
+	if res.CostCents <= 0 {
+		t.Error("attack cost zero")
+	}
+	if res.Days <= 0 {
+		t.Error("no simulated days elapsed")
+	}
+}
+
+func TestDeanonConfigErrors(t *testing.T) {
+	bad := fastDeanonConfig()
+	bad.Population.NumZIPs = 0
+	if _, err := RunDeanonymization(bad); err == nil {
+		t.Error("invalid population config accepted")
+	}
+	bad = fastDeanonConfig()
+	bad.Platform.WorkerPoolSize = -1
+	if _, err := RunDeanonymization(bad); err == nil {
+		t.Error("invalid platform config accepted")
+	}
+	bad = fastDeanonConfig()
+	bad.Appeals[3] = -0.5
+	if _, err := RunDeanonymization(bad); err == nil {
+		t.Error("negative appeal accepted")
+	}
+	bad = fastDeanonConfig()
+	bad.Quotas[0] = 0
+	if _, err := RunDeanonymization(bad); err == nil {
+		t.Error("zero quota accepted")
+	}
+}
+
+func TestDeanonDeterministic(t *testing.T) {
+	cfg := fastDeanonConfig()
+	a, err := RunDeanonymization(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDeanonymization(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Attack.UniqueWorkers != b.Attack.UniqueWorkers ||
+		a.Attack.Linkable != b.Attack.Linkable ||
+		a.Attack.Reidentified != b.Attack.Reidentified ||
+		a.Attack.HealthExposed != b.Attack.HealthExposed ||
+		a.CostCents != b.CostCents {
+		t.Fatal("same-seed runs diverged")
+	}
+}
+
+func TestDeanonPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale reproduction skipped in -short")
+	}
+	res, err := RunDeanonymization(DefaultDeanonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Attack
+	// Paper: 400 unique, 72 linkable, 18 health-exposed, < $30, days.
+	if a.UniqueWorkers < 300 || a.UniqueWorkers > 520 {
+		t.Errorf("unique workers %d far from the paper's 400", a.UniqueWorkers)
+	}
+	if a.Linkable < 50 || a.Linkable > 100 {
+		t.Errorf("linkable %d far from the paper's 72", a.Linkable)
+	}
+	if a.HealthExposed < 8 || a.HealthExposed > 30 {
+		t.Errorf("health exposed %d far from the paper's 18", a.HealthExposed)
+	}
+	if res.CostCents > PaperCostDollars*100+500 {
+		t.Errorf("cost $%.2f far above the paper's <$%d", float64(res.CostCents)/100, PaperCostDollars)
+	}
+	if res.Days > 14 {
+		t.Errorf("%d days is not 'a few days'", res.Days)
+	}
+	// E2 shape: most workers unaware and unwilling.
+	frac := float64(res.UnawareRefuse) / float64(res.AwarenessRespondents)
+	if frac < 0.55 || frac > 0.9 {
+		t.Errorf("unaware-refuse fraction %.2f far from the paper's 0.73", frac)
+	}
+}
+
+func TestDeanonRender(t *testing.T) {
+	res, err := RunDeanonymization(fastDeanonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"E1", "E2", "unique workers", "72", "linkable", "awareness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
+func TestIDPolicyAblation(t *testing.T) {
+	stable, pseud, err := RunIDPolicyAblation(fastDeanonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable.Attack.Linkable == 0 {
+		t.Fatal("stable IDs produced no linkable workers")
+	}
+	if pseud.Attack.Linkable != 0 || pseud.Attack.Reidentified != 0 {
+		t.Errorf("pseudonyms left %d linkable, %d re-identified",
+			pseud.Attack.Linkable, pseud.Attack.Reidentified)
+	}
+	out := RenderIDPolicyAblation(stable, pseud)
+	if !strings.Contains(out, "A2") || !strings.Contains(out, "pseudonyms") {
+		t.Error("A2 render incomplete")
+	}
+}
+
+func TestFilterAblation(t *testing.T) {
+	filtered, unfiltered, err := RunFilterAblation(fastDeanonConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Attack.FilteredInconsistent == 0 {
+		t.Error("filter dropped nobody despite random responders")
+	}
+	if unfiltered.Attack.FilteredInconsistent != 0 {
+		t.Error("disabled filter still dropped workers")
+	}
+	if unfiltered.Attack.Linkable < filtered.Attack.Linkable {
+		t.Error("disabling the filter reduced linkable workers")
+	}
+	// Without the filter, garbage quasi-identifiers leak into the
+	// pipeline as unmatched or wrong lookups.
+	if unfiltered.Attack.Unmatched < filtered.Attack.Unmatched {
+		t.Error("unfiltered run has fewer unmatched quasi-identifiers")
+	}
+	out := RenderFilterAblation(filtered, unfiltered)
+	if !strings.Contains(out, "A3") {
+		t.Error("A3 render incomplete")
+	}
+}
+
+func TestLecturerTrialValidation(t *testing.T) {
+	bad := DefaultTrialConfig()
+	bad.Students = 0
+	if _, err := RunLecturerTrial(bad); err == nil {
+		t.Error("0 students accepted")
+	}
+	bad = DefaultTrialConfig()
+	bad.Lecturers = 0
+	if _, err := RunLecturerTrial(bad); err == nil {
+		t.Error("0 lecturers accepted")
+	}
+	bad = DefaultTrialConfig()
+	bad.BinCounts = [core.NumLevels]int{1, 1, 1, 1}
+	if _, err := RunLecturerTrial(bad); err == nil {
+		t.Error("bin counts not summing to students accepted")
+	}
+	bad = DefaultTrialConfig()
+	bad.BinCounts[0] = -1
+	bad.BinCounts[1] += 1
+	if _, err := RunLecturerTrial(bad); err == nil {
+		t.Error("negative bin count accepted")
+	}
+	bad = DefaultTrialConfig()
+	bad.ParticipationLo = 0
+	if _, err := RunLecturerTrial(bad); err == nil {
+		t.Error("zero participation accepted")
+	}
+	bad = DefaultTrialConfig()
+	bad.Schedule.Sigma[core.None] = 5
+	if _, err := RunLecturerTrial(bad); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+func TestLecturerTrialShape(t *testing.T) {
+	res, err := RunLecturerTrial(DefaultTrialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lecturers) != PaperTrialLecturers {
+		t.Fatalf("lecturers = %d", len(res.Lecturers))
+	}
+	if res.BinTotals != PaperBinCounts {
+		t.Errorf("bin totals %v != paper %v", res.BinTotals, PaperBinCounts)
+	}
+	// Fig. 2's key observation: high-privacy bins deviate more than the
+	// no-privacy bin.
+	if res.MeanAbsDeviation[core.High] <= res.MeanAbsDeviation[core.None] {
+		t.Errorf("high bin deviation %.3f not above none bin %.3f",
+			res.MeanAbsDeviation[core.High], res.MeanAbsDeviation[core.None])
+	}
+	// Yet the overall estimates stay usable.
+	if res.NaiveRMSE > 0.30 {
+		t.Errorf("naive RMSE %.3f too large to make inferences", res.NaiveRMSE)
+	}
+	// Bin deviations are statistically indistinguishable from noise: at
+	// α=0.05 only about 5% of bins should flag (allow up to 20% for a
+	// single seed).
+	if res.TestedBins < 40 {
+		t.Errorf("tested only %d bins", res.TestedBins)
+	}
+	if frac := float64(res.SignificantBins) / float64(res.TestedBins); frac > 0.20 {
+		t.Errorf("%.0f%% of bins significantly deviate — obfuscation looks biased", 100*frac)
+	}
+	for _, lr := range res.Lecturers {
+		if lr.Raters == 0 {
+			t.Errorf("lecturer %s has no raters", lr.Name)
+		}
+		n := 0
+		for _, b := range lr.Bins {
+			n += b.N
+		}
+		if n != lr.Raters {
+			t.Errorf("lecturer %s bins sum %d != raters %d", lr.Name, n, lr.Raters)
+		}
+		if lr.TruthMean < 1 || lr.TruthMean > 5 {
+			t.Errorf("lecturer %s truth %.2f off scale", lr.Name, lr.TruthMean)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"E3", "E4", "none", "high", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trial render lacks %q", want)
+		}
+	}
+}
+
+func TestTrialDeterministic(t *testing.T) {
+	cfg := DefaultTrialConfig()
+	a, err := RunLecturerTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLecturerTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NaiveRMSE != b.NaiveRMSE || a.PooledRMSE != b.PooledRMSE {
+		t.Fatal("same-seed trials diverged")
+	}
+}
+
+func TestTrustedComparison(t *testing.T) {
+	tc, err := RunTrustedComparison(DefaultTrialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.PaperTrue != PaperAnecdoteTrue || tc.PaperNoisy != PaperAnecdoteNoisy {
+		t.Error("paper constants wrong")
+	}
+	if tc.Quality != 4.61 {
+		t.Errorf("anecdote lecturer quality %.2f, want 4.61", tc.Quality)
+	}
+	// The reproduction's error should be in the same ballpark as the
+	// paper's 0.11.
+	if tc.AbsError > 0.35 {
+		t.Errorf("absolute error %.3f far above the paper's 0.11", tc.AbsError)
+	}
+	if !strings.Contains(tc.Render(), "4.61") {
+		t.Error("E5 render lacks the paper's trusted rating")
+	}
+}
+
+func TestLevelTakeup(t *testing.T) {
+	if _, err := RunLevelTakeup(1, 0, 131); err == nil {
+		t.Error("0 cohorts accepted")
+	}
+	if _, err := RunLevelTakeup(1, 10, 0); err == nil {
+		t.Error("0 cohort size accepted")
+	}
+	res, err := RunLevelTakeup(3, 300, PaperTrialStudents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for l := 0; l < core.NumLevels; l++ {
+		total += res.MeanCounts[l]
+		if math.Abs(res.MeanCounts[l]-float64(PaperBinCounts[l])) > 3 {
+			t.Errorf("level %v mean count %.1f far from paper %d",
+				core.Level(l), res.MeanCounts[l], PaperBinCounts[l])
+		}
+	}
+	if math.Abs(total-float64(PaperTrialStudents)) > 1e-9 {
+		t.Errorf("mean counts sum to %.2f", total)
+	}
+	if res.ModalMediumShare < 0.5 {
+		t.Errorf("medium modal in only %.0f%% of cohorts", 100*res.ModalMediumShare)
+	}
+	if !strings.Contains(res.Render(), "E6") {
+		t.Error("E6 render incomplete")
+	}
+}
+
+func TestEstimatorAblation(t *testing.T) {
+	res, err := RunEstimatorAblation(DefaultTrialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerLecturer) != PaperTrialLecturers {
+		t.Fatalf("per-lecturer rows = %d", len(res.PerLecturer))
+	}
+	// Noise-aware pooling should not be much worse than naive, and is
+	// usually better.
+	if res.PooledRMSE > res.NaiveRMSE*1.25 {
+		t.Errorf("pooled RMSE %.3f much worse than naive %.3f", res.PooledRMSE, res.NaiveRMSE)
+	}
+	if !strings.Contains(res.Render(), "A4") {
+		t.Error("A4 render incomplete")
+	}
+}
+
+func TestAccuracySweep(t *testing.T) {
+	bad := DefaultSweepConfig()
+	bad.Trials = 0
+	if _, err := RunAccuracySweep(bad); err == nil {
+		t.Error("0 trials accepted")
+	}
+	bad = DefaultSweepConfig()
+	bad.Sigmas = nil
+	if _, err := RunAccuracySweep(bad); err == nil {
+		t.Error("empty sigma axis accepted")
+	}
+	bad = DefaultSweepConfig()
+	bad.Sigmas = []float64{-1}
+	if _, err := RunAccuracySweep(bad); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	bad = DefaultSweepConfig()
+	bad.Ns = []int{0}
+	if _, err := RunAccuracySweep(bad); err == nil {
+		t.Error("n=0 accepted")
+	}
+
+	cfg := DefaultSweepConfig()
+	cfg.Trials = 150
+	res, err := RunAccuracySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(cfg.Sigmas)*len(cfg.Ns) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Error grows with noise at fixed n...
+	lo, _ := res.Cell(0, 51)
+	hi, _ := res.Cell(3.0, 51)
+	if hi.RMSE <= lo.RMSE {
+		t.Errorf("RMSE did not grow with sigma: %.3f vs %.3f", lo.RMSE, hi.RMSE)
+	}
+	// ...and shrinks with n at fixed noise.
+	small, _ := res.Cell(2.0, 5)
+	large, _ := res.Cell(2.0, 200)
+	if large.RMSE >= small.RMSE {
+		t.Errorf("RMSE did not shrink with n: %.3f vs %.3f", small.RMSE, large.RMSE)
+	}
+	// Clamping biases a high mean downward at meaningful noise.
+	cl, _ := res.Cell(2.0, 51)
+	if cl.BiasClamped >= 0 {
+		t.Errorf("clamped bias %.3f not negative for mean 4.2", cl.BiasClamped)
+	}
+	if _, ok := res.Cell(99, 99); ok {
+		t.Error("phantom cell found")
+	}
+	if !strings.Contains(res.Render(), "A1") {
+		t.Error("A1 render incomplete")
+	}
+}
+
+func TestLedgerGrowth(t *testing.T) {
+	bad := DefaultLedgerGrowthConfig()
+	bad.QuestionsPerSurvey = 0
+	if _, err := RunLedgerGrowth(bad); err == nil {
+		t.Error("0 questions accepted")
+	}
+	bad = DefaultLedgerGrowthConfig()
+	bad.Delta = 0
+	if _, err := RunLedgerGrowth(bad); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	bad = DefaultLedgerGrowthConfig()
+	bad.Ks = []int{0}
+	if _, err := RunLedgerGrowth(bad); err == nil {
+		t.Error("k=0 accepted")
+	}
+
+	res, err := RunLedgerGrowth(DefaultLedgerGrowthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLevel := map[core.Level][]LedgerGrowthPoint{}
+	for _, p := range res.Points {
+		byLevel[p.Level] = append(byLevel[p.Level], p)
+	}
+	for lvl, pts := range byLevel {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].ZCDP <= pts[i-1].ZCDP || pts[i].Basic <= pts[i-1].Basic {
+				t.Errorf("level %v: ε not growing in k", lvl)
+			}
+		}
+		for _, p := range pts {
+			if p.ZCDP > p.Basic {
+				t.Errorf("level %v k=%d: zCDP %g above basic %g", lvl, p.K, p.ZCDP, p.Basic)
+			}
+			if p.Advanced > p.Basic {
+				t.Errorf("level %v k=%d: reported advanced %g above basic %g", lvl, p.K, p.Advanced, p.Basic)
+			}
+		}
+		// zCDP grows sublinearly: ε(50 surveys) well below 50×ε(1).
+		first, last := pts[0], pts[len(pts)-1]
+		if last.ZCDP >= first.ZCDP*float64(last.K)*0.9 {
+			t.Errorf("level %v: zCDP growth looks linear", lvl)
+		}
+	}
+	if !strings.Contains(res.Render(), "A5") {
+		t.Error("A5 render incomplete")
+	}
+}
+
+func TestDefense(t *testing.T) {
+	cfg := DefaultDefenseConfig()
+	cfg.Deanon = fastDeanonConfig()
+	res, err := RunDefense(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loki.Attack.Linkable >= res.Raw.Attack.Linkable {
+		t.Errorf("obfuscation did not reduce linkability: %d vs %d",
+			res.Loki.Attack.Linkable, res.Raw.Attack.Linkable)
+	}
+	if res.Loki.Attack.HealthExposed >= res.Raw.Attack.HealthExposed {
+		t.Errorf("obfuscation did not reduce health exposure: %d vs %d",
+			res.Loki.Attack.HealthExposed, res.Raw.Attack.HealthExposed)
+	}
+	if res.NoneShare <= 0 || res.NoneShare >= 1 {
+		t.Errorf("none share = %g", res.NoneShare)
+	}
+	// The utility half: the debiased smoking distribution stays close to
+	// truth at cohort scale.
+	if len(res.SmokingTruth) != 4 || len(res.SmokingLoki) != 4 {
+		t.Fatalf("smoking distributions missing: %v / %v", res.SmokingTruth, res.SmokingLoki)
+	}
+	if res.SmokingMaxErr > 0.12 {
+		t.Errorf("debiased smoking estimate off by %.1f%%", 100*res.SmokingMaxErr)
+	}
+	if !strings.Contains(res.Render(), "E7") || !strings.Contains(res.Render(), "utility survives") {
+		t.Error("E7 render incomplete")
+	}
+
+	bad := cfg
+	bad.AttackSlack = -1
+	if _, err := RunDefense(bad); err == nil {
+		t.Error("negative slack accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("title", "a", "bb")
+	tb.AddRow("x")
+	tb.AddVals(1, 2.5, "dropped")
+	out := tb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "bb") {
+		t.Errorf("table render:\n%s", out)
+	}
+	if strings.Contains(out, "dropped") {
+		t.Error("over-width cell not dropped")
+	}
+}
+
+func TestSparklineAndBars(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{math.NaN()}); got != " " {
+		t.Errorf("NaN sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 0.5, 1})
+	if len([]rune(s)) != 3 {
+		t.Errorf("sparkline length = %d", len([]rune(s)))
+	}
+	flat := Sparkline([]float64{2, 2, 2})
+	if len([]rune(flat)) != 3 {
+		t.Error("flat sparkline wrong length")
+	}
+	bars := BarChart([]string{"a", "b"}, []float64{1, 2}, 10)
+	if !strings.Contains(bars, "a") || !strings.Contains(bars, "█") {
+		t.Errorf("bar chart:\n%s", bars)
+	}
+	zero := BarChart([]string{"a"}, []float64{0}, 0)
+	if !strings.Contains(zero, "a") {
+		t.Error("zero bar chart")
+	}
+}

@@ -1,0 +1,475 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"loki/internal/aggregate"
+	"loki/internal/core"
+	"loki/internal/population"
+	"loki/internal/rng"
+	"loki/internal/stats"
+	"loki/internal/survey"
+)
+
+// Paper §3.2 trial numbers.
+var (
+	// PaperBinCounts is the observed privacy take-up: none/low/medium/high.
+	PaperBinCounts = [core.NumLevels]int{18, 32, 51, 30}
+)
+
+// Paper §3.2 anecdote: the author's true (university) rating and the
+// noisy Loki estimate.
+const (
+	PaperTrialStudents  = 131
+	PaperTrialLecturers = 13
+	PaperAnecdoteTrue   = 4.61
+	PaperAnecdoteNoisy  = 4.72
+)
+
+// TrialConfig parameterizes the Loki lecturer-rating trial (Fig. 2).
+type TrialConfig struct {
+	Seed      uint64
+	Students  int
+	Lecturers int
+	// BinCounts pins the exact number of students per privacy level;
+	// the counts must sum to Students. Zero-value uses PaperBinCounts.
+	BinCounts [core.NumLevels]int
+	Schedule  core.Schedule
+	Options   core.Options
+	// ParticipationLo/Hi bound the per-lecturer probability that a
+	// student rates that lecturer (not every student took every course),
+	// which produces the per-lecturer histogram of Fig. 2.
+	ParticipationLo, ParticipationHi float64
+}
+
+// DefaultTrialConfig reproduces the paper's trial: 131 students, 13
+// lecturers, bins 18/32/51/30, doubling σ schedule.
+func DefaultTrialConfig() TrialConfig {
+	return TrialConfig{
+		Seed:            7,
+		Students:        PaperTrialStudents,
+		Lecturers:       PaperTrialLecturers,
+		BinCounts:       PaperBinCounts,
+		Schedule:        core.DefaultSchedule(),
+		Options:         core.DefaultOptions(),
+		ParticipationLo: 0.55,
+		ParticipationHi: 0.95,
+	}
+}
+
+// LecturerBin is one privacy bin's outcome for one lecturer (a Fig. 2
+// point: deviation of the bin mean from the overall mean, plus the
+// histogram count).
+type LecturerBin struct {
+	Level     core.Level
+	N         int
+	Mean      float64
+	Deviation float64
+}
+
+// LecturerResult is one lecturer's column in Fig. 2.
+type LecturerResult struct {
+	Name string
+	// TruthMean is the noiseless mean of the raw ratings actually given
+	// (what the trusted third party would have computed on this sample).
+	TruthMean float64
+	// Quality is the lecturer's long-run ground-truth quality (the
+	// university's multi-year rating in the paper's anecdote).
+	Quality float64
+	// OverallMean is the mean over all noisy ratings; PooledMean is the
+	// inverse-variance combination of bin means.
+	OverallMean float64
+	PooledMean  float64
+	Raters      int
+	Bins        [core.NumLevels]LecturerBin
+}
+
+// TrialResult is the full Fig. 2 dataset plus summary error metrics.
+type TrialResult struct {
+	Config    TrialConfig
+	Lecturers []LecturerResult
+	// BinTotals counts students per privacy level (E6's observed
+	// take-up for this cohort).
+	BinTotals [core.NumLevels]int
+	// MaxAbsDeviation[l] is the largest |bin mean − overall mean| across
+	// lecturers for level l — the envelope of the Fig. 2 curves.
+	MaxAbsDeviation [core.NumLevels]float64
+	// MeanAbsDeviation[l] averages |deviation| across lecturers.
+	MeanAbsDeviation [core.NumLevels]float64
+	// NaiveRMSE and PooledRMSE measure both estimators against the
+	// noiseless sample means, across lecturers (ablation A4).
+	NaiveRMSE  float64
+	PooledRMSE float64
+	// TestedBins and SignificantBins report the Welch t-test of every
+	// populated bin against the other bins of the same lecturer at
+	// α=0.05. Because at-source noise is zero-mean, only ≈5% of bins
+	// should flag — the statistical confirmation that Fig. 2's bin
+	// deviations are sampling noise, not bias.
+	TestedBins      int
+	SignificantBins int
+}
+
+// RunLecturerTrial reproduces the §3.2 trial: a cohort of students with
+// pinned privacy-level take-up rates lecturers through at-source
+// obfuscation; the requester-side estimator then recovers per-bin and
+// overall means.
+func RunLecturerTrial(cfg TrialConfig) (*TrialResult, error) {
+	if cfg.Students < 1 {
+		return nil, fmt.Errorf("trial: students %d < 1", cfg.Students)
+	}
+	if cfg.Lecturers < 1 {
+		return nil, fmt.Errorf("trial: lecturers %d < 1", cfg.Lecturers)
+	}
+	sum := 0
+	for _, n := range cfg.BinCounts {
+		if n < 0 {
+			return nil, fmt.Errorf("trial: negative bin count %d", n)
+		}
+		sum += n
+	}
+	if sum != cfg.Students {
+		return nil, fmt.Errorf("trial: bin counts sum to %d, want %d students", sum, cfg.Students)
+	}
+	if cfg.ParticipationLo <= 0 || cfg.ParticipationHi > 1 || cfg.ParticipationLo > cfg.ParticipationHi {
+		return nil, fmt.Errorf("trial: participation bounds [%g, %g] invalid", cfg.ParticipationLo, cfg.ParticipationHi)
+	}
+
+	r := rng.New(cfg.Seed)
+	obf, err := core.NewObfuscator(cfg.Schedule, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	est, err := aggregate.NewEstimator(cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cohort: volunteers, no random responders.
+	popCfg := population.DefaultConfig()
+	popCfg.RegistrySize = cfg.Students
+	popCfg.RandomResponderRate = 0
+	pop, err := population.Generate(popCfg, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	panel, err := population.NewLecturerPanel(cfg.Lecturers, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	sv := panel.Survey()
+
+	// Pin the privacy-level take-up exactly (the paper reports counts,
+	// not propensities) by shuffling a level multiset over the cohort.
+	levels := make([]core.Level, 0, cfg.Students)
+	for l, n := range cfg.BinCounts {
+		for i := 0; i < n; i++ {
+			levels = append(levels, core.Level(l))
+		}
+	}
+	r.Shuffle(len(levels), func(i, j int) { levels[i], levels[j] = levels[j], levels[i] })
+
+	// Per-lecturer participation probability.
+	part := make([]float64, cfg.Lecturers)
+	for j := range part {
+		part[j] = cfg.ParticipationLo + (cfg.ParticipationHi-cfg.ParticipationLo)*r.Float64()
+	}
+
+	// Generate ratings: raw for the truth baseline, noisy for upload.
+	rawByLecturer := make([][]float64, cfg.Lecturers)
+	noisyByBin := make([][core.NumLevels][]float64, cfg.Lecturers)
+	var responses []survey.Response
+	noiseRNG := r.Split()
+	for i := 0; i < cfg.Students; i++ {
+		person := &pop.Persons[i]
+		lvl := levels[i]
+		resp := survey.Response{
+			SurveyID:     sv.ID,
+			WorkerID:     fmt.Sprintf("student-%03d", i),
+			PrivacyLevel: lvl.String(),
+			Obfuscated:   lvl != core.None,
+		}
+		for j := 0; j < cfg.Lecturers; j++ {
+			if !r.Bernoulli(part[j]) {
+				continue
+			}
+			truth, err := panel.TrueRating(person, j, r)
+			if err != nil {
+				return nil, err
+			}
+			rawByLecturer[j] = append(rawByLecturer[j], truth)
+			q := sv.Question(survey.LecturerQuestionID(j))
+			noisy, err := obf.ObfuscateAnswer(q, survey.RatingAnswer(q.ID, truth), lvl, noiseRNG)
+			if err != nil {
+				return nil, err
+			}
+			noisyByBin[j][lvl] = append(noisyByBin[j][lvl], noisy.Rating)
+			resp.Answers = append(resp.Answers, noisy)
+		}
+		if len(resp.Answers) > 0 {
+			responses = append(responses, resp)
+		}
+	}
+
+	res := &TrialResult{Config: cfg}
+	for _, lvl := range levels {
+		res.BinTotals[lvl]++
+	}
+
+	var naive, pooled, truths []float64
+	for j := 0; j < cfg.Lecturers; j++ {
+		q := sv.Question(survey.LecturerQuestionID(j))
+		qe, err := est.EstimateQuestion(sv, q, responses)
+		if err != nil {
+			return nil, err
+		}
+		lr := LecturerResult{
+			Name:        panel.Names[j],
+			Quality:     panel.Qualities[j],
+			OverallMean: qe.OverallMean,
+			PooledMean:  qe.PooledMean,
+			Raters:      qe.OverallN,
+		}
+		if len(rawByLecturer[j]) > 0 {
+			lr.TruthMean, _ = stats.Mean(rawByLecturer[j])
+		}
+		for l := 0; l < core.NumLevels; l++ {
+			b := qe.Bins[l]
+			lr.Bins[l] = LecturerBin{Level: b.Level, N: b.N, Mean: b.Mean, Deviation: b.Deviation}
+			if b.N > 0 {
+				ad := math.Abs(b.Deviation)
+				if ad > res.MaxAbsDeviation[l] {
+					res.MaxAbsDeviation[l] = ad
+				}
+				res.MeanAbsDeviation[l] += ad / float64(cfg.Lecturers)
+			}
+		}
+		res.Lecturers = append(res.Lecturers, lr)
+		naive = append(naive, lr.OverallMean)
+		pooled = append(pooled, lr.PooledMean)
+		truths = append(truths, lr.TruthMean)
+	}
+	res.NaiveRMSE, _ = stats.RMSE(naive, truths)
+	res.PooledRMSE, _ = stats.RMSE(pooled, truths)
+
+	// Significance check: each populated bin against the lecturer's
+	// other bins. Zero-mean noise means ≈5% of bins flag at α=0.05.
+	for j := 0; j < cfg.Lecturers; j++ {
+		for l := 0; l < core.NumLevels; l++ {
+			bin := noisyByBin[j][l]
+			var rest []float64
+			for o := 0; o < core.NumLevels; o++ {
+				if o != l {
+					rest = append(rest, noisyByBin[j][o]...)
+				}
+			}
+			if len(bin) < 2 || len(rest) < 2 {
+				continue
+			}
+			tt, err := stats.WelchT(bin, rest)
+			if err != nil {
+				return nil, err
+			}
+			res.TestedBins++
+			if tt.Significant(0.05) {
+				res.SignificantBins++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render produces the E3 (deviation curves) and E4 (per-bin histogram)
+// report.
+func (res *TrialResult) Render() string {
+	var b strings.Builder
+
+	t := NewTable("E3 — Fig. 2: deviation of privacy-bin mean from overall mean, per lecturer",
+		"lecturer", "truth", "overall", "none", "low", "medium", "high")
+	for _, lr := range res.Lecturers {
+		cells := []string{lr.Name, fmtF(lr.TruthMean, 2), fmtF(lr.OverallMean, 2)}
+		for l := 0; l < core.NumLevels; l++ {
+			if lr.Bins[l].N == 0 {
+				cells = append(cells, "—")
+			} else {
+				cells = append(cells, fmt.Sprintf("%+.2f", lr.Bins[l].Deviation))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\ndeviation curves across lecturers (one sparkline per bin):\n")
+	for l := 0; l < core.NumLevels; l++ {
+		vals := make([]float64, len(res.Lecturers))
+		for j, lr := range res.Lecturers {
+			if lr.Bins[l].N == 0 {
+				vals[j] = math.NaN()
+			} else {
+				vals[j] = lr.Bins[l].Deviation
+			}
+		}
+		fmt.Fprintf(&b, "  %-6s %s  max|dev|=%.2f mean|dev|=%.2f (σ=%.1f)\n",
+			core.Level(l), Sparkline(vals), res.MaxAbsDeviation[l], res.MeanAbsDeviation[l],
+			res.Config.Schedule.Sigma[l])
+	}
+
+	t2 := NewTable("\nE4 — Fig. 2 histogram: students rating each lecturer, per privacy bin",
+		"lecturer", "none", "low", "medium", "high", "total")
+	for _, lr := range res.Lecturers {
+		t2.AddVals(lr.Name, lr.Bins[0].N, lr.Bins[1].N, lr.Bins[2].N, lr.Bins[3].N, lr.Raters)
+	}
+	b.WriteString(t2.String())
+
+	t3 := NewTable("\ncohort privacy take-up (E6 inputs)", "level", "paper", "this cohort")
+	for l := 0; l < core.NumLevels; l++ {
+		t3.AddVals(core.Level(l), PaperBinCounts[l], res.BinTotals[l])
+	}
+	b.WriteString(t3.String())
+	if res.TestedBins > 0 {
+		fmt.Fprintf(&b, "\nWelch t-test, each bin vs its lecturer's other bins: %d of %d significant at α=0.05\n"+
+			"(≈5%% expected under zero-mean noise — deviations are sampling noise, not bias)\n",
+			res.SignificantBins, res.TestedBins)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E5 — trusted-third-party comparison
+
+// TrustedComparison is the §3.2 anecdote: the pinned-quality lecturer's
+// noisy estimate versus the trusted reference.
+type TrustedComparison struct {
+	PaperTrue     float64
+	PaperNoisy    float64
+	MeasuredTrue  float64 // noiseless sample mean of the anecdote lecturer
+	MeasuredNoisy float64 // noisy overall mean
+	Quality       float64 // the pinned long-run rating (4.61)
+	AbsError      float64
+}
+
+// RunTrustedComparison (E5) runs the trial and extracts the anecdote
+// lecturer's comparison.
+func RunTrustedComparison(cfg TrialConfig) (*TrustedComparison, error) {
+	res, err := RunLecturerTrial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	idx := population.AnecdoteLecturer % len(res.Lecturers)
+	lr := res.Lecturers[idx]
+	return &TrustedComparison{
+		PaperTrue:     PaperAnecdoteTrue,
+		PaperNoisy:    PaperAnecdoteNoisy,
+		MeasuredTrue:  lr.TruthMean,
+		MeasuredNoisy: lr.OverallMean,
+		Quality:       lr.Quality,
+		AbsError:      math.Abs(lr.OverallMean - lr.TruthMean),
+	}, nil
+}
+
+// Render reports E5.
+func (tc *TrustedComparison) Render() string {
+	t := NewTable("E5 — noisy estimate vs trusted third-party rating (§3.2 anecdote)",
+		"quantity", "paper", "measured")
+	t.AddVals("trusted rating", fmtF(tc.PaperTrue, 2), fmtF(tc.MeasuredTrue, 2))
+	t.AddVals("noisy Loki estimate", fmtF(tc.PaperNoisy, 2), fmtF(tc.MeasuredNoisy, 2))
+	t.AddVals("absolute error", fmtF(math.Abs(tc.PaperNoisy-tc.PaperTrue), 2), fmtF(tc.AbsError, 2))
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// E6 — privacy-level take-up
+
+// TakeupResult compares sampled level choices against the paper's
+// observed 18/32/51/30 split.
+type TakeupResult struct {
+	Cohorts    int
+	MeanCounts [core.NumLevels]float64
+	// ModalMediumShare is the fraction of cohorts in which medium was
+	// the most popular level (the paper conjectures medium reads as the
+	// "safer" middle option).
+	ModalMediumShare float64
+}
+
+// RunLevelTakeup (E6) samples many cohorts from the preference model and
+// reports the mean per-level counts.
+func RunLevelTakeup(seed uint64, cohorts, cohortSize int) (*TakeupResult, error) {
+	if cohorts < 1 || cohortSize < 1 {
+		return nil, fmt.Errorf("takeup: cohorts %d and cohort size %d must be positive", cohorts, cohortSize)
+	}
+	r := rng.New(seed)
+	cfg := population.DefaultConfig()
+	weights := cfg.PrivacyPrefWeights[:]
+	res := &TakeupResult{Cohorts: cohorts}
+	for c := 0; c < cohorts; c++ {
+		var counts [core.NumLevels]int
+		for i := 0; i < cohortSize; i++ {
+			counts[r.MustCategorical(weights)]++
+		}
+		modal := 0
+		for l := 0; l < core.NumLevels; l++ {
+			res.MeanCounts[l] += float64(counts[l]) / float64(cohorts)
+			if counts[l] > counts[modal] {
+				modal = l
+			}
+		}
+		if core.Level(modal) == core.Medium {
+			res.ModalMediumShare += 1 / float64(cohorts)
+		}
+	}
+	return res, nil
+}
+
+// Render reports E6.
+func (tr *TakeupResult) Render() string {
+	t := NewTable("E6 — privacy-level take-up (sampled cohorts of 131)",
+		"level", "paper count", "mean sampled count")
+	for l := 0; l < core.NumLevels; l++ {
+		t.AddVals(core.Level(l), PaperBinCounts[l], fmtF(tr.MeanCounts[l], 1))
+	}
+	return t.String() + fmt.Sprintf("medium is the modal level in %s of cohorts\n", fmtPct(tr.ModalMediumShare))
+}
+
+// ---------------------------------------------------------------------------
+// A4 — estimator ablation
+
+// EstimatorAblation compares the naive overall mean against the
+// inverse-variance pooled estimator on the trial data.
+type EstimatorAblation struct {
+	NaiveRMSE   float64
+	PooledRMSE  float64
+	PerLecturer []aggregate.NaiveVsPooled
+}
+
+// RunEstimatorAblation (A4) reports both estimators' errors per lecturer.
+func RunEstimatorAblation(cfg TrialConfig) (*EstimatorAblation, error) {
+	res, err := RunLecturerTrial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &EstimatorAblation{NaiveRMSE: res.NaiveRMSE, PooledRMSE: res.PooledRMSE}
+	for _, lr := range res.Lecturers {
+		out.PerLecturer = append(out.PerLecturer, aggregate.NaiveVsPooled{
+			QuestionID:  lr.Name,
+			Truth:       lr.TruthMean,
+			Naive:       lr.OverallMean,
+			NaiveError:  math.Abs(lr.OverallMean - lr.TruthMean),
+			Pooled:      lr.PooledMean,
+			PooledError: math.Abs(lr.PooledMean - lr.TruthMean),
+		})
+	}
+	return out, nil
+}
+
+// Render reports A4.
+func (ea *EstimatorAblation) Render() string {
+	t := NewTable("A4 — estimator ablation: naive mean vs inverse-variance pooling",
+		"lecturer", "truth", "naive", "|err|", "pooled", "|err|")
+	for _, pl := range ea.PerLecturer {
+		t.AddVals(pl.QuestionID, fmtF(pl.Truth, 2), fmtF(pl.Naive, 2), fmtF(pl.NaiveError, 3),
+			fmtF(pl.Pooled, 2), fmtF(pl.PooledError, 3))
+	}
+	return t.String() + fmt.Sprintf("RMSE across lecturers: naive=%.3f pooled=%.3f\n",
+		ea.NaiveRMSE, ea.PooledRMSE)
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"loki/internal/core"
+	"loki/internal/population"
+)
+
+func TestLinkageGrowth(t *testing.T) {
+	cfg := population.DefaultConfig()
+	cfg.RegistrySize = 40_000
+	res, err := RunLinkageGrowth(5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	// Anonymity collapses monotonically as surveys add attributes.
+	for i := 1; i < len(res.Stages); i++ {
+		if res.Stages[i].MedianK > res.Stages[i-1].MedianK {
+			t.Errorf("median k grew from stage %d to %d: %d -> %d",
+				i-1, i, res.Stages[i-1].MedianK, res.Stages[i].MedianK)
+		}
+		if res.Stages[i].FractionUnique < res.Stages[i-1].FractionUnique {
+			t.Errorf("uniqueness shrank from stage %d to %d", i-1, i)
+		}
+	}
+	// After survey 1 (day/month only) nobody is identifiable; after all
+	// three most people are.
+	if res.Stages[0].FractionUnique > 0.01 {
+		t.Errorf("day/month alone identifies %.1f%%", 100*res.Stages[0].FractionUnique)
+	}
+	if res.Stages[0].MedianK < 10 {
+		t.Errorf("day/month median k = %d, expected large", res.Stages[0].MedianK)
+	}
+	if res.Stages[2].FractionUnique < 0.4 {
+		t.Errorf("full QI identifies only %.1f%%", 100*res.Stages[2].FractionUnique)
+	}
+	out := res.Render()
+	for _, want := range []string{"A6", "astrology", "zip", "median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("A6 render lacks %q", want)
+		}
+	}
+}
+
+func TestLinkageGrowthInvalidConfig(t *testing.T) {
+	cfg := population.DefaultConfig()
+	cfg.NumZIPs = 0
+	if _, err := RunLinkageGrowth(1, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestBalancedCollection(t *testing.T) {
+	bad := DefaultBalanceConfig()
+	bad.Users = 0
+	if _, err := RunBalancedCollection(bad); err == nil {
+		t.Error("0 users accepted")
+	}
+	bad = DefaultBalanceConfig()
+	bad.Trials = 0
+	if _, err := RunBalancedCollection(bad); err == nil {
+		t.Error("0 trials accepted")
+	}
+
+	cfg := DefaultBalanceConfig()
+	cfg.Trials = 150
+	res, err := RunBalancedCollection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) != 4 {
+		t.Fatalf("plans = %d", len(res.Plans))
+	}
+	balanced := res.Plans[0]
+	if balanced.PredictedSE > cfg.TargetSE*1.001 {
+		t.Errorf("balanced plan misses target: %.4f > %.2f", balanced.PredictedSE, cfg.TargetSE)
+	}
+	// Realised error tracks the prediction (Monte Carlo slack ×1.5).
+	if balanced.RealisedRMSE > balanced.PredictedSE*1.5 {
+		t.Errorf("realised RMSE %.3f far above predicted SE %.3f",
+			balanced.RealisedRMSE, balanced.PredictedSE)
+	}
+	// Uniform-low spends more privacy for its extra accuracy.
+	var uniLow, uniHigh BalancePlanStats
+	for _, p := range res.Plans {
+		switch p.Name {
+		case "uniform low":
+			uniLow = p
+		case "uniform high":
+			uniHigh = p
+		}
+	}
+	if balanced.TotalRho >= uniLow.TotalRho {
+		t.Errorf("balanced ρ %g not below uniform-low %g", balanced.TotalRho, uniLow.TotalRho)
+	}
+	if uniHigh.PredictedSE <= cfg.TargetSE {
+		t.Errorf("uniform high unexpectedly meets the target (%.3f)", uniHigh.PredictedSE)
+	}
+	if !strings.Contains(res.Render(), "A8") {
+		t.Error("A8 render incomplete")
+	}
+}
+
+func TestNoiseComparison(t *testing.T) {
+	bad := DefaultNoiseComparisonConfig()
+	bad.Delta = 0
+	if _, err := RunNoiseComparison(bad); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	bad = DefaultNoiseComparisonConfig()
+	bad.N = 0
+	if _, err := RunNoiseComparison(bad); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad = DefaultNoiseComparisonConfig()
+	bad.Schedule.Sigma[core.None] = 1
+	if _, err := RunNoiseComparison(bad); err == nil {
+		t.Error("bad schedule accepted")
+	}
+
+	cfg := DefaultNoiseComparisonConfig()
+	cfg.Trials = 200
+	res, err := RunNoiseComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Variance-matched Laplace has (about) the same utility.
+		if row.RMSELaplaceMatched > row.RMSEGaussian*1.6 || row.RMSEGaussian > row.RMSELaplaceMatched*1.6 {
+			t.Errorf("level %v: variance-matched RMSEs diverge: %.3f vs %.3f",
+				row.Level, row.RMSEGaussian, row.RMSELaplaceMatched)
+		}
+		// Its pure ε per release is smaller than the Gaussian's
+		// δ-converted ε.
+		if row.EpsilonLaplace >= row.EpsilonGaussian {
+			t.Errorf("level %v: laplace ε %.1f not below gaussian ε %.1f",
+				row.Level, row.EpsilonLaplace, row.EpsilonGaussian)
+		}
+		// ε-matched Laplace therefore needs less noise.
+		if row.EpsilonMatchedSigma >= row.SigmaGaussian {
+			t.Errorf("level %v: ε-matched laplace σ %.3f not below gaussian σ %.2f",
+				row.Level, row.EpsilonMatchedSigma, row.SigmaGaussian)
+		}
+	}
+	// Higher levels mean more noise and (weakly) more error.
+	if res.Rows[2].RMSEGaussian <= res.Rows[0].RMSEGaussian {
+		t.Error("RMSE not growing with level")
+	}
+	if !strings.Contains(res.Render(), "A7") {
+		t.Error("A7 render incomplete")
+	}
+}

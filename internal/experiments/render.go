@@ -1,0 +1,153 @@
+// Package experiments contains one reproducible harness per table and
+// figure of the paper, plus the ablations called out in DESIGN.md. Every
+// harness is a pure function of its config (which embeds a seed): it
+// builds the substrates, runs the workload, and returns a typed result
+// that knows how to render itself as text — the repository's equivalent
+// of regenerating the paper's figures.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a minimal ASCII table builder for experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+	title  string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := 0; i < len(t.header) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddVals appends a row, formatting each value with fmt.Sprint.
+func (t *Table) AddVals(cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprint(c)
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Sparkline renders values as a compact unicode bar series, used for the
+// Fig. 2 deviation curves. NaN values render as spaces.
+func Sparkline(values []float64) string {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		// No finite values: every slot renders blank.
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// BarChart renders labelled horizontal bars scaled to maxWidth columns.
+func BarChart(labels []string, values []float64, maxWidth int) string {
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels) > i && len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.4g\n", maxL, label, strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// fmtF renders a float compactly for tables.
+func fmtF(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

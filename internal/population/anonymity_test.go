@@ -1,0 +1,74 @@
+package population
+
+import (
+	"testing"
+
+	"loki/internal/rng"
+)
+
+func TestAttrMaskString(t *testing.T) {
+	if got := MaskAfterCoverage.String(); got != "day/month+year+gender+zip" {
+		t.Errorf("full mask = %q", got)
+	}
+	if got := AttrMask(0).String(); got != "(nothing)" {
+		t.Errorf("empty mask = %q", got)
+	}
+	if got := MaskGender.String(); got != "gender" {
+		t.Errorf("gender mask = %q", got)
+	}
+}
+
+func TestMaskedKeySubsumesFullKey(t *testing.T) {
+	q := QuasiID{BirthYear: 1980, MonthDay: 321, Gender: Male, ZIP: 10001}
+	if maskedKey(q, MaskAfterCoverage) != q.Key() {
+		t.Error("full mask key differs from QuasiID.Key")
+	}
+	// Masked keys ignore the hidden attributes.
+	q2 := q
+	q2.ZIP = 99999
+	if maskedKey(q, MaskAfterMatchmaking) != maskedKey(q2, MaskAfterMatchmaking) {
+		t.Error("mask without zip still distinguishes zips")
+	}
+	if maskedKey(q, MaskAfterCoverage) == maskedKey(q2, MaskAfterCoverage) {
+		t.Error("mask with zip ignores zips")
+	}
+}
+
+func TestAnonymityStatsCollapse(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RegistrySize = 20_000
+	pop, err := Generate(cfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := pop.AnonymityStats(MaskAfterAstrology)
+	mid := pop.AnonymityStats(MaskAfterMatchmaking)
+	full := pop.AnonymityStats(MaskAfterCoverage)
+
+	if md.MedianK <= mid.MedianK || mid.MedianK < full.MedianK {
+		t.Errorf("median k not collapsing: %d -> %d -> %d", md.MedianK, mid.MedianK, full.MedianK)
+	}
+	if md.FractionUnique > mid.FractionUnique || mid.FractionUnique > full.FractionUnique {
+		t.Error("uniqueness not growing with attributes")
+	}
+	// Day/month alone: ~20000/366 ≈ 55 per birthday.
+	if md.MedianK < 20 || md.MedianK > 120 {
+		t.Errorf("day/month median k = %d, expected around 55", md.MedianK)
+	}
+	if md.MeanK < float64(md.MedianK)/2 {
+		t.Errorf("mean k %.1f implausibly below median %d", md.MeanK, md.MedianK)
+	}
+	// Full-mask uniqueness agrees with the registry's computation.
+	reg := NewRegistry(pop)
+	if diff := full.FractionUnique - reg.FractionUnique(); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mask uniqueness %.4f != registry %.4f", full.FractionUnique, reg.FractionUnique())
+	}
+}
+
+func TestAnonymityStatsEmpty(t *testing.T) {
+	p := &Population{}
+	st := p.AnonymityStats(MaskAfterCoverage)
+	if st.MedianK != 0 || st.MeanK != 0 || st.FractionUnique != 0 {
+		t.Errorf("empty population stats = %+v", st)
+	}
+}

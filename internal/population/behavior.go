@@ -1,0 +1,179 @@
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// Answers produces the person's raw (pre-obfuscation) answers to the
+// survey, honouring their response behaviour: truthful respondents answer
+// from their attributes, random responders answer uniformly.
+func Answers(p *Person, s *survey.Survey, r *rng.RNG) ([]survey.Answer, error) {
+	if p.Behavior == RandomResponder {
+		return RandomAnswers(s, r), nil
+	}
+	return TruthfulAnswers(p, s, r)
+}
+
+// TruthfulAnswers derives an answer to every question from the person's
+// attributes. Opinion questions are answered from the latent opinion
+// propensity; demographic and health questions are answered exactly —
+// the paper's premise is that honest workers reveal true personal facts.
+func TruthfulAnswers(p *Person, s *survey.Survey, r *rng.RNG) ([]survey.Answer, error) {
+	out := make([]survey.Answer, 0, len(s.Questions))
+	for i := range s.Questions {
+		q := &s.Questions[i]
+		a, err := truthfulAnswer(p, q, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func truthfulAnswer(p *Person, q *survey.Question, r *rng.RNG) (survey.Answer, error) {
+	switch q.Attribute {
+	case survey.AttrStarSign:
+		return survey.ChoiceAnswer(q.ID, survey.ZodiacOf(p.MonthDay())), nil
+	case survey.AttrBirthDayMonth:
+		return survey.NumericAnswer(q.ID, float64(p.MonthDay())), nil
+	case survey.AttrBirthYear:
+		return survey.NumericAnswer(q.ID, float64(p.BirthYear)), nil
+	case survey.AttrAge:
+		return survey.NumericAnswer(q.ID, float64(p.Age())), nil
+	case survey.AttrGender:
+		return survey.ChoiceAnswer(q.ID, int(p.Gender)), nil
+	case survey.AttrZIP:
+		return survey.NumericAnswer(q.ID, float64(p.ZIP)), nil
+	case survey.AttrSmoking:
+		return survey.ChoiceAnswer(q.ID, int(p.Smoking)), nil
+	case survey.AttrCough:
+		return survey.NumericAnswer(q.ID, float64(p.CoughDays)), nil
+	case survey.AttrAwareness:
+		return survey.ChoiceAnswer(q.ID, yesNoIndex(p.Aware)), nil
+	case survey.AttrParticipation:
+		return survey.ChoiceAnswer(q.ID, yesNoIndex(p.WouldParticipate)), nil
+	case survey.AttrOpinion, survey.AttrNone:
+		return fillerAnswer(p, q, r), nil
+	default:
+		return survey.Answer{}, fmt.Errorf("population: no truthful answer model for attribute %q", q.Attribute)
+	}
+}
+
+// yesNoIndex maps a boolean onto the survey.YesNo option order.
+func yesNoIndex(yes bool) int {
+	if yes {
+		return 0
+	}
+	return 1
+}
+
+// fillerAnswer answers a non-identifying question from the person's
+// opinion propensity. Two opinion ratings by the same person land within
+// one point of each other with high probability, so truthful respondents
+// pass opinion-pair redundancy checks.
+func fillerAnswer(p *Person, q *survey.Question, r *rng.RNG) survey.Answer {
+	switch q.Kind {
+	case survey.Rating:
+		v := clampRound(p.Opinion+r.Normal(0, 0.3), q.ScaleMin, q.ScaleMax)
+		return survey.RatingAnswer(q.ID, v)
+	case survey.Numeric:
+		v := clampRound(p.Opinion/5*(q.ScaleMax-q.ScaleMin)+q.ScaleMin, q.ScaleMin, q.ScaleMax)
+		return survey.NumericAnswer(q.ID, v)
+	case survey.MultipleChoice:
+		return survey.ChoiceAnswer(q.ID, r.Intn(len(q.Options)))
+	default:
+		return survey.TextAnswer(q.ID, "")
+	}
+}
+
+func clampRound(v, lo, hi float64) float64 {
+	v = math.Round(v)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// RandomAnswers answers every question uniformly at random over its
+// domain — the inattentive-worker model the paper's redundancy checks are
+// designed to catch.
+func RandomAnswers(s *survey.Survey, r *rng.RNG) []survey.Answer {
+	out := make([]survey.Answer, 0, len(s.Questions))
+	for i := range s.Questions {
+		q := &s.Questions[i]
+		switch q.Kind {
+		case survey.Rating:
+			out = append(out, survey.RatingAnswer(q.ID, float64(r.IntRange(int(q.ScaleMin), int(q.ScaleMax)))))
+		case survey.Numeric:
+			out = append(out, survey.NumericAnswer(q.ID, float64(r.IntRange(int(q.ScaleMin), int(q.ScaleMax)))))
+		case survey.MultipleChoice:
+			out = append(out, survey.ChoiceAnswer(q.ID, r.Intn(len(q.Options))))
+		default:
+			out = append(out, survey.TextAnswer(q.ID, "n/a"))
+		}
+	}
+	return out
+}
+
+// LecturerPanel is the ground truth for the Loki lecturer-rating trial:
+// per-lecturer base quality on the 1..5 scale. The noiseless cohort mean
+// of each lecturer is the "university trusted-third-party rating" the
+// paper compares against.
+type LecturerPanel struct {
+	Names     []string
+	Qualities []float64
+}
+
+// NewLecturerPanel creates n lecturers with qualities spread over
+// [2.8, 4.8], shuffled so the ordering carries no information. One
+// lecturer is pinned to quality 4.61 — the paper's §3.2 anecdote
+// (an author's true university rating) — at index AnecdoteLecturer.
+func NewLecturerPanel(n int, r *rng.RNG) (*LecturerPanel, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("population: lecturer panel needs n >= 1, got %d", n)
+	}
+	names := make([]string, n)
+	qual := make([]float64, n)
+	for i := range qual {
+		names[i] = fmt.Sprintf("Lecturer %c", 'A'+i%26)
+		if n == 1 {
+			qual[i] = AnecdoteQuality
+		} else {
+			qual[i] = 2.8 + 2.0*float64(i)/float64(n-1)
+		}
+	}
+	r.Shuffle(n, func(i, j int) { qual[i], qual[j] = qual[j], qual[i] })
+	qual[AnecdoteLecturer%n] = AnecdoteQuality
+	return &LecturerPanel{Names: names, Qualities: qual}, nil
+}
+
+// AnecdoteLecturer is the panel index of the lecturer pinned to the
+// paper's 4.61 true rating.
+const AnecdoteLecturer = 0
+
+// AnecdoteQuality is the paper's reported trusted-third-party rating for
+// one author (4.61 out of 5).
+const AnecdoteQuality = 4.61
+
+// TrueRating returns the person's honest 1..5 rating of lecturer j:
+// the lecturer's quality shifted by the person's leniency plus a little
+// idiosyncratic taste, rounded to the discrete star scale.
+func (lp *LecturerPanel) TrueRating(p *Person, j int, r *rng.RNG) (float64, error) {
+	if j < 0 || j >= len(lp.Qualities) {
+		return 0, fmt.Errorf("population: lecturer index %d outside [0, %d)", j, len(lp.Qualities))
+	}
+	return clampRound(lp.Qualities[j]+p.Leniency+r.Normal(0, 0.4), 1, 5), nil
+}
+
+// Survey returns the lecturer-rating survey for this panel.
+func (lp *LecturerPanel) Survey() *survey.Survey {
+	return survey.Lecturers(lp.Names)
+}

@@ -1,0 +1,193 @@
+package population
+
+import (
+	"testing"
+
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+func onePerson(t *testing.T, seed uint64) (*Population, *Person) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.RegistrySize = 50
+	cfg.RandomResponderRate = 0
+	pop, err := Generate(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop, &pop.Persons[0]
+}
+
+func TestTruthfulAnswersValidAndConsistent(t *testing.T) {
+	_, p := onePerson(t, 11)
+	r := rng.New(12)
+	for _, sv := range []*survey.Survey{
+		survey.Astrology(), survey.Matchmaking(), survey.Coverage(),
+		survey.Health(), survey.Awareness(),
+	} {
+		answers, err := TruthfulAnswers(p, sv, r)
+		if err != nil {
+			t.Fatalf("%s: %v", sv.ID, err)
+		}
+		resp := survey.Response{SurveyID: sv.ID, WorkerID: "w", Answers: answers}
+		if err := resp.Validate(sv); err != nil {
+			t.Fatalf("%s: truthful answers invalid: %v", sv.ID, err)
+		}
+		if !resp.Consistent(sv, 0) {
+			t.Fatalf("%s: truthful answers inconsistent", sv.ID)
+		}
+	}
+}
+
+func TestTruthfulAnswersMatchAttributes(t *testing.T) {
+	_, p := onePerson(t, 13)
+	r := rng.New(14)
+
+	astro, err := TruthfulAnswers(p, survey.Astrology(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := survey.Response{Answers: astro}
+	if got := resp.Answer("birth-md").Rating; int(got) != p.MonthDay() {
+		t.Errorf("birth-md = %g, want %d", got, p.MonthDay())
+	}
+	if got := resp.Answer("star-sign").Choice; got != survey.ZodiacOf(p.MonthDay()) {
+		t.Errorf("star sign %d does not match birthday", got)
+	}
+
+	match, err := TruthfulAnswers(p, survey.Matchmaking(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = survey.Response{Answers: match}
+	if got := resp.Answer("birth-year").Rating; int(got) != p.BirthYear {
+		t.Errorf("birth-year = %g", got)
+	}
+	if got := resp.Answer("gender").Choice; got != int(p.Gender) {
+		t.Errorf("gender = %d", got)
+	}
+
+	cov, err := TruthfulAnswers(p, survey.Coverage(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = survey.Response{Answers: cov}
+	if got := resp.Answer("zip").Rating; int(got) != p.ZIP {
+		t.Errorf("zip = %g, want %d", got, p.ZIP)
+	}
+
+	health, err := TruthfulAnswers(p, survey.Health(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = survey.Response{Answers: health}
+	if got := resp.Answer("smoking").Choice; got != int(p.Smoking) {
+		t.Errorf("smoking = %d", got)
+	}
+	if got := resp.Answer("cough-days").Rating; int(got) != p.CoughDays {
+		t.Errorf("cough-days = %g", got)
+	}
+
+	aw, err := TruthfulAnswers(p, survey.Awareness(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = survey.Response{Answers: aw}
+	wantAware := 1
+	if p.Aware {
+		wantAware = 0
+	}
+	if got := resp.Answer("aware").Choice; got != wantAware {
+		t.Errorf("aware answer = %d, person.Aware = %v", got, p.Aware)
+	}
+}
+
+func TestAnswersDispatch(t *testing.T) {
+	pop, _ := onePerson(t, 15)
+	r := rng.New(16)
+	p := &pop.Persons[1]
+	p.Behavior = RandomResponder
+	answers, err := Answers(p, survey.Astrology(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := survey.Response{SurveyID: survey.AstrologyID, WorkerID: "w", Answers: answers}
+	if err := resp.Validate(survey.Astrology()); err != nil {
+		t.Fatalf("random answers invalid: %v", err)
+	}
+}
+
+func TestRandomAnswersMostlyInconsistent(t *testing.T) {
+	r := rng.New(17)
+	sv := survey.Astrology()
+	inconsistent := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		resp := survey.Response{SurveyID: sv.ID, WorkerID: "w", Answers: RandomAnswers(sv, r)}
+		if !resp.Consistent(sv, 0) {
+			inconsistent++
+		}
+	}
+	// A uniform responder passes the zodiac check with probability well
+	// under 10%, and must also pass the opinion pair.
+	if inconsistent < n*8/10 {
+		t.Errorf("only %d/%d random responses filtered", inconsistent, n)
+	}
+}
+
+func TestLecturerPanel(t *testing.T) {
+	if _, err := NewLecturerPanel(0, rng.New(1)); err == nil {
+		t.Error("0 lecturers accepted")
+	}
+	panel, err := NewLecturerPanel(13, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Names) != 13 || len(panel.Qualities) != 13 {
+		t.Fatal("panel size wrong")
+	}
+	if panel.Qualities[AnecdoteLecturer] != AnecdoteQuality {
+		t.Errorf("anecdote lecturer quality = %g", panel.Qualities[AnecdoteLecturer])
+	}
+	for j, q := range panel.Qualities {
+		if q < 1 || q > 5 {
+			t.Errorf("lecturer %d quality %g outside scale", j, q)
+		}
+	}
+	sv := panel.Survey()
+	if err := sv.Validate(); err != nil {
+		t.Fatalf("panel survey invalid: %v", err)
+	}
+	if len(sv.Questions) != 13 {
+		t.Fatal("panel survey question count")
+	}
+
+	p := Person{Leniency: 0.2}
+	r := rng.New(19)
+	for i := 0; i < 200; i++ {
+		v, err := panel.TrueRating(&p, i%13, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 1 || v > 5 || v != float64(int(v)) {
+			t.Fatalf("rating %g not an integer in [1,5]", v)
+		}
+	}
+	if _, err := panel.TrueRating(&p, 13, r); err == nil {
+		t.Error("out-of-range lecturer accepted")
+	}
+	if _, err := panel.TrueRating(&p, -1, r); err == nil {
+		t.Error("negative lecturer accepted")
+	}
+}
+
+func TestSingleLecturerPanel(t *testing.T) {
+	panel, err := NewLecturerPanel(1, rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panel.Qualities[0] != AnecdoteQuality {
+		t.Errorf("single-lecturer quality = %g", panel.Qualities[0])
+	}
+}

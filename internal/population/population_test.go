@@ -1,0 +1,355 @@
+package population
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loki/internal/rng"
+	"loki/internal/survey"
+)
+
+// smallConfig keeps generation fast in unit tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RegistrySize = 5000
+	cfg.NumZIPs = 10
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.RegistrySize = 0 },
+		func(c *Config) { c.NumZIPs = 0 },
+		func(c *Config) { c.ZIPSkew = 0 },
+		func(c *Config) { c.BirthYearMax = c.BirthYearMin - 1 },
+		func(c *Config) { c.RandomResponderRate = -0.1 },
+		func(c *Config) { c.RandomResponderRate = 1.1 },
+		func(c *Config) { c.SmokingDist = [4]float64{0, 0, 0, 0} },
+		func(c *Config) { c.SmokingDist[0] = -1 },
+		func(c *Config) { c.AwareRate = 2 },
+		func(c *Config) { c.ParticipateIfAwareRate = -1 },
+		func(c *Config) { c.PrivacyPrefWeights = [4]float64{} },
+		func(c *Config) { c.PrivacyPrefWeights[2] = -5 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Persons {
+		if a.Persons[i] != b.Persons[i] {
+			t.Fatalf("person %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateAttributeRanges(t *testing.T) {
+	cfg := smallConfig()
+	pop, err := Generate(cfg, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Size() != cfg.RegistrySize {
+		t.Fatalf("size = %d", pop.Size())
+	}
+	zips := map[int]bool{}
+	for _, z := range pop.ZIPCodes {
+		zips[z] = true
+	}
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		if p.ID != i {
+			t.Fatalf("person %d has ID %d", i, p.ID)
+		}
+		if p.BirthYear < cfg.BirthYearMin || p.BirthYear > cfg.BirthYearMax {
+			t.Fatalf("birth year %d out of range", p.BirthYear)
+		}
+		if p.BirthMonth < 1 || p.BirthMonth > 12 {
+			t.Fatalf("month %d", p.BirthMonth)
+		}
+		if p.BirthDay < 1 || p.BirthDay > daysInMonth[p.BirthMonth] {
+			t.Fatalf("day %d in month %d", p.BirthDay, p.BirthMonth)
+		}
+		if !zips[p.ZIP] {
+			t.Fatalf("zip %d not in ZIP set", p.ZIP)
+		}
+		if p.CoughDays < 0 || p.CoughDays > 7 {
+			t.Fatalf("cough days %d", p.CoughDays)
+		}
+		if p.Opinion < 1 || p.Opinion > 5 {
+			t.Fatalf("opinion %g", p.Opinion)
+		}
+		if p.PrivacyPref < 0 || p.PrivacyPref > 3 {
+			t.Fatalf("privacy pref %d", p.PrivacyPref)
+		}
+		if p.Gender != Female && p.Gender != Male {
+			t.Fatalf("gender %d", p.Gender)
+		}
+		if !p.Aware && p.WouldParticipate {
+			t.Fatal("unaware person willing to participate (model says no)")
+		}
+		// The zodiac of the generated birthday is always valid.
+		if survey.ZodiacOf(p.MonthDay()) < 0 {
+			t.Fatalf("invalid zodiac for %d", p.MonthDay())
+		}
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumZIPs = 0
+	if _, err := Generate(cfg, rng.New(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCoughCorrelatesWithSmoking(t *testing.T) {
+	pop, err := Generate(smallConfig(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum [4]float64
+	var n [4]int
+	for i := range pop.Persons {
+		p := &pop.Persons[i]
+		sum[p.Smoking] += float64(p.CoughDays)
+		n[p.Smoking]++
+	}
+	never := sum[NeverSmoked] / float64(n[NeverSmoked])
+	daily := sum[DailySmoker] / float64(n[DailySmoker])
+	if daily <= never+1 {
+		t.Errorf("cough days not correlated: never=%.2f daily=%.2f", never, daily)
+	}
+}
+
+func TestAwareRate(t *testing.T) {
+	pop, err := Generate(smallConfig(), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := 0
+	for i := range pop.Persons {
+		if pop.Persons[i].Aware {
+			aware++
+		}
+	}
+	got := float64(aware) / float64(pop.Size())
+	if math.Abs(got-0.27) > 0.03 {
+		t.Errorf("aware rate = %.3f, want ~0.27", got)
+	}
+}
+
+func TestPersonDerived(t *testing.T) {
+	p := Person{BirthYear: 1980, BirthMonth: 3, BirthDay: 21}
+	if p.MonthDay() != 321 {
+		t.Errorf("MonthDay = %d", p.MonthDay())
+	}
+	if p.Age() != survey.ReferenceYear-1980 {
+		t.Errorf("Age = %d", p.Age())
+	}
+}
+
+func TestUniquenessCalibration(t *testing.T) {
+	// The default (full-size) registry must land in the literature band
+	// the paper cites: 63% (Golle) to 87% (Sweeney).
+	pop, err := Generate(DefaultConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(pop)
+	got := reg.FractionUnique()
+	if got < 0.55 || got > 0.92 {
+		t.Errorf("quasi-identifier uniqueness %.3f outside the calibrated band", got)
+	}
+}
+
+func TestUniquenessShrinksWithRegistrySize(t *testing.T) {
+	// More people per ZIP means more quasi-identifier collisions: the
+	// uniqueness fraction must fall as the region grows (the mechanism
+	// behind Sweeney's 87% vs Golle's 63%).
+	uniq := func(size int) float64 {
+		cfg := DefaultConfig()
+		cfg.RegistrySize = size
+		pop, err := Generate(cfg, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewRegistry(pop).FractionUnique()
+	}
+	small := uniq(50_000)
+	large := uniq(400_000)
+	if large >= small {
+		t.Errorf("uniqueness did not shrink with region size: %.3f (50k) vs %.3f (400k)", small, large)
+	}
+	if small < 0.75 {
+		t.Errorf("small region uniqueness %.3f implausibly low", small)
+	}
+	if large > 0.75 {
+		t.Errorf("large region uniqueness %.3f implausibly high", large)
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	pop, err := Generate(smallConfig(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(pop)
+	if reg.Size() != pop.Size() {
+		t.Fatalf("registry size %d", reg.Size())
+	}
+	for i := 0; i < 100; i++ {
+		p := &pop.Persons[i]
+		qi := QuasiIDOf(p)
+		ids := reg.Lookup(qi)
+		found := false
+		for _, id := range ids {
+			if id == p.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("person %d not found by own quasi-identifier", p.ID)
+		}
+		if reg.KAnonymity(qi) != len(ids) {
+			t.Fatal("KAnonymity disagrees with Lookup")
+		}
+		if id, ok := reg.Identify(qi); ok {
+			if len(ids) != 1 || id != p.ID {
+				t.Fatal("Identify returned wrong person")
+			}
+		} else if len(ids) == 1 {
+			t.Fatal("unique person not identified")
+		}
+	}
+	// Absent quasi-identifier.
+	absent := QuasiID{BirthYear: 1900, MonthDay: 101, Gender: Female, ZIP: 99999}
+	if got := reg.KAnonymity(absent); got != 0 {
+		t.Errorf("absent QI k = %d", got)
+	}
+	if _, ok := reg.Identify(absent); ok {
+		t.Error("absent QI identified")
+	}
+}
+
+func TestRegistryKDistribution(t *testing.T) {
+	pop, err := Generate(smallConfig(), rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(pop)
+	total := 0
+	prev := 0
+	for _, b := range reg.KDistribution() {
+		if b.K <= prev {
+			t.Error("KDistribution not sorted ascending")
+		}
+		prev = b.K
+		total += b.Persons
+	}
+	if total != reg.Size() {
+		t.Errorf("KDistribution persons sum %d != size %d", total, reg.Size())
+	}
+}
+
+func TestQuasiIDKeyInjective(t *testing.T) {
+	err := quick.Check(func(y1, md1, z1, y2, md2, z2 uint16, g1, g2 bool) bool {
+		a := QuasiID{
+			BirthYear: 1900 + int(y1%130),
+			MonthDay:  int(md1%1300) + 1,
+			Gender:    Gender(b2i(g1)),
+			ZIP:       int(z1),
+		}
+		b := QuasiID{
+			BirthYear: 1900 + int(y2%130),
+			MonthDay:  int(md2%1300) + 1,
+			Gender:    Gender(b2i(g2)),
+			ZIP:       int(z2),
+		}
+		if a == b {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestQuasiIDString(t *testing.T) {
+	qi := QuasiID{BirthYear: 1980, MonthDay: 321, Gender: Male, ZIP: 10001}
+	s := qi.String()
+	for _, want := range []string{"1980", "03", "21", "Male", "10001"} {
+		if !contains(s, want) {
+			t.Errorf("QuasiID string %q lacks %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRespiratoryRisk(t *testing.T) {
+	if RespiratoryRisk(NeverSmoked, 0) != 0 {
+		t.Error("healthy person has nonzero risk")
+	}
+	if RespiratoryRisk(DailySmoker, 7) != 1 {
+		t.Error("worst case risk != 1")
+	}
+	if !(RespiratoryRisk(DailySmoker, 3) > RespiratoryRisk(NeverSmoked, 3)) {
+		t.Error("risk not monotone in smoking")
+	}
+	if !(RespiratoryRisk(FormerSmoker, 5) > RespiratoryRisk(FormerSmoker, 1)) {
+		t.Error("risk not monotone in cough days")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Female.String() != "Female" || Male.String() != "Male" {
+		t.Error("gender strings")
+	}
+	if NeverSmoked.String() != "Never smoked" {
+		t.Error("smoking strings")
+	}
+	if Truthful.String() != "truthful" || RandomResponder.String() != "random-responder" {
+		t.Error("behavior strings")
+	}
+	if Gender(9).String() == "" || Smoking(9).String() == "" || Behavior(9).String() == "" {
+		t.Error("out-of-range enum strings empty")
+	}
+}

@@ -1,0 +1,226 @@
+package population
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QuasiID is the quasi-identifier the paper's attack assembles from three
+// surveys: full date of birth (year from the match-making survey,
+// day/month from the astrology survey), gender, and ZIP code.
+type QuasiID struct {
+	BirthYear int
+	MonthDay  int // month*100 + day
+	Gender    Gender
+	ZIP       int
+}
+
+// QuasiIDOf returns the person's true quasi-identifier.
+func QuasiIDOf(p *Person) QuasiID {
+	return QuasiID{BirthYear: p.BirthYear, MonthDay: p.MonthDay(), Gender: p.Gender, ZIP: p.ZIP}
+}
+
+// Key packs the quasi-identifier into a single comparable word:
+// zip(17 bits) | year(11 bits) | monthday(11 bits) | gender(1 bit).
+func (q QuasiID) Key() uint64 {
+	return uint64(q.ZIP)<<23 | uint64(q.BirthYear&0x7ff)<<12 | uint64(q.MonthDay&0x7ff)<<1 | uint64(q.Gender&1)
+}
+
+// String renders the quasi-identifier for reports.
+func (q QuasiID) String() string {
+	return fmt.Sprintf("{dob=%04d-%02d-%02d %s zip=%05d}",
+		q.BirthYear, q.MonthDay/100, q.MonthDay%100, q.Gender, q.ZIP)
+}
+
+// Registry is the public identified dataset (the voter-list / census
+// analogue) an attacker joins quasi-identifiers against. It indexes every
+// person by quasi-identifier key.
+type Registry struct {
+	byKey map[uint64][]int // key -> person IDs sharing it
+	size  int
+}
+
+// NewRegistry indexes the population.
+func NewRegistry(p *Population) *Registry {
+	reg := &Registry{byKey: make(map[uint64][]int, len(p.Persons)), size: len(p.Persons)}
+	for i := range p.Persons {
+		k := QuasiIDOf(&p.Persons[i]).Key()
+		reg.byKey[k] = append(reg.byKey[k], p.Persons[i].ID)
+	}
+	return reg
+}
+
+// Size returns the number of indexed persons.
+func (r *Registry) Size() int { return r.size }
+
+// Lookup returns the IDs of all persons matching the quasi-identifier.
+func (r *Registry) Lookup(q QuasiID) []int {
+	ids := r.byKey[q.Key()]
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// KAnonymity returns the number of registry persons sharing the
+// quasi-identifier (0 if absent).
+func (r *Registry) KAnonymity(q QuasiID) int {
+	return len(r.byKey[q.Key()])
+}
+
+// Identify returns the single person matching the quasi-identifier, if
+// exactly one exists — a successful re-identification.
+func (r *Registry) Identify(q QuasiID) (personID int, ok bool) {
+	ids := r.byKey[q.Key()]
+	if len(ids) == 1 {
+		return ids[0], true
+	}
+	return 0, false
+}
+
+// FractionUnique returns the fraction of registry persons whose
+// quasi-identifier is unique — the population-level re-identifiability
+// the Sweeney/Golle studies measure (87% / 63%).
+func (r *Registry) FractionUnique() float64 {
+	if r.size == 0 {
+		return 0
+	}
+	unique := 0
+	for _, ids := range r.byKey {
+		if len(ids) == 1 {
+			unique++
+		}
+	}
+	return float64(unique) / float64(r.size)
+}
+
+// KDistribution returns, for each anonymity-set size k present in the
+// registry, how many persons sit in sets of that size, sorted by k.
+func (r *Registry) KDistribution() []KBucket {
+	counts := make(map[int]int)
+	for _, ids := range r.byKey {
+		counts[len(ids)] += len(ids)
+	}
+	out := make([]KBucket, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, KBucket{K: k, Persons: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+// KBucket counts persons whose quasi-identifier anonymity set has size K.
+type KBucket struct {
+	K       int
+	Persons int
+}
+
+// AttrMask selects which quasi-identifier attributes an attacker knows.
+// The §2 surveys reveal them cumulatively: the astrology survey gives
+// day/month of birth, the match-making survey adds birth year and
+// gender, the coverage survey adds ZIP.
+type AttrMask uint8
+
+// Attribute mask bits.
+const (
+	MaskMonthDay AttrMask = 1 << iota
+	MaskBirthYear
+	MaskGender
+	MaskZIP
+)
+
+// Survey-cumulative masks: what the attacker knows after each of the
+// three profiling surveys.
+const (
+	MaskAfterAstrology   = MaskMonthDay
+	MaskAfterMatchmaking = MaskMonthDay | MaskBirthYear | MaskGender
+	MaskAfterCoverage    = MaskMonthDay | MaskBirthYear | MaskGender | MaskZIP
+)
+
+// String lists the attributes in the mask.
+func (m AttrMask) String() string {
+	s := ""
+	add := func(label string) {
+		if s != "" {
+			s += "+"
+		}
+		s += label
+	}
+	if m&MaskMonthDay != 0 {
+		add("day/month")
+	}
+	if m&MaskBirthYear != 0 {
+		add("year")
+	}
+	if m&MaskGender != 0 {
+		add("gender")
+	}
+	if m&MaskZIP != 0 {
+		add("zip")
+	}
+	if s == "" {
+		return "(nothing)"
+	}
+	return s
+}
+
+// maskedKey packs only the masked attributes of the quasi-identifier.
+func maskedKey(q QuasiID, mask AttrMask) uint64 {
+	var k uint64
+	if mask&MaskZIP != 0 {
+		k |= uint64(q.ZIP) << 23
+	}
+	if mask&MaskBirthYear != 0 {
+		k |= uint64(q.BirthYear&0x7ff) << 12
+	}
+	if mask&MaskMonthDay != 0 {
+		k |= uint64(q.MonthDay&0x7ff) << 1
+	}
+	if mask&MaskGender != 0 {
+		k |= uint64(q.Gender & 1)
+	}
+	return k
+}
+
+// AnonymityStats summarises how identifiable the population is when the
+// attacker knows only the masked attributes.
+type AnonymityStats struct {
+	Mask AttrMask
+	// MedianK is the median (over persons) anonymity-set size.
+	MedianK int
+	// MeanK is the expected anonymity-set size of a random person
+	// (Σ size² / N, i.e. size-weighted).
+	MeanK float64
+	// FractionUnique is the share of persons who are already unique.
+	FractionUnique float64
+}
+
+// AnonymityStats computes the k-anonymity profile of the population
+// under partial attacker knowledge — the Sweeney-style analysis behind
+// ablation A6 (how fast anonymity collapses survey by survey).
+func (p *Population) AnonymityStats(mask AttrMask) AnonymityStats {
+	counts := make(map[uint64]int)
+	for i := range p.Persons {
+		counts[maskedKey(QuasiIDOf(&p.Persons[i]), mask)]++
+	}
+	n := len(p.Persons)
+	sizes := make([]int, 0, n)
+	unique := 0
+	var sumSq float64
+	for _, c := range counts {
+		sumSq += float64(c) * float64(c)
+		if c == 1 {
+			unique++
+		}
+		for i := 0; i < c; i++ {
+			sizes = append(sizes, c)
+		}
+	}
+	sort.Ints(sizes)
+	out := AnonymityStats{Mask: mask}
+	if n > 0 {
+		out.MedianK = sizes[n/2]
+		out.MeanK = sumSq / float64(n)
+		out.FractionUnique = float64(unique) / float64(n)
+	}
+	return out
+}

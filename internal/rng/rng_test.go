@@ -1,0 +1,457 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	saw := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		saw[r.Uint64()] = true
+	}
+	if len(saw) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(saw))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100_000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := New(4)
+	for n := 1; n <= 10; n++ {
+		for i := 0; i < 1000; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 7, 70_000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) = %d", v)
+		}
+	}
+	if v := r.IntRange(5, 5); v != 5 {
+		t.Fatalf("IntRange(5,5) = %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted IntRange did not panic")
+		}
+	}()
+	r.IntRange(2, 1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(7)
+	const mean, sigma, n = 2.5, 1.5, 200_000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, sigma)
+		sum += v
+		ss += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(ss/n - m*m)
+	if math.Abs(m-mean) > 0.02 {
+		t.Errorf("mean = %.4f, want %.1f", m, mean)
+	}
+	if math.Abs(sd-sigma) > 0.02 {
+		t.Errorf("stddev = %.4f, want %.1f", sd, sigma)
+	}
+}
+
+func TestNormalZeroSigma(t *testing.T) {
+	r := New(8)
+	if v := r.Normal(3.14, 0); v != 3.14 {
+		t.Fatalf("Normal(3.14, 0) = %g", v)
+	}
+}
+
+func TestNormalNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sigma did not panic")
+		}
+	}()
+	New(9).Normal(0, -1)
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(10)
+	const mu, b, n = 1.0, 2.0, 200_000
+	var sum, absDev float64
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := r.Laplace(mu, b)
+		vals[i] = v
+		sum += v
+	}
+	m := sum / n
+	for _, v := range vals {
+		absDev += math.Abs(v - mu)
+	}
+	if math.Abs(m-mu) > 0.03 {
+		t.Errorf("mean = %.4f, want %.1f", m, mu)
+	}
+	// E|X−μ| = b for Laplace.
+	if got := absDev / n; math.Abs(got-b) > 0.05 {
+		t.Errorf("mean abs deviation = %.4f, want %.1f", got, b)
+	}
+}
+
+func TestLaplacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Laplace scale 0 did not panic")
+		}
+	}()
+	New(11).Laplace(0, 0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(12)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	const p, n = 0.3, 100_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-p) > 0.01 {
+		t.Errorf("Bernoulli(%g) rate = %.4f", p, got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(13)
+	const lambda, n = 2.0, 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(lambda)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %g", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-1/lambda) > 0.01 {
+		t.Errorf("mean = %.4f, want %.2f", got, 1/lambda)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(14)
+	for _, lambda := range []float64{0, 0.5, 3, 12, 50, 200} {
+		const n = 50_000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Poisson(lambda)
+			if v < 0 {
+				t.Fatalf("negative Poisson draw %d", v)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		tol := 4 * math.Sqrt(math.Max(lambda, 1)/n) * 3
+		if math.Abs(got-lambda) > math.Max(tol, 0.05) {
+			t.Errorf("Poisson(%g) mean = %.3f", lambda, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(15)
+	err := quick.Check(func(seed uint64) bool {
+		n := int(seed%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(16)
+	s := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInts(s)
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed content: sum %d vs %d", got, sum)
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := New(17)
+	got := r.Sample(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("Sample returned %d elements", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Sample invalid element %d in %v", v, got)
+		}
+		seen[v] = true
+	}
+	if got := r.Sample(5, 5); len(got) != 5 {
+		t.Fatalf("Sample(5,5) returned %d", len(got))
+	}
+	if got := r.Sample(5, 0); len(got) != 0 {
+		t.Fatalf("Sample(5,0) returned %d", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(2,3) did not panic")
+		}
+	}()
+	r.Sample(2, 3)
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	r := New(18)
+	cases := [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{0, 0},
+		{math.NaN(), 1},
+		{math.Inf(1), 1},
+	}
+	for _, w := range cases {
+		if _, err := r.Categorical(w); err == nil {
+			t.Errorf("Categorical(%v) accepted invalid weights", w)
+		}
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(19)
+	w := []float64{1, 2, 7}
+	const n = 100_000
+	counts := make([]float64, 3)
+	for i := 0; i < n; i++ {
+		idx, err := r.Categorical(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		if got := counts[i] / n; math.Abs(got-want) > 0.01 {
+			t.Errorf("bucket %d: %.4f, want %.1f", i, got, want)
+		}
+	}
+}
+
+func TestMustCategoricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCategorical with empty weights did not panic")
+		}
+	}()
+	New(20).MustCategorical(nil)
+}
+
+func TestZipfShape(t *testing.T) {
+	r := New(21)
+	z := NewZipf(10, 1.0)
+	if z.N() != 10 {
+		t.Fatalf("N = %d", z.N())
+	}
+	const n = 200_000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		k := z.Draw(r)
+		if k < 0 || k >= 10 {
+			t.Fatalf("Zipf draw out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Frequencies should decrease in rank (with slack for sampling noise
+	// between adjacent ranks near the tail).
+	if counts[0] <= counts[4] || counts[1] <= counts[7] {
+		t.Errorf("Zipf not head-heavy: %v", counts)
+	}
+	// P(rank 0) with s=1, n=10: 1/H(10) ≈ 0.3414.
+	if got := float64(counts[0]) / n; math.Abs(got-0.3414) > 0.01 {
+		t.Errorf("rank-0 mass = %.4f, want ~0.3414", got)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {5, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %g) did not panic", c.n, c.s)
+				}
+			}()
+			NewZipf(c.n, c.s)
+		}()
+	}
+}
+
+func TestZipfConvenience(t *testing.T) {
+	r := New(22)
+	for i := 0; i < 100; i++ {
+		if k := r.Zipf(5, 1.2); k < 0 || k >= 5 {
+			t.Fatalf("Zipf convenience out of range: %d", k)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(23)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and child streams overlap: %d/100", same)
+	}
+}
+
+func TestMul64MatchesStdlib(t *testing.T) {
+	err := quick.Check(func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		wantHi, wantLo := bits.Mul64(x, y)
+		return hi == wantHi && lo == wantLo
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedDrawProperty(t *testing.T) {
+	r := New(24)
+	err := quick.Check(func(bound uint64) bool {
+		b := bound%1_000_000 + 1
+		v := r.boundedUint64(b)
+		return v < b
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdNormalSpareConsistency(t *testing.T) {
+	// Re-seeding must clear the cached spare variate.
+	r := New(25)
+	_ = r.StdNormal()
+	r.Seed(25)
+	a := r.StdNormal()
+	r2 := New(25)
+	b := r2.StdNormal()
+	if a != b {
+		t.Fatalf("Seed did not reset spare state: %g vs %g", a, b)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal(0, 1)
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	r := New(1)
+	z := NewZipf(1000, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Draw(r)
+	}
+}

@@ -1,0 +1,459 @@
+// Package server implements the Loki backend: the HTTP/JSON API the
+// paper's Django prototype exposed to its iOS/Android apps. It serves
+// survey definitions, accepts already-obfuscated responses (the server
+// never sees raw answers — that is the entire point of at-source
+// obfuscation), and computes noise-aware aggregates for requesters.
+//
+// Routes (v1):
+//
+//	GET  /api/v1/healthz                      liveness probe
+//	GET  /api/v1/surveys                      survey list (worker view)
+//	GET  /api/v1/surveys/{id}                 full survey definition
+//	POST /api/v1/surveys                      publish a survey   [requester]
+//	POST /api/v1/surveys/{id}/responses       submit a response
+//	GET  /api/v1/surveys/{id}/aggregate       noise-aware stats  [requester]
+//	GET  /api/v1/schedule                     the public noise schedule
+//
+// Requester endpoints require "Authorization: Bearer <token>".
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"loki/internal/aggregate"
+	"loki/internal/core"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the persistence backend. Required.
+	Store store.Store
+	// Schedule is the published noise schedule; workers obfuscate with
+	// it and aggregation attributes per-bin noise from it.
+	Schedule core.Schedule
+	// RequesterToken guards publish/aggregate endpoints. Required.
+	RequesterToken string
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the Loki backend. It implements http.Handler.
+type Server struct {
+	cfg        Config
+	est        *aggregate.Estimator
+	mux        *http.ServeMux
+	served     atomic.Int64 // responses accepted, for metrics
+	levelTally [core.NumLevels]atomic.Int64
+}
+
+// New validates the configuration and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: config needs a store")
+	}
+	if cfg.RequesterToken == "" {
+		return nil, errors.New("server: config needs a requester token")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	est, err := aggregate.NewEstimator(cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux()}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /api/v1/surveys", s.handleListSurveys)
+	s.mux.HandleFunc("GET /api/v1/surveys/{id}", s.handleGetSurvey)
+	s.mux.HandleFunc("POST /api/v1/surveys", s.requireToken(s.handlePublishSurvey))
+	s.mux.HandleFunc("POST /api/v1/surveys/{id}/responses", s.handleSubmitResponse)
+	s.mux.HandleFunc("GET /api/v1/surveys/{id}/aggregate", s.requireToken(s.handleAggregate))
+	s.mux.HandleFunc("GET /api/v1/surveys/{id}/quality", s.requireToken(s.handleQuality))
+	s.mux.HandleFunc("GET /api/v1/schedule", s.handleSchedule)
+}
+
+// ServeHTTP implements http.Handler with panic recovery and logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	s.logf("%s %s", r.Method, r.URL.Path)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// requireToken wraps requester-only handlers with bearer-token auth.
+func (s *Server) requireToken(h http.HandlerFunc) http.HandlerFunc {
+	want := "Bearer " + s.cfg.RequesterToken
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != want {
+			writeError(w, http.StatusUnauthorized, "missing or invalid requester token")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// SurveySummary is the worker-facing listing entry, mirroring the app's
+// survey list screen (Fig. 1a): title, size, reward and the privacy
+// levels on offer.
+type SurveySummary struct {
+	ID          string   `json:"id"`
+	Title       string   `json:"title"`
+	Description string   `json:"description,omitempty"`
+	Questions   int      `json:"questions"`
+	RewardCents int      `json:"reward_cents"`
+	Levels      []string `json:"levels"`
+	Responses   int      `json:"responses"`
+}
+
+// ScheduleInfo is the public noise schedule with the per-rating ε each
+// level implies. Unbounded values (level none adds no noise, so its ε is
+// infinite) are encoded as -1 because JSON cannot carry +Inf.
+type ScheduleInfo struct {
+	Sigma            []float64 `json:"sigma"`
+	RREpsilon        []float64 `json:"rr_epsilon"`
+	EpsilonPerRating []float64 `json:"epsilon_per_rating"`
+	Delta            float64   `json:"delta"`
+}
+
+// jsonSafe maps +Inf (unbounded privacy loss) to the -1 wire sentinel.
+func jsonSafe(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return -1
+	}
+	return v
+}
+
+// SubmitResult acknowledges a stored response.
+type SubmitResult struct {
+	SurveyID string `json:"survey_id"`
+	Accepted bool   `json:"accepted"`
+	// Stored is the number of responses the survey now has.
+	Stored int `json:"stored"`
+}
+
+// AggregateResult carries per-question estimates for requesters: mean
+// estimates for rating/numeric questions, debiased distributions for
+// multiple-choice questions.
+type AggregateResult struct {
+	SurveyID  string                       `json:"survey_id"`
+	Questions []aggregate.QuestionEstimate `json:"questions"`
+	Choices   []aggregate.ChoiceEstimate   `json:"choices,omitempty"`
+}
+
+// QualityResult reports how many stored responses pass the survey's
+// redundancy (consistency) checks — the server-side view of the paper's
+// random-responder filtering. Obfuscated responses are checked with a
+// noise-proportional slack (3σ at the response's level), since honest
+// noisy answers legitimately perturb both halves of a pair.
+type QualityResult struct {
+	SurveyID     string `json:"survey_id"`
+	Total        int    `json:"total"`
+	Consistent   int    `json:"consistent"`
+	Inconsistent int    `json:"inconsistent"`
+	// PerLevel counts inconsistent responses per privacy level.
+	PerLevelInconsistent []int `json:"per_level_inconsistent"`
+}
+
+// Stats reports simple liveness counters.
+type Stats struct {
+	Status            string  `json:"status"`
+	ResponsesAccepted int64   `json:"responses_accepted"`
+	LevelTally        []int64 `json:"level_tally"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	tally := make([]int64, core.NumLevels)
+	for i := range tally {
+		tally[i] = s.levelTally[i].Load()
+	}
+	writeJSON(w, http.StatusOK, Stats{
+		Status:            "ok",
+		ResponsesAccepted: s.served.Load(),
+		LevelTally:        tally,
+	})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, _ *http.Request) {
+	obf, err := core.NewObfuscator(s.cfg.Schedule, core.DefaultOptions())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	eps := obf.EpsilonPerRating()
+	info := ScheduleInfo{Delta: obf.Options().Delta}
+	for l := 0; l < core.NumLevels; l++ {
+		info.Sigma = append(info.Sigma, s.cfg.Schedule.Sigma[l])
+		info.RREpsilon = append(info.RREpsilon, jsonSafe(s.cfg.Schedule.RREpsilon[l]))
+		info.EpsilonPerRating = append(info.EpsilonPerRating, jsonSafe(eps[l]))
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListSurveys(w http.ResponseWriter, _ *http.Request) {
+	surveys, err := s.cfg.Store.Surveys()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	levels := make([]string, 0, core.NumLevels)
+	for _, l := range core.Levels() {
+		levels = append(levels, l.String())
+	}
+	out := make([]SurveySummary, 0, len(surveys))
+	for _, sv := range surveys {
+		out = append(out, SurveySummary{
+			ID:          sv.ID,
+			Title:       sv.Title,
+			Description: sv.Description,
+			Questions:   len(sv.Questions),
+			RewardCents: sv.RewardCents,
+			Levels:      levels,
+			Responses:   s.cfg.Store.ResponseCount(sv.ID),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSurvey(w http.ResponseWriter, r *http.Request) {
+	sv, err := s.cfg.Store.Survey(r.PathValue("id"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, sv)
+}
+
+// PublishResult acknowledges a published survey and carries the linkage
+// audit of the requester's whole portfolio — the platform-level warning
+// the §2 attack shows is missing from AMT. Publication is not blocked
+// (the requester may have legitimate reasons), but critical findings are
+// logged.
+type PublishResult struct {
+	ID    string              `json:"id"`
+	Audit *survey.AuditReport `json:"audit,omitempty"`
+}
+
+func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
+	var sv survey.Survey
+	if !s.readJSON(w, r, &sv) {
+		return
+	}
+	if err := s.cfg.Store.PutSurvey(&sv); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	portfolio, err := s.cfg.Store.Surveys()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	audit := survey.AuditPortfolio(portfolio)
+	if audit.MaxSeverity() == survey.Critical {
+		s.logf("CRITICAL linkage audit after publishing %q: portfolio completes a quasi-identifier", sv.ID)
+	}
+	writeJSON(w, http.StatusCreated, PublishResult{ID: sv.ID, Audit: audit})
+}
+
+func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sv, err := s.cfg.Store.Survey(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	var resp survey.Response
+	if !s.readJSON(w, r, &resp) {
+		return
+	}
+	if resp.SurveyID == "" {
+		resp.SurveyID = id
+	}
+	if resp.SurveyID != id {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("response survey_id %q does not match URL %q", resp.SurveyID, id))
+		return
+	}
+	lvl, err := core.ParseLevel(resp.PrivacyLevel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The server cannot verify noise was added (by design it never sees
+	// the raw answers), but it enforces the declared contract: a level
+	// above none must be marked obfuscated.
+	if lvl != core.None && !resp.Obfuscated {
+		writeError(w, http.StatusBadRequest,
+			"responses at privacy levels above none must be obfuscated at source")
+		return
+	}
+	if err := resp.Validate(sv); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.cfg.Store.AppendResponse(&resp); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.served.Add(1)
+	s.levelTally[lvl].Add(1)
+	writeJSON(w, http.StatusCreated, SubmitResult{
+		SurveyID: id,
+		Accepted: true,
+		Stored:   s.cfg.Store.ResponseCount(id),
+	})
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sv, err := s.cfg.Store.Survey(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	responses, err := s.cfg.Store.Responses(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ests, err := s.est.EstimateSurvey(sv, responses)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	choices, err := s.est.EstimateSurveyChoices(sv, responses)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := AggregateResult{SurveyID: id}
+	for i := range sv.Questions {
+		if qe, ok := ests[sv.Questions[i].ID]; ok {
+			out.Questions = append(out.Questions, *qe)
+		}
+		if ce, ok := choices[sv.Questions[i].ID]; ok {
+			out.Choices = append(out.Choices, *ce)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sv, err := s.cfg.Store.Survey(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	responses, err := s.cfg.Store.Responses(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := QualityResult{SurveyID: id, PerLevelInconsistent: make([]int, core.NumLevels)}
+	for i := range responses {
+		resp := &responses[i]
+		lvl, err := core.ParseLevel(resp.PrivacyLevel)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		slack := 0.0
+		if resp.Obfuscated {
+			slack = 3 * s.cfg.Schedule.Sigma[lvl]
+		}
+		out.Total++
+		if resp.Consistent(sv, slack) {
+			out.Consistent++
+		} else {
+			out.Inconsistent++
+			out.PerLevelInconsistent[lvl]++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "request body must contain a single JSON value")
+		return false
+	}
+	_, _ = io.Copy(io.Discard, body)
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

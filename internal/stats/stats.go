@@ -1,0 +1,470 @@
+// Package stats provides the statistical estimators used throughout the
+// Loki reproduction: summary statistics, online moments, histograms,
+// normal-distribution helpers, confidence intervals for noisy means, and
+// inverse-variance pooling across privacy bins.
+//
+// All functions are pure and operate on float64 slices; they return errors
+// rather than NaNs for degenerate inputs so callers can distinguish "empty
+// bin" from "zero mean".
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"loki/internal/rng"
+)
+
+// ErrEmpty is returned by estimators that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	// Kahan summation: experiment sweeps sum thousands of noisy terms and
+	// plain accumulation loses precision in the tails.
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It requires at least two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance needs >= 2 observations, got %d", len(xs))
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the sample median.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile q=%g outside [0, 1]", q)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	h := q * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// RMSE returns the root-mean-square error between predictions and truth.
+// The slices must be the same non-zero length.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: RMSE length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var ss float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error between predictions and truth.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: MAE length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// MaxAbsError returns the largest absolute difference between the two
+// series.
+func MaxAbsError(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: MaxAbsError length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var m float64
+	for i := range pred {
+		if d := math.Abs(pred[i] - truth[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Online moments
+
+// Moments accumulates count, mean and variance in one pass using
+// Welford's algorithm. The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddAll incorporates every observation in xs.
+func (m *Moments) AddAll(xs []float64) {
+	for _, x := range xs {
+		m.Add(x)
+	}
+}
+
+// Merge combines another accumulator into this one (Chan et al. parallel
+// variance formula), enabling divide-and-conquer accumulation.
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	mean := m.mean + d*float64(o.n)/float64(n)
+	m2 := m.m2 + o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.n, m.mean, m.m2 = n, mean, m2
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean (0 if empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance; it returns 0 until two
+// observations have been added.
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (m *Moments) StdErr() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.StdDev() / math.Sqrt(float64(m.n))
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram counts observations into equal-width bins over [Min, Max).
+// Observations outside the range are clamped into the first/last bin so
+// totals are preserved (survey ratings obfuscated with unbounded Gaussian
+// noise routinely land outside the nominal scale).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [min, max). It returns an error if bins < 1 or max <= min.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	if !(max > min) {
+		return nil, fmt.Errorf("stats: histogram needs max > min, got [%g, %g)", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + w*(float64(i)+0.5)
+}
+
+// Fractions returns each bin's share of the total (all zeros if empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Normal distribution helpers
+
+// NormalCDF returns P(Z <= x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard normal quantile (inverse CDF) at
+// probability p in (0, 1), using the Beasley-Springer-Moro refinement of
+// the rational approximation (absolute error below 1e-9 over the full
+// range after one Newton step).
+func NormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: normal quantile p=%g outside (0, 1)", p)
+	}
+	x := acklamQuantile(p)
+	// One Newton-Raphson refinement using the exact CDF/PDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x, nil
+}
+
+// acklamQuantile is Peter Acklam's rational approximation to the normal
+// quantile (relative error < 1.15e-9).
+func acklamQuantile(p float64) float64 {
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Confidence intervals and pooling
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// MeanCI returns the normal-approximation confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95).
+func MeanCI(xs []float64, level float64) (mean float64, iv Interval, err error) {
+	if len(xs) == 0 {
+		return 0, Interval{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return 0, Interval{}, fmt.Errorf("stats: confidence level %g outside (0, 1)", level)
+	}
+	mean, _ = Mean(xs)
+	if len(xs) == 1 {
+		return mean, Interval{Lo: mean, Hi: mean}, nil
+	}
+	sd, _ := StdDev(xs)
+	z, err := NormalQuantile(0.5 + level/2)
+	if err != nil {
+		return 0, Interval{}, err
+	}
+	half := z * sd / math.Sqrt(float64(len(xs)))
+	return mean, Interval{Lo: mean - half, Hi: mean + half}, nil
+}
+
+// NoisyMeanCI returns the confidence interval for the mean of n noisy
+// observations whose added noise has known standard deviation noiseSigma
+// and whose underlying answers have population standard deviation at most
+// answerSigma. The two variance sources are independent, so they add.
+func NoisyMeanCI(mean float64, n int, answerSigma, noiseSigma, level float64) (Interval, error) {
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("stats: NoisyMeanCI needs n > 0, got %d", n)
+	}
+	if answerSigma < 0 || noiseSigma < 0 {
+		return Interval{}, fmt.Errorf("stats: negative sigma (answer=%g, noise=%g)", answerSigma, noiseSigma)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %g outside (0, 1)", level)
+	}
+	z, err := NormalQuantile(0.5 + level/2)
+	if err != nil {
+		return Interval{}, err
+	}
+	se := math.Sqrt((answerSigma*answerSigma + noiseSigma*noiseSigma) / float64(n))
+	return Interval{Lo: mean - z*se, Hi: mean + z*se}, nil
+}
+
+// WeightedEstimate is one estimate with its variance, used for pooling.
+type WeightedEstimate struct {
+	Value    float64
+	Variance float64
+	N        int
+}
+
+// PoolInverseVariance combines independent estimates of the same quantity
+// by inverse-variance weighting, the minimum-variance unbiased linear
+// combination. Estimates with non-positive variance are treated as exact
+// only if all estimates are exact; otherwise they get the smallest
+// positive variance present (a zero-noise privacy bin must not wipe out
+// the other bins' contributions to the pooled variance).
+func PoolInverseVariance(ests []WeightedEstimate) (value, variance float64, err error) {
+	if len(ests) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	minPos := math.Inf(1)
+	for _, e := range ests {
+		if e.Variance > 0 && e.Variance < minPos {
+			minPos = e.Variance
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		// All exact: plain N-weighted average.
+		var num, den float64
+		for _, e := range ests {
+			n := float64(e.N)
+			if n <= 0 {
+				n = 1
+			}
+			num += e.Value * n
+			den += n
+		}
+		return num / den, 0, nil
+	}
+	var wSum, wv float64
+	for _, e := range ests {
+		v := e.Variance
+		if v <= 0 {
+			v = minPos
+		}
+		w := 1 / v
+		wSum += w
+		wv += w * e.Value
+	}
+	return wv / wSum, 1 / wSum, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+
+// BootstrapMeanCI returns a percentile bootstrap confidence interval for
+// the mean of xs with the given number of resamples.
+func BootstrapMeanCI(xs []float64, resamples int, level float64, r *rng.RNG) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if resamples < 2 {
+		return Interval{}, fmt.Errorf("stats: bootstrap needs >= 2 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %g outside (0, 1)", level)
+	}
+	means := make([]float64, resamples)
+	for b := 0; b < resamples; b++ {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	lo, err := Quantile(means, alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := Quantile(means, 1-alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}

@@ -1,0 +1,383 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loki/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumKahan(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %g", got)
+	}
+	if got := Sum([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Errorf("Sum = %g", got)
+	}
+	// Kahan keeps precision where naive summation loses it.
+	xs := make([]float64, 0, 10_001)
+	xs = append(xs, 1e16)
+	for i := 0; i < 10_000; i++ {
+		xs = append(xs, 1)
+	}
+	if got := Sum(xs); got != 1e16+10_000 {
+		t.Errorf("Kahan sum = %g, want %g", got, 1e16+10_000)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil) did not return ErrEmpty")
+	}
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %g, %v", m, err)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of 1 element accepted")
+	}
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almost(v, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g, %v", v, err)
+	}
+	sd, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almost(sd, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %g, %v", sd, err)
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Median(nil) did not return ErrEmpty")
+	}
+	med, err := Median([]float64{3, 1, 2})
+	if err != nil || med != 2 {
+		t.Errorf("Median = %g, %v", med, err)
+	}
+	med, _ = Median([]float64{4, 1, 2, 3})
+	if med != 2.5 {
+		t.Errorf("even Median = %g", med)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("q NaN accepted")
+	}
+	q, _ := Quantile([]float64{10, 20, 30, 40, 50}, 0.25)
+	if q != 20 {
+		t.Errorf("Q(0.25) = %g, want 20", q)
+	}
+	q, _ = Quantile([]float64{10, 20}, 0.5)
+	if q != 15 {
+		t.Errorf("interpolated Q(0.5) = %g, want 15", q)
+	}
+	lo, _ := Quantile([]float64{5, 1, 9}, 0)
+	hi, _ := Quantile([]float64{5, 1, 9}, 1)
+	if lo != 1 || hi != 9 {
+		t.Errorf("extremes = %g, %g", lo, hi)
+	}
+	one, _ := Quantile([]float64{7}, 0.9)
+	if one != 7 {
+		t.Errorf("single-element quantile = %g", one)
+	}
+	// Quantile must not reorder the caller's slice.
+	xs := []float64{3, 1, 2}
+	_, _ = Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 4, 3}
+	r, err := RMSE(pred, truth)
+	if err != nil || !almost(r, 2/math.Sqrt(3), 1e-12) {
+		t.Errorf("RMSE = %g, %v", r, err)
+	}
+	m, err := MAE(pred, truth)
+	if err != nil || !almost(m, 2.0/3, 1e-12) {
+		t.Errorf("MAE = %g, %v", m, err)
+	}
+	x, err := MaxAbsError(pred, truth)
+	if err != nil || x != 2 {
+		t.Errorf("MaxAbsError = %g, %v", x, err)
+	}
+	if _, err := RMSE(pred, truth[:2]); err == nil {
+		t.Error("length mismatch accepted by RMSE")
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("MAE(nil) did not return ErrEmpty")
+	}
+	if _, err := MaxAbsError(pred, truth[:2]); err == nil {
+		t.Error("length mismatch accepted by MaxAbsError")
+	}
+}
+
+func TestMomentsMatchBatch(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := int(seed%100) + 2
+		xs := make([]float64, n)
+		var m Moments
+		for i := range xs {
+			xs[i] = r.Normal(5, 3)
+			m.Add(xs[i])
+		}
+		bm, _ := Mean(xs)
+		bv, _ := Variance(xs)
+		return m.N() == n && almost(m.Mean(), bm, 1e-9) && almost(m.Variance(), bv, 1e-9)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	r := rng.New(9)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Normal(0, 2)
+	}
+	var whole, left, right Moments
+	whole.AddAll(xs)
+	left.AddAll(xs[:200])
+	right.AddAll(xs[200:])
+	left.Merge(right)
+	if !almost(left.Mean(), whole.Mean(), 1e-9) || !almost(left.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merge mismatch: mean %g vs %g, var %g vs %g",
+			left.Mean(), whole.Mean(), left.Variance(), whole.Variance())
+	}
+	// Merging into/from empty.
+	var empty Moments
+	empty.Merge(whole)
+	if empty.N() != whole.N() {
+		t.Error("merge into empty lost data")
+	}
+	before := whole.N()
+	whole.Merge(Moments{})
+	if whole.N() != before {
+		t.Error("merge from empty changed state")
+	}
+}
+
+func TestMomentsStdErr(t *testing.T) {
+	var m Moments
+	if m.StdErr() != 0 {
+		t.Error("empty StdErr nonzero")
+	}
+	m.AddAll([]float64{1, 2, 3, 4})
+	want := m.StdDev() / 2
+	if !almost(m.StdErr(), want, 1e-12) {
+		t.Errorf("StdErr = %g, want %g", m.StdErr(), want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("max == min accepted")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-5, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// Bins: [-5,0,1.9]→bin0; [2]→bin1; [9.99,10,15]→bin4.
+	want := []int{3, 1, 0, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("BinCenter(0) = %g", c)
+	}
+	fr := h.Fractions()
+	if !almost(fr[0], 3.0/7, 1e-12) {
+		t.Errorf("fraction[0] = %g", fr[0])
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram fraction nonzero")
+		}
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if !almost(NormalCDF(0), 0.5, 1e-12) {
+		t.Errorf("Φ(0) = %g", NormalCDF(0))
+	}
+	if !almost(NormalCDF(1.959963985), 0.975, 1e-6) {
+		t.Errorf("Φ(1.96) = %g", NormalCDF(1.959963985))
+	}
+	if !almost(NormalCDF(-1)+NormalCDF(1), 1, 1e-12) {
+		t.Error("Φ not symmetric")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Errorf("NormalQuantile(%g) accepted", p)
+		}
+	}
+	z, err := NormalQuantile(0.975)
+	if err != nil || !almost(z, 1.959963985, 1e-6) {
+		t.Errorf("Q(0.975) = %g, %v", z, err)
+	}
+	z, _ = NormalQuantile(0.5)
+	if !almost(z, 0, 1e-9) {
+		t.Errorf("Q(0.5) = %g", z)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		p := (float64(seed%9998) + 1) / 10_000 // 0.0001 .. 0.9999
+		z, err := NormalQuantile(p)
+		if err != nil {
+			return false
+		}
+		return almost(NormalCDF(z), p, 1e-8)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	if _, _, err := MeanCI(nil, 0.95); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+	if _, _, err := MeanCI([]float64{1}, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	m, iv, err := MeanCI([]float64{5}, 0.95)
+	if err != nil || m != 5 || iv.Lo != 5 || iv.Hi != 5 {
+		t.Errorf("single element CI = %g %v %v", m, iv, err)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	m, iv, err = MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(m) {
+		t.Error("CI does not contain the mean")
+	}
+	if iv.Width() <= 0 {
+		t.Error("CI has no width")
+	}
+	_, wide, _ := MeanCI(xs, 0.99)
+	if wide.Width() <= iv.Width() {
+		t.Error("99% CI not wider than 95%")
+	}
+}
+
+func TestNoisyMeanCI(t *testing.T) {
+	if _, err := NoisyMeanCI(0, 0, 1, 1, 0.95); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NoisyMeanCI(0, 5, -1, 1, 0.95); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NoisyMeanCI(0, 5, 1, 1, 1); err == nil {
+		t.Error("level 1 accepted")
+	}
+	quiet, err := NoisyMeanCI(3, 50, 0.5, 0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NoisyMeanCI(3, 50, 0.5, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Width() <= quiet.Width() {
+		t.Error("noise did not widen the CI")
+	}
+	big, _ := NoisyMeanCI(3, 500, 0.5, 2, 0.95)
+	if big.Width() >= noisy.Width() {
+		t.Error("larger n did not narrow the CI")
+	}
+}
+
+func TestPoolInverseVariance(t *testing.T) {
+	if _, _, err := PoolInverseVariance(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+	// Two estimates, one four times more precise.
+	v, vv, err := PoolInverseVariance([]WeightedEstimate{
+		{Value: 10, Variance: 1, N: 5},
+		{Value: 20, Variance: 4, N: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights 1 and 0.25 → pooled = (10 + 5)/1.25 = 12.
+	if !almost(v, 12, 1e-12) {
+		t.Errorf("pooled = %g, want 12", v)
+	}
+	if !almost(vv, 0.8, 1e-12) {
+		t.Errorf("pooled variance = %g, want 0.8", vv)
+	}
+	// All exact: N-weighted mean.
+	v, vv, err = PoolInverseVariance([]WeightedEstimate{
+		{Value: 1, Variance: 0, N: 1},
+		{Value: 4, Variance: 0, N: 3},
+	})
+	if err != nil || vv != 0 {
+		t.Fatalf("exact pool: %g, %g, %v", v, vv, err)
+	}
+	if !almost(v, 3.25, 1e-12) {
+		t.Errorf("exact pooled = %g, want 3.25", v)
+	}
+	// Mixed: zero-variance entry gets the smallest positive variance.
+	v, _, err = PoolInverseVariance([]WeightedEstimate{
+		{Value: 0, Variance: 0, N: 10},
+		{Value: 10, Variance: 2, N: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 5, 1e-12) {
+		t.Errorf("mixed pooled = %g, want 5 (equal effective weights)", v)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	r := rng.New(33)
+	if _, err := BootstrapMeanCI(nil, 100, 0.95, r); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 1, 0.95, r); err == nil {
+		t.Error("1 resample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 100, 0, r); err == nil {
+		t.Error("level 0 accepted")
+	}
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Normal(7, 2)
+	}
+	iv, err := BootstrapMeanCI(xs, 500, 0.95, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Mean(xs)
+	if !iv.Contains(m) {
+		t.Errorf("bootstrap CI %v does not contain sample mean %g", iv, m)
+	}
+}

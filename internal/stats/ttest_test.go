@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"loki/internal/rng"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x float64
+		want    float64
+	}{
+		{1, 1, 0.5, 0.5},     // uniform CDF
+		{1, 1, 0.25, 0.25},   // uniform CDF
+		{2, 1, 0.5, 0.25},    // x²
+		{1, 2, 0.5, 0.75},    // 1-(1-x)²
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution, symmetric
+		{5, 3, 1, 1},
+		{5, 3, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("I_%g(%g,%g) = %.12f, want %g", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if !math.IsNaN(RegIncBeta(-1, 1, 0.5)) {
+		t.Error("negative a accepted")
+	}
+}
+
+func TestStudentTailKnownValues(t *testing.T) {
+	cases := []struct {
+		t, nu, want, tol float64
+	}{
+		// Classic t-table values: P(T > t) = 0.025.
+		{12.706, 1, 0.025, 2e-4},
+		{2.228, 10, 0.025, 2e-4},
+		{2.086, 20, 0.025, 2e-4},
+		// P(T > t) = 0.05.
+		{1.812, 10, 0.05, 2e-4},
+		{1.725, 20, 0.05, 2e-4},
+		// Large ν approaches the normal distribution.
+		{1.959964, 1e6, 0.025, 1e-4},
+		{0, 10, 0.5, 1e-12},
+	}
+	for _, c := range cases {
+		if got := StudentTail(c.t, c.nu); math.Abs(got-c.want) > c.tol {
+			t.Errorf("StudentTail(%g, %g) = %.6f, want %.3f", c.t, c.nu, got, c.want)
+		}
+	}
+	// Symmetry: P(T > -t) = 1 - P(T > t).
+	if got := StudentTail(-2, 10) + StudentTail(2, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tail symmetry broken: %g", got)
+	}
+}
+
+func TestWelchTValidation(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("1-element sample accepted")
+	}
+	if _, err := WelchT(nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestWelchTIdenticalMeans(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 200)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = r.Normal(5, 1)
+	}
+	for i := range ys {
+		ys[i] = r.Normal(5, 2)
+	}
+	res, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.001 {
+		t.Errorf("same-mean samples flagged with p=%g", res.P)
+	}
+	if res.DF < 100 {
+		t.Errorf("implausible df %g", res.DF)
+	}
+}
+
+func TestWelchTDifferentMeans(t *testing.T) {
+	r := rng.New(6)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Normal(5, 1)
+		ys[i] = r.Normal(6, 1)
+	}
+	res, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) {
+		t.Errorf("1-sigma mean shift not detected: p=%g", res.P)
+	}
+	if res.T > 0 {
+		t.Errorf("t statistic sign wrong: %g", res.T)
+	}
+}
+
+func TestWelchTConstantSamples(t *testing.T) {
+	same, err := WelchT([]float64{2, 2, 2}, []float64{2, 2})
+	if err != nil || same.P != 1 {
+		t.Errorf("identical constants: %+v, %v", same, err)
+	}
+	diff, err := WelchT([]float64{2, 2, 2}, []float64{3, 3})
+	if err != nil || diff.P != 0 {
+		t.Errorf("different constants: %+v, %v", diff, err)
+	}
+}
+
+// TestWelchTFalsePositiveRate: under the null, the 5% test flags ~5% of
+// repetitions.
+func TestWelchTFalsePositiveRate(t *testing.T) {
+	r := rng.New(7)
+	const reps = 2000
+	flagged := 0
+	for rep := 0; rep < reps; rep++ {
+		xs := make([]float64, 30)
+		ys := make([]float64, 40)
+		for i := range xs {
+			xs[i] = r.Normal(0, 1)
+		}
+		for i := range ys {
+			ys[i] = r.Normal(0, 1.5)
+		}
+		res, err := WelchT(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			flagged++
+		}
+	}
+	rate := float64(flagged) / reps
+	if rate < 0.025 || rate > 0.085 {
+		t.Errorf("false positive rate %.3f, want ≈ 0.05", rate)
+	}
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"loki/internal/survey"
+)
+
+// File is a durable Store backed by an append-only JSON-lines log. Every
+// mutation is a single JSON record on its own line; opening the store
+// replays the log into an in-memory index. Partial trailing writes (a
+// crash mid-append) are detected and truncated away on open.
+type File struct {
+	mu   sync.Mutex
+	mem  *Mem
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// record is one log entry. Exactly one payload field is set.
+type record struct {
+	Kind     string           `json:"kind"` // "survey" | "response"
+	Survey   *survey.Survey   `json:"survey,omitempty"`
+	Response *survey.Response `json:"response,omitempty"`
+}
+
+// OpenFile opens (creating if necessary) a file-backed store at path and
+// replays its log.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	fs := &File{mem: NewMem(), f: f, path: path}
+	valid, err := fs.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop any partial trailing record, then position for appends.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek %s: %w", path, err)
+	}
+	fs.w = bufio.NewWriter(f)
+	return fs, nil
+}
+
+// replay loads every complete record, returning the byte offset of the
+// end of the last complete record.
+func (fs *File) replay() (validOffset int64, err error) {
+	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: seek %s: %w", fs.path, err)
+	}
+	rd := bufio.NewReader(fs.f)
+	var offset int64
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: incomplete record, ignore.
+			return offset, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("store: read %s: %w", fs.path, err)
+		}
+		var rec record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			// Corrupt interior line: refuse to open rather than silently
+			// dropping data.
+			return 0, fmt.Errorf("store: corrupt record at offset %d in %s: %w", offset, fs.path, jerr)
+		}
+		switch rec.Kind {
+		case "survey":
+			if rec.Survey == nil {
+				return 0, fmt.Errorf("store: survey record without payload at offset %d in %s", offset, fs.path)
+			}
+			if err := fs.mem.PutSurvey(rec.Survey); err != nil {
+				return 0, fmt.Errorf("store: replay %s: %w", fs.path, err)
+			}
+		case "response":
+			if rec.Response == nil {
+				return 0, fmt.Errorf("store: response record without payload at offset %d in %s", offset, fs.path)
+			}
+			if err := fs.mem.AppendResponse(rec.Response); err != nil {
+				return 0, fmt.Errorf("store: replay %s: %w", fs.path, err)
+			}
+		default:
+			return 0, fmt.Errorf("store: unknown record kind %q in %s", rec.Kind, fs.path)
+		}
+		offset += int64(len(line))
+	}
+}
+
+// append writes one record and flushes it to the OS.
+func (fs *File) append(rec *record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	if _, err := fs.w.Write(b); err != nil {
+		return fmt.Errorf("store: write %s: %w", fs.path, err)
+	}
+	if err := fs.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: write %s: %w", fs.path, err)
+	}
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush %s: %w", fs.path, err)
+	}
+	return nil
+}
+
+// PutSurvey implements Store: validate via the memory index first, then
+// log.
+func (fs *File) PutSurvey(s *survey.Survey) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.w == nil {
+		return errors.New("store: use after close")
+	}
+	if err := fs.mem.PutSurvey(s); err != nil {
+		return err
+	}
+	return fs.append(&record{Kind: "survey", Survey: s})
+}
+
+// Survey implements Store.
+func (fs *File) Survey(id string) (*survey.Survey, error) { return fs.mem.Survey(id) }
+
+// Surveys implements Store.
+func (fs *File) Surveys() ([]*survey.Survey, error) { return fs.mem.Surveys() }
+
+// AppendResponse implements Store.
+func (fs *File) AppendResponse(r *survey.Response) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.w == nil {
+		return errors.New("store: use after close")
+	}
+	if err := fs.mem.AppendResponse(r); err != nil {
+		return err
+	}
+	return fs.append(&record{Kind: "response", Response: r})
+}
+
+// Responses implements Store.
+func (fs *File) Responses(surveyID string) ([]survey.Response, error) {
+	return fs.mem.Responses(surveyID)
+}
+
+// ResponseCount implements Store.
+func (fs *File) ResponseCount(surveyID string) int { return fs.mem.ResponseCount(surveyID) }
+
+// Close flushes and closes the log file.
+func (fs *File) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.w == nil {
+		return nil
+	}
+	flushErr := fs.w.Flush()
+	fs.w = nil
+	closeErr := fs.f.Close()
+	if mErr := fs.mem.Close(); mErr != nil && flushErr == nil {
+		flushErr = mErr
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+var _ Store = (*File)(nil)

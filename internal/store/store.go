@@ -1,0 +1,150 @@
+// Package store provides the persistence layer of the Loki backend: a
+// Store interface with two implementations, an in-memory store for tests
+// and simulations, and an append-only JSON-lines file store with replay
+// recovery for durable deployments (the Django database of the paper's
+// prototype).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"loki/internal/survey"
+)
+
+// ErrNotFound is returned when a requested survey does not exist.
+var ErrNotFound = errors.New("store: not found")
+
+// ErrExists is returned when publishing a survey whose ID is taken.
+var ErrExists = errors.New("store: already exists")
+
+// Store persists surveys and their responses. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// PutSurvey stores a survey definition. Overwriting an existing ID
+	// is an error: published surveys are immutable so responses stay
+	// interpretable.
+	PutSurvey(s *survey.Survey) error
+	// Survey returns the survey with the given ID or ErrNotFound.
+	Survey(id string) (*survey.Survey, error)
+	// Surveys returns all stored surveys sorted by ID.
+	Surveys() ([]*survey.Survey, error)
+	// AppendResponse validates the response against its survey and
+	// appends it.
+	AppendResponse(r *survey.Response) error
+	// Responses returns all responses for a survey in append order; it
+	// returns ErrNotFound for unknown surveys.
+	Responses(surveyID string) ([]survey.Response, error)
+	// ResponseCount returns the number of stored responses for the
+	// survey (0 for unknown surveys).
+	ResponseCount(surveyID string) int
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// Mem is an in-memory Store. The zero value is not usable; call NewMem.
+type Mem struct {
+	mu        sync.RWMutex
+	surveys   map[string]*survey.Survey
+	responses map[string][]survey.Response
+	closed    bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		surveys:   make(map[string]*survey.Survey),
+		responses: make(map[string][]survey.Response),
+	}
+}
+
+// PutSurvey implements Store.
+func (m *Mem) PutSurvey(s *survey.Survey) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("store: use after close")
+	}
+	if _, dup := m.surveys[s.ID]; dup {
+		return fmt.Errorf("store: survey %q: %w", s.ID, ErrExists)
+	}
+	cp := *s
+	m.surveys[s.ID] = &cp
+	return nil
+}
+
+// Survey implements Store.
+func (m *Mem) Survey(id string) (*survey.Survey, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.surveys[id]
+	if !ok {
+		return nil, fmt.Errorf("store: survey %q: %w", id, ErrNotFound)
+	}
+	return s, nil
+}
+
+// Surveys implements Store.
+func (m *Mem) Surveys() ([]*survey.Survey, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*survey.Survey, 0, len(m.surveys))
+	for _, s := range m.surveys {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// AppendResponse implements Store.
+func (m *Mem) AppendResponse(r *survey.Response) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("store: use after close")
+	}
+	s, ok := m.surveys[r.SurveyID]
+	if !ok {
+		return fmt.Errorf("store: response for unknown survey %q: %w", r.SurveyID, ErrNotFound)
+	}
+	if err := r.Validate(s); err != nil {
+		return err
+	}
+	m.responses[r.SurveyID] = append(m.responses[r.SurveyID], *r)
+	return nil
+}
+
+// Responses implements Store.
+func (m *Mem) Responses(surveyID string) ([]survey.Response, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.surveys[surveyID]; !ok {
+		return nil, fmt.Errorf("store: survey %q: %w", surveyID, ErrNotFound)
+	}
+	rs := m.responses[surveyID]
+	out := make([]survey.Response, len(rs))
+	copy(out, rs)
+	return out, nil
+}
+
+// ResponseCount implements Store.
+func (m *Mem) ResponseCount(surveyID string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.responses[surveyID])
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+var _ Store = (*Mem)(nil)

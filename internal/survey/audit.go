@@ -1,0 +1,175 @@
+package survey
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements linkage auditing: the platform-level defence the
+// paper's §2 implies. A single survey asking for a ZIP code looks
+// harmless; the privacy loss appears when the same requester's surveys
+// *jointly* harvest enough attributes to form a quasi-identifier. The
+// auditor inspects a requester's portfolio of surveys and reports how
+// close their union comes to the {date of birth, gender, ZIP}
+// identifier, and whether sensitive answers would become linkable to it.
+
+// QuasiIDAttributes are the attributes that jointly form the §2
+// quasi-identifier. StarSign is included because it reveals ~1/12 of the
+// day/month attribute by itself.
+var QuasiIDAttributes = []Attribute{AttrBirthDayMonth, AttrBirthYear, AttrGender, AttrZIP}
+
+// partialIdentifiers map attributes that leak a fraction of another
+// attribute: star sign narrows day/month twelvefold; age reveals birth
+// year up to ±1.
+var partialIdentifiers = map[Attribute]Attribute{
+	AttrStarSign: AttrBirthDayMonth,
+	AttrAge:      AttrBirthYear,
+}
+
+// AuditSeverity grades an audit finding.
+type AuditSeverity int
+
+const (
+	// Info findings note identifier fragments being collected.
+	Info AuditSeverity = iota
+	// Warning findings indicate one attribute away from a full
+	// quasi-identifier, or sensitive data alongside identifier
+	// fragments.
+	Warning
+	// Critical findings indicate the portfolio jointly harvests a full
+	// quasi-identifier (with linkable worker IDs this de-anonymizes).
+	Critical
+)
+
+// String names the severity.
+func (s AuditSeverity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("AuditSeverity(%d)", int(s))
+	}
+}
+
+// AuditFinding is one issue the auditor raises.
+type AuditFinding struct {
+	Severity AuditSeverity `json:"severity"`
+	Message  string        `json:"message"`
+}
+
+// AuditReport summarises the linkage risk of a survey portfolio.
+type AuditReport struct {
+	// Harvested lists every identifying attribute the portfolio
+	// collects (including via partial identifiers), sorted.
+	Harvested []Attribute `json:"harvested,omitempty"`
+	// MissingForQuasiID lists the quasi-identifier attributes the
+	// portfolio does not yet collect.
+	MissingForQuasiID []Attribute `json:"missing_for_quasi_id,omitempty"`
+	// CompletesQuasiID is true when the portfolio jointly harvests the
+	// full quasi-identifier.
+	CompletesQuasiID bool `json:"completes_quasi_id"`
+	// CollectsSensitive is true when any survey collects answers marked
+	// sensitive.
+	CollectsSensitive bool           `json:"collects_sensitive"`
+	Findings          []AuditFinding `json:"findings,omitempty"`
+}
+
+// MaxSeverity returns the highest severity among the findings (Info for
+// an empty report).
+func (r *AuditReport) MaxSeverity() AuditSeverity {
+	max := Info
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// AuditPortfolio inspects all surveys posted by one requester and
+// reports their joint linkage risk. Surveys are analysed as a set: the
+// §2 attack needs nothing more than their union of attributes plus
+// stable worker IDs.
+func AuditPortfolio(surveys []*Survey) *AuditReport {
+	report := &AuditReport{}
+	harvested := map[Attribute]bool{}
+	bySurvey := map[Attribute][]string{}
+	for _, s := range surveys {
+		for _, attr := range s.HarvestedAttributes() {
+			effective := attr
+			if target, ok := partialIdentifiers[attr]; ok {
+				effective = target
+			}
+			switch effective {
+			case AttrBirthDayMonth, AttrBirthYear, AttrGender, AttrZIP:
+				harvested[effective] = true
+				bySurvey[effective] = append(bySurvey[effective], s.ID)
+			}
+		}
+		for i := range s.Questions {
+			if s.Questions[i].Sensitive {
+				report.CollectsSensitive = true
+			}
+		}
+	}
+
+	for _, attr := range QuasiIDAttributes {
+		if harvested[attr] {
+			report.Harvested = append(report.Harvested, attr)
+		} else {
+			report.MissingForQuasiID = append(report.MissingForQuasiID, attr)
+		}
+	}
+	sort.Slice(report.Harvested, func(i, j int) bool { return report.Harvested[i] < report.Harvested[j] })
+	sort.Slice(report.MissingForQuasiID, func(i, j int) bool {
+		return report.MissingForQuasiID[i] < report.MissingForQuasiID[j]
+	})
+	report.CompletesQuasiID = len(report.MissingForQuasiID) == 0
+
+	for _, attr := range report.Harvested {
+		ids := dedupe(bySurvey[attr])
+		report.Findings = append(report.Findings, AuditFinding{
+			Severity: Info,
+			Message:  fmt.Sprintf("portfolio collects %s (surveys: %v)", attr, ids),
+		})
+	}
+	switch {
+	case report.CompletesQuasiID:
+		msg := "portfolio jointly harvests the full {date of birth, gender, ZIP} quasi-identifier; " +
+			"with stable worker IDs respondents are re-identifiable against public records"
+		if report.CollectsSensitive {
+			msg += ", and sensitive answers would be linkable to recovered identities"
+		}
+		report.Findings = append(report.Findings, AuditFinding{Severity: Critical, Message: msg})
+	case len(report.MissingForQuasiID) == 1:
+		report.Findings = append(report.Findings, AuditFinding{
+			Severity: Warning,
+			Message: fmt.Sprintf("portfolio is one attribute (%s) away from a full quasi-identifier",
+				report.MissingForQuasiID[0]),
+		})
+	}
+	if report.CollectsSensitive && len(report.Harvested) > 0 && !report.CompletesQuasiID {
+		report.Findings = append(report.Findings, AuditFinding{
+			Severity: Warning,
+			Message:  "portfolio collects sensitive answers alongside identifier fragments",
+		})
+	}
+	return report
+}
+
+func dedupe(ids []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

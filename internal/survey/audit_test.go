@@ -1,0 +1,132 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditEmptyPortfolio(t *testing.T) {
+	r := AuditPortfolio(nil)
+	if r.CompletesQuasiID || r.CollectsSensitive {
+		t.Errorf("empty portfolio flagged: %+v", r)
+	}
+	if len(r.Harvested) != 0 || len(r.MissingForQuasiID) != len(QuasiIDAttributes) {
+		t.Errorf("empty portfolio attributes: %+v", r)
+	}
+	if r.MaxSeverity() != Info {
+		t.Errorf("empty portfolio severity %v", r.MaxSeverity())
+	}
+}
+
+func TestAuditSingleHarmlessSurvey(t *testing.T) {
+	lect := Lecturers([]string{"A"})
+	r := AuditPortfolio([]*Survey{lect})
+	if len(r.Harvested) != 0 {
+		t.Errorf("opinion survey harvested %v", r.Harvested)
+	}
+	if r.MaxSeverity() != Info {
+		t.Errorf("severity %v", r.MaxSeverity())
+	}
+}
+
+func TestAuditPartialPortfolio(t *testing.T) {
+	// Astrology alone: day/month (directly and via star sign).
+	r := AuditPortfolio([]*Survey{Astrology()})
+	if r.CompletesQuasiID {
+		t.Error("one survey completes the quasi-identifier")
+	}
+	found := false
+	for _, a := range r.Harvested {
+		if a == AttrBirthDayMonth {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("astrology harvest missing day/month: %v", r.Harvested)
+	}
+
+	// Astrology + matchmaking: one attribute (zip) away → Warning.
+	r = AuditPortfolio([]*Survey{Astrology(), Matchmaking()})
+	if r.CompletesQuasiID {
+		t.Error("two surveys complete the quasi-identifier")
+	}
+	if len(r.MissingForQuasiID) != 1 || r.MissingForQuasiID[0] != AttrZIP {
+		t.Errorf("missing = %v", r.MissingForQuasiID)
+	}
+	if r.MaxSeverity() != Warning {
+		t.Errorf("severity %v, want warning", r.MaxSeverity())
+	}
+}
+
+func TestAuditFullPortfolioCritical(t *testing.T) {
+	surveys := ProfilingSurveys()
+	r := AuditPortfolio(surveys)
+	if !r.CompletesQuasiID {
+		t.Fatal("the paper's three profiling surveys not flagged")
+	}
+	if r.MaxSeverity() != Critical {
+		t.Errorf("severity %v, want critical", r.MaxSeverity())
+	}
+	// Adding the health survey mentions sensitive linkage.
+	r = AuditPortfolio(append(surveys, Health()))
+	if !r.CollectsSensitive {
+		t.Error("health survey sensitivity not detected")
+	}
+	foundLinkable := false
+	for _, f := range r.Findings {
+		if f.Severity == Critical && strings.Contains(f.Message, "sensitive answers would be linkable") {
+			foundLinkable = true
+		}
+	}
+	if !foundLinkable {
+		t.Errorf("critical finding does not mention sensitive linkage: %+v", r.Findings)
+	}
+}
+
+func TestAuditPartialIdentifiers(t *testing.T) {
+	// A survey asking only star sign and age still counts toward
+	// day/month and birth year.
+	s := &Survey{
+		ID: "sneaky", Title: "t",
+		Questions: []Question{
+			{ID: "sign", Text: "sign?", Kind: MultipleChoice, Options: ZodiacSigns, Attribute: AttrStarSign},
+			{ID: "age", Text: "age?", Kind: Numeric, ScaleMin: 18, ScaleMax: 90, Attribute: AttrAge},
+		},
+	}
+	zipS := &Survey{
+		ID: "zips", Title: "t",
+		Questions: []Question{
+			{ID: "zip", Text: "zip?", Kind: Numeric, ScaleMin: 1, ScaleMax: 99999, Attribute: AttrZIP},
+			{ID: "gender", Text: "gender?", Kind: MultipleChoice, Options: Genders, Attribute: AttrGender},
+		},
+	}
+	r := AuditPortfolio([]*Survey{s, zipS})
+	if !r.CompletesQuasiID {
+		t.Errorf("partial identifiers not mapped: %+v", r)
+	}
+}
+
+func TestAuditSensitiveWithFragments(t *testing.T) {
+	r := AuditPortfolio([]*Survey{Coverage(), Health()})
+	if r.CompletesQuasiID {
+		t.Error("zip alone completes quasi-identifier")
+	}
+	warned := false
+	for _, f := range r.Findings {
+		if f.Severity == Warning && strings.Contains(f.Message, "sensitive") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("sensitive-plus-fragments not warned: %+v", r.Findings)
+	}
+}
+
+func TestAuditSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Critical.String() != "critical" {
+		t.Error("severity strings")
+	}
+	if AuditSeverity(9).String() == "" {
+		t.Error("unknown severity empty")
+	}
+}

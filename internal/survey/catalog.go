@@ -1,0 +1,207 @@
+package survey
+
+import "fmt"
+
+// ZodiacSigns lists the western zodiac signs in the option order used by
+// every star-sign question in the catalog.
+var ZodiacSigns = []string{
+	"Aries", "Taurus", "Gemini", "Cancer", "Leo", "Virgo",
+	"Libra", "Scorpio", "Sagittarius", "Capricorn", "Aquarius", "Pisces",
+}
+
+// ZodiacOf returns the ZodiacSigns index for a birth day/month encoded as
+// month*100+day (e.g. 321 = 21 March). Out-of-range encodings return -1.
+func ZodiacOf(monthDay int) int {
+	month, day := monthDay/100, monthDay%100
+	if month < 1 || month > 12 || day < 1 || day > 31 {
+		return -1
+	}
+	// Sign boundaries, tropical zodiac. boundaries[m] is the day within
+	// month m (1-based) on which the later sign begins.
+	boundaries := [13]int{0, 20, 19, 21, 20, 21, 21, 23, 23, 23, 23, 22, 22}
+	// signAtStart[m] is the sign in effect on the 1st of month m.
+	signAtStart := [13]int{0, 9, 10, 11, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	sign := signAtStart[month]
+	if day >= boundaries[month] {
+		sign = (sign + 1) % 12
+	}
+	return sign
+}
+
+// MonthDay encodes a (month, day) pair into the month*100+day integer
+// used by AttrBirthDayMonth questions.
+func MonthDay(month, day int) int { return month*100 + day }
+
+// Genders lists the gender options used by the catalog, matching the
+// paper's 2013-era survey design.
+var Genders = []string{"Female", "Male"}
+
+// SmokingOptions lists the smoking-habit choices of the health survey.
+var SmokingOptions = []string{"Never smoked", "Former smoker", "Occasional smoker", "Daily smoker"}
+
+// YesNo lists the options of the awareness survey's questions.
+var YesNo = []string{"Yes", "No"}
+
+// Survey IDs in the catalog.
+const (
+	AstrologyID = "astrology"
+	MatchmakeID = "matchmaking"
+	CoverageID  = "mobile-coverage"
+	HealthID    = "health"
+	AwarenessID = "awareness"
+	LecturerID  = "lecturer-ratings"
+)
+
+// Astrology returns the paper's first profiling survey: opinions about
+// astrology services that, along the way, harvest star sign and
+// day/month of birth. The zodiac cross-check doubles as the redundancy
+// filter for random responders.
+func Astrology() *Survey {
+	return &Survey{
+		ID:          AstrologyID,
+		Title:       "Your opinion on astrology services",
+		Description: "A short market-research survey about online astrology services.",
+		RewardCents: 4,
+		Questions: []Question{
+			{ID: "astro-useful", Text: "How useful do you find astrology services?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+			{ID: "astro-trust", Text: "How much do you trust online horoscopes?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+			{ID: "star-sign", Text: "What is your star sign?",
+				Kind: MultipleChoice, Options: ZodiacSigns, Attribute: AttrStarSign},
+			{ID: "birth-md", Text: "To personalise your horoscope: on what day and month were you born? (MMDD)",
+				Kind: Numeric, ScaleMin: 101, ScaleMax: 1231, Attribute: AttrBirthDayMonth},
+			{ID: "astro-useful-2", Text: "Overall, how valuable are astrology services to you?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+		},
+		Consistency: []ConsistencyPair{
+			{QuestionA: "star-sign", QuestionB: "birth-md", Rule: RuleZodiac},
+			{QuestionA: "astro-useful", QuestionB: "astro-useful-2", Tolerance: 1},
+		},
+	}
+}
+
+// Matchmaking returns the paper's second profiling survey: market
+// research on online match-making that harvests gender and year of birth.
+// The age↔birth-year check is the redundancy filter.
+func Matchmaking() *Survey {
+	return &Survey{
+		ID:          MatchmakeID,
+		Title:       "Online match-making services",
+		Description: "Market research about online dating and match-making platforms.",
+		RewardCents: 4,
+		Questions: []Question{
+			{ID: "match-used", Text: "How often have you used online match-making services?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+			{ID: "gender", Text: "What is your gender?",
+				Kind: MultipleChoice, Options: Genders, Attribute: AttrGender},
+			{ID: "birth-year", Text: "In what year were you born?",
+				Kind: Numeric, ScaleMin: 1920, ScaleMax: 1995, Attribute: AttrBirthYear},
+			{ID: "age", Text: "What is your age?",
+				Kind: Numeric, ScaleMin: 18, ScaleMax: 93, Attribute: AttrAge},
+			{ID: "match-quality", Text: "How satisfied are you with the matches such services propose?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+		},
+		Consistency: []ConsistencyPair{
+			{QuestionA: "age", QuestionB: "birth-year", Rule: RuleAgeYear},
+		},
+	}
+}
+
+// Coverage returns the paper's third profiling survey: mobile-phone
+// coverage quality, harvesting ZIP code (asked twice as the redundancy
+// filter).
+func Coverage() *Survey {
+	return &Survey{
+		ID:          CoverageID,
+		Title:       "Mobile phone coverage in your area",
+		Description: "Help us map mobile network quality across the country.",
+		RewardCents: 4,
+		Questions: []Question{
+			{ID: "cov-quality", Text: "How would you rate mobile coverage at home?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+			{ID: "zip", Text: "What is your ZIP code?",
+				Kind: Numeric, ScaleMin: 1, ScaleMax: 99999, Attribute: AttrZIP},
+			{ID: "cov-drops", Text: "How often do your calls drop?",
+				Kind: Rating, ScaleMin: 1, ScaleMax: 5, Attribute: AttrOpinion},
+			{ID: "zip-confirm", Text: "Please confirm the ZIP code where you spend most of your time.",
+				Kind: Numeric, ScaleMin: 1, ScaleMax: 99999, Attribute: AttrZIP},
+		},
+		Consistency: []ConsistencyPair{
+			{QuestionA: "zip", QuestionB: "zip-confirm"},
+		},
+	}
+}
+
+// Health returns the paper's fourth, nominally anonymous survey about
+// smoking habits and coughing frequency — the sensitive attributes whose
+// linkage constitutes the privacy breach.
+func Health() *Survey {
+	return &Survey{
+		ID:          HealthID,
+		Title:       "Anonymous lifestyle and respiratory health check",
+		Description: "Tell us anonymously about your smoking habits and coughing frequency.",
+		RewardCents: 4,
+		Questions: []Question{
+			{ID: "smoking", Text: "Which best describes your smoking habits?",
+				Kind: MultipleChoice, Options: SmokingOptions, Attribute: AttrSmoking, Sensitive: true},
+			{ID: "cough-days", Text: "On how many days in a typical week do you have coughing episodes?",
+				Kind: Numeric, ScaleMin: 0, ScaleMax: 7, Attribute: AttrCough, Sensitive: true},
+			{ID: "cough-days-2", Text: "Out of the last 7 days, on how many did you cough repeatedly?",
+				Kind: Numeric, ScaleMin: 0, ScaleMax: 7, Attribute: AttrCough, Sensitive: true},
+		},
+		Consistency: []ConsistencyPair{
+			{QuestionA: "cough-days", QuestionB: "cough-days-2", Tolerance: 1},
+		},
+	}
+}
+
+// Awareness returns the paper's follow-up survey asking workers whether
+// they knew they could be de-anonymized and whether they would
+// participate if profiled.
+func Awareness() *Survey {
+	return &Survey{
+		ID:          AwarenessID,
+		Title:       "Awareness of profiling on crowdsourcing platforms",
+		Description: "Two quick questions about requester profiling.",
+		RewardCents: 2,
+		Questions: []Question{
+			{ID: "aware", Text: "Did you know that requesters can link your answers across surveys and profile you?",
+				Kind: MultipleChoice, Options: YesNo, Attribute: AttrAwareness},
+			{ID: "participate", Text: "Would you participate in surveys if you knew you were being profiled?",
+				Kind: MultipleChoice, Options: YesNo, Attribute: AttrParticipation},
+		},
+	}
+}
+
+// Lecturers returns the Loki trial survey: rate each of the given
+// lecturers on a 1..5 scale. Question IDs are "lecturer-<i>".
+func Lecturers(names []string) *Survey {
+	qs := make([]Question, len(names))
+	for i, name := range names {
+		qs[i] = Question{
+			ID:        LecturerQuestionID(i),
+			Text:      fmt.Sprintf("Rate the teaching of %s.", name),
+			Kind:      Rating,
+			ScaleMin:  1,
+			ScaleMax:  5,
+			Attribute: AttrOpinion,
+		}
+	}
+	return &Survey{
+		ID:          LecturerID,
+		Title:       "Rate your lecturers",
+		Description: "Anonymously rate the lecturers who taught you this term.",
+		RewardCents: 0,
+		Questions:   qs,
+	}
+}
+
+// LecturerQuestionID returns the question ID for lecturer index i.
+func LecturerQuestionID(i int) string { return fmt.Sprintf("lecturer-%02d", i) }
+
+// ProfilingSurveys returns the three §2 profiling surveys in posting
+// order.
+func ProfilingSurveys() []*Survey {
+	return []*Survey{Astrology(), Matchmaking(), Coverage()}
+}

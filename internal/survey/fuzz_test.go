@@ -1,0 +1,53 @@
+package survey
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSurveyDecode: arbitrary JSON must never panic the survey decoder
+// or validator, and anything that validates must re-encode.
+func FuzzSurveyDecode(f *testing.F) {
+	seed, _ := json.Marshal(Astrology())
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"x","questions":[{"id":"q","kind":99}]}`))
+	f.Add([]byte(`{"id":"x","questions":[{"id":"q","kind":0,"scale_min":5,"scale_max":1}]}`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Survey
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		if _, err := json.Marshal(&s); err != nil {
+			t.Errorf("valid survey failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzZodiac: ZodiacOf is total over int and always lands in [-1, 11].
+func FuzzZodiac(f *testing.F) {
+	f.Add(101)
+	f.Add(1231)
+	f.Add(0)
+	f.Add(-50)
+	f.Add(99999)
+	f.Fuzz(func(t *testing.T, md int) {
+		sign := ZodiacOf(md)
+		if sign < -1 || sign > 11 {
+			t.Fatalf("ZodiacOf(%d) = %d", md, sign)
+		}
+		month, day := md/100, md%100
+		valid := month >= 1 && month <= 12 && day >= 1 && day <= 31
+		if valid && sign == -1 {
+			t.Fatalf("valid date %d rejected", md)
+		}
+		if !valid && sign != -1 {
+			t.Fatalf("invalid date %d accepted as %d", md, sign)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package survey
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"loki/internal/rng"
+)
+
+// genSurvey builds a random but valid survey from a seed.
+func genSurvey(seed uint64) *Survey {
+	r := rng.New(seed)
+	nq := 1 + r.Intn(8)
+	s := &Survey{ID: "gen", Title: "generated", RewardCents: r.Intn(10)}
+	for i := 0; i < nq; i++ {
+		id := string(rune('a'+i)) + "q"
+		switch r.Intn(3) {
+		case 0:
+			s.Questions = append(s.Questions, Question{
+				ID: id, Text: "rate", Kind: Rating,
+				ScaleMin: 1, ScaleMax: float64(2 + r.Intn(9)),
+			})
+		case 1:
+			lo := float64(r.Intn(100))
+			s.Questions = append(s.Questions, Question{
+				ID: id, Text: "count", Kind: Numeric,
+				ScaleMin: lo, ScaleMax: lo + float64(1+r.Intn(1000)),
+			})
+		default:
+			opts := []string{"x", "y", "z", "w"}[:2+r.Intn(3)]
+			s.Questions = append(s.Questions, Question{
+				ID: id, Text: "choose", Kind: MultipleChoice, Options: opts,
+			})
+		}
+	}
+	return s
+}
+
+// genAnswers answers every question of s in-range.
+func genAnswers(s *Survey, seed uint64) []Answer {
+	r := rng.New(seed ^ 0xabcdef)
+	out := make([]Answer, 0, len(s.Questions))
+	for i := range s.Questions {
+		q := &s.Questions[i]
+		switch q.Kind {
+		case Rating:
+			out = append(out, RatingAnswer(q.ID, float64(r.IntRange(int(q.ScaleMin), int(q.ScaleMax)))))
+		case Numeric:
+			out = append(out, NumericAnswer(q.ID, float64(r.IntRange(int(q.ScaleMin), int(q.ScaleMax)))))
+		case MultipleChoice:
+			out = append(out, ChoiceAnswer(q.ID, r.Intn(len(q.Options))))
+		default:
+			out = append(out, TextAnswer(q.ID, "t"))
+		}
+	}
+	return out
+}
+
+// TestQuickSurveyRoundTrip: every generated survey validates, survives a
+// JSON round trip, and accepts its own generated answers.
+func TestQuickSurveyRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := genSurvey(seed)
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: generated survey invalid: %v", seed, err)
+			return false
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var back Survey
+		if err := json.Unmarshal(b, &back); err != nil {
+			return false
+		}
+		if err := back.Validate(); err != nil {
+			return false
+		}
+		resp := Response{SurveyID: back.ID, WorkerID: "w", Answers: genAnswers(&back, seed)}
+		return resp.Validate(&back) == nil
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickZodiacTotal: every valid calendar day maps to exactly one
+// sign, and consecutive days map to the same or adjacent sign.
+func TestQuickZodiacTotal(t *testing.T) {
+	days := [13]int{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	prev := ZodiacOf(MonthDay(1, 1))
+	count := 0
+	for m := 1; m <= 12; m++ {
+		for d := 1; d <= days[m]; d++ {
+			sign := ZodiacOf(MonthDay(m, d))
+			if sign < 0 || sign > 11 {
+				t.Fatalf("invalid sign %d for %02d-%02d", sign, m, d)
+			}
+			if sign != prev {
+				count++
+				prev = sign
+			}
+		}
+	}
+	// Wrapping the year crosses 12 boundaries; we started mid-sign so we
+	// observe 12 transitions (Capricorn wraps around new year).
+	if count != 12 {
+		t.Fatalf("saw %d sign transitions over the year, want 12", count)
+	}
+}
+
+// TestQuickConsistencySlackMonotone: adding slack never turns a
+// consistent response inconsistent.
+func TestQuickConsistencySlackMonotone(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := Astrology()
+		resp := Response{SurveyID: s.ID, WorkerID: "w", Answers: genAnswers(s, seed)}
+		if resp.Consistent(s, 0) && !resp.Consistent(s, 2) {
+			return false
+		}
+		if resp.Consistent(s, 1) && !resp.Consistent(s, 5) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

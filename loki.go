@@ -1,0 +1,243 @@
+// Package loki is the public API of the Loki reproduction — a
+// crowdsourced survey platform with at-source obfuscation, after
+// Kandappu, Sivaraman, Friedman and Boreli, "Exposing and Mitigating
+// Privacy Loss in Crowdsourced Survey Platforms" (CoNEXT Student
+// Workshop 2013).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - privacy levels, the noise schedule and the at-source Obfuscator
+//     (the paper's contribution),
+//   - the per-user privacy-loss Ledger backed by differential-privacy
+//     accounting,
+//   - the survey model and the paper's survey catalog,
+//   - the backend Server and device Client,
+//   - the simulation substrates (population, platform, attack) and the
+//     experiment harnesses that regenerate every figure and table.
+//
+// Quick start:
+//
+//	obf, _ := loki.NewObfuscator(loki.DefaultSchedule(), loki.DefaultOptions())
+//	ledger, _ := loki.NewLedger(1e-6)
+//	noisy, _ := obf.ObfuscateResponse(sv, answers, loki.Medium, rng, ledger)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package loki
+
+import (
+	"loki/internal/aggregate"
+	"loki/internal/attack"
+	"loki/internal/client"
+	"loki/internal/core"
+	"loki/internal/dp"
+	"loki/internal/experiments"
+	"loki/internal/platform"
+	"loki/internal/population"
+	"loki/internal/rng"
+	"loki/internal/server"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// Privacy levels (core).
+type (
+	// Level is a user-facing privacy level (none/low/medium/high).
+	Level = core.Level
+	// Schedule maps levels to noise magnitudes.
+	Schedule = core.Schedule
+	// Options tune obfuscation (clamping, rounding, ledger δ).
+	Options = core.Options
+	// Obfuscator perturbs answers at source.
+	Obfuscator = core.Obfuscator
+	// Ledger tracks one user's cumulative privacy loss.
+	Ledger = core.Ledger
+)
+
+// Re-exported privacy levels.
+const (
+	None   = core.None
+	Low    = core.Low
+	Medium = core.Medium
+	High   = core.High
+	// NumLevels is the number of privacy levels.
+	NumLevels = core.NumLevels
+)
+
+// Core constructors.
+var (
+	// NewObfuscator validates a schedule and options and returns an
+	// at-source obfuscator.
+	NewObfuscator = core.NewObfuscator
+	// NewLedger creates a per-user privacy-loss ledger reporting at δ.
+	NewLedger = core.NewLedger
+	// DefaultSchedule is the doubling σ schedule {0, 0.5, 1, 2}.
+	DefaultSchedule = core.DefaultSchedule
+	// LinearSchedule is the alternative linear schedule.
+	LinearSchedule = core.LinearSchedule
+	// DefaultOptions returns unclamped, unrounded obfuscation with
+	// δ=1e-6.
+	DefaultOptions = core.DefaultOptions
+	// ParseLevel parses a level name.
+	ParseLevel = core.ParseLevel
+)
+
+// Survey model.
+type (
+	// Survey is an ordered questionnaire.
+	Survey = survey.Survey
+	// Question is one survey question.
+	Question = survey.Question
+	// QuestionKind selects a question's answer type.
+	QuestionKind = survey.QuestionKind
+	// Answer is one answer to a question.
+	Answer = survey.Answer
+	// Response is one worker's completed survey.
+	Response = survey.Response
+)
+
+// Question kinds.
+const (
+	// Rating is a bounded numeric scale question (1..5 stars).
+	Rating = survey.Rating
+	// MultipleChoice is a single-select categorical question.
+	MultipleChoice = survey.MultipleChoice
+	// Numeric is a bounded integer question.
+	Numeric = survey.Numeric
+	// FreeText is an unconstrained text question (not obfuscatable).
+	FreeText = survey.FreeText
+)
+
+// AuditReport is the linkage-risk audit of a requester's survey
+// portfolio.
+type AuditReport = survey.AuditReport
+
+// Survey constructors and catalog.
+var (
+	// AuditPortfolio reports how close a set of surveys comes to jointly
+	// harvesting the {date of birth, gender, ZIP} quasi-identifier.
+	AuditPortfolio = survey.AuditPortfolio
+	// RatingAnswer, NumericAnswer, ChoiceAnswer and TextAnswer build
+	// answers of each kind.
+	RatingAnswer  = survey.RatingAnswer
+	NumericAnswer = survey.NumericAnswer
+	ChoiceAnswer  = survey.ChoiceAnswer
+	TextAnswer    = survey.TextAnswer
+	// The paper's surveys.
+	AstrologySurvey   = survey.Astrology
+	MatchmakingSurvey = survey.Matchmaking
+	CoverageSurvey    = survey.Coverage
+	HealthSurvey      = survey.Health
+	AwarenessSurvey   = survey.Awareness
+	LecturerSurvey    = survey.Lecturers
+)
+
+// Differential privacy.
+type (
+	// PrivacyParams is an (ε, δ) guarantee.
+	PrivacyParams = dp.Params
+	// Accountant tracks privacy events.
+	Accountant = dp.Accountant
+)
+
+// Simulation substrates.
+type (
+	// Population is a synthetic region of persons.
+	Population = population.Population
+	// Registry is the public identified dataset used for
+	// re-identification.
+	Registry = population.Registry
+	// Platform is the AMT-style crowdsourcing engine.
+	Platform = platform.Platform
+	// AttackPipeline is the §2 de-anonymization pipeline.
+	AttackPipeline = attack.Pipeline
+	// AttackResult is its outcome.
+	AttackResult = attack.Result
+)
+
+// Substrate constructors.
+var (
+	// NewRNG returns a deterministic seeded generator.
+	NewRNG = rng.New
+	// GeneratePopulation builds a synthetic region.
+	GeneratePopulation = population.Generate
+	// DefaultPopulationConfig is the calibrated region config.
+	DefaultPopulationConfig = population.DefaultConfig
+	// NewRegistry indexes a population for re-identification.
+	NewRegistry = population.NewRegistry
+	// NewPlatform opens a crowdsourcing platform over a population.
+	NewPlatform = platform.New
+	// DefaultPlatformConfig is the calibrated platform config.
+	DefaultPlatformConfig = platform.DefaultConfig
+	// NewAttack builds the de-anonymization pipeline.
+	NewAttack = attack.New
+	// DefaultAttackConfig enables the redundancy filter.
+	DefaultAttackConfig = attack.DefaultConfig
+)
+
+// Backend and app.
+type (
+	// Server is the Loki backend (http.Handler).
+	Server = server.Server
+	// ServerConfig configures it.
+	ServerConfig = server.Config
+	// Client is the Loki app for one user.
+	Client = client.Client
+	// ClientConfig configures it.
+	ClientConfig = client.Config
+	// Store persists surveys and responses.
+	Store = store.Store
+	// Estimator computes noise-aware aggregates.
+	Estimator = aggregate.Estimator
+)
+
+// Backend constructors.
+var (
+	// NewServer builds the backend.
+	NewServer = server.New
+	// NewClient builds the app.
+	NewClient = client.New
+	// NewMemStore is the in-memory store.
+	NewMemStore = store.NewMem
+	// OpenFileStore is the durable JSON-lines store.
+	OpenFileStore = store.OpenFile
+	// NewEstimator builds the noise-aware aggregator.
+	NewEstimator = aggregate.NewEstimator
+)
+
+// Experiments: every figure and table of the paper.
+var (
+	// RunDeanonymization reproduces §2 (E1+E2).
+	RunDeanonymization = experiments.RunDeanonymization
+	// DefaultDeanonConfig is its paper-shaped config.
+	DefaultDeanonConfig = experiments.DefaultDeanonConfig
+	// RunLecturerTrial reproduces Fig. 2 (E3+E4).
+	RunLecturerTrial = experiments.RunLecturerTrial
+	// DefaultTrialConfig is its paper-shaped config.
+	DefaultTrialConfig = experiments.DefaultTrialConfig
+	// RunTrustedComparison reproduces the §3.2 anecdote (E5).
+	RunTrustedComparison = experiments.RunTrustedComparison
+	// RunLevelTakeup reproduces the take-up distribution (E6).
+	RunLevelTakeup = experiments.RunLevelTakeup
+	// RunAccuracySweep is ablation A1.
+	RunAccuracySweep = experiments.RunAccuracySweep
+	// RunIDPolicyAblation is ablation A2.
+	RunIDPolicyAblation = experiments.RunIDPolicyAblation
+	// RunFilterAblation is ablation A3.
+	RunFilterAblation = experiments.RunFilterAblation
+	// RunEstimatorAblation is ablation A4.
+	RunEstimatorAblation = experiments.RunEstimatorAblation
+	// RunLedgerGrowth is ablation A5.
+	RunLedgerGrowth = experiments.RunLedgerGrowth
+	// RunLinkageGrowth is ablation A6 (anonymity collapse per survey).
+	RunLinkageGrowth = experiments.RunLinkageGrowth
+	// RunNoiseComparison is ablation A7 (Gaussian vs Laplace noise).
+	RunNoiseComparison = experiments.RunNoiseComparison
+	// RunBalancedCollection is ablation A8 (budget balancing across the
+	// user base).
+	RunBalancedCollection = experiments.RunBalancedCollection
+	// RunDefense is the E7 extension: the §2 attack against Loki
+	// uploads.
+	RunDefense = experiments.RunDefense
+	// DefaultDefenseConfig is its paper-shaped config.
+	DefaultDefenseConfig = experiments.DefaultDefenseConfig
+)
