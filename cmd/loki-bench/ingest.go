@@ -1,0 +1,212 @@
+// Ingest throughput benchmark ("ingest" experiment id): concurrent
+// response submission against every store backend, reported as a text
+// table and teed to a machine-readable JSON file so later PRs can track
+// the performance trajectory.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loki/internal/ingest"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// ingestJSONPath is where the machine-readable report goes; set by the
+// -ingest-json flag.
+var ingestJSONPath = "BENCH_ingest.json"
+
+// ingestBenchConfig sizes the throughput run. Small enough to finish in
+// seconds on a laptop, large enough to amortize setup and trigger group
+// commits.
+type ingestBenchConfig struct {
+	Goroutines int `json:"goroutines"`
+	Responses  int `json:"responses_per_backend"`
+	Surveys    int `json:"surveys"`
+}
+
+// ingestBenchResult is one backend's measurement.
+type ingestBenchResult struct {
+	Backend         string  `json:"backend"`
+	Shards          int     `json:"shards,omitempty"`
+	Seconds         float64 `json:"seconds"`
+	ResponsesPerSec float64 `json:"responses_per_sec"`
+	// GroupCommits and MeanBatch are ingest-only: fsyncs on the append
+	// path and the achieved appends-per-fsync.
+	GroupCommits int64   `json:"group_commits,omitempty"`
+	MeanBatch    float64 `json:"mean_batch,omitempty"`
+}
+
+// ingestBenchReport is the BENCH_ingest.json schema.
+type ingestBenchReport struct {
+	Schema  int                 `json:"schema"`
+	Config  ingestBenchConfig   `json:"config"`
+	Results []ingestBenchResult `json:"results"`
+}
+
+// benchIngestSurvey builds one tiny distinct survey per stream so the
+// hash partitioner has work to spread.
+func benchIngestSurvey(i int) *survey.Survey {
+	return &survey.Survey{
+		ID:    fmt.Sprintf("bench-ingest-%02d", i),
+		Title: fmt.Sprintf("Ingest bench survey %d", i),
+		Questions: []survey.Question{
+			{ID: "q0", Text: "rate", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+		},
+		RewardCents: 10,
+	}
+}
+
+// driveStore hammers st with cfg.Responses submissions from
+// cfg.Goroutines goroutines and returns the wall time.
+func driveStore(st store.Store, cfg ingestBenchConfig) (time.Duration, error) {
+	surveys := make([]*survey.Survey, cfg.Surveys)
+	for i := range surveys {
+		surveys[i] = benchIngestSurvey(i)
+		if err := st.PutSurvey(surveys[i]); err != nil {
+			return 0, err
+		}
+	}
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Responses {
+					return
+				}
+				r := &survey.Response{
+					SurveyID:     surveys[i%len(surveys)].ID,
+					WorkerID:     fmt.Sprintf("g%02d-%06d", g, i),
+					Answers:      []survey.Answer{survey.RatingAnswer("q0", 3)},
+					PrivacyLevel: "medium",
+					Obfuscated:   true,
+				}
+				if err := st.AppendResponse(r); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return elapsed, nil
+}
+
+// ingestBenchSize is the default workload; tests shrink it.
+var ingestBenchSize = ingestBenchConfig{Goroutines: 32, Responses: 4000, Surveys: 16}
+
+// runIngestBench measures every backend and writes the report.
+func runIngestBench() error {
+	cfg := ingestBenchSize
+	tmp, err := os.MkdirTemp("", "loki-ingest-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	report := ingestBenchReport{Schema: 1, Config: cfg}
+	record := func(name string, shards int, el time.Duration, st *ingest.Stats) {
+		res := ingestBenchResult{
+			Backend:         name,
+			Shards:          shards,
+			Seconds:         el.Seconds(),
+			ResponsesPerSec: float64(cfg.Responses) / el.Seconds(),
+		}
+		if st != nil && st.Commits > 0 {
+			res.GroupCommits = st.Commits
+			res.MeanBatch = float64(st.Appends) / float64(st.Commits)
+		}
+		report.Results = append(report.Results, res)
+	}
+
+	mem := store.NewMem()
+	el, err := driveStore(mem, cfg)
+	mem.Close()
+	if err != nil {
+		return fmt.Errorf("ingest bench (mem): %w", err)
+	}
+	record("mem", 0, el, nil)
+
+	fileStore, err := store.OpenFile(filepath.Join(tmp, "file.jsonl"))
+	if err != nil {
+		return err
+	}
+	el, err = driveStore(fileStore, cfg)
+	fileStore.Close()
+	if err != nil {
+		return fmt.Errorf("ingest bench (file): %w", err)
+	}
+	record("file-sync-always", 0, el, nil)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		ing, err := ingest.Open(filepath.Join(tmp, fmt.Sprintf("ingest-%d", shards)), ingest.Config{Shards: shards})
+		if err != nil {
+			return err
+		}
+		el, err = driveStore(ing, cfg)
+		stats := ing.Stats()
+		ing.Close()
+		if err != nil {
+			return fmt.Errorf("ingest bench (%d shards): %w", shards, err)
+		}
+		record("ingest", shards, el, &stats)
+	}
+
+	fmt.Fprintln(out, "INGEST THROUGHPUT — concurrent response submission")
+	fmt.Fprintf(out, "  %d responses, %d goroutines, %d surveys, durable backends fsync\n",
+		cfg.Responses, cfg.Goroutines, cfg.Surveys)
+	var fileRate float64
+	for _, r := range report.Results {
+		if r.Backend == "file-sync-always" {
+			fileRate = r.ResponsesPerSec
+		}
+	}
+	for _, r := range report.Results {
+		name := r.Backend
+		if r.Shards > 0 {
+			name = fmt.Sprintf("%s-%d", r.Backend, r.Shards)
+		}
+		line := fmt.Sprintf("  %-18s %10.0f resp/s", name, r.ResponsesPerSec)
+		if r.GroupCommits > 0 {
+			line += fmt.Sprintf("  (%5.1f appends/fsync", r.MeanBatch)
+			if fileRate > 0 {
+				line += fmt.Sprintf(", %.1fx file", r.ResponsesPerSec/fileRate)
+			}
+			line += ")"
+		}
+		fmt.Fprintln(out, line)
+	}
+	fmt.Fprintln(out)
+
+	if ingestJSONPath != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(ingestJSONPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("ingest bench: write report: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunIngestBench smoke-tests the throughput harness on a tiny
+// workload and checks the JSON report is well-formed and complete.
+func TestRunIngestBench(t *testing.T) {
+	silence(t)
+	prevSize, prevPath := ingestBenchSize, ingestJSONPath
+	t.Cleanup(func() { ingestBenchSize, ingestJSONPath = prevSize, prevPath })
+	ingestBenchSize = ingestBenchConfig{Goroutines: 8, Responses: 200, Surveys: 4}
+	ingestJSONPath = filepath.Join(t.TempDir(), "BENCH_ingest.json")
+
+	if err := runIngestBench(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ingestJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ingestBenchReport
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != 1 {
+		t.Fatalf("schema = %d, want 1", report.Schema)
+	}
+	if len(report.Results) != 6 { // mem, file, ingest x {1,2,4,8}
+		t.Fatalf("%d results, want 6", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.ResponsesPerSec <= 0 {
+			t.Fatalf("backend %s (%d shards): nonpositive rate %g", r.Backend, r.Shards, r.ResponsesPerSec)
+		}
+		if r.Backend == "ingest" && r.GroupCommits <= 0 {
+			t.Fatalf("ingest backend with %d shards reports no group commits", r.Shards)
+		}
+	}
+}

@@ -38,18 +38,21 @@ var experimentIndex = []struct{ id, what string }{
 	{"a6", "ablation: anonymity collapse survey by survey"},
 	{"a7", "ablation: Gaussian vs Laplace noise"},
 	{"a8", "ablation: budget balancing across the user base"},
+	{"ingest", "ingest throughput: responses/sec per store backend and shard count"},
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (e1..e7, a1..a8) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (e1..e7, a1..a8, ingest) or 'all'")
 	seed := flag.Uint64("seed", 1, "base seed for all experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outPath := flag.String("out", "", "also write the report to this file")
+	flag.StringVar(&ingestJSONPath, "ingest-json", ingestJSONPath,
+		"where the ingest experiment writes its machine-readable report (empty disables)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experimentIndex {
-			fmt.Printf("  %-3s %s\n", e.id, e.what)
+			fmt.Printf("  %-6s %s\n", e.id, e.what)
 		}
 		return
 	}
@@ -193,6 +196,11 @@ func run(sel func(...string) bool, seed uint64) error {
 			return err
 		}
 		fmt.Fprintln(out, res.Render())
+	}
+	if sel("ingest") {
+		if err := runIngestBench(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

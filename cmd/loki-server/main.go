@@ -5,11 +5,14 @@
 // Usage:
 //
 //	loki-server -addr :8080 -token secret -store loki.jsonl -seed-catalog
+//	loki-server -store ingest:/var/lib/loki -shards 8 -commit-interval 1ms
 //
-// With -store mem the server keeps everything in memory; otherwise the
-// given JSON-lines file is opened (and replayed) as the durable store.
-// -seed-catalog publishes the paper's survey catalog on startup so a
-// fresh server has something to serve.
+// With -store mem the server keeps everything in memory; with -store
+// ingest:DIR it opens the sharded segmented-WAL ingest store rooted at
+// DIR (tuned by -shards, -commit-interval and -segment-bytes); otherwise
+// the given JSON-lines file is opened (and replayed) as the durable
+// store. -seed-catalog publishes the paper's survey catalog on startup
+// so a fresh server has something to serve.
 package main
 
 import (
@@ -20,10 +23,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"loki/internal/core"
+	"loki/internal/ingest"
 	"loki/internal/server"
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -31,27 +36,38 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	storePath := flag.String("store", "mem", `persistence: "mem" or a JSON-lines file path`)
+	storePath := flag.String("store", "mem", `persistence: "mem", "ingest:DIR" or a JSON-lines file path`)
 	token := flag.String("token", "requester-secret", "requester bearer token")
 	seedCatalog := flag.Bool("seed-catalog", false, "publish the paper's survey catalog on startup")
+	shards := flag.Int("shards", 8, "ingest store: number of hash-partitioned WAL shards")
+	commitEvery := flag.Duration("commit-interval", 0, "ingest store: group-commit window (0 = commit as soon as the committer is free)")
+	segmentBytes := flag.Int64("segment-bytes", 16<<20, "ingest store: WAL segment rotation threshold")
 	flag.Parse()
 
+	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes}
 	logger := log.New(os.Stderr, "loki-server ", log.LstdFlags)
-	if err := run(*addr, *storePath, *token, *seedCatalog, logger); err != nil {
+	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr, storePath, token string, seedCatalog bool, logger *log.Logger) error {
-	var st store.Store
-	if storePath == "mem" {
-		st = store.NewMem()
-	} else {
-		fs, err := store.OpenFile(storePath)
-		if err != nil {
-			return err
-		}
-		st = fs
+// openStore resolves the -store flag: "mem", "ingest:DIR", or a
+// JSON-lines file path.
+func openStore(storePath string, icfg ingest.Config) (store.Store, error) {
+	switch {
+	case storePath == "mem":
+		return store.NewMem(), nil
+	case strings.HasPrefix(storePath, "ingest:"):
+		return ingest.Open(strings.TrimPrefix(storePath, "ingest:"), icfg)
+	default:
+		return store.OpenFile(storePath)
+	}
+}
+
+func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, logger *log.Logger) error {
+	st, err := openStore(storePath, icfg)
+	if err != nil {
+		return err
 	}
 	defer st.Close()
 

@@ -3,10 +3,49 @@ package main
 import (
 	"io"
 	"log"
+	"path/filepath"
 	"testing"
 
+	"loki/internal/ingest"
 	"loki/internal/store"
 )
+
+// TestOpenStore resolves each -store syntax to the right backend.
+func TestOpenStore(t *testing.T) {
+	icfg := ingest.Config{Shards: 2}
+
+	st, err := openStore("mem", icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*store.Mem); !ok {
+		t.Fatalf("mem resolved to %T", st)
+	}
+	st.Close()
+
+	dir := t.TempDir()
+	st, err = openStore("ingest:"+dir, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, ok := st.(*ingest.Sharded)
+	if !ok {
+		t.Fatalf("ingest: resolved to %T", st)
+	}
+	if err := seedStore(ing, log.New(io.Discard, "", 0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st, err = openStore(filepath.Join(t.TempDir(), "loki.jsonl"), icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*store.File); !ok {
+		t.Fatalf("file path resolved to %T", st)
+	}
+	st.Close()
+}
 
 func TestSeedStore(t *testing.T) {
 	st := store.NewMem()

@@ -1,0 +1,3 @@
+module loki
+
+go 1.24

@@ -1,0 +1,452 @@
+// Package ingest is the sharded, durable ingestion subsystem of the Loki
+// backend: a store.Store implementation built for sustained concurrent
+// response submission at platform scale.
+//
+// Responses are hash-partitioned by survey ID across N shards. Each
+// shard owns a segmented write-ahead log and a single committer
+// goroutine: concurrent AppendResponse callers coalesce into one group
+// commit — one buffered write and one fsync per batch — so the fsync
+// cost amortizes across every caller waiting in the same commit window,
+// and independent shards commit in parallel. Segments rotate at a
+// bounded size; once enough sealed segments accumulate, the shard folds
+// them into a snapshot and deletes them, so recovery replays only the
+// WAL tail instead of the whole history.
+//
+// Durability guarantee: when AppendResponse or PutSurvey returns nil,
+// the record has been written and fsynced (and, for files just created,
+// the directory entry synced). A crash at any point loses no
+// acknowledged record; a torn trailing record from an unacknowledged
+// append is detected and truncated on reopen.
+//
+// Surveys are low-volume metadata and live in a single shared JSON-lines
+// log (meta.jsonl) synced on every publish.
+//
+// Layout of an ingest directory:
+//
+//	dir/
+//	  meta.jsonl            survey definitions
+//	  shard-000/
+//	    wal-<seq>.seg       response segments (JSON lines)
+//	    snap-<seq>.snap     snapshot covering segments <= seq
+//	  shard-001/
+//	    ...
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// Config tunes the sharded ingest store. The zero value selects sane
+// defaults via Open.
+type Config struct {
+	// Shards is the number of hash partitions (default 8). Submission
+	// throughput scales with shards until fsync bandwidth saturates.
+	Shards int
+	// CommitInterval is how long a shard's committer waits for
+	// latecomers after the first request of a batch (default 0). Zero
+	// commits as soon as the committer is free: batching then arises
+	// naturally from requests queueing while the previous fsync runs. A
+	// positive window trades latency for fewer, larger commits.
+	CommitInterval time.Duration
+	// MaxBatch bounds how many appends one group commit may carry
+	// (default 512).
+	MaxBatch int
+	// SegmentBytes is the rotation threshold for WAL segments (default
+	// 16 MiB). A segment may exceed it by at most one commit batch.
+	SegmentBytes int64
+	// CompactSegments is how many sealed segments accumulate before the
+	// shard folds them into a snapshot (default 4).
+	CompactSegments int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 512
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 16 << 20
+	}
+	if c.CompactSegments == 0 {
+		c.CompactSegments = 4
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Shards < 1 || c.Shards > 1024 {
+		return fmt.Errorf("ingest: shard count %d outside [1, 1024]", c.Shards)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("ingest: max batch %d < 1", c.MaxBatch)
+	}
+	if c.SegmentBytes < 4096 {
+		return fmt.Errorf("ingest: segment size %d < 4096", c.SegmentBytes)
+	}
+	if c.CompactSegments < 1 {
+		return fmt.Errorf("ingest: compact threshold %d < 1", c.CompactSegments)
+	}
+	if c.CommitInterval < 0 {
+		return fmt.Errorf("ingest: negative commit interval %v", c.CommitInterval)
+	}
+	return nil
+}
+
+// Sharded is the sharded ingest store. It implements store.Store, so the
+// server, platform and public API can adopt it wherever a store.Mem or
+// store.File is used today.
+type Sharded struct {
+	cfg Config
+	dir string
+
+	// mu guards the survey index and the meta log writer.
+	mu      sync.RWMutex
+	surveys map[string]*survey.Survey
+	metaF   *os.File
+	metaW   *bufio.Writer
+	// metaErr is the first meta-log I/O failure, sticky like the shard
+	// commit path: after a failed write/fsync the buffered tail may
+	// surface in a later flush, so retrying a publish could duplicate
+	// the record on disk and poison the next replay.
+	metaErr error
+
+	shards []*shard
+
+	closed atomic.Bool
+	// closeGate is read-held for the duration of every append; Close
+	// write-acquires it after setting closed, which both waits out
+	// in-flight appends and is safe against appends racing the close
+	// (unlike a WaitGroup, whose Add may not race Wait at zero).
+	closeGate sync.RWMutex
+}
+
+const (
+	metaName   = "meta.jsonl"
+	layoutName = "layout.json"
+)
+
+// layout is the store's on-disk identity, written atomically (tmp +
+// rename) before any shard directory exists. It — not the set of
+// shard-NNN directories, which a crashed first Open can leave partial —
+// is what fixes the shard count.
+type layout struct {
+	Format int `json:"format"`
+	Shards int `json:"shards"`
+}
+
+// Open recovers (or initialises) a sharded ingest store rooted at dir.
+// The shard count is fixed at first open: reopening an existing directory
+// with a different cfg.Shards is an error, because responses are placed
+// by hash modulo the shard count.
+func Open(dir string, cfg Config) (*Sharded, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: mkdir %s: %w", dir, err)
+	}
+	if err := checkLayout(dir, cfg.Shards); err != nil {
+		return nil, err
+	}
+	s := &Sharded{cfg: cfg, dir: dir, surveys: make(map[string]*survey.Survey)}
+	if err := s.openMeta(); err != nil {
+		return nil, err
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh, err := openShard(i, filepath.Join(dir, shardDirName(i)), cfg)
+		if err != nil {
+			s.metaF.Close()
+			for _, prev := range s.shards[:i] {
+				prev.close()
+			}
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// checkLayout validates the store's shard count against the layout
+// marker, writing the marker first on a fresh store. Because the marker
+// is published atomically before any shard directory is created, a crash
+// mid-Open never leaves a directory that refuses its own shard count.
+func checkLayout(dir string, shards int) error {
+	path := filepath.Join(dir, layoutName)
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var l layout
+		if jerr := json.Unmarshal(b, &l); jerr != nil {
+			return fmt.Errorf("ingest: corrupt %s: %w", path, jerr)
+		}
+		if l.Format != 1 {
+			return fmt.Errorf("ingest: %s format %d not supported by this version", path, l.Format)
+		}
+		if l.Shards != shards {
+			return fmt.Errorf("ingest: %s holds %d shards, config wants %d (shard count is fixed at first open)",
+				dir, l.Shards, shards)
+		}
+		return nil
+	case errors.Is(err, os.ErrNotExist):
+		b, err := json.Marshal(layout{Format: 1, Shards: shards})
+		if err != nil {
+			return fmt.Errorf("ingest: marshal layout: %w", err)
+		}
+		tmp := path + tmpSuffix
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("ingest: create %s: %w", tmp, err)
+		}
+		_, werr := f.Write(append(b, '\n'))
+		if werr == nil {
+			werr = f.Sync() // the rename must never publish torn content
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("ingest: write %s: %w", tmp, werr)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("ingest: publish %s: %w", path, err)
+		}
+		return syncDir(dir)
+	default:
+		return fmt.Errorf("ingest: read %s: %w", path, err)
+	}
+}
+
+// openMeta replays the survey log (truncating a torn tail) and positions
+// it for appends.
+func (s *Sharded) openMeta() error {
+	path := filepath.Join(s.dir, metaName)
+	err := store.ReplayLines(path, true, func(line []byte) error {
+		var sv survey.Survey
+		if err := json.Unmarshal(line, &sv); err != nil {
+			return fmt.Errorf("corrupt survey record: %w", err)
+		}
+		if _, dup := s.surveys[sv.ID]; dup {
+			return fmt.Errorf("duplicate survey %q", sv.ID)
+		}
+		s.surveys[sv.ID] = &sv
+		return nil
+	})
+	if errors.Is(err, os.ErrNotExist) {
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: open %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: seek %s: %w", path, err)
+	}
+	s.metaF = f
+	s.metaW = bufio.NewWriter(f)
+	return nil
+}
+
+// shardFor places a survey's response stream on a shard. All responses
+// of one survey land on the same shard, which preserves per-survey
+// append order.
+func (s *Sharded) shardFor(surveyID string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, surveyID)
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// PutSurvey implements store.Store. Surveys are immutable once
+// published; the definition is fsynced before the call returns.
+func (s *Sharded) PutSurvey(sv *survey.Survey) error {
+	if err := sv.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return errors.New("ingest: use after close")
+	}
+	if s.metaErr != nil {
+		return s.metaErr
+	}
+	if _, dup := s.surveys[sv.ID]; dup {
+		return fmt.Errorf("ingest: survey %q: %w", sv.ID, store.ErrExists)
+	}
+	cp := *sv
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("ingest: marshal survey: %w", err)
+	}
+	werr := func() error {
+		if _, err := s.metaW.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("ingest: write %s: %w", metaName, err)
+		}
+		if err := s.metaW.Flush(); err != nil {
+			return fmt.Errorf("ingest: flush %s: %w", metaName, err)
+		}
+		if err := s.metaF.Sync(); err != nil {
+			return fmt.Errorf("ingest: sync %s: %w", metaName, err)
+		}
+		return nil
+	}()
+	if werr != nil {
+		s.metaErr = werr
+		return werr
+	}
+	s.surveys[cp.ID] = &cp
+	return nil
+}
+
+// Survey implements store.Store.
+func (s *Sharded) Survey(id string) (*survey.Survey, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sv, ok := s.surveys[id]
+	if !ok {
+		return nil, fmt.Errorf("ingest: survey %q: %w", id, store.ErrNotFound)
+	}
+	return sv, nil
+}
+
+// Surveys implements store.Store.
+func (s *Sharded) Surveys() ([]*survey.Survey, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*survey.Survey, 0, len(s.surveys))
+	for _, sv := range s.surveys {
+		out = append(out, sv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// AppendResponse implements store.Store. It validates against the
+// survey, then hands the record to the owning shard's committer and
+// blocks until the group commit that carries it is durable.
+func (s *Sharded) AppendResponse(r *survey.Response) error {
+	s.closeGate.RLock()
+	defer s.closeGate.RUnlock()
+	if s.closed.Load() {
+		return errors.New("ingest: use after close")
+	}
+	s.mu.RLock()
+	sv, ok := s.surveys[r.SurveyID]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("ingest: response for unknown survey %q: %w", r.SurveyID, store.ErrNotFound)
+	}
+	if err := r.Validate(sv); err != nil {
+		return err
+	}
+	cp := *r
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("ingest: marshal response: %w", err)
+	}
+	req := &appendReq{resp: &cp, line: append(b, '\n'), errc: make(chan error, 1)}
+	s.shardFor(cp.SurveyID).reqCh <- req
+	return <-req.errc
+}
+
+// Responses implements store.Store.
+func (s *Sharded) Responses(surveyID string) ([]survey.Response, error) {
+	s.mu.RLock()
+	_, ok := s.surveys[surveyID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ingest: survey %q: %w", surveyID, store.ErrNotFound)
+	}
+	return s.shardFor(surveyID).responses(surveyID), nil
+}
+
+// ResponseCount implements store.Store.
+func (s *Sharded) ResponseCount(surveyID string) int {
+	return s.shardFor(surveyID).responseCount(surveyID)
+}
+
+// Close implements store.Store: it refuses new appends, waits for
+// in-flight ones to commit, stops every committer and seals the logs.
+func (s *Sharded) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// In-flight appenders hold closeGate read locks until their commit
+	// is acknowledged; acquiring the write lock waits them out while the
+	// committers are still running to serve them. Appenders arriving
+	// after observe the closed flag and bail.
+	s.closeGate.Lock()
+	s.closeGate.Unlock() //nolint:staticcheck // barrier, not a critical section
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	flushErr := s.metaErr
+	if flushErr == nil {
+		flushErr = s.metaW.Flush()
+	}
+	if flushErr == nil {
+		flushErr = s.metaF.Sync()
+	}
+	closeErr := s.metaF.Close()
+	if first != nil {
+		return first
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Stats reports cumulative ingest counters, summed across shards. The
+// commit count equals the number of append-path fsyncs, so
+// Appends/Commits is the achieved group-commit batch size.
+type Stats struct {
+	Appends   int64 `json:"appends"`
+	Commits   int64 `json:"commits"`
+	Rotations int64 `json:"rotations"`
+	Snapshots int64 `json:"snapshots"`
+}
+
+// Stats returns current counters.
+func (s *Sharded) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		st.Appends += sh.appends.Load()
+		st.Commits += sh.commits.Load()
+		st.Rotations += sh.rotations.Load()
+		st.Snapshots += sh.snapshots.Load()
+	}
+	return st
+}
+
+var _ store.Store = (*Sharded)(nil)

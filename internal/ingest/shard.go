@@ -1,0 +1,318 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// appendReq is one response waiting to be committed. The committer
+// replies on errc exactly once: nil after the record is durable (written
+// and fsynced) and visible to reads, or the commit error.
+type appendReq struct {
+	resp *survey.Response // validated private copy
+	line []byte           // marshaled JSON record, newline-terminated
+	errc chan error
+}
+
+// shard owns one hash partition of the response stream: a segmented WAL
+// on disk, an in-memory index for reads, and a single committer goroutine
+// that batches concurrent appends into group commits (one buffered write
+// and one fsync per batch).
+type shard struct {
+	id  int
+	dir string
+	cfg Config
+
+	reqCh chan *appendReq
+	quit  chan struct{}
+	done  chan struct{}
+
+	// mu guards index for readers; the committer is the only writer.
+	mu    sync.RWMutex
+	index map[string][]survey.Response
+
+	// Committer-owned state (no locking: single goroutine).
+	f         *os.File
+	w         *bufio.Writer
+	segSeq    uint64   // active segment sequence number
+	segBytes  int64    // bytes appended to the active segment
+	completed []uint64 // sealed segments not yet covered by a snapshot
+	snapSeq   uint64   // highest segment seq covered by the latest snapshot
+	failed    error    // sticky fatal I/O error; set only by the committer
+
+	// Counters for observability and benchmarks.
+	appends   atomic.Int64 // responses durably committed
+	commits   atomic.Int64 // group commits (== fsyncs on the append path)
+	rotations atomic.Int64
+	snapshots atomic.Int64
+}
+
+// openShard recovers a shard from its directory (snapshot + WAL tail
+// replay) and starts its committer.
+func openShard(id int, dir string, cfg Config) (*shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: mkdir %s: %w", dir, err)
+	}
+	sh := &shard{
+		id:    id,
+		dir:   dir,
+		cfg:   cfg,
+		reqCh: make(chan *appendReq, cfg.MaxBatch),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		index: make(map[string][]survey.Response),
+	}
+	if err := removeTmp(dir); err != nil {
+		return nil, err
+	}
+	if err := sh.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	maxSeq := sh.snapSeq
+	for i, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq <= sh.snapSeq {
+			// Covered by the snapshot; a crash raced compaction's removal.
+			if err := os.Remove(filepath.Join(dir, segName(seq))); err != nil {
+				return nil, fmt.Errorf("ingest: drop covered segment: %w", err)
+			}
+			continue
+		}
+		// Only the newest segment may have a torn tail; older ones were
+		// sealed with an fsync before their successor was created.
+		tornOK := i == len(segs)-1
+		if err := sh.replaySegment(seq, tornOK); err != nil {
+			return nil, err
+		}
+		sh.completed = append(sh.completed, seq)
+	}
+	// Always start appends in a fresh segment: reopening a replayed tail
+	// for append would complicate torn-tail truncation for no benefit.
+	sh.segSeq = maxSeq + 1
+	if err := sh.openSegment(); err != nil {
+		return nil, err
+	}
+	go sh.run()
+	return sh, nil
+}
+
+// replaySegment loads every complete response record of one segment into
+// the index, truncating a torn tail when tornOK.
+func (sh *shard) replaySegment(seq uint64, tornOK bool) error {
+	path := filepath.Join(sh.dir, segName(seq))
+	return store.ReplayLines(path, tornOK, func(line []byte) error {
+		var r survey.Response
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fmt.Errorf("corrupt response record: %w", err)
+		}
+		sh.index[r.SurveyID] = append(sh.index[r.SurveyID], r)
+		return nil
+	})
+}
+
+// openSegment creates the active segment file for sh.segSeq and makes its
+// directory entry durable.
+func (sh *shard) openSegment() error {
+	path := filepath.Join(sh.dir, segName(sh.segSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: create segment %s: %w", path, err)
+	}
+	if err := syncDir(sh.dir); err != nil {
+		f.Close()
+		return err
+	}
+	sh.f = f
+	sh.w = bufio.NewWriterSize(f, 1<<16)
+	sh.segBytes = 0
+	return nil
+}
+
+// run is the committer loop: take the first waiting request, gather
+// everything else already queued (plus, optionally, a commit window of
+// latecomers), and commit the batch with a single write + fsync.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case req := <-sh.reqCh:
+			sh.commit(sh.collect(req))
+		case <-sh.quit:
+			// Serve whatever was enqueued before shutdown, then exit.
+			for {
+				select {
+				case req := <-sh.reqCh:
+					sh.commit(sh.collect(req))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect builds a group-commit batch. It first drains every request
+// already queued (batching arises naturally while the previous commit's
+// fsync runs), then — if a commit window is configured — waits up to
+// CommitInterval for more, trading latency for fewer fsyncs.
+func (sh *shard) collect(first *appendReq) []*appendReq {
+	batch := append(make([]*appendReq, 0, 16), first)
+drain:
+	for len(batch) < sh.cfg.MaxBatch {
+		select {
+		case r := <-sh.reqCh:
+			batch = append(batch, r)
+		default:
+			break drain
+		}
+	}
+	if sh.cfg.CommitInterval <= 0 || len(batch) >= sh.cfg.MaxBatch {
+		return batch
+	}
+	t := time.NewTimer(sh.cfg.CommitInterval)
+	defer t.Stop()
+	for len(batch) < sh.cfg.MaxBatch {
+		select {
+		case r := <-sh.reqCh:
+			batch = append(batch, r)
+		case <-t.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commit makes a batch durable and visible: one buffered write of every
+// record, one flush, one fsync, then an index update and replies to every
+// waiter. On an I/O error the shard fails sticky — durability code must
+// not guess at the on-disk state after a failed write.
+func (sh *shard) commit(batch []*appendReq) {
+	reply := func(err error) {
+		for _, r := range batch {
+			r.errc <- err
+		}
+	}
+	if sh.failed != nil {
+		reply(sh.failed)
+		return
+	}
+	var n int64
+	var werr error
+	for _, r := range batch {
+		if _, err := sh.w.Write(r.line); err != nil {
+			werr = err
+			break
+		}
+		n += int64(len(r.line))
+	}
+	if werr == nil {
+		werr = sh.w.Flush()
+	}
+	if werr == nil {
+		werr = sh.f.Sync()
+	}
+	if werr != nil {
+		sh.failed = fmt.Errorf("ingest: shard %d segment %d: %w", sh.id, sh.segSeq, werr)
+		reply(sh.failed)
+		return
+	}
+	sh.segBytes += n
+	sh.mu.Lock()
+	for _, r := range batch {
+		sh.index[r.resp.SurveyID] = append(sh.index[r.resp.SurveyID], *r.resp)
+	}
+	sh.mu.Unlock()
+	sh.appends.Add(int64(len(batch)))
+	sh.commits.Add(1)
+	reply(nil)
+	if sh.segBytes >= sh.cfg.SegmentBytes {
+		sh.maintain()
+	}
+}
+
+// maintain runs between commits: seal the full active segment, open the
+// next one, and compact once enough sealed segments accumulate. Errors
+// fail the shard sticky; in-flight data is already durable, only future
+// appends are refused.
+func (sh *shard) maintain() {
+	if err := sh.rotate(); err != nil {
+		sh.failed = err
+		return
+	}
+	if len(sh.completed) >= sh.cfg.CompactSegments {
+		if err := sh.snapshot(); err != nil {
+			sh.failed = err
+		}
+	}
+}
+
+// rotate seals the active segment (already fsynced by the last commit)
+// and opens its successor.
+func (sh *shard) rotate() error {
+	if err := sh.f.Close(); err != nil {
+		return fmt.Errorf("ingest: seal segment %d: %w", sh.segSeq, err)
+	}
+	sh.completed = append(sh.completed, sh.segSeq)
+	sh.segSeq++
+	sh.rotations.Add(1)
+	return sh.openSegment()
+}
+
+// close stops the committer (serving everything already enqueued) and
+// seals the active segment. Callers must guarantee no new appends are in
+// flight.
+func (sh *shard) close() error {
+	close(sh.quit)
+	<-sh.done
+	if sh.f == nil {
+		return sh.failed
+	}
+	flushErr := sh.w.Flush()
+	if flushErr == nil {
+		flushErr = sh.f.Sync()
+	}
+	closeErr := sh.f.Close()
+	sh.f = nil
+	if sh.failed != nil {
+		return sh.failed
+	}
+	if flushErr != nil {
+		return fmt.Errorf("ingest: close shard %d: %w", sh.id, flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("ingest: close shard %d: %w", sh.id, closeErr)
+	}
+	return nil
+}
+
+// responses returns a copy of the shard's responses for one survey.
+func (sh *shard) responses(surveyID string) []survey.Response {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rs := sh.index[surveyID]
+	out := make([]survey.Response, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// responseCount returns the shard's response count for one survey.
+func (sh *shard) responseCount(surveyID string) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.index[surveyID])
+}

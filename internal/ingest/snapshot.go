@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// snapHeader is the first line of a snapshot file. The remaining Count
+// lines are one JSON response each, in index (append) order per survey.
+type snapHeader struct {
+	Format int    `json:"format"`
+	Shard  int    `json:"shard"`
+	Covers uint64 `json:"covers"` // every segment with seq <= Covers is folded in
+	Count  int    `json:"count"`
+}
+
+const snapFormat = 1
+
+// snapshot folds every sealed segment into one snapshot file and deletes
+// the segments it covers, so recovery replays only the WAL tail. It runs
+// on the committer goroutine immediately after a rotation, which makes
+// the cut exact: the index holds precisely the contents of the sealed
+// segments, the new active segment is still empty. The snapshot is made
+// crash-atomic by writing to a temp file, fsyncing, then renaming.
+func (sh *shard) snapshot() error {
+	covers := sh.completed[len(sh.completed)-1]
+	// The committer is the index's only writer, so reading it here is
+	// race-free; concurrent readers hold mu.RLock and never write.
+	count := 0
+	for _, rs := range sh.index {
+		count += len(rs)
+	}
+	tmp := filepath.Join(sh.dir, snapName(covers)+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: create snapshot %s: %w", tmp, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(w) // Encode appends the newline separator
+	werr := enc.Encode(snapHeader{Format: snapFormat, Shard: sh.id, Covers: covers, Count: count})
+	for _, rs := range sh.index {
+		for i := range rs {
+			if werr != nil {
+				break
+			}
+			werr = enc.Encode(&rs[i])
+		}
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ingest: write snapshot %s: %w", tmp, werr)
+	}
+	final := filepath.Join(sh.dir, snapName(covers))
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("ingest: publish snapshot %s: %w", final, err)
+	}
+	if err := syncDir(sh.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable; everything it covers is now garbage.
+	for _, seq := range sh.completed {
+		if err := os.Remove(filepath.Join(sh.dir, segName(seq))); err != nil {
+			return fmt.Errorf("ingest: drop compacted segment: %w", err)
+		}
+	}
+	if sh.snapSeq > 0 {
+		if err := os.Remove(filepath.Join(sh.dir, snapName(sh.snapSeq))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("ingest: drop superseded snapshot: %w", err)
+		}
+	}
+	if err := syncDir(sh.dir); err != nil {
+		return err
+	}
+	sh.completed = sh.completed[:0]
+	sh.snapSeq = covers
+	sh.snapshots.Add(1)
+	return nil
+}
+
+// loadSnapshot restores the index from the newest snapshot, if any, and
+// removes superseded older ones.
+func (sh *shard) loadSnapshot() error {
+	seqs, err := listSeqs(sh.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	latest := seqs[len(seqs)-1]
+	for _, seq := range seqs[:len(seqs)-1] {
+		if err := os.Remove(filepath.Join(sh.dir, snapName(seq))); err != nil {
+			return fmt.Errorf("ingest: drop superseded snapshot: %w", err)
+		}
+	}
+	path := filepath.Join(sh.dir, snapName(latest))
+	var hdr *snapHeader
+	loaded := 0
+	err = store.ReplayLines(path, false, func(line []byte) error {
+		if hdr == nil {
+			hdr = new(snapHeader)
+			if err := json.Unmarshal(line, hdr); err != nil {
+				return fmt.Errorf("corrupt snapshot header: %w", err)
+			}
+			if hdr.Format != snapFormat {
+				return fmt.Errorf("snapshot format %d not supported", hdr.Format)
+			}
+			if hdr.Covers != latest {
+				return fmt.Errorf("snapshot header covers segment %d but file name says %d", hdr.Covers, latest)
+			}
+			return nil
+		}
+		var r survey.Response
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fmt.Errorf("corrupt snapshot record: %w", err)
+		}
+		sh.index[r.SurveyID] = append(sh.index[r.SurveyID], r)
+		loaded++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if hdr == nil || loaded != hdr.Count {
+		got := 0
+		if hdr != nil {
+			got = hdr.Count
+		}
+		return fmt.Errorf("ingest: snapshot %s holds %d records, header says %d", path, loaded, got)
+	}
+	sh.snapSeq = latest
+	return nil
+}

@@ -14,6 +14,8 @@
 package platform
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -21,6 +23,7 @@ import (
 
 	"loki/internal/population"
 	"loki/internal/rng"
+	"loki/internal/store"
 	"loki/internal/survey"
 )
 
@@ -75,6 +78,14 @@ type Config struct {
 	// Transform, when non-nil, is applied to every response before
 	// upload (Loki's at-source obfuscation).
 	Transform Transform
+	// Sink, when non-nil, receives every posted survey and accepted
+	// response — the platform's durable ingestion backend. Point it at a
+	// store.File or ingest.Sharded to persist a simulation's raw
+	// response streams (losing those streams is itself a privacy-audit
+	// failure: the obfuscated record is the only accountable trace of
+	// what each worker disclosed). A sink failure fails the simulation
+	// loudly rather than dropping data.
+	Sink store.Store
 }
 
 // DefaultConfig returns the platform parameters used by the §2
@@ -232,6 +243,28 @@ func (pl *Platform) PostSurveyAppeal(s *survey.Survey, quota int, appeal float64
 	if _, dup := pl.hits[s.ID]; dup {
 		return fmt.Errorf("platform: survey %q already posted", s.ID)
 	}
+	if pl.cfg.Sink != nil {
+		if err := pl.cfg.Sink.PutSurvey(s); err != nil {
+			if !errors.Is(err, store.ErrExists) {
+				return fmt.Errorf("platform: sink rejected survey %q: %w", s.ID, err)
+			}
+			// A replayed durable sink may already hold this survey — but
+			// only the identical definition; responses validated against
+			// a diverged definition would corrupt the persisted stream.
+			prev, gerr := pl.cfg.Sink.Survey(s.ID)
+			if gerr != nil {
+				return fmt.Errorf("platform: sink holds survey %q but cannot serve it: %w", s.ID, gerr)
+			}
+			// Compare JSON forms, not Go values: a replayed survey has
+			// been through marshal/unmarshal, which turns empty slices
+			// into nil under omitempty.
+			prevJSON, err1 := json.Marshal(prev)
+			postJSON, err2 := json.Marshal(s)
+			if err1 != nil || err2 != nil || !bytes.Equal(prevJSON, postJSON) {
+				return fmt.Errorf("platform: sink already holds a different survey %q", s.ID)
+			}
+		}
+	}
 	pl.hits[s.ID] = &HIT{
 		Survey:     s,
 		Quota:      quota,
@@ -347,6 +380,11 @@ func (pl *Platform) submit(w *Worker, h *HIT) error {
 	}
 	if err := resp.Validate(h.Survey); err != nil {
 		return fmt.Errorf("platform: invalid response to %q: %w", h.Survey.ID, err)
+	}
+	if pl.cfg.Sink != nil {
+		if err := pl.cfg.Sink.AppendResponse(&resp); err != nil {
+			return fmt.Errorf("platform: sink rejected response to %q: %w", h.Survey.ID, err)
+		}
 	}
 	h.Responses = append(h.Responses, resp)
 	h.taken[w.PersonID] = true

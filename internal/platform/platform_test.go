@@ -7,6 +7,7 @@ import (
 
 	"loki/internal/population"
 	"loki/internal/rng"
+	"loki/internal/store"
 	"loki/internal/survey"
 )
 
@@ -359,5 +360,57 @@ func TestAppealLimitsParticipation(t *testing.T) {
 	limited := runWith(0.2)
 	if limited >= full {
 		t.Errorf("appeal 0.2 collected %d responses, full appeal %d", limited, full)
+	}
+}
+
+// TestSinkPersistsStreams: with a Sink configured, every posted survey
+// and accepted response lands in the store, and the persisted stream
+// matches the requester's view exactly.
+func TestSinkPersistsStreams(t *testing.T) {
+	sink := store.NewMem()
+	defer sink.Close()
+	pl, _ := testPlatform(t, 11, func(c *Config) { c.Sink = sink })
+	sv := survey.Astrology()
+	if err := pl.PostSurvey(sv, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.RunDays(5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Responses(sv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted, err := sink.Responses(sv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(persisted) != len(got) {
+		t.Fatalf("sink holds %d responses, platform %d", len(persisted), len(got))
+	}
+	for i := range got {
+		if persisted[i].WorkerID != got[i].WorkerID || persisted[i].Day != got[i].Day {
+			t.Fatalf("sink stream diverges at %d: %+v vs %+v", i, persisted[i], got[i])
+		}
+	}
+	// A survey already present in the sink (replayed durable store) is
+	// not an error.
+	pl2, _ := testPlatform(t, 12, func(c *Config) { c.Sink = sink })
+	if err := pl2.PostSurvey(survey.Astrology(), 5); err != nil {
+		t.Fatalf("re-posting into a pre-seeded sink: %v", err)
+	}
+}
+
+// TestSinkFailureSurfaces: a closed sink must fail the simulation, not
+// silently drop the stream.
+func TestSinkFailureSurfaces(t *testing.T) {
+	sink := store.NewMem()
+	pl, _ := testPlatform(t, 13, func(c *Config) { c.Sink = sink })
+	if err := pl.PostSurvey(survey.Astrology(), 30); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	if err := pl.RunDays(5); err == nil {
+		t.Fatal("closed sink did not surface")
 	}
 }

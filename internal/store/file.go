@@ -8,20 +8,61 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"loki/internal/survey"
 )
+
+// SyncPolicy selects when the file store makes appended records durable
+// with fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged mutation
+	// survives a machine crash. This is the default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval flushes and fsyncs on a timer: a crash can lose at
+	// most the last interval's worth of acknowledged mutations. Use for
+	// throughput when bounded loss is acceptable.
+	SyncInterval
+	// SyncNever flushes to the OS on every append but never fsyncs
+	// (except on Close): a process crash loses nothing, a machine crash
+	// may lose anything the kernel had not written back.
+	SyncNever
+)
+
+// FileOptions tune a file-backed store.
+type FileOptions struct {
+	// Sync is the durability policy (default SyncAlways).
+	Sync SyncPolicy
+	// Interval is the flush period for SyncInterval (default 100ms).
+	Interval time.Duration
+}
 
 // File is a durable Store backed by an append-only JSON-lines log. Every
 // mutation is a single JSON record on its own line; opening the store
 // replays the log into an in-memory index. Partial trailing writes (a
 // crash mid-append) are detected and truncated away on open.
+//
+// Durability: under the default SyncAlways policy every acknowledged
+// mutation has been fsynced before PutSurvey/AppendResponse returns. See
+// SyncPolicy for the weaker modes.
 type File struct {
 	mu   sync.Mutex
 	mem  *Mem
 	f    *os.File
 	w    *bufio.Writer
 	path string
+	opts FileOptions
+	stop chan struct{} // stops the SyncInterval flusher
+	done chan struct{}
+	// syncErr is the first append-path or background flush/fsync
+	// failure; once set, every subsequent append and Close reports it.
+	// Sticky by design: after a failed fsync the kernel may have dropped
+	// the dirty pages and a later fsync can falsely succeed, so
+	// continuing to acknowledge appends would silently void the
+	// durability bound.
+	syncErr error
 }
 
 // record is one log entry. Exactly one payload field is set.
@@ -32,106 +73,165 @@ type record struct {
 }
 
 // OpenFile opens (creating if necessary) a file-backed store at path and
-// replays its log.
+// replays its log. Appends are fsynced before they are acknowledged
+// (SyncAlways); use OpenFileWith to relax that.
 func OpenFile(path string) (*File, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenFileWith(path, FileOptions{Sync: SyncAlways})
+}
+
+// OpenFileWith opens a file-backed store with an explicit durability
+// policy.
+func OpenFileWith(path string, opts FileOptions) (*File, error) {
+	switch opts.Sync {
+	case SyncAlways, SyncInterval, SyncNever:
+	default:
+		return nil, fmt.Errorf("store: unknown sync policy %d", int(opts.Sync))
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	fs := &File{mem: NewMem(), path: path, opts: opts}
+	// Replay complete records into the memory index; a partial trailing
+	// record (crash mid-append) is truncated away. A missing file just
+	// means a fresh store.
+	err := ReplayLines(path, true, fs.applyRecord)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	fs := &File{mem: NewMem(), f: f, path: path}
-	valid, err := fs.replay()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	// Drop any partial trailing record, then position for appends.
-	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: truncate %s: %w", path, err)
-	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: seek %s: %w", path, err)
 	}
+	fs.f = f
 	fs.w = bufio.NewWriter(f)
+	if opts.Sync == SyncInterval {
+		fs.stop = make(chan struct{})
+		fs.done = make(chan struct{})
+		go fs.flushLoop(fs.stop, fs.done)
+	}
 	return fs, nil
 }
 
-// replay loads every complete record, returning the byte offset of the
-// end of the last complete record.
-func (fs *File) replay() (validOffset int64, err error) {
-	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("store: seek %s: %w", fs.path, err)
-	}
-	rd := bufio.NewReader(fs.f)
-	var offset int64
+// flushLoop periodically flushes and fsyncs under SyncInterval. The
+// channels are passed in because Close nils the fields while the loop
+// runs.
+func (fs *File) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(fs.opts.Interval)
+	defer t.Stop()
 	for {
-		line, err := rd.ReadBytes('\n')
-		if err == io.EOF {
-			// No trailing newline: incomplete record, ignore.
-			return offset, nil
-		}
-		if err != nil {
-			return 0, fmt.Errorf("store: read %s: %w", fs.path, err)
-		}
-		var rec record
-		if jerr := json.Unmarshal(line, &rec); jerr != nil {
-			// Corrupt interior line: refuse to open rather than silently
-			// dropping data.
-			return 0, fmt.Errorf("store: corrupt record at offset %d in %s: %w", offset, fs.path, jerr)
-		}
-		switch rec.Kind {
-		case "survey":
-			if rec.Survey == nil {
-				return 0, fmt.Errorf("store: survey record without payload at offset %d in %s", offset, fs.path)
+		select {
+		case <-t.C:
+			// Flush under the lock, but fsync outside it: a slow fsync
+			// must not stall appenders (it still bounds loss to one
+			// interval, since everything flushed so far is in the page
+			// cache the fsync covers).
+			fs.mu.Lock()
+			if fs.w == nil || fs.syncErr != nil {
+				fs.mu.Unlock()
+				continue
 			}
-			if err := fs.mem.PutSurvey(rec.Survey); err != nil {
-				return 0, fmt.Errorf("store: replay %s: %w", fs.path, err)
+			err := fs.w.Flush()
+			f := fs.f
+			fs.mu.Unlock()
+			if err == nil {
+				err = f.Sync()
 			}
-		case "response":
-			if rec.Response == nil {
-				return 0, fmt.Errorf("store: response record without payload at offset %d in %s", offset, fs.path)
+			if err != nil {
+				fs.mu.Lock()
+				if fs.w != nil && fs.syncErr == nil {
+					fs.syncErr = fmt.Errorf("store: background sync %s: %w", fs.path, err)
+				}
+				fs.mu.Unlock()
 			}
-			if err := fs.mem.AppendResponse(rec.Response); err != nil {
-				return 0, fmt.Errorf("store: replay %s: %w", fs.path, err)
-			}
-		default:
-			return 0, fmt.Errorf("store: unknown record kind %q in %s", rec.Kind, fs.path)
+		case <-stop:
+			return
 		}
-		offset += int64(len(line))
 	}
 }
 
-// append writes one record and flushes it to the OS.
+// applyRecord replays one complete log line into the memory index.
+// Corrupt or malformed records refuse the open rather than silently
+// dropping data.
+func (fs *File) applyRecord(line []byte) error {
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("corrupt record: %w", err)
+	}
+	switch rec.Kind {
+	case "survey":
+		if rec.Survey == nil {
+			return errors.New("survey record without payload")
+		}
+		return fs.mem.PutSurvey(rec.Survey)
+	case "response":
+		if rec.Response == nil {
+			return errors.New("response record without payload")
+		}
+		return fs.mem.AppendResponse(rec.Response)
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+}
+
+// append writes one record and makes it as durable as the sync policy
+// promises: flushed to the OS always, fsynced under SyncAlways
+// (SyncInterval leaves the fsync to the flusher goroutine). Any I/O
+// failure poisons the store: the on-disk state is no longer trustworthy.
 func (fs *File) append(rec *record) error {
+	if fs.syncErr != nil {
+		return fs.syncErr
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: marshal: %w", err)
 	}
-	if _, err := fs.w.Write(b); err != nil {
-		return fmt.Errorf("store: write %s: %w", fs.path, err)
+	werr := func() error {
+		if _, err := fs.w.Write(b); err != nil {
+			return fmt.Errorf("store: write %s: %w", fs.path, err)
+		}
+		if err := fs.w.WriteByte('\n'); err != nil {
+			return fmt.Errorf("store: write %s: %w", fs.path, err)
+		}
+		if err := fs.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush %s: %w", fs.path, err)
+		}
+		if fs.opts.Sync == SyncAlways {
+			if err := fs.f.Sync(); err != nil {
+				return fmt.Errorf("store: sync %s: %w", fs.path, err)
+			}
+		}
+		return nil
+	}()
+	if werr != nil {
+		fs.syncErr = werr
 	}
-	if err := fs.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: write %s: %w", fs.path, err)
-	}
-	if err := fs.w.Flush(); err != nil {
-		return fmt.Errorf("store: flush %s: %w", fs.path, err)
-	}
-	return nil
+	return werr
 }
 
-// PutSurvey implements Store: validate via the memory index first, then
-// log.
+// PutSurvey implements Store: validate, make the record durable, then
+// publish it to the memory index. Log-before-index means a failed disk
+// append never leaves a phantom record visible to reads.
 func (fs *File) PutSurvey(s *survey.Survey) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.w == nil {
 		return errors.New("store: use after close")
 	}
-	if err := fs.mem.PutSurvey(s); err != nil {
+	if err := s.Validate(); err != nil {
 		return err
 	}
-	return fs.append(&record{Kind: "survey", Survey: s})
+	if _, err := fs.mem.Survey(s.ID); err == nil {
+		return fmt.Errorf("store: survey %q: %w", s.ID, ErrExists)
+	}
+	if err := fs.append(&record{Kind: "survey", Survey: s}); err != nil {
+		return err
+	}
+	return fs.mem.PutSurvey(s)
 }
 
 // Survey implements Store.
@@ -140,17 +240,25 @@ func (fs *File) Survey(id string) (*survey.Survey, error) { return fs.mem.Survey
 // Surveys implements Store.
 func (fs *File) Surveys() ([]*survey.Survey, error) { return fs.mem.Surveys() }
 
-// AppendResponse implements Store.
+// AppendResponse implements Store: validate, make the record durable,
+// then publish it to the memory index (see PutSurvey).
 func (fs *File) AppendResponse(r *survey.Response) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.w == nil {
 		return errors.New("store: use after close")
 	}
-	if err := fs.mem.AppendResponse(r); err != nil {
+	s, err := fs.mem.Survey(r.SurveyID)
+	if err != nil {
 		return err
 	}
-	return fs.append(&record{Kind: "response", Response: r})
+	if err := r.Validate(s); err != nil {
+		return err
+	}
+	if err := fs.append(&record{Kind: "response", Response: r}); err != nil {
+		return err
+	}
+	return fs.mem.AppendResponse(r)
 }
 
 // Responses implements Store.
@@ -161,14 +269,28 @@ func (fs *File) Responses(surveyID string) ([]survey.Response, error) {
 // ResponseCount implements Store.
 func (fs *File) ResponseCount(surveyID string) int { return fs.mem.ResponseCount(surveyID) }
 
-// Close flushes and closes the log file.
+// Close flushes, fsyncs and closes the log file.
 func (fs *File) Close() error {
+	fs.mu.Lock()
+	stop, done := fs.stop, fs.done
+	fs.stop, fs.done = nil, nil
+	fs.mu.Unlock()
+	if stop != nil {
+		close(stop) // must not hold mu: the flusher needs it to exit
+		<-done
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.w == nil {
 		return nil
 	}
-	flushErr := fs.w.Flush()
+	flushErr := fs.syncErr
+	if flushErr == nil {
+		flushErr = fs.w.Flush()
+	}
+	if flushErr == nil {
+		flushErr = fs.f.Sync()
+	}
 	fs.w = nil
 	closeErr := fs.f.Close()
 	if mErr := fs.mem.Close(); mErr != nil && flushErr == nil {

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReplayLines streams every complete newline-terminated line of the file
+// at path to fn — the shared crash-recovery primitive of every JSON-lines
+// log in the system (the file store and the ingest WAL segments). A
+// final line without a terminating newline is a torn tail from a crashed
+// append: when tornOK is true the file is truncated back to the end of
+// the last complete line (and the truncation fsynced); when false it is
+// an error, for logs where only the newest file may legally be torn. fn
+// returning an error aborts the replay — interior corruption is
+// surfaced, never silently dropped.
+func ReplayLines(path string, tornOK bool, fn func(line []byte) error) error {
+	// Write access is only needed to truncate a torn tail; sealed logs
+	// (tornOK=false) replay fine from read-only files or backups.
+	flag := os.O_RDONLY
+	if tornOK {
+		flag = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, flag, 0)
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", path, err)
+	}
+	defer f.Close()
+	rd := bufio.NewReader(f)
+	var valid int64
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) == 0 {
+				return nil
+			}
+			// Torn tail: an append crashed before writing the newline.
+			if !tornOK {
+				return fmt.Errorf("store: torn record at offset %d in sealed log %s", valid, path)
+			}
+			if err := f.Truncate(valid); err != nil {
+				return fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
+			}
+			return f.Sync()
+		}
+		if err != nil {
+			return fmt.Errorf("store: read %s: %w", path, err)
+		}
+		if err := fn(line); err != nil {
+			return fmt.Errorf("store: replay %s at offset %d: %w", path, valid, err)
+		}
+		valid += int64(len(line))
+	}
+}

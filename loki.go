@@ -31,6 +31,7 @@ import (
 	"loki/internal/core"
 	"loki/internal/dp"
 	"loki/internal/experiments"
+	"loki/internal/ingest"
 	"loki/internal/platform"
 	"loki/internal/population"
 	"loki/internal/rng"
@@ -186,8 +187,31 @@ type (
 	ClientConfig = client.Config
 	// Store persists surveys and responses.
 	Store = store.Store
+	// FileStoreOptions tune the file store's durability policy.
+	FileStoreOptions = store.FileOptions
+	// SyncPolicy selects when the file store fsyncs appends.
+	SyncPolicy = store.SyncPolicy
+	// IngestStore is the sharded, group-committed durable store for
+	// high-throughput response ingestion.
+	IngestStore = ingest.Sharded
+	// IngestConfig tunes shard count, commit window, segment size and
+	// compaction of an IngestStore.
+	IngestConfig = ingest.Config
+	// IngestStats reports cumulative ingest counters (appends, group
+	// commits, rotations, snapshots).
+	IngestStats = ingest.Stats
 	// Estimator computes noise-aware aggregates.
 	Estimator = aggregate.Estimator
+)
+
+// File store sync policies.
+const (
+	// SyncAlways fsyncs every append before acknowledging it.
+	SyncAlways = store.SyncAlways
+	// SyncInterval fsyncs on a timer (bounded loss on crash).
+	SyncInterval = store.SyncInterval
+	// SyncNever leaves write-back to the OS.
+	SyncNever = store.SyncNever
 )
 
 // Backend constructors.
@@ -198,8 +222,14 @@ var (
 	NewClient = client.New
 	// NewMemStore is the in-memory store.
 	NewMemStore = store.NewMem
-	// OpenFileStore is the durable JSON-lines store.
+	// OpenFileStore is the durable JSON-lines store (fsync per append).
 	OpenFileStore = store.OpenFile
+	// OpenFileStoreWith opens the file store with an explicit sync
+	// policy.
+	OpenFileStoreWith = store.OpenFileWith
+	// OpenIngestStore is the sharded segmented-WAL store built for
+	// concurrent submission at scale.
+	OpenIngestStore = ingest.Open
 	// NewEstimator builds the noise-aware aggregator.
 	NewEstimator = aggregate.NewEstimator
 )

@@ -104,3 +104,58 @@ func TestFacadeTrial(t *testing.T) {
 		t.Error("RMSE NaN")
 	}
 }
+
+// TestFacadeStores opens every store backend purely through the public
+// API and pushes one response end to end: the ingest store drops in
+// wherever a Store is expected.
+func TestFacadeStores(t *testing.T) {
+	sv := &loki.Survey{
+		ID:    "facade-store",
+		Title: "t",
+		Questions: []loki.Question{
+			{ID: "q1", Text: "q1", Kind: loki.Rating, ScaleMin: 1, ScaleMax: 5},
+		},
+	}
+	resp := &loki.Response{
+		SurveyID:     sv.ID,
+		WorkerID:     "w1",
+		Answers:      []loki.Answer{loki.RatingAnswer("q1", 4)},
+		PrivacyLevel: "medium",
+		Obfuscated:   true,
+	}
+	fileStore, err := loki.OpenFileStoreWith(t.TempDir()+"/loki.jsonl",
+		loki.FileStoreOptions{Sync: loki.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestStore, err := loki.OpenIngestStore(t.TempDir(), loki.IngestConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []loki.Store{loki.NewMemStore(), fileStore, ingestStore} {
+		if err := st.PutSurvey(sv); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AppendResponse(resp); err != nil {
+			t.Fatal(err)
+		}
+		if n := st.ResponseCount(sv.ID); n != 1 {
+			t.Fatalf("%T: ResponseCount = %d", st, n)
+		}
+		srv, err := loki.NewServer(loki.ServerConfig{
+			Store:          st,
+			Schedule:       loki.DefaultSchedule(),
+			RequesterToken: "tok",
+		})
+		if err != nil || srv == nil {
+			t.Fatalf("%T: server refused store: %v", st, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := ingestStore.Stats()
+	if stats.Appends != 1 || stats.Commits != 1 {
+		t.Fatalf("ingest stats = %+v", stats)
+	}
+}
