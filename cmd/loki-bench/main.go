@@ -39,15 +39,20 @@ var experimentIndex = []struct{ id, what string }{
 	{"a7", "ablation: Gaussian vs Laplace noise"},
 	{"a8", "ablation: budget balancing across the user base"},
 	{"ingest", "ingest throughput: responses/sec per store backend and shard count"},
+	{"readpath", "read path: aggregate queries/sec, batch recompute vs live accumulator"},
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (e1..e7, a1..a8, ingest) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (e1..e7, a1..a8, ingest, readpath) or 'all'")
 	seed := flag.Uint64("seed", 1, "base seed for all experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outPath := flag.String("out", "", "also write the report to this file")
 	flag.StringVar(&ingestJSONPath, "ingest-json", ingestJSONPath,
 		"where the ingest experiment writes its machine-readable report (empty disables)")
+	flag.StringVar(&readpathJSONPath, "readpath-json", readpathJSONPath,
+		"where the readpath experiment writes its machine-readable report (empty disables)")
+	flag.StringVar(&readpathSizesFlag, "readpath-sizes", readpathSizesFlag,
+		"comma-separated stored-response counts the readpath experiment measures")
 	flag.Parse()
 
 	if *list {
@@ -199,6 +204,15 @@ func run(sel func(...string) bool, seed uint64) error {
 	}
 	if sel("ingest") {
 		if err := runIngestBench(); err != nil {
+			return err
+		}
+	}
+	if sel("readpath") {
+		sizes, err := parseReadpathSizes(readpathSizesFlag)
+		if err != nil {
+			return err
+		}
+		if err := runReadpathBench(sizes); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,227 @@
+// Read-path benchmark ("readpath" experiment id): aggregate-query
+// throughput against a store preloaded with N responses, old batch path
+// (materialize every response, recompute estimates from scratch) versus
+// new incremental path (the server's live accumulator + cursor catch-up).
+// The old path is O(N) per query; the new path is O(1), so its
+// throughput should be flat across response counts. Results are teed to
+// a machine-readable JSON file for trajectory tracking.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/server"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// readpathJSONPath is where the machine-readable report goes; set by the
+// -readpath-json flag.
+var readpathJSONPath = "BENCH_readpath.json"
+
+// readpathSizesFlag selects the stored-response counts to measure; set
+// by the -readpath-sizes flag.
+var readpathSizesFlag = "10000,100000,1000000"
+
+// readpathResult is one store size's measurement.
+type readpathResult struct {
+	Responses int `json:"responses"`
+	// OldQPS is full-recompute aggregate queries per second
+	// (store.Responses + Estimator over the whole slice + JSON encode).
+	OldQPS float64 `json:"old_queries_per_sec"`
+	// NewQPS is live-accumulator queries per second through the real
+	// HTTP handler (catch-up scan + finalize + JSON encode).
+	NewQPS  float64 `json:"new_queries_per_sec"`
+	Speedup float64 `json:"speedup"`
+	// CatchupSeconds is the one-time cost of the first read: scanning
+	// the whole backlog into the accumulator (the restart story).
+	CatchupSeconds float64 `json:"catchup_seconds"`
+}
+
+// readpathReport is the BENCH_readpath.json schema.
+type readpathReport struct {
+	Schema  int              `json:"schema"`
+	Results []readpathResult `json:"results"`
+}
+
+// readpathSurvey exercises every accumulator cell kind: two rating
+// questions joined by a consistency pair (so the quality tally has work)
+// and one multiple-choice question (so debiasing has work).
+func readpathSurvey() *survey.Survey {
+	return &survey.Survey{
+		ID:    "bench-readpath",
+		Title: "Read path bench survey",
+		Questions: []survey.Question{
+			{ID: "q0", Text: "rate", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+			{ID: "q1", Text: "rate again", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+			{ID: "q2", Text: "pick", Kind: survey.MultipleChoice, Options: []string{"a", "b", "c"}},
+		},
+		Consistency: []survey.ConsistencyPair{{QuestionA: "q0", QuestionB: "q1", Tolerance: 1}},
+		RewardCents: 10,
+	}
+}
+
+// fillReadpathStore loads n deterministic responses across every privacy
+// level.
+func fillReadpathStore(st store.Store, sv *survey.Survey, n int) error {
+	levels := []string{"none", "low", "medium", "high"}
+	for i := 0; i < n; i++ {
+		lvl := levels[i%len(levels)]
+		rating := float64(1 + i%5)
+		// Some none-level responses answer the redundant question 2 apart
+		// (beyond the pair's tolerance but inside the scale), so the
+		// quality screen has both verdicts to count.
+		q1 := rating
+		if i%68 == 0 {
+			if rating >= 3 {
+				q1 = rating - 2
+			} else {
+				q1 = rating + 2
+			}
+		}
+		r := &survey.Response{
+			SurveyID:     sv.ID,
+			WorkerID:     fmt.Sprintf("w%07d", i),
+			PrivacyLevel: lvl,
+			Obfuscated:   lvl != "none",
+			Answers: []survey.Answer{
+				survey.RatingAnswer("q0", rating),
+				survey.RatingAnswer("q1", q1),
+				survey.ChoiceAnswer("q2", i%3),
+			},
+		}
+		if err := st.AppendResponse(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measure runs query until at least minDur or minIters, whichever is
+// later, and returns queries/sec.
+func measure(minDur time.Duration, minIters int, query func() error) (float64, error) {
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur || iters < minIters {
+		if err := query(); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return float64(iters) / time.Since(start).Seconds(), nil
+}
+
+// runReadpathBench measures every configured store size and writes the
+// report.
+func runReadpathBench(sizes []int) error {
+	const token = "bench-token"
+	report := readpathReport{Schema: 1}
+	sv := readpathSurvey()
+
+	for _, n := range sizes {
+		st := store.NewMem()
+		if err := st.PutSurvey(sv); err != nil {
+			return err
+		}
+		if err := fillReadpathStore(st, sv, n); err != nil {
+			return fmt.Errorf("readpath bench: fill %d: %w", n, err)
+		}
+
+		// Old path: what the server did before the incremental refactor —
+		// materialize the full slice and recompute every estimate.
+		est, err := server.BatchEstimator(core.DefaultSchedule())
+		if err != nil {
+			return err
+		}
+		oldQPS, err := measure(300*time.Millisecond, 3, func() error {
+			responses, err := st.Responses(sv.ID)
+			if err != nil {
+				return err
+			}
+			out, err := server.BatchAggregate(est, sv, responses)
+			if err != nil {
+				return err
+			}
+			_, err = json.Marshal(out)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("readpath bench: old path at %d: %w", n, err)
+		}
+
+		// New path: the real HTTP handler over a live accumulator. The
+		// first query pays the one-time backlog scan (timed separately);
+		// every later query is O(1).
+		srv, err := server.New(server.Config{Store: st, Schedule: core.DefaultSchedule(), RequesterToken: token})
+		if err != nil {
+			return err
+		}
+		query := func() error {
+			req := httptest.NewRequest(http.MethodGet, "/api/v1/surveys/"+sv.ID+"/aggregate", nil)
+			req.Header.Set("Authorization", "Bearer "+token)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("aggregate HTTP %d: %s", rec.Code, rec.Body.String())
+			}
+			return nil
+		}
+		warmStart := time.Now()
+		if err := query(); err != nil {
+			return fmt.Errorf("readpath bench: catch-up at %d: %w", n, err)
+		}
+		catchup := time.Since(warmStart)
+		newQPS, err := measure(300*time.Millisecond, 50, query)
+		if err != nil {
+			return fmt.Errorf("readpath bench: new path at %d: %w", n, err)
+		}
+		st.Close()
+
+		report.Results = append(report.Results, readpathResult{
+			Responses:      n,
+			OldQPS:         oldQPS,
+			NewQPS:         newQPS,
+			Speedup:        newQPS / oldQPS,
+			CatchupSeconds: catchup.Seconds(),
+		})
+	}
+
+	fmt.Fprintln(out, "READ PATH — aggregate query throughput, old recompute vs live accumulator")
+	for _, r := range report.Results {
+		fmt.Fprintf(out, "  %9d stored   old %10.1f q/s   new %10.1f q/s   %8.1fx   (catch-up %.3fs)\n",
+			r.Responses, r.OldQPS, r.NewQPS, r.Speedup, r.CatchupSeconds)
+	}
+	fmt.Fprintln(out)
+
+	if readpathJSONPath != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(readpathJSONPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("readpath bench: write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// parseReadpathSizes parses the -readpath-sizes flag.
+func parseReadpathSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("readpath bench: bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunReadpathBench smoke-tests the read-path harness on tiny store
+// sizes and checks the JSON report is well-formed.
+func TestRunReadpathBench(t *testing.T) {
+	silence(t)
+	prevPath := readpathJSONPath
+	t.Cleanup(func() { readpathJSONPath = prevPath })
+	readpathJSONPath = filepath.Join(t.TempDir(), "BENCH_readpath.json")
+
+	if err := runReadpathBench([]int{300, 900}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(readpathJSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report readpathReport
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != 1 {
+		t.Fatalf("schema = %d, want 1", report.Schema)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.OldQPS <= 0 || r.NewQPS <= 0 {
+			t.Fatalf("nonpositive rate at %d responses: %+v", r.Responses, r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("nonpositive speedup at %d responses", r.Responses)
+		}
+	}
+}
+
+func TestParseReadpathSizes(t *testing.T) {
+	sizes, err := parseReadpathSizes("10, 200,3000")
+	if err != nil || len(sizes) != 3 || sizes[0] != 10 || sizes[2] != 3000 {
+		t.Fatalf("sizes = %v, err %v", sizes, err)
+	}
+	for _, bad := range []string{"", "x", "10,,20", "-5"} {
+		if _, err := parseReadpathSizes(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

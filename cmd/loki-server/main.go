@@ -42,9 +42,10 @@ func main() {
 	shards := flag.Int("shards", 8, "ingest store: number of hash-partitioned WAL shards")
 	commitEvery := flag.Duration("commit-interval", 0, "ingest store: group-commit window (0 = commit as soon as the committer is free)")
 	segmentBytes := flag.Int64("segment-bytes", 16<<20, "ingest store: WAL segment rotation threshold")
+	idleCompact := flag.Duration("idle-compact", time.Minute, "ingest store: compact a shard's WAL tail after this long without commits (negative disables)")
 	flag.Parse()
 
-	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes}
+	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes, IdleCompact: *idleCompact}
 	logger := log.New(os.Stderr, "loki-server ", log.LstdFlags)
 	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, logger); err != nil {
 		logger.Fatal(err)

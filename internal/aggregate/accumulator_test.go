@@ -1,0 +1,393 @@
+package aggregate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"loki/internal/core"
+	"loki/internal/survey"
+)
+
+// accSurvey exercises every accumulator cell kind: two rating questions
+// joined by a consistency pair plus a multiple-choice question.
+func accSurvey() *survey.Survey {
+	return &survey.Survey{
+		ID:    "acc-test",
+		Title: "Accumulator test survey",
+		Questions: []survey.Question{
+			{ID: "q0", Text: "rate", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+			{ID: "q1", Text: "rate again", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+			{ID: "q2", Text: "pick", Kind: survey.MultipleChoice, Options: []string{"a", "b", "c"}},
+		},
+		Consistency: []survey.ConsistencyPair{{QuestionA: "q0", QuestionB: "q1", Tolerance: 1}},
+		RewardCents: 5,
+	}
+}
+
+// accResponses builds a deterministic mix of levels, ratings (some
+// noisy-looking fractional values), choices, and a few inconsistent
+// responses.
+func accResponses(sv *survey.Survey, n int) []survey.Response {
+	levels := []string{"none", "low", "medium", "high"}
+	out := make([]survey.Response, 0, n)
+	for i := 0; i < n; i++ {
+		lvl := levels[i%len(levels)]
+		rating := float64(1+i%5) + float64(i%7)/10
+		q1 := rating
+		if i%9 == 0 {
+			q1 = rating - 3 // beyond tolerance even with some slack
+		}
+		out = append(out, survey.Response{
+			SurveyID:     sv.ID,
+			WorkerID:     fmt.Sprintf("w%04d", i),
+			PrivacyLevel: lvl,
+			Obfuscated:   lvl != "none",
+			Answers: []survey.Answer{
+				survey.RatingAnswer("q0", rating),
+				survey.RatingAnswer("q1", q1),
+				survey.ChoiceAnswer("q2", i%3),
+			},
+		})
+	}
+	return out
+}
+
+func newAcc(t *testing.T, sv *survey.Survey) *Accumulator {
+	t.Helper()
+	a, err := NewAccumulator(core.DefaultSchedule(), sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func foldAll(t *testing.T, a *Accumulator, responses []survey.Response) {
+	t.Helper()
+	for i := range responses {
+		if err := a.Add(&responses[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const tol = 1e-9
+
+func near(a, b float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// compareQuestion checks an incremental estimate against a batch one.
+func compareQuestion(t *testing.T, tag string, got, want *QuestionEstimate) {
+	t.Helper()
+	if got.OverallN != want.OverallN {
+		t.Fatalf("%s: overall n = %d, want %d", tag, got.OverallN, want.OverallN)
+	}
+	if !near(got.OverallMean, want.OverallMean) {
+		t.Errorf("%s: overall mean %g, want %g", tag, got.OverallMean, want.OverallMean)
+	}
+	if !near(got.PooledMean, want.PooledMean) || !near(got.PooledVariance, want.PooledVariance) {
+		t.Errorf("%s: pooled %g/%g, want %g/%g", tag, got.PooledMean, got.PooledVariance, want.PooledMean, want.PooledVariance)
+	}
+	for l := range got.Bins {
+		g, w := got.Bins[l], want.Bins[l]
+		if g.N != w.N || !near(g.Mean, w.Mean) || !near(g.Variance, w.Variance) || !near(g.Deviation, w.Deviation) {
+			t.Errorf("%s bin %d: got %+v, want %+v", tag, l, g, w)
+		}
+	}
+}
+
+func compareChoice(t *testing.T, tag string, got, want *ChoiceEstimate) {
+	t.Helper()
+	if got.N != want.N || got.BinN != want.BinN {
+		t.Fatalf("%s: n %d/%v, want %d/%v", tag, got.N, got.BinN, want.N, want.BinN)
+	}
+	for c := range want.Observed {
+		if got.Observed[c] != want.Observed[c] {
+			t.Errorf("%s: observed[%d] = %d, want %d", tag, c, got.Observed[c], want.Observed[c])
+		}
+		if !near(got.Estimated[c], want.Estimated[c]) || !near(got.SE[c], want.SE[c]) {
+			t.Errorf("%s: estimated[%d] = %g±%g, want %g±%g", tag, c, got.Estimated[c], got.SE[c], want.Estimated[c], want.SE[c])
+		}
+	}
+}
+
+// TestAccumulatorMatchesEstimator: folding one response at a time and
+// finalizing must reproduce the batch estimator exactly (they share the
+// finalize step by construction).
+func TestAccumulatorMatchesEstimator(t *testing.T) {
+	sv := accSurvey()
+	responses := accResponses(sv, 500)
+	a := newAcc(t, sv)
+	foldAll(t, a, responses)
+	if a.N() != len(responses) {
+		t.Fatalf("folded %d, want %d", a.N(), len(responses))
+	}
+	fin, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewEstimator(core.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchQ, err := e.EstimateSurvey(sv, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchC, err := e.EstimateSurveyChoices(sv, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range batchQ {
+		compareQuestion(t, id, fin.Questions[id], want)
+	}
+	for id, want := range batchC {
+		compareChoice(t, id, fin.Choices[id], want)
+	}
+
+	// The quality tally must match a from-scratch consistency sweep
+	// with the server's slack formula.
+	var want QualityTally
+	sched := core.DefaultSchedule()
+	for i := range responses {
+		r := &responses[i]
+		lvl, err := core.ParseLevel(r.PrivacyLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := 0.0
+		if r.Obfuscated {
+			slack = 3 * sched.Sigma[lvl]
+		}
+		want.Total++
+		if r.Consistent(sv, slack) {
+			want.Consistent++
+		} else {
+			want.Inconsistent++
+			want.PerLevelInconsistent[lvl]++
+		}
+	}
+	if fin.Quality != want {
+		t.Errorf("quality tally = %+v, want %+v", fin.Quality, want)
+	}
+	if want.Inconsistent == 0 || want.Consistent == 0 {
+		t.Fatalf("degenerate quality fixture: %+v", want)
+	}
+}
+
+// TestAccumulatorSnapshotRestore: snapshot mid-fold, round-trip the
+// state through JSON, restore, fold the rest — identical to an
+// uninterrupted fold.
+func TestAccumulatorSnapshotRestore(t *testing.T) {
+	sv := accSurvey()
+	responses := accResponses(sv, 400)
+	half := len(responses) / 2
+
+	a := newAcc(t, sv)
+	foldAll(t, a, responses[:half])
+	snap := a.Snapshot()
+	// Folding past the snapshot must not mutate it.
+	foldAll(t, a, responses[half:])
+
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state AccumulatorState
+	if err := json.Unmarshal(b, &state); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreAccumulator(core.DefaultSchedule(), sv, &state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != half {
+		t.Fatalf("restored n = %d, want %d", restored.N(), half)
+	}
+	foldAll(t, restored, responses[half:])
+
+	finA, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finR, err := restored.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range finA.Questions {
+		compareQuestion(t, "restored "+id, finR.Questions[id], want)
+	}
+	for id, want := range finA.Choices {
+		compareChoice(t, "restored "+id, finR.Choices[id], want)
+	}
+	if finR.Quality != finA.Quality {
+		t.Errorf("restored quality = %+v, want %+v", finR.Quality, finA.Quality)
+	}
+
+	// Restoring against the wrong survey is refused.
+	other := accSurvey()
+	other.ID = "other"
+	if _, err := RestoreAccumulator(core.DefaultSchedule(), other, &state); err == nil {
+		t.Error("state restored against a different survey")
+	}
+
+	// A truncated state (missing a question) is refused rather than
+	// restored with silently empty bins.
+	truncated := a.Snapshot()
+	delete(truncated.Questions, "q1")
+	if _, err := RestoreAccumulator(core.DefaultSchedule(), sv, truncated); err == nil {
+		t.Error("state missing a rating question restored")
+	}
+	truncated = a.Snapshot()
+	delete(truncated.Choices, "q2")
+	if _, err := RestoreAccumulator(core.DefaultSchedule(), sv, truncated); err == nil {
+		t.Error("state missing a choice question restored")
+	}
+}
+
+// TestAccumulatorMerge: two partial folds over disjoint halves merge
+// into the same estimates as one full fold.
+func TestAccumulatorMerge(t *testing.T) {
+	sv := accSurvey()
+	responses := accResponses(sv, 400)
+	half := len(responses) / 2
+
+	full := newAcc(t, sv)
+	foldAll(t, full, responses)
+	left := newAcc(t, sv)
+	foldAll(t, left, responses[:half])
+	right := newAcc(t, sv)
+	foldAll(t, right, responses[half:])
+
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if left.N() != full.N() {
+		t.Fatalf("merged n = %d, want %d", left.N(), full.N())
+	}
+	finFull, err := full.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finMerged, err := left.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range finFull.Questions {
+		compareQuestion(t, "merged "+id, finMerged.Questions[id], want)
+	}
+	for id, want := range finFull.Choices {
+		compareChoice(t, "merged "+id, finMerged.Choices[id], want)
+	}
+	if finMerged.Quality != finFull.Quality {
+		t.Errorf("merged quality = %+v, want %+v", finMerged.Quality, finFull.Quality)
+	}
+
+	// The merge source is unchanged and mismatched surveys are refused.
+	if right.N() != len(responses)-half {
+		t.Errorf("merge mutated its source: n = %d", right.N())
+	}
+	other := accSurvey()
+	other.ID = "other"
+	if err := newAcc(t, sv).Merge(newAcc(t, other)); err == nil {
+		t.Error("merged accumulators of different surveys")
+	}
+}
+
+// TestAccumulatorAddErrors: rejected responses leave the fold state
+// untouched.
+func TestAccumulatorAddErrors(t *testing.T) {
+	sv := accSurvey()
+	a := newAcc(t, sv)
+	good := accResponses(sv, 3)
+	foldAll(t, a, good)
+	before, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrong := good[0]
+	wrong.SurveyID = "other"
+	if err := a.Add(&wrong); err == nil {
+		t.Error("response for another survey folded")
+	}
+	badLevel := good[0]
+	badLevel.PrivacyLevel = "bogus"
+	if err := a.Add(&badLevel); err == nil {
+		t.Error("bogus privacy level folded")
+	}
+	badChoice := good[0]
+	badChoice.Answers = append([]survey.Answer(nil), good[0].Answers...)
+	badChoice.Answers[2] = survey.ChoiceAnswer("q2", 17)
+	if err := a.Add(&badChoice); err == nil {
+		t.Error("out-of-range choice folded")
+	}
+
+	if a.N() != len(good) {
+		t.Fatalf("rejected responses changed n: %d", a.N())
+	}
+	after, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range before.Questions {
+		compareQuestion(t, "after-reject "+id, after.Questions[id], want)
+	}
+	for id, want := range before.Choices {
+		compareChoice(t, "after-reject "+id, after.Choices[id], want)
+	}
+}
+
+// TestAccumulatorDuplicateAnswers: a response carrying two answers to
+// the same question folds only the first, matching the batch
+// estimator's Response.Answer lookup.
+func TestAccumulatorDuplicateAnswers(t *testing.T) {
+	sv := accSurvey()
+	r := accResponses(sv, 1)[0]
+	r.Answers = append(r.Answers,
+		survey.RatingAnswer("q0", 999),
+		survey.ChoiceAnswer("q2", 1),
+	)
+
+	a := newAcc(t, sv)
+	if err := a.Add(&r); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(core.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := e.EstimateQuestion(sv, sv.Question("q0"), []survey.Response{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareQuestion(t, "dup q0", fin.Questions["q0"], batch)
+	if fin.Questions["q0"].OverallN != 1 {
+		t.Fatalf("duplicate answer double-counted: n = %d", fin.Questions["q0"].OverallN)
+	}
+	batchC, err := e.EstimateChoice(sv, sv.Question("q2"), []survey.Response{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareChoice(t, "dup q2", fin.Choices["q2"], batchC)
+}
+
+// TestNewAccumulatorValidation mirrors the estimator's constructor
+// checks.
+func TestNewAccumulatorValidation(t *testing.T) {
+	bad := core.DefaultSchedule()
+	bad.Sigma[core.None] = 3
+	if _, err := NewAccumulator(bad, accSurvey()); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+	if _, err := NewAccumulator(core.DefaultSchedule(), nil); err == nil {
+		t.Error("nil survey accepted")
+	}
+}

@@ -93,8 +93,57 @@ func NewEstimator(schedule core.Schedule) (*Estimator, error) {
 	return &Estimator{schedule: schedule}, nil
 }
 
+// binAccum is the resumable fold state of one (question, privacy-level)
+// cell: the response count plus Welford running mean and sum of squared
+// deviations (M2). It is everything the query-time finalize step needs
+// to reproduce the batch estimator — one response can be folded in O(1)
+// and two partial folds merge exactly.
+type binAccum struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// add folds one noisy answer (Welford's update).
+func (b *binAccum) add(x float64) {
+	b.N++
+	d := x - b.Mean
+	b.Mean += d / float64(b.N)
+	b.M2 += d * (x - b.Mean)
+}
+
+// merge folds another cell covering disjoint responses into this one
+// (the parallel-variance update of Chan et al.).
+func (b *binAccum) merge(o binAccum) {
+	if o.N == 0 {
+		return
+	}
+	if b.N == 0 {
+		*b = o
+		return
+	}
+	n := float64(b.N + o.N)
+	d := o.Mean - b.Mean
+	b.M2 += o.M2 + d*d*float64(b.N)*float64(o.N)/n
+	b.Mean += d * float64(o.N) / n
+	b.N += o.N
+}
+
+// sampleVariance is the unbiased (n-1 denominator) variance of the
+// folded answers; 0 with fewer than two observations.
+func (b *binAccum) sampleVariance() float64 {
+	if b.N < 2 {
+		return 0
+	}
+	return b.M2 / float64(b.N-1)
+}
+
+// questionBins is one rating/numeric question's full fold state.
+type questionBins [core.NumLevels]binAccum
+
 // EstimateQuestion aggregates all responses' answers to the given rating
-// or numeric question.
+// or numeric question: a batch fold over the same accumulator cells the
+// incremental Accumulator maintains, finalized identically.
 func (e *Estimator) EstimateQuestion(s *survey.Survey, q *survey.Question, responses []survey.Response) (*QuestionEstimate, error) {
 	if q == nil {
 		return nil, fmt.Errorf("aggregate: nil question")
@@ -102,7 +151,7 @@ func (e *Estimator) EstimateQuestion(s *survey.Survey, q *survey.Question, respo
 	if q.Kind != survey.Rating && q.Kind != survey.Numeric {
 		return nil, fmt.Errorf("aggregate: question %q is %v; mean estimation needs a numeric kind", q.ID, q.Kind)
 	}
-	var byBin [core.NumLevels][]float64
+	var bins questionBins
 	for i := range responses {
 		resp := &responses[i]
 		if resp.SurveyID != s.ID {
@@ -116,27 +165,35 @@ func (e *Estimator) EstimateQuestion(s *survey.Survey, q *survey.Question, respo
 		if err != nil {
 			return nil, fmt.Errorf("aggregate: response by %s: %w", resp.WorkerID, err)
 		}
-		byBin[lvl] = append(byBin[lvl], a.Rating)
+		bins[lvl].add(a.Rating)
 	}
+	return finalizeQuestion(e.schedule, q, &bins)
+}
 
+// finalizeQuestion is the query-time estimation step over folded bin
+// state: per-bin means, noise-aware variances, deviations from the
+// overall mean, and the inverse-variance pooled combination. It is
+// shared by the batch Estimator and the incremental Accumulator, so the
+// two read paths agree by construction.
+func finalizeQuestion(schedule core.Schedule, q *survey.Question, bins *questionBins) (*QuestionEstimate, error) {
 	qe := &QuestionEstimate{QuestionID: q.ID}
-	var all []float64
-	for l := 0; l < core.NumLevels; l++ {
-		all = append(all, byBin[l]...)
+	var weighted float64
+	for l := range bins {
+		qe.OverallN += bins[l].N
+		weighted += float64(bins[l].N) * bins[l].Mean
 	}
-	qe.OverallN = len(all)
 	if qe.OverallN == 0 {
 		return qe, nil
 	}
-	qe.OverallMean, _ = stats.Mean(all)
+	qe.OverallMean = weighted / float64(qe.OverallN)
 
 	var pooled []stats.WeightedEstimate
 	for l := 0; l < core.NumLevels; l++ {
-		xs := byBin[l]
-		b := BinEstimate{Level: core.Level(l), N: len(xs), NoiseSigma: e.schedule.SigmaFor(q, core.Level(l))}
-		if len(xs) > 0 {
-			b.Mean, _ = stats.Mean(xs)
-			b.Variance = e.binMeanVariance(xs, b.NoiseSigma, q)
+		ba := bins[l]
+		b := BinEstimate{Level: core.Level(l), N: ba.N, NoiseSigma: schedule.SigmaFor(q, core.Level(l))}
+		if ba.N > 0 {
+			b.Mean = ba.Mean
+			b.Variance = binMeanVariance(ba, b.NoiseSigma, q)
 			b.Deviation = b.Mean - qe.OverallMean
 			pooled = append(pooled, stats.WeightedEstimate{Value: b.Mean, Variance: b.Variance, N: b.N})
 		}
@@ -155,18 +212,17 @@ func (e *Estimator) EstimateQuestion(s *survey.Survey, q *survey.Question, respo
 // includes the noise contribution; a model-based floor
 // (noiseσ² + nominal answer variance)/n guards against degenerate small
 // samples underestimating their own uncertainty.
-func (e *Estimator) binMeanVariance(xs []float64, noiseSigma float64, q *survey.Question) float64 {
-	n := float64(len(xs))
+func binMeanVariance(ba binAccum, noiseSigma float64, q *survey.Question) float64 {
+	n := float64(ba.N)
 	// Nominal answer variance: a conservative quarter of the scale's
 	// half-width squared (ratings concentrate, they don't span uniformly).
 	half := (q.ScaleMax - q.ScaleMin) / 2
 	nominal := (half / 2) * (half / 2)
 	model := (noiseSigma*noiseSigma + nominal) / n
-	if len(xs) < 2 {
+	if ba.N < 2 {
 		return model
 	}
-	emp, _ := stats.Variance(xs)
-	empVar := emp / n
+	empVar := ba.sampleVariance() / n
 	if empVar < model/4 {
 		// Small bins occasionally produce near-zero empirical variance
 		// by chance; don't let them claim implausible certainty.

@@ -56,9 +56,68 @@ func (ce *ChoiceEstimate) Distribution() []float64 {
 	return out
 }
 
+// choiceAccum is the resumable fold state of one multiple-choice
+// question: observed counts per option, split by privacy bin. Debiasing
+// happens at query time (finalizeChoice), so folding one response is a
+// couple of integer increments and partial folds merge by addition.
+type choiceAccum struct {
+	K         int                   `json:"k"` // number of options
+	N         int                   `json:"n"` // responses folded
+	Observed  []int                 `json:"observed"`
+	BinN      [core.NumLevels]int   `json:"bin_n"`
+	BinCounts [core.NumLevels][]int `json:"bin_counts"`
+}
+
+func newChoiceAccum(k int) *choiceAccum {
+	ca := &choiceAccum{K: k, Observed: make([]int, k)}
+	for l := range ca.BinCounts {
+		ca.BinCounts[l] = make([]int, k)
+	}
+	return ca
+}
+
+// add folds one uploaded choice. The caller validates the range.
+func (ca *choiceAccum) add(lvl core.Level, choice int) {
+	ca.BinCounts[lvl][choice]++
+	ca.Observed[choice]++
+	ca.BinN[lvl]++
+	ca.N++
+}
+
+// merge folds another accumulation covering disjoint responses.
+func (ca *choiceAccum) merge(o *choiceAccum) error {
+	if ca.K != o.K {
+		return fmt.Errorf("aggregate: merging choice folds with %d and %d options", ca.K, o.K)
+	}
+	for c := 0; c < ca.K; c++ {
+		ca.Observed[c] += o.Observed[c]
+	}
+	for l := range ca.BinCounts {
+		for c := 0; c < ca.K; c++ {
+			ca.BinCounts[l][c] += o.BinCounts[l][c]
+		}
+		ca.BinN[l] += o.BinN[l]
+	}
+	ca.N += o.N
+	return nil
+}
+
+// clone returns an independent deep copy.
+func (ca *choiceAccum) clone() *choiceAccum {
+	cp := newChoiceAccum(ca.K)
+	cp.N = ca.N
+	copy(cp.Observed, ca.Observed)
+	cp.BinN = ca.BinN
+	for l := range ca.BinCounts {
+		copy(cp.BinCounts[l], ca.BinCounts[l])
+	}
+	return cp
+}
+
 // EstimateChoice aggregates a multiple-choice question across privacy
 // bins, debiasing each noisy bin with its published randomized-response
-// ε before combining.
+// ε before combining — a batch fold over the same accumulator cells the
+// incremental Accumulator maintains, finalized identically.
 func (e *Estimator) EstimateChoice(s *survey.Survey, q *survey.Question, responses []survey.Response) (*ChoiceEstimate, error) {
 	if q == nil {
 		return nil, fmt.Errorf("aggregate: nil question")
@@ -67,19 +126,7 @@ func (e *Estimator) EstimateChoice(s *survey.Survey, q *survey.Question, respons
 		return nil, fmt.Errorf("aggregate: question %q is %v; choice estimation needs multiple-choice", q.ID, q.Kind)
 	}
 	k := len(q.Options)
-	var binCounts [core.NumLevels][]int
-	for l := range binCounts {
-		binCounts[l] = make([]int, k)
-	}
-	ce := &ChoiceEstimate{
-		QuestionID: q.ID,
-		Options:    append([]string(nil), q.Options...),
-		Observed:   make([]int, k),
-		Estimated:  make([]float64, k),
-		SE:         make([]float64, k),
-	}
-	// variances accumulates Var(Estimated[c]) across bins.
-	variances := make([]float64, k)
+	ca := newChoiceAccum(k)
 	for i := range responses {
 		resp := &responses[i]
 		if resp.SurveyID != s.ID {
@@ -96,41 +143,57 @@ func (e *Estimator) EstimateChoice(s *survey.Survey, q *survey.Question, respons
 		if err != nil {
 			return nil, fmt.Errorf("aggregate: response by %s: %w", resp.WorkerID, err)
 		}
-		binCounts[lvl][a.Choice]++
-		ce.Observed[a.Choice]++
-		ce.BinN[lvl]++
-		ce.N++
+		ca.add(lvl, a.Choice)
 	}
+	return finalizeChoice(e.schedule, q, ca)
+}
 
+// finalizeChoice is the query-time debiasing step over folded counts:
+// each privacy bin is inverted with its own randomized-response
+// parameters, then bins are summed. Shared by the batch Estimator and
+// the incremental Accumulator.
+func finalizeChoice(schedule core.Schedule, q *survey.Question, ca *choiceAccum) (*ChoiceEstimate, error) {
+	k := ca.K
+	ce := &ChoiceEstimate{
+		QuestionID: q.ID,
+		Options:    append([]string(nil), q.Options...),
+		Observed:   append([]int(nil), ca.Observed...),
+		Estimated:  make([]float64, k),
+		SE:         make([]float64, k),
+		N:          ca.N,
+		BinN:       ca.BinN,
+	}
+	// variances accumulates Var(Estimated[c]) across bins.
+	variances := make([]float64, k)
 	for l := 0; l < core.NumLevels; l++ {
-		if ce.BinN[l] == 0 {
+		if ca.BinN[l] == 0 {
 			continue
 		}
 		if core.Level(l) == core.None {
 			// Exact answers contribute directly, with no noise variance
 			// (the multinomial sampling of who answered is the
 			// requester's population uncertainty, not estimator error).
-			for c, n := range binCounts[l] {
+			for c, n := range ca.BinCounts[l] {
 				ce.Estimated[c] += float64(n)
 			}
 			continue
 		}
-		rr, err := dp.NewRandomizedResponse(e.schedule.RREpsilon[l], k)
+		rr, err := dp.NewRandomizedResponse(schedule.RREpsilon[l], k)
 		if err != nil {
 			return nil, fmt.Errorf("aggregate: question %q bin %v: %w", q.ID, core.Level(l), err)
 		}
-		est, err := rr.DebiasCounts(binCounts[l])
+		est, err := rr.DebiasCounts(ca.BinCounts[l])
 		if err != nil {
 			return nil, fmt.Errorf("aggregate: question %q bin %v: %w", q.ID, core.Level(l), err)
 		}
 		p := rr.KeepProbability()
 		qFlip := (1 - p) / float64(k-1)
-		nBin := float64(ce.BinN[l])
+		nBin := float64(ca.BinN[l])
 		for c, v := range est {
 			ce.Estimated[c] += v
 			// Var(observed_c) for a multinomial cell with plug-in
 			// probability, amplified by the inversion's 1/(p−q).
-			pi := float64(binCounts[l][c]) / nBin
+			pi := float64(ca.BinCounts[l][c]) / nBin
 			variances[c] += nBin * pi * (1 - pi) / ((p - qFlip) * (p - qFlip))
 		}
 	}

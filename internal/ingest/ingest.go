@@ -71,6 +71,12 @@ type Config struct {
 	// CompactSegments is how many sealed segments accumulate before the
 	// shard folds them into a snapshot (default 4).
 	CompactSegments int
+	// IdleCompact is how long a shard may sit idle (no commits) before
+	// its committer folds the WAL tail — active segment included — into
+	// a snapshot. Without it, a shard that goes quiet never compacts,
+	// since ordinary compaction only runs on segment rotation. Default
+	// 1 minute; negative disables idle compaction.
+	IdleCompact time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactSegments == 0 {
 		c.CompactSegments = 4
+	}
+	if c.IdleCompact == 0 {
+		c.IdleCompact = time.Minute
 	}
 	return c
 }
@@ -323,7 +332,8 @@ func (s *Sharded) PutSurvey(sv *survey.Survey) error {
 	return nil
 }
 
-// Survey implements store.Store.
+// Survey implements store.Store. It returns a deep copy so callers
+// cannot mutate the published definition through interior pointers.
 func (s *Sharded) Survey(id string) (*survey.Survey, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -331,16 +341,16 @@ func (s *Sharded) Survey(id string) (*survey.Survey, error) {
 	if !ok {
 		return nil, fmt.Errorf("ingest: survey %q: %w", id, store.ErrNotFound)
 	}
-	return sv, nil
+	return sv.Clone(), nil
 }
 
-// Surveys implements store.Store.
+// Surveys implements store.Store (deep copies; see Survey).
 func (s *Sharded) Surveys() ([]*survey.Survey, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]*survey.Survey, 0, len(s.surveys))
 	for _, sv := range s.surveys {
-		out = append(out, sv)
+		out = append(out, sv.Clone())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
@@ -374,15 +384,24 @@ func (s *Sharded) AppendResponse(r *survey.Response) error {
 	return <-req.errc
 }
 
-// Responses implements store.Store.
-func (s *Sharded) Responses(surveyID string) ([]survey.Response, error) {
+// ScanResponses implements store.Store. A survey's whole stream lives
+// on one shard (placement is by survey ID), so per-survey sequence
+// numbers are simply positions in that shard's append-ordered history —
+// stable across restarts because recovery replays snapshot + WAL tail
+// in the original order.
+func (s *Sharded) ScanResponses(surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
 	s.mu.RLock()
 	_, ok := s.surveys[surveyID]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("ingest: survey %q: %w", surveyID, store.ErrNotFound)
+		return fmt.Errorf("ingest: survey %q: %w", surveyID, store.ErrNotFound)
 	}
-	return s.shardFor(surveyID).responses(surveyID), nil
+	return s.shardFor(surveyID).scan(surveyID, fromSeq, fn)
+}
+
+// Responses implements store.Store as a wrapper over ScanResponses.
+func (s *Sharded) Responses(surveyID string) ([]survey.Response, error) {
+	return store.CollectResponses(s, surveyID)
 }
 
 // ResponseCount implements store.Store.
@@ -447,6 +466,51 @@ func (s *Sharded) Stats() Stats {
 		st.Snapshots += sh.snapshots.Load()
 	}
 	return st
+}
+
+// ShardStats is one shard's observability snapshot for the admin
+// surface: WAL shape (sealed segment count, snapshot coverage), when it
+// last compacted, and its cumulative counters.
+type ShardStats struct {
+	ID int `json:"id"`
+	// SealedSegments is the number of rotated-but-uncompacted WAL
+	// segments (the active segment is not counted).
+	SealedSegments int `json:"sealed_segments"`
+	// SnapshotSeq is the highest segment sequence the current snapshot
+	// covers (0 when the shard has never compacted).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// LastCompaction is when the shard last folded segments into a
+	// snapshot; zero if never.
+	LastCompaction time.Time `json:"last_compaction,omitzero"`
+	Appends        int64     `json:"appends"`
+	Commits        int64     `json:"commits"`
+	Rotations      int64     `json:"rotations"`
+	Snapshots      int64     `json:"snapshots"`
+	// IdleCompactions counts snapshots triggered by the idle timer
+	// rather than by segment rotation.
+	IdleCompactions int64 `json:"idle_compactions"`
+}
+
+// ShardStats reports every shard's current state, in shard order.
+func (s *Sharded) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		st := ShardStats{
+			ID:              sh.id,
+			SealedSegments:  int(sh.sealedSegs.Load()),
+			SnapshotSeq:     sh.snapSeqSeen.Load(),
+			Appends:         sh.appends.Load(),
+			Commits:         sh.commits.Load(),
+			Rotations:       sh.rotations.Load(),
+			Snapshots:       sh.snapshots.Load(),
+			IdleCompactions: sh.idleCompactions.Load(),
+		}
+		if ns := sh.lastCompactNano.Load(); ns != 0 {
+			st.LastCompaction = time.Unix(0, ns)
+		}
+		out[i] = st
+	}
+	return out
 }
 
 var _ store.Store = (*Sharded)(nil)

@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"loki/internal/survey"
+)
+
+// TestScanResponses checks cursor-based scans against the sharded
+// store: per-survey seq numbering, resumption, and stability across a
+// reopen (the recovery path rebuilds the same order from snapshot + WAL
+// tail).
+func TestScanResponses(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testConfig(4))
+	const surveys, each = 3, 20
+	for i := 0; i < surveys; i++ {
+		if err := s.PutSurvey(benchSurvey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < each; j++ {
+		for i := 0; i < surveys; i++ {
+			r := benchResponse(benchSurvey(i).ID, fmt.Sprintf("s%d-w%03d", i, j))
+			if err := s.AppendResponse(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	checkScan := func(st *Sharded, i int, fromSeq uint64) {
+		t.Helper()
+		want := fromSeq
+		err := st.ScanResponses(benchSurvey(i).ID, fromSeq, func(seq uint64, r *survey.Response) error {
+			want++
+			if seq != want {
+				return fmt.Errorf("seq %d, want %d", seq, want)
+			}
+			if wantW := fmt.Sprintf("s%d-w%03d", i, seq-1); r.WorkerID != wantW {
+				return fmt.Errorf("seq %d holds %q, want %q (append order lost)", seq, r.WorkerID, wantW)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != each {
+			t.Fatalf("scan from %d covered up to seq %d, want %d", fromSeq, want, each)
+		}
+	}
+	for i := 0; i < surveys; i++ {
+		checkScan(s, i, 0)
+		checkScan(s, i, 7)
+	}
+	if err := s.ScanResponses("ghost", 0, func(uint64, *survey.Response) error { return nil }); err == nil {
+		t.Fatal("unknown survey scan accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cursors must survive recovery.
+	s2 := openTest(t, dir, testConfig(4))
+	defer s2.Close()
+	for i := 0; i < surveys; i++ {
+		checkScan(s2, i, 0)
+		checkScan(s2, i, 13)
+	}
+}
+
+// TestIdleCompaction checks that a shard with a quiet WAL tail gets
+// compacted by the idle timer: without new commits, the sealed-segment
+// count drops to zero, a snapshot appears, and recovery still serves
+// every response.
+func TestIdleCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(1)
+	cfg.IdleCompact = 25 * time.Millisecond
+	s := openTest(t, dir, cfg)
+	sv := benchSurvey(0)
+	if err := s.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for j := 0; j < n; j++ {
+		if err := s.AppendResponse(benchResponse(sv.ID, fmt.Sprintf("w%03d", j))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The appends fit one segment, so rotation-driven compaction never
+	// fires; only the idle timer can fold the tail.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Snapshots == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle shard never compacted: stats %+v", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stats := s.ShardStats()
+	if len(stats) != 1 {
+		t.Fatalf("shard stats = %d entries", len(stats))
+	}
+	sh := stats[0]
+	if sh.IdleCompactions == 0 {
+		t.Errorf("idle compactions = 0 after idle snapshot")
+	}
+	if sh.SealedSegments != 0 {
+		t.Errorf("sealed segments = %d after compaction, want 0", sh.SealedSegments)
+	}
+	if sh.SnapshotSeq == 0 {
+		t.Errorf("snapshot seq = 0 after compaction")
+	}
+	if sh.LastCompaction.IsZero() {
+		t.Errorf("last compaction time unset")
+	}
+
+	// Reads are unaffected, and appends keep working after the fold.
+	if got := s.ResponseCount(sv.ID); got != n {
+		t.Fatalf("response count after idle compaction = %d, want %d", got, n)
+	}
+	if err := s.AppendResponse(benchResponse(sv.ID, "late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery from snapshot + fresh tail serves everything.
+	s2 := openTest(t, dir, cfg)
+	defer s2.Close()
+	if got := s2.ResponseCount(sv.ID); got != n+1 {
+		t.Fatalf("response count after reopen = %d, want %d", got, n+1)
+	}
+}
+
+// TestShouldIdleCompact pins the write-amplification guard: a tiny
+// unfolded tail must not trigger a rewrite of a much larger snapshot.
+func TestShouldIdleCompact(t *testing.T) {
+	cases := []struct {
+		tail, snap int64
+		want       bool
+	}{
+		{0, 0, false},           // nothing to fold
+		{0, 1 << 20, false},     // nothing to fold despite a snapshot
+		{1, 0, true},            // no snapshot yet: always fold
+		{100, 500 << 20, false}, // trickle into a huge history: skip
+		{64 << 20, 500 << 20, true},
+		{1 << 20, 8 << 20, true}, // exactly 1/8: fold
+		{1<<20 - 1, 8 << 20, false},
+	}
+	for _, c := range cases {
+		if got := shouldIdleCompact(c.tail, c.snap); got != c.want {
+			t.Errorf("shouldIdleCompact(%d, %d) = %v, want %v", c.tail, c.snap, got, c.want)
+		}
+	}
+}
+
+// TestSurveyReturnsCopy mirrors the store package's interior-pointer
+// regression test for the sharded store.
+func TestSurveyReturnsCopy(t *testing.T) {
+	s := openTest(t, t.TempDir(), testConfig(1))
+	defer s.Close()
+	if err := s.PutSurvey(sampleSurvey()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Survey(survey.LecturerID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Questions[0].Text = "defaced"
+	again, _ := s.Survey(survey.LecturerID)
+	if again.Questions[0].Text == "defaced" {
+		t.Fatal("Survey leaked interior pointers into the stored definition")
+	}
+	all, err := s.Surveys()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("Surveys: %d, %v", len(all), err)
+	}
+	all[0].Questions[0].ScaleMax = 99
+	again, _ = s.Survey(survey.LecturerID)
+	if again.Questions[0].ScaleMax == 99 {
+		t.Fatal("Surveys leaked interior pointers into the stored definition")
+	}
+}

@@ -47,6 +47,8 @@ type shard struct {
 	segBytes  int64    // bytes appended to the active segment
 	completed []uint64 // sealed segments not yet covered by a snapshot
 	snapSeq   uint64   // highest segment seq covered by the latest snapshot
+	tailBytes int64    // WAL bytes not yet folded into a snapshot
+	snapBytes int64    // size of the current snapshot file
 	failed    error    // sticky fatal I/O error; set only by the committer
 
 	// Counters for observability and benchmarks.
@@ -54,6 +56,12 @@ type shard struct {
 	commits   atomic.Int64 // group commits (== fsyncs on the append path)
 	rotations atomic.Int64
 	snapshots atomic.Int64
+	// Admin-surface mirrors of committer-owned state, readable without
+	// the committer's cooperation.
+	idleCompactions atomic.Int64
+	sealedSegs      atomic.Int64  // len(completed)
+	snapSeqSeen     atomic.Uint64 // == snapSeq
+	lastCompactNano atomic.Int64  // unix nanos of the last snapshot, 0 if never
 }
 
 // openShard recovers a shard from its directory (snapshot + WAL tail
@@ -100,9 +108,13 @@ func openShard(id int, dir string, cfg Config) (*shard, error) {
 			return nil, err
 		}
 		sh.completed = append(sh.completed, seq)
+		if fi, err := os.Stat(filepath.Join(dir, segName(seq))); err == nil {
+			sh.tailBytes += fi.Size()
+		}
 	}
 	// Always start appends in a fresh segment: reopening a replayed tail
 	// for append would complicate torn-tail truncation for no benefit.
+	sh.sealedSegs.Store(int64(len(sh.completed)))
 	sh.segSeq = maxSeq + 1
 	if err := sh.openSegment(); err != nil {
 		return nil, err
@@ -145,13 +157,31 @@ func (sh *shard) openSegment() error {
 
 // run is the committer loop: take the first waiting request, gather
 // everything else already queued (plus, optionally, a commit window of
-// latecomers), and commit the batch with a single write + fsync.
+// latecomers), and commit the batch with a single write + fsync. A
+// shard that stays quiet for IdleCompact gets its WAL tail folded into
+// a snapshot — without this, compaction (which otherwise runs only on
+// segment rotation) would never reclaim the tail of an idle shard.
 func (sh *shard) run() {
 	defer close(sh.done)
+	var idleC <-chan time.Time
+	var idleT *time.Timer
+	if sh.cfg.IdleCompact > 0 {
+		idleT = time.NewTimer(sh.cfg.IdleCompact)
+		defer idleT.Stop()
+		idleC = idleT.C
+	}
 	for {
 		select {
 		case req := <-sh.reqCh:
 			sh.commit(sh.collect(req))
+			if idleT != nil {
+				// Go 1.23+ timer semantics: Reset discards a pending
+				// fire, no drain needed.
+				idleT.Reset(sh.cfg.IdleCompact)
+			}
+		case <-idleC:
+			sh.idleCompact()
+			idleT.Reset(sh.cfg.IdleCompact)
 		case <-sh.quit:
 			// Serve whatever was enqueued before shutdown, then exit.
 			for {
@@ -164,6 +194,49 @@ func (sh *shard) run() {
 			}
 		}
 	}
+}
+
+// shouldIdleCompact bounds idle compaction's write amplification: a
+// snapshot rewrites the shard's whole history, so folding a tiny tail
+// into a huge snapshot over and over would turn trickle writes into
+// full-history rewrites. Requiring the unfolded tail to be at least 1/8
+// of the current snapshot caps the amplification while still folding
+// promptly when there is no snapshot yet (or a small one).
+func shouldIdleCompact(tailBytes, snapBytes int64) bool {
+	if tailBytes == 0 {
+		return false
+	}
+	return tailBytes*8 >= snapBytes
+}
+
+// idleCompact folds a quiet shard's WAL tail into a snapshot: seal the
+// active segment if it holds data, then compact every sealed segment.
+// Runs on the committer goroutine, so it owns the segment state
+// exclusively, exactly like the rotation-triggered path.
+func (sh *shard) idleCompact() {
+	if sh.failed != nil {
+		return
+	}
+	if sh.segBytes == 0 && len(sh.completed) == 0 {
+		return // nothing to fold
+	}
+	if !shouldIdleCompact(sh.tailBytes, sh.snapBytes) {
+		return // tail too small to be worth rewriting the snapshot
+	}
+	if sh.segBytes > 0 {
+		if err := sh.rotate(); err != nil {
+			sh.failed = err
+			return
+		}
+	}
+	if len(sh.completed) == 0 {
+		return
+	}
+	if err := sh.snapshot(); err != nil {
+		sh.failed = err
+		return
+	}
+	sh.idleCompactions.Add(1)
 }
 
 // collect builds a group-commit batch. It first drains every request
@@ -232,6 +305,7 @@ func (sh *shard) commit(batch []*appendReq) {
 		return
 	}
 	sh.segBytes += n
+	sh.tailBytes += n
 	sh.mu.Lock()
 	for _, r := range batch {
 		sh.index[r.resp.SurveyID] = append(sh.index[r.resp.SurveyID], *r.resp)
@@ -268,6 +342,7 @@ func (sh *shard) rotate() error {
 		return fmt.Errorf("ingest: seal segment %d: %w", sh.segSeq, err)
 	}
 	sh.completed = append(sh.completed, sh.segSeq)
+	sh.sealedSegs.Store(int64(len(sh.completed)))
 	sh.segSeq++
 	sh.rotations.Add(1)
 	return sh.openSegment()
@@ -300,14 +375,17 @@ func (sh *shard) close() error {
 	return nil
 }
 
-// responses returns a copy of the shard's responses for one survey.
-func (sh *shard) responses(surveyID string) []survey.Response {
+// scan streams the shard's responses for one survey from fromSeq
+// onwards, without materializing a copy: the index is the recovered
+// snapshot + WAL tail and is append-only per survey, so the slice
+// header captured under the read lock is a consistent snapshot the
+// iteration can walk lock-free (the committer only ever writes beyond
+// the captured length).
+func (sh *shard) scan(surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	rs := sh.index[surveyID]
-	out := make([]survey.Response, len(rs))
-	copy(out, rs)
-	return out
+	sh.mu.RUnlock()
+	return store.ScanSlice(rs, fromSeq, fn)
 }
 
 // responseCount returns the shard's response count for one survey.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -55,6 +56,13 @@ func (sh *shard) snapshot() error {
 	if werr == nil {
 		werr = w.Flush()
 	}
+	var written int64
+	if werr == nil {
+		var fi os.FileInfo
+		if fi, werr = f.Stat(); werr == nil {
+			written = fi.Size()
+		}
+	}
 	if werr == nil {
 		werr = f.Sync()
 	}
@@ -88,7 +96,12 @@ func (sh *shard) snapshot() error {
 	}
 	sh.completed = sh.completed[:0]
 	sh.snapSeq = covers
+	sh.tailBytes = sh.segBytes // only the active segment remains unfolded
+	sh.snapBytes = written
 	sh.snapshots.Add(1)
+	sh.sealedSegs.Store(0)
+	sh.snapSeqSeen.Store(covers)
+	sh.lastCompactNano.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -144,5 +157,9 @@ func (sh *shard) loadSnapshot() error {
 		return fmt.Errorf("ingest: snapshot %s holds %d records, header says %d", path, loaded, got)
 	}
 	sh.snapSeq = latest
+	sh.snapSeqSeen.Store(latest)
+	if fi, err := os.Stat(path); err == nil {
+		sh.snapBytes = fi.Size()
+	}
 	return nil
 }

@@ -36,6 +36,14 @@ func (f *faultyStore) Responses(id string) ([]survey.Response, error) {
 	return f.Mem.Responses(id)
 }
 
+// ScanResponses is the read path /aggregate and /quality actually use.
+func (f *faultyStore) ScanResponses(id string, fromSeq uint64, fn func(uint64, *survey.Response) error) error {
+	if f.failResponses {
+		return errors.New("disk on fire")
+	}
+	return f.Mem.ScanResponses(id, fromSeq, fn)
+}
+
 func newFaultyServer(t *testing.T, fs *faultyStore) *httptest.Server {
 	t.Helper()
 	srv, err := New(Config{

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"loki/internal/aggregate"
+	"loki/internal/core"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// liveAgg is one survey's live aggregate state: a resumable accumulator
+// plus the store sequence number it has consumed up to. The invariant —
+// the accumulator holds exactly the responses with seq <= cursor — is
+// maintained by folding only from the store's ordered scan, never from
+// in-flight request payloads, so concurrent submissions cannot
+// double-count or skip: whatever a scan misses, the next scan delivers.
+//
+// The map of liveAggs starts empty and entries are created on first
+// use, which is also the restart story: after a process restart the
+// first read of each survey scans the (durable) store from seq 0 and
+// rebuilds the accumulator before answering.
+type liveAgg struct {
+	// mu serializes folds and finalizes (acc is not concurrency-safe).
+	mu  sync.Mutex
+	acc *aggregate.Accumulator
+	// cursor is the last store seq folded, readable without mu (the
+	// admin surface reports it even mid-catch-up). Because sequence
+	// numbers are gap-free from 1, it also equals acc.N().
+	cursor atomic.Uint64
+}
+
+// liveFor returns the survey's live accumulator, creating it on first
+// use.
+func (s *Server) liveFor(sv *survey.Survey) (*liveAgg, error) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if la, ok := s.live[sv.ID]; ok {
+		return la, nil
+	}
+	acc, err := aggregate.NewAccumulator(s.cfg.Schedule, sv)
+	if err != nil {
+		return nil, err
+	}
+	la := &liveAgg{acc: acc}
+	s.live[sv.ID] = la
+	return la, nil
+}
+
+// catchUp folds every response the store holds beyond the cursor. The
+// caller must hold la's lock.
+func (la *liveAgg) catchUp(st store.Store) error {
+	return st.ScanResponses(la.acc.SurveyID(), la.cursor.Load(), func(seq uint64, r *survey.Response) error {
+		if err := la.acc.Add(r); err != nil {
+			return err
+		}
+		la.cursor.Store(seq)
+		return nil
+	})
+}
+
+// refresh catches the accumulator up with the store and finalizes: the
+// full incremental read path. The scan is O(responses appended since
+// the last refresh) — usually zero or one — and the finalize step is
+// O(questions × levels), independent of stored-response count.
+func (la *liveAgg) refresh(st store.Store) (*aggregate.SurveyEstimate, error) {
+	la.mu.Lock()
+	defer la.mu.Unlock()
+	if err := la.catchUp(st); err != nil {
+		return nil, err
+	}
+	return la.acc.Finalize()
+}
+
+// coldBacklog is the backlog size above which a submit declines to warm
+// up a cold accumulator: folding a handful of responses inline keeps the
+// read path hot for cheap, but rebuilding a large backlog belongs to the
+// first read, not to a write request's latency.
+const coldBacklog = 1024
+
+// advance is the submit-path half of refresh: fold newly stored
+// responses without finalizing, so the next read starts hot. It is
+// strictly best-effort — the response is already durably stored and
+// reads catch up from the cursor themselves — so it must never add
+// latency to a write request: TryLock skips when another fold (e.g. a
+// reader's whole-backlog catch-up after a restart) holds the lock, and
+// a cold accumulator facing a large backlog is left for the read path
+// rather than rebuilt inline.
+func (la *liveAgg) advance(st store.Store) error {
+	if !la.mu.TryLock() {
+		return nil
+	}
+	defer la.mu.Unlock()
+	if la.cursor.Load() == 0 && st.ResponseCount(la.acc.SurveyID()) > coldBacklog {
+		return nil
+	}
+	return la.catchUp(st)
+}
+
+// BatchEstimator returns a batch (full-recompute) estimator for the
+// schedule: the pre-incremental read path, kept as the reference
+// implementation that the live-accumulator path is verified and
+// benchmarked against.
+func BatchEstimator(schedule core.Schedule) (*aggregate.Estimator, error) {
+	return aggregate.NewEstimator(schedule)
+}
+
+// BatchAggregate recomputes the /aggregate payload from scratch over a
+// full response slice — O(n) per call, unlike the live read path.
+func BatchAggregate(est *aggregate.Estimator, sv *survey.Survey, responses []survey.Response) (*AggregateResult, error) {
+	ests, err := est.EstimateSurvey(sv, responses)
+	if err != nil {
+		return nil, err
+	}
+	choices, err := est.EstimateSurveyChoices(sv, responses)
+	if err != nil {
+		return nil, err
+	}
+	out := &AggregateResult{SurveyID: sv.ID}
+	for i := range sv.Questions {
+		if qe, ok := ests[sv.Questions[i].ID]; ok {
+			out.Questions = append(out.Questions, *qe)
+		}
+		if ce, ok := choices[sv.Questions[i].ID]; ok {
+			out.Choices = append(out.Choices, *ce)
+		}
+	}
+	return out, nil
+}
+
+// LiveAccumulator describes one survey's live aggregate state on the
+// admin surface.
+type LiveAccumulator struct {
+	SurveyID string `json:"survey_id"`
+	// Cursor is the highest store sequence number folded in.
+	Cursor uint64 `json:"cursor"`
+	// Responses is the number of responses the accumulator holds.
+	Responses int `json:"responses"`
+}
+
+// liveAccumulators reports every live accumulator's cursor, sorted by
+// survey ID. It reads the atomic cursors rather than taking each la.mu,
+// so the admin surface stays responsive even while a whole-backlog
+// catch-up is folding (Responses == Cursor by the gap-free seq
+// invariant).
+func (s *Server) liveAccumulators() []LiveAccumulator {
+	s.liveMu.Lock()
+	out := make([]LiveAccumulator, 0, len(s.live))
+	for id, la := range s.live {
+		cursor := la.cursor.Load()
+		out = append(out, LiveAccumulator{SurveyID: id, Cursor: cursor, Responses: int(cursor)})
+	}
+	s.liveMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].SurveyID < out[j].SurveyID })
+	return out
+}

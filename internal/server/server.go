@@ -12,9 +12,17 @@
 //	POST /api/v1/surveys                      publish a survey   [requester]
 //	POST /api/v1/surveys/{id}/responses       submit a response
 //	GET  /api/v1/surveys/{id}/aggregate       noise-aware stats  [requester]
+//	GET  /api/v1/surveys/{id}/quality         consistency screen [requester]
 //	GET  /api/v1/schedule                     the public noise schedule
+//	GET  /api/v1/admin/store                  store/read-path stats [requester]
 //
 // Requester endpoints require "Authorization: Bearer <token>".
+//
+// Reads are incremental: each survey has a live aggregate.Accumulator
+// that folds responses as they are stored (updated on submit, lazily
+// caught up from the store's scan cursor on first read and after a
+// restart), so /aggregate and /quality cost O(1) in the number of
+// stored responses.
 package server
 
 import (
@@ -25,10 +33,12 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"loki/internal/aggregate"
 	"loki/internal/core"
+	"loki/internal/ingest"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
@@ -55,6 +65,11 @@ type Server struct {
 	mux        *http.ServeMux
 	served     atomic.Int64 // responses accepted, for metrics
 	levelTally [core.NumLevels]atomic.Int64
+
+	// live holds per-survey incremental aggregate state so reads are
+	// O(1) in stored responses; see liveAgg.
+	liveMu sync.Mutex
+	live   map[string]*liveAgg
 }
 
 // New validates the configuration and builds the server.
@@ -72,7 +87,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux(), live: make(map[string]*liveAgg)}
 	s.routes()
 	return s, nil
 }
@@ -86,6 +101,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/aggregate", s.requireToken(s.handleAggregate))
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/quality", s.requireToken(s.handleQuality))
 	s.mux.HandleFunc("GET /api/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /api/v1/admin/store", s.requireToken(s.handleAdminStore))
 }
 
 // ServeHTTP implements http.Handler with panic recovery and logging.
@@ -336,6 +352,15 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	s.levelTally[lvl].Add(1)
+	// Keep the live aggregate hot: fold everything newly stored (this
+	// response included) so the next read pays nothing. Best-effort —
+	// the response is already durably accepted, and reads catch up from
+	// the store cursor themselves.
+	if la, err := s.liveFor(sv); err == nil {
+		if err := la.advance(s.cfg.Store); err != nil {
+			s.logf("live aggregate catch-up for %q: %v", id, err)
+		}
+	}
 	writeJSON(w, http.StatusCreated, SubmitResult{
 		SurveyID: id,
 		Accepted: true,
@@ -343,8 +368,11 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// surveyEstimate is the shared read path of /aggregate and /quality:
+// resolve the survey, then refresh its live accumulator (scan only the
+// responses appended since the last read — usually none — and finalize).
+// Cost is independent of how many responses the store holds.
+func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Survey, *aggregate.SurveyEstimate, bool) {
 	sv, err := s.cfg.Store.Survey(id)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -352,29 +380,32 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusNotFound
 		}
 		writeError(w, status, err.Error())
-		return
+		return nil, nil, false
 	}
-	responses, err := s.cfg.Store.Responses(id)
+	la, err := s.liveFor(sv)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+		return nil, nil, false
 	}
-	ests, err := s.est.EstimateSurvey(sv, responses)
+	fin, err := la.refresh(s.cfg.Store)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
+		return nil, nil, false
+	}
+	return sv, fin, true
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	sv, fin, ok := s.surveyEstimate(w, r.PathValue("id"))
+	if !ok {
 		return
 	}
-	choices, err := s.est.EstimateSurveyChoices(sv, responses)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	out := AggregateResult{SurveyID: id}
+	out := AggregateResult{SurveyID: sv.ID}
 	for i := range sv.Questions {
-		if qe, ok := ests[sv.Questions[i].ID]; ok {
+		if qe, ok := fin.Questions[sv.Questions[i].ID]; ok {
 			out.Questions = append(out.Questions, *qe)
 		}
-		if ce, ok := choices[sv.Questions[i].ID]; ok {
+		if ce, ok := fin.Choices[sv.Questions[i].ID]; ok {
 			out.Choices = append(out.Choices, *ce)
 		}
 	}
@@ -382,42 +413,64 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	sv, err := s.cfg.Store.Survey(id)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, store.ErrNotFound) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
+	sv, fin, ok := s.surveyEstimate(w, r.PathValue("id"))
+	if !ok {
 		return
 	}
-	responses, err := s.cfg.Store.Responses(id)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	out := QualityResult{SurveyID: id, PerLevelInconsistent: make([]int, core.NumLevels)}
-	for i := range responses {
-		resp := &responses[i]
-		lvl, err := core.ParseLevel(resp.PrivacyLevel)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		slack := 0.0
-		if resp.Obfuscated {
-			slack = 3 * s.cfg.Schedule.Sigma[lvl]
-		}
-		out.Total++
-		if resp.Consistent(sv, slack) {
-			out.Consistent++
-		} else {
-			out.Inconsistent++
-			out.PerLevelInconsistent[lvl]++
-		}
+	out := QualityResult{
+		SurveyID:             sv.ID,
+		Total:                fin.Quality.Total,
+		Consistent:           fin.Quality.Consistent,
+		Inconsistent:         fin.Quality.Inconsistent,
+		PerLevelInconsistent: append([]int(nil), fin.Quality.PerLevelInconsistent[:]...),
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// AdminStoreInfo is the requester-facing observability view of the
+// persistence layer and the live read path: per-shard WAL shape for the
+// ingest store, plus every live accumulator's catch-up cursor.
+type AdminStoreInfo struct {
+	// Backend names the store implementation ("mem", "file", "ingest",
+	// or the concrete Go type for custom stores).
+	Backend string `json:"backend"`
+	// Ingest carries cumulative ingest counters; only for the ingest
+	// backend.
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
+	// Shards holds per-shard segment/compaction state; only for the
+	// ingest backend.
+	Shards []ingest.ShardStats `json:"shards,omitempty"`
+	// Accumulators lists the live aggregate cursors, sorted by survey.
+	Accumulators []LiveAccumulator `json:"accumulators"`
+}
+
+// ingestStatser is the optional interface a store implements to report
+// shard-level stats on the admin surface. Asserted structurally so
+// custom Store implementations can report themselves without the server
+// enumerating concrete types.
+type ingestStatser interface {
+	Stats() ingest.Stats
+	ShardStats() []ingest.ShardStats
+}
+
+func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
+	info := AdminStoreInfo{Accumulators: s.liveAccumulators()}
+	switch s.cfg.Store.(type) {
+	case *store.Mem:
+		info.Backend = "mem"
+	case *store.File:
+		info.Backend = "file"
+	case *ingest.Sharded:
+		info.Backend = "ingest"
+	default:
+		info.Backend = fmt.Sprintf("%T", s.cfg.Store)
+	}
+	if st, ok := s.cfg.Store.(ingestStatser); ok {
+		stats := st.Stats()
+		info.Ingest = &stats
+		info.Shards = st.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // ---------------------------------------------------------------------------

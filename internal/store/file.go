@@ -261,6 +261,13 @@ func (fs *File) AppendResponse(r *survey.Response) error {
 	return fs.mem.AppendResponse(r)
 }
 
+// ScanResponses implements Store, serving from the replayed memory
+// index (sequence numbers are stable across restarts because replay
+// preserves append order).
+func (fs *File) ScanResponses(surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
+	return fs.mem.ScanResponses(surveyID, fromSeq, fn)
+}
+
 // Responses implements Store.
 func (fs *File) Responses(surveyID string) ([]survey.Response, error) {
 	return fs.mem.Responses(surveyID)

@@ -22,26 +22,78 @@ var ErrExists = errors.New("store: already exists")
 
 // Store persists surveys and their responses. Implementations must be
 // safe for concurrent use.
+//
+// Every stored response carries a per-survey sequence number: the first
+// response appended to a survey has seq 1, the next seq 2, and so on,
+// with no gaps. Sequence numbers are stable across restarts (durable
+// stores replay in append order), which makes them usable as resumption
+// cursors for incremental readers.
 type Store interface {
 	// PutSurvey stores a survey definition. Overwriting an existing ID
 	// is an error: published surveys are immutable so responses stay
 	// interpretable.
 	PutSurvey(s *survey.Survey) error
-	// Survey returns the survey with the given ID or ErrNotFound.
+	// Survey returns the survey with the given ID or ErrNotFound. The
+	// returned survey is the caller's copy: mutating it never affects
+	// the stored definition.
 	Survey(id string) (*survey.Survey, error)
-	// Surveys returns all stored surveys sorted by ID.
+	// Surveys returns all stored surveys sorted by ID, as caller-owned
+	// copies (see Survey).
 	Surveys() ([]*survey.Survey, error)
 	// AppendResponse validates the response against its survey and
-	// appends it.
+	// appends it, assigning the survey's next sequence number.
 	AppendResponse(r *survey.Response) error
+	// ScanResponses streams the survey's responses with sequence numbers
+	// strictly greater than fromSeq, in ascending seq order, calling fn
+	// for each. fromSeq 0 scans from the beginning; passing the last seq
+	// a previous scan delivered resumes exactly after it. The scan
+	// observes a consistent snapshot: responses appended concurrently
+	// with the scan are delivered by a later scan, never this one. The
+	// *Response passed to fn aliases store-internal state to avoid
+	// per-record copies; fn must not modify it or retain it after
+	// returning. A non-nil error from fn aborts the scan and is returned
+	// verbatim. Unknown surveys return ErrNotFound.
+	ScanResponses(surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error
 	// Responses returns all responses for a survey in append order; it
-	// returns ErrNotFound for unknown surveys.
+	// returns ErrNotFound for unknown surveys. It is a materializing
+	// convenience wrapper over ScanResponses.
 	Responses(surveyID string) ([]survey.Response, error)
 	// ResponseCount returns the number of stored responses for the
-	// survey (0 for unknown surveys).
+	// survey (0 for unknown surveys), i.e. its highest assigned seq.
 	ResponseCount(surveyID string) int
 	// Close releases resources. The store must not be used afterwards.
 	Close() error
+}
+
+// ScanSlice streams rs[fromSeq:] through fn with 1-based sequence
+// numbers, the shared scan core for stores whose per-survey history is
+// an append-only slice. Callers must pass a slice snapshot whose
+// elements are never mutated in place (append-only histories qualify:
+// growth writes beyond the captured length, never inside it), which
+// makes the iteration race-free without holding the store's lock across
+// fn callbacks.
+func ScanSlice(rs []survey.Response, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
+	for i := fromSeq; i < uint64(len(rs)); i++ {
+		if err := fn(i+1, &rs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectResponses materializes a survey's full response history through
+// ScanResponses — the compatibility path for callers that still want a
+// slice.
+func CollectResponses(st Store, surveyID string) ([]survey.Response, error) {
+	out := make([]survey.Response, 0, st.ResponseCount(surveyID))
+	err := st.ScanResponses(surveyID, 0, func(_ uint64, r *survey.Response) error {
+		out = append(out, *r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Mem is an in-memory Store. The zero value is not usable; call NewMem.
@@ -73,12 +125,14 @@ func (m *Mem) PutSurvey(s *survey.Survey) error {
 	if _, dup := m.surveys[s.ID]; dup {
 		return fmt.Errorf("store: survey %q: %w", s.ID, ErrExists)
 	}
-	cp := *s
-	m.surveys[s.ID] = &cp
+	m.surveys[s.ID] = s.Clone()
 	return nil
 }
 
-// Survey implements Store.
+// Survey implements Store. It returns a deep copy: handing out interior
+// pointers would let callers mutate the "immutable" published
+// definition through the shared Questions slice (the same
+// copy-on-write discipline PutSurvey follows on the way in).
 func (m *Mem) Survey(id string) (*survey.Survey, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -86,16 +140,16 @@ func (m *Mem) Survey(id string) (*survey.Survey, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: survey %q: %w", id, ErrNotFound)
 	}
-	return s, nil
+	return s.Clone(), nil
 }
 
-// Surveys implements Store.
+// Surveys implements Store (deep copies; see Survey).
 func (m *Mem) Surveys() ([]*survey.Survey, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([]*survey.Survey, 0, len(m.surveys))
 	for _, s := range m.surveys {
-		out = append(out, s)
+		out = append(out, s.Clone())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
@@ -119,17 +173,24 @@ func (m *Mem) AppendResponse(r *survey.Response) error {
 	return nil
 }
 
-// Responses implements Store.
-func (m *Mem) Responses(surveyID string) ([]survey.Response, error) {
+// ScanResponses implements Store. The response history is an
+// append-only slice, so the snapshot is just the slice header captured
+// under the read lock; the iteration itself runs unlocked (see
+// ScanSlice).
+func (m *Mem) ScanResponses(surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
 	if _, ok := m.surveys[surveyID]; !ok {
-		return nil, fmt.Errorf("store: survey %q: %w", surveyID, ErrNotFound)
+		m.mu.RUnlock()
+		return fmt.Errorf("store: survey %q: %w", surveyID, ErrNotFound)
 	}
 	rs := m.responses[surveyID]
-	out := make([]survey.Response, len(rs))
-	copy(out, rs)
-	return out, nil
+	m.mu.RUnlock()
+	return ScanSlice(rs, fromSeq, fn)
+}
+
+// Responses implements Store as a wrapper over ScanResponses.
+func (m *Mem) Responses(surveyID string) ([]survey.Response, error) {
+	return CollectResponses(m, surveyID)
 }
 
 // ResponseCount implements Store.

@@ -252,6 +252,21 @@ func (s *Survey) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the survey: mutating the copy — including
+// its questions, their options, and its consistency pairs — never
+// affects the original. Stores hand out clones so published definitions
+// stay immutable.
+func (s *Survey) Clone() *Survey {
+	cp := *s
+	cp.Questions = make([]Question, len(s.Questions))
+	copy(cp.Questions, s.Questions)
+	for i := range cp.Questions {
+		cp.Questions[i].Options = append([]string(nil), s.Questions[i].Options...)
+	}
+	cp.Consistency = append([]ConsistencyPair(nil), s.Consistency...)
+	return &cp
+}
+
 // Question returns the question with the given ID, or nil.
 func (s *Survey) Question(id string) *Question {
 	for i := range s.Questions {

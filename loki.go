@@ -200,8 +200,24 @@ type (
 	// IngestStats reports cumulative ingest counters (appends, group
 	// commits, rotations, snapshots).
 	IngestStats = ingest.Stats
-	// Estimator computes noise-aware aggregates.
+	// IngestShardStats is one ingest shard's observability snapshot
+	// (segment counts, last compaction, counters).
+	IngestShardStats = ingest.ShardStats
+	// Estimator computes noise-aware aggregates from a full response
+	// slice (the batch read path).
 	Estimator = aggregate.Estimator
+	// Accumulator folds responses one at a time into resumable
+	// aggregate state; finalizing applies noise-debiasing at query time
+	// in O(1) of the number of folded responses (the incremental read
+	// path).
+	Accumulator = aggregate.Accumulator
+	// AccumulatorState is an Accumulator's serializable snapshot.
+	AccumulatorState = aggregate.AccumulatorState
+	// SurveyEstimate is a finalized survey-wide aggregate (questions,
+	// choices, quality tally).
+	SurveyEstimate = aggregate.SurveyEstimate
+	// QualityTally counts responses passing the redundancy screen.
+	QualityTally = aggregate.QualityTally
 )
 
 // File store sync policies.
@@ -232,6 +248,14 @@ var (
 	OpenIngestStore = ingest.Open
 	// NewEstimator builds the noise-aware aggregator.
 	NewEstimator = aggregate.NewEstimator
+	// NewAccumulator builds an empty incremental aggregator for one
+	// survey.
+	NewAccumulator = aggregate.NewAccumulator
+	// RestoreAccumulator resumes an accumulator from a snapshot.
+	RestoreAccumulator = aggregate.RestoreAccumulator
+	// CollectResponses materializes a survey's responses through the
+	// store's streaming scan.
+	CollectResponses = store.CollectResponses
 )
 
 // Experiments: every figure and table of the paper.
