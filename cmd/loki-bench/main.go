@@ -40,6 +40,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"a8", "ablation: budget balancing across the user base"},
 	{"ingest", "ingest throughput: responses/sec per store backend and shard count"},
 	{"readpath", "read path: aggregate queries/sec, batch recompute vs live accumulator"},
+	{"restart", "restart: first-read latency, whole-backlog rescan vs checkpoint restore"},
 }
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 		"where the readpath experiment writes its machine-readable report (empty disables)")
 	flag.StringVar(&readpathSizesFlag, "readpath-sizes", readpathSizesFlag,
 		"comma-separated stored-response counts the readpath experiment measures")
+	flag.StringVar(&restartJSONPath, "restart-json", restartJSONPath,
+		"where the restart experiment writes its machine-readable report (empty disables)")
+	flag.StringVar(&restartSizesFlag, "restart-sizes", restartSizesFlag,
+		"comma-separated stored-response counts the restart experiment measures")
 	flag.Parse()
 
 	if *list {
@@ -213,6 +218,15 @@ func run(sel func(...string) bool, seed uint64) error {
 			return err
 		}
 		if err := runReadpathBench(sizes); err != nil {
+			return err
+		}
+	}
+	if sel("restart") {
+		sizes, err := parseReadpathSizes(restartSizesFlag)
+		if err != nil {
+			return err
+		}
+		if err := runRestartBench(sizes); err != nil {
 			return err
 		}
 	}

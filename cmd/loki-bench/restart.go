@@ -1,0 +1,209 @@
+// Restart benchmark ("restart" experiment id): first-read-after-restart
+// latency against a store preloaded with N responses, without checkpoints
+// (the first read rescans the whole backlog, O(N)) versus with a durable
+// accumulator checkpoint (restore + scan only the tail beyond the
+// checkpoint cursor, O(tail) — near-flat across store sizes when the
+// checkpoint is fresh). Results are teed to a machine-readable JSON file
+// for trajectory tracking.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loki/internal/checkpoint"
+	"loki/internal/core"
+	"loki/internal/server"
+	"loki/internal/store"
+)
+
+// restartJSONPath is where the machine-readable report goes; set by the
+// -restart-json flag.
+var restartJSONPath = "BENCH_restart.json"
+
+// restartSizesFlag selects the stored-response counts to measure; set by
+// the -restart-sizes flag.
+var restartSizesFlag = "10000,100000,1000000"
+
+// restartTrials is how many fresh restarts each latency is measured
+// over; the minimum is reported (first-read latency is a one-shot
+// number, so best-of smooths scheduler noise).
+const restartTrials = 3
+
+// restartResult is one store size's measurement.
+type restartResult struct {
+	Responses int `json:"responses"`
+	// ColdFirstReadSeconds is the first /aggregate latency of a server
+	// with no checkpoint: the whole-backlog catch-up scan.
+	ColdFirstReadSeconds float64 `json:"cold_first_read_seconds"`
+	// CheckpointFirstReadSeconds is the first /aggregate latency of a
+	// freshly restarted server restoring a checkpoint that covers every
+	// stored response (tail = 0).
+	CheckpointFirstReadSeconds float64 `json:"checkpoint_first_read_seconds"`
+	Speedup                    float64 `json:"speedup"`
+	// CheckpointOpenSeconds is the one-per-process cost of replaying the
+	// checkpoint log at startup.
+	CheckpointOpenSeconds float64 `json:"checkpoint_open_seconds"`
+	// CheckpointBytes is the on-disk size of the checkpoint log.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+}
+
+// restartReport is the BENCH_restart.json schema.
+type restartReport struct {
+	Schema  int             `json:"schema"`
+	Results []restartResult `json:"results"`
+}
+
+// firstReadSeconds builds nothing and measures exactly one aggregate
+// query through the real HTTP handler — for a fresh server, the
+// first-read catch-up path.
+func firstReadSeconds(srv *server.Server, surveyID, token string) (float64, error) {
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/surveys/"+surveyID+"/aggregate", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	srv.ServeHTTP(rec, req)
+	elapsed := time.Since(start).Seconds()
+	if rec.Code != http.StatusOK {
+		return 0, fmt.Errorf("aggregate HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	return elapsed, nil
+}
+
+// runRestartBench measures every configured store size and writes the
+// report.
+func runRestartBench(sizes []int) error {
+	const token = "bench-token"
+	report := restartReport{Schema: 1}
+	sv := readpathSurvey()
+
+	for _, n := range sizes {
+		st := store.NewMem()
+		if err := st.PutSurvey(sv); err != nil {
+			return err
+		}
+		if err := fillReadpathStore(st, sv, n); err != nil {
+			return fmt.Errorf("restart bench: fill %d: %w", n, err)
+		}
+
+		dir, err := os.MkdirTemp("", "loki-restart-bench-")
+		if err != nil {
+			return err
+		}
+
+		res, err := measureRestart(st, dir, sv.ID, token, n)
+		os.RemoveAll(dir)
+		st.Close()
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, *res)
+	}
+
+	fmt.Fprintln(out, "RESTART — first aggregate read after a restart, whole-backlog rescan vs checkpoint restore + tail scan")
+	for _, r := range report.Results {
+		fmt.Fprintf(out, "  %9d stored   cold %9.2fms   checkpointed %9.3fms   %8.1fx   (log open %.3fms, %d bytes)\n",
+			r.Responses, r.ColdFirstReadSeconds*1e3, r.CheckpointFirstReadSeconds*1e3,
+			r.Speedup, r.CheckpointOpenSeconds*1e3, r.CheckpointBytes)
+	}
+	fmt.Fprintln(out)
+
+	if restartJSONPath != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(restartJSONPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("restart bench: write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// measureRestart takes one checkpoint covering the full store, then
+// measures cold and checkpointed first-read latency over fresh server
+// instances (each trial is a genuine restart: empty live state, replayed
+// checkpoint log).
+func measureRestart(st store.Store, dir, surveyID, token string, n int) (*restartResult, error) {
+	// Warm run: catch up once, checkpoint, shut down cleanly.
+	ck, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Store: st, Schedule: core.DefaultSchedule(), RequesterToken: token,
+		Checkpoints: ck, CheckpointInterval: time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := firstReadSeconds(srv, surveyID, token); err != nil {
+		return nil, fmt.Errorf("restart bench: warm catch-up at %d: %w", n, err)
+	}
+	if err := srv.Close(); err != nil { // final flush writes the checkpoint
+		return nil, err
+	}
+	if err := ck.Close(); err != nil {
+		return nil, err
+	}
+	var ckptBytes int64
+	if fi, err := os.Stat(filepath.Join(dir, "checkpoints.jsonl")); err == nil {
+		ckptBytes = fi.Size()
+	}
+
+	res := &restartResult{Responses: n, CheckpointBytes: ckptBytes}
+	for trial := 0; trial < restartTrials; trial++ {
+		// Cold restart: no checkpoint log, first read rescans everything.
+		srvCold, err := server.New(server.Config{Store: st, Schedule: core.DefaultSchedule(), RequesterToken: token})
+		if err != nil {
+			return nil, err
+		}
+		cold, err := firstReadSeconds(srvCold, surveyID, token)
+		if err != nil {
+			return nil, fmt.Errorf("restart bench: cold read at %d: %w", n, err)
+		}
+
+		// Checkpointed restart: replay the log, restore, scan the tail
+		// (empty here — the checkpoint is fresh).
+		openStart := time.Now()
+		ck2, err := checkpoint.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		openSecs := time.Since(openStart).Seconds()
+		srvWarm, err := server.New(server.Config{
+			Store: st, Schedule: core.DefaultSchedule(), RequesterToken: token,
+			Checkpoints: ck2, CheckpointInterval: time.Hour,
+		})
+		if err != nil {
+			return nil, err
+		}
+		warm, err := firstReadSeconds(srvWarm, surveyID, token)
+		if err != nil {
+			return nil, fmt.Errorf("restart bench: checkpointed read at %d: %w", n, err)
+		}
+		if err := srvWarm.Close(); err != nil {
+			return nil, err
+		}
+		if err := ck2.Close(); err != nil {
+			return nil, err
+		}
+
+		if trial == 0 || cold < res.ColdFirstReadSeconds {
+			res.ColdFirstReadSeconds = cold
+		}
+		if trial == 0 || warm < res.CheckpointFirstReadSeconds {
+			res.CheckpointFirstReadSeconds = warm
+		}
+		if trial == 0 || openSecs < res.CheckpointOpenSeconds {
+			res.CheckpointOpenSeconds = openSecs
+		}
+	}
+	res.Speedup = res.ColdFirstReadSeconds / res.CheckpointFirstReadSeconds
+	return res, nil
+}

@@ -13,6 +13,12 @@
 // the given JSON-lines file is opened (and replayed) as the durable
 // store. -seed-catalog publishes the paper's survey catalog on startup
 // so a fresh server has something to serve.
+//
+// -checkpoint-dir DIR enables durable live-aggregate checkpoints: the
+// server periodically (-checkpoint-interval) persists each survey's
+// accumulator state plus store cursor, so after a restart the first read
+// scans only the store tail beyond the checkpoint instead of the whole
+// backlog.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/ingest"
 	"loki/internal/server"
@@ -43,11 +50,13 @@ func main() {
 	commitEvery := flag.Duration("commit-interval", 0, "ingest store: group-commit window (0 = commit as soon as the committer is free)")
 	segmentBytes := flag.Int64("segment-bytes", 16<<20, "ingest store: WAL segment rotation threshold")
 	idleCompact := flag.Duration("idle-compact", time.Minute, "ingest store: compact a shard's WAL tail after this long without commits (negative disables)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable live-aggregate checkpoints (empty disables; restart catch-up then rescans whole backlogs)")
+	checkpointEvery := flag.Duration("checkpoint-interval", 15*time.Second, "background checkpointer flush period")
 	flag.Parse()
 
 	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes, IdleCompact: *idleCompact}
 	logger := log.New(os.Stderr, "loki-server ", log.LstdFlags)
-	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, logger); err != nil {
+	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, *checkpointDir, *checkpointEvery, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -65,7 +74,7 @@ func openStore(storePath string, icfg ingest.Config) (store.Store, error) {
 	}
 }
 
-func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, logger *log.Logger) error {
+func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, checkpointDir string, checkpointEvery time.Duration, logger *log.Logger) error {
 	st, err := openStore(storePath, icfg)
 	if err != nil {
 		return err
@@ -78,15 +87,35 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, lo
 		}
 	}
 
+	var ckpt *checkpoint.Log
+	if checkpointDir != "" {
+		ckpt, err = checkpoint.Open(checkpointDir)
+		if err != nil {
+			return err
+		}
+		defer ckpt.Close()
+		logger.Printf("checkpointing live aggregates to %s every %v (%d surveys on record)",
+			checkpointDir, checkpointEvery, ckpt.Len())
+		if n := ckpt.CorruptRecords(); n > 0 {
+			logger.Printf("checkpoint log had %d unreadable records (skipped); affected surveys rebuild from the store", n)
+		}
+	}
+
 	srv, err := server.New(server.Config{
-		Store:          st,
-		Schedule:       core.DefaultSchedule(),
-		RequesterToken: token,
-		Logger:         logger,
+		Store:              st,
+		Schedule:           core.DefaultSchedule(),
+		RequesterToken:     token,
+		Logger:             logger,
+		Checkpoints:        ckpt,
+		CheckpointInterval: checkpointEvery,
 	})
 	if err != nil {
 		return err
 	}
+	// On shutdown, stop the checkpointer after a final flush so the next
+	// start resumes from everything folded (closed before ckpt/st by
+	// LIFO defer order).
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              addr,

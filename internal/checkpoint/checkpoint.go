@@ -1,0 +1,359 @@
+// Package checkpoint persists live aggregate state so a restarted server
+// resumes folding from where it left off instead of rescanning every
+// survey's whole response backlog.
+//
+// The log is a single JSON-lines file (checkpoints.jsonl) of Records:
+// each line carries one survey's aggregate.AccumulatorState, the store
+// cursor (highest sequence number folded in), and a fingerprint of the
+// survey definition the state was folded under. Later lines supersede
+// earlier ones for the same survey; a Record with a nil State is a
+// tombstone (the survey's checkpoint was invalidated, e.g. by a
+// republish). Open replays the log with the same torn-tail truncation as
+// every other JSON-lines log in the system, so a crash mid-append costs
+// at most the last record — the reader falls back to that survey's
+// previous checkpoint and scans a slightly longer tail.
+//
+// Checkpoints are an optimization, never the source of truth: the store
+// is. A missing, stale, or invalidated checkpoint only means more
+// catch-up scanning; it can never change an aggregate's value, because
+// restore validates the definition fingerprint and the accumulator shape
+// before trusting any state.
+//
+// The log rewrites itself (tmp + rename + dir sync) once enough
+// superseded lines accumulate, so its size tracks the number of live
+// surveys, not the number of checkpoints ever taken.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"loki/internal/aggregate"
+	"loki/internal/store"
+)
+
+const (
+	logName   = "checkpoints.jsonl"
+	tmpSuffix = ".tmp"
+)
+
+// Record is one survey's durable checkpoint: resumable fold state plus
+// the coordinates needed to trust it.
+type Record struct {
+	SurveyID string `json:"survey_id"`
+	// Fingerprint is survey.Fingerprint() of the definition the state
+	// was folded under. Restore must reject state whose fingerprint does
+	// not match the current definition: its bins were laid out for a
+	// different question set.
+	Fingerprint string `json:"fingerprint"`
+	// Cursor is the highest store sequence number folded into State;
+	// catch-up resumes the scan strictly after it.
+	Cursor uint64 `json:"cursor"`
+	// State is the accumulator snapshot. Nil marks a tombstone.
+	State *aggregate.AccumulatorState `json:"state,omitempty"`
+	// SavedUnixNano is when the checkpoint was taken (for the admin
+	// surface's checkpoint-age report).
+	SavedUnixNano int64 `json:"saved_unix_nano"`
+}
+
+// SavedAt returns the checkpoint's capture time.
+func (r *Record) SavedAt() time.Time { return time.Unix(0, r.SavedUnixNano) }
+
+// Log is a durable checkpoint log rooted in one directory. It is safe
+// for concurrent use.
+type Log struct {
+	dir  string
+	path string
+
+	mu   sync.Mutex
+	recs map[string]*Record
+	f    *os.File
+	w    *bufio.Writer
+	// appended counts lines written since the last rewrite; once it
+	// sufficiently exceeds the live record count the log compacts.
+	appended int
+	// err is the first I/O failure, sticky: after a failed write or
+	// fsync the on-disk tail is unknowable, so further appends could
+	// interleave with the buffered wreckage. Reads keep serving the
+	// in-memory state; a restart re-replays whatever made it to disk.
+	err error
+	// corrupt counts unreadable records Open skipped.
+	corrupt int
+}
+
+// Open replays (or creates) the checkpoint log in dir. A torn trailing
+// line from a crashed append is truncated away; unreadable interior
+// records are skipped and counted (CorruptRecords), never a refused
+// open — the log is advisory and the store rebuilds anything it cannot
+// provide.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: mkdir %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, path: filepath.Join(dir, logName), recs: make(map[string]*Record)}
+	err := store.ReplayLines(l.path, true, func(line []byte) error {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.SurveyID == "" {
+			// Checkpoints are advisory: an unreadable record costs the
+			// affected survey a longer catch-up scan, never a refused
+			// startup — the store can rebuild every accumulator. Skipped
+			// records are counted (CorruptRecords) so the operator hears
+			// about the damage, and the next compaction rewrites the log
+			// clean.
+			l.corrupt++
+			return nil
+		}
+		if rec.State == nil {
+			delete(l.recs, rec.SurveyID) // tombstone
+		} else {
+			l.recs[rec.SurveyID] = &rec
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	if err := l.openForAppend(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Log) openForAppend() error {
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open %s: %w", l.path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: seek %s: %w", l.path, err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Get returns the survey's current checkpoint, or false if none. The
+// caller must not mutate the record or its state (RestoreAccumulator
+// copies out of it).
+func (l *Log) Get(surveyID string) (*Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.recs[surveyID]
+	return rec, ok
+}
+
+// Records returns every live checkpoint record (no tombstones), in
+// unspecified order. Callers must not mutate the records.
+func (l *Log) Records() []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Record, 0, len(l.recs))
+	for _, rec := range l.recs {
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Len returns the number of live checkpoint records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// CorruptRecords returns how many unreadable records Open skipped —
+// nonzero means the log was damaged and some surveys may restart with a
+// longer (or whole-backlog) catch-up scan.
+func (l *Log) CorruptRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.corrupt
+}
+
+// Put durably appends a checkpoint record: by the time it returns nil,
+// the record is written and fsynced. Superseded lines are rewritten away
+// once they outnumber the live records enough.
+func (l *Log) Put(rec *Record) error {
+	if rec.SurveyID == "" || rec.State == nil {
+		return errors.New("checkpoint: Put needs a survey ID and state")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(rec); err != nil {
+		return err
+	}
+	l.recs[rec.SurveyID] = rec
+	return l.maybeCompactLocked()
+}
+
+// Drop durably tombstones a survey's checkpoint — the invalidation path
+// a republish takes. Dropping an absent checkpoint is a no-op.
+func (l *Log) Drop(surveyID string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.recs[surveyID]; !ok {
+		return nil
+	}
+	if err := l.appendLocked(&Record{SurveyID: surveyID, SavedUnixNano: time.Now().UnixNano()}); err != nil {
+		return err
+	}
+	delete(l.recs, surveyID)
+	return l.maybeCompactLocked()
+}
+
+// appendLocked writes one line, flushes and fsyncs. Caller holds mu.
+func (l *Log) appendLocked(rec *Record) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.w == nil {
+		return errors.New("checkpoint: use after close")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	werr := func() error {
+		if _, err := l.w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("checkpoint: write %s: %w", l.path, err)
+		}
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("checkpoint: flush %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync %s: %w", l.path, err)
+		}
+		return nil
+	}()
+	if werr != nil {
+		l.err = werr
+		return werr
+	}
+	l.appended++
+	return nil
+}
+
+// maybeCompactLocked rewrites the log when superseded lines dominate.
+// The threshold (a handful of lines per live record, floor 16) keeps the
+// rewrite amortized against the appends that earned it.
+func (l *Log) maybeCompactLocked() error {
+	threshold := 4 * (len(l.recs) + 1)
+	if threshold < 16 {
+		threshold = 16
+	}
+	if l.appended < threshold {
+		return nil
+	}
+	return l.compactLocked()
+}
+
+// Compact rewrites the log to exactly the live records.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactLocked()
+}
+
+func (l *Log) compactLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.w == nil {
+		return errors.New("checkpoint: use after close")
+	}
+	tmp := l.path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	werr := func() error {
+		for _, rec := range l.recs {
+			b, err := json.Marshal(rec)
+			if err != nil {
+				return fmt.Errorf("checkpoint: marshal: %w", err)
+			}
+			if _, err := w.Write(append(b, '\n')); err != nil {
+				return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("checkpoint: flush %s: %w", tmp, err)
+		}
+		return f.Sync() // the rename must never publish torn content
+	}()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		l.err = werr
+		return werr
+	}
+	// Swap the live writer to the compacted file: close the old handle,
+	// publish the rewrite, reopen for appends.
+	l.w = nil
+	if cerr := l.f.Close(); cerr != nil {
+		l.err = fmt.Errorf("checkpoint: close %s: %w", l.path, cerr)
+		return l.err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		l.err = fmt.Errorf("checkpoint: publish %s: %w", l.path, err)
+		return l.err
+	}
+	if err := syncDir(l.dir); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.openForAppend(); err != nil {
+		l.err = err
+		return err
+	}
+	l.appended = 0
+	return nil
+}
+
+// Close flushes and closes the log file. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	flushErr := l.err
+	if flushErr == nil {
+		flushErr = l.w.Flush()
+	}
+	if flushErr == nil {
+		flushErr = l.f.Sync()
+	}
+	l.w = nil
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry survives a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

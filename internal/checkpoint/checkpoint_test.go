@@ -1,0 +1,313 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"loki/internal/aggregate"
+	"loki/internal/core"
+	"loki/internal/survey"
+)
+
+func testSurvey() *survey.Survey {
+	return &survey.Survey{
+		ID:    "ckpt-test",
+		Title: "Checkpoint test survey",
+		Questions: []survey.Question{
+			{ID: "q0", Text: "rate", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+			{ID: "q1", Text: "pick", Kind: survey.MultipleChoice, Options: []string{"a", "b", "c"}},
+		},
+		RewardCents: 1,
+	}
+}
+
+// filledState folds n responses and snapshots the accumulator.
+func filledState(t *testing.T, sv *survey.Survey, n int) *aggregate.AccumulatorState {
+	t.Helper()
+	acc, err := aggregate.NewAccumulator(core.DefaultSchedule(), sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r := &survey.Response{
+			SurveyID:     sv.ID,
+			WorkerID:     "w",
+			PrivacyLevel: "medium",
+			Obfuscated:   true,
+			Answers: []survey.Answer{
+				survey.RatingAnswer("q0", float64(1+i%5)),
+				survey.ChoiceAnswer("q1", i%3),
+			},
+		}
+		if err := acc.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc.Snapshot()
+}
+
+func record(t *testing.T, sv *survey.Survey, n int) *Record {
+	t.Helper()
+	return &Record{
+		SurveyID:      sv.ID,
+		Fingerprint:   sv.Fingerprint(),
+		Cursor:        uint64(n),
+		State:         filledState(t, sv, n),
+		SavedUnixNano: time.Now().UnixNano(),
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(record(t, sv, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rec, ok := l2.Get(sv.ID)
+	if !ok {
+		t.Fatal("checkpoint lost across reopen")
+	}
+	if rec.Cursor != 7 || rec.Fingerprint != sv.Fingerprint() {
+		t.Fatalf("record = cursor %d fp %q", rec.Cursor, rec.Fingerprint)
+	}
+	// The restored state must rebuild a working accumulator holding the
+	// folded responses.
+	acc, err := aggregate.RestoreAccumulator(core.DefaultSchedule(), sv, rec.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.N() != 7 {
+		t.Fatalf("restored N = %d, want 7", acc.N())
+	}
+}
+
+func TestLaterRecordsSupersede(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 5, 9} {
+		if err := l.Put(record(t, sv, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec, _ := l.Get(sv.ID); rec.Cursor != 9 {
+		t.Fatalf("in-memory cursor = %d, want 9", rec.Cursor)
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec, ok := l2.Get(sv.ID); !ok || rec.Cursor != 9 {
+		t.Fatalf("replayed cursor = %v, want 9", rec)
+	}
+	if l2.Len() != 1 {
+		t.Fatalf("len = %d, want 1", l2.Len())
+	}
+}
+
+func TestDropTombstone(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Drop("absent"); err != nil { // no-op
+		t.Fatal(err)
+	}
+	if err := l.Put(record(t, sv, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Drop(sv.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Get(sv.ID); ok {
+		t.Fatal("dropped checkpoint still served")
+	}
+	l.Close()
+
+	// The tombstone must survive replay: the checkpoint stays dead after
+	// a restart (this is what makes republish invalidation durable).
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, ok := l2.Get(sv.ID); ok {
+		t.Fatal("tombstoned checkpoint resurrected by replay")
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial last line;
+// Open must drop it and serve the previous record for that survey.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(record(t, sv, 5)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"survey_id":"ckpt-test","cursor":99,"state":{"survey`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail refused: %v", err)
+	}
+	defer l2.Close()
+	rec, ok := l2.Get(sv.ID)
+	if !ok || rec.Cursor != 5 {
+		t.Fatalf("after torn tail: %+v, want cursor 5", rec)
+	}
+	// The truncation is durable: the torn bytes are gone from disk.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"cursor":99`) {
+		t.Fatal("torn record still on disk")
+	}
+	// And the log still appends after the repair.
+	if err := l2.Put(record(t, sv, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInteriorCorruptionSkipped: garbage in the middle of the log is
+// skipped and counted, never a refused open — checkpoints are advisory,
+// so damage costs catch-up scanning, not startup. A compaction then
+// rewrites the log clean.
+func TestInteriorCorruptionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(record(t, sv, 5)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, logName)
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("not json\n")
+	f.WriteString(`{"cursor":3}` + "\n") // parseable but no survey ID
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("interior corruption refused the open: %v", err)
+	}
+	if got := l2.CorruptRecords(); got != 2 {
+		t.Errorf("corrupt records = %d, want 2", got)
+	}
+	// The readable record is still served, and the log still works.
+	if rec, ok := l2.Get(sv.ID); !ok || rec.Cursor != 5 {
+		t.Fatalf("surviving record = %+v, want cursor 5", rec)
+	}
+	if err := l2.Put(record(t, sv, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if got := l3.CorruptRecords(); got != 0 {
+		t.Errorf("corruption survived compaction: %d records", got)
+	}
+	if rec, ok := l3.Get(sv.ID); !ok || rec.Cursor != 6 {
+		t.Fatalf("after compaction: %+v, want cursor 6", rec)
+	}
+}
+
+// TestCompaction: superseded lines are rewritten away and the compacted
+// log replays to the same state.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough rewrites of one survey to cross the compaction threshold
+	// several times over.
+	for n := 1; n <= 100; n++ {
+		if err := l.Put(record(t, sv, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines != 1 {
+		t.Fatalf("compacted log has %d lines, want 1", lines)
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec, ok := l2.Get(sv.ID); !ok || rec.Cursor != 100 {
+		t.Fatalf("after compaction: %+v, want cursor 100", rec)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Put(&Record{SurveyID: "x"}); err == nil {
+		t.Error("stateless record accepted")
+	}
+	if err := l.Put(&Record{State: &aggregate.AccumulatorState{}}); err == nil {
+		t.Error("record without survey ID accepted")
+	}
+}

@@ -126,16 +126,24 @@ func RunDeanonymization(cfg DeanonConfig) (*DeanonResult, error) {
 	}
 
 	// The requester's view: responses to the four attack surveys (the
-	// awareness survey is analysed separately, not joined).
+	// awareness survey is analysed separately, not joined). Streamed
+	// into one pre-sized slice — the attack pipeline wants a flat join —
+	// rather than materializing a per-survey copy first.
 	attackSurveys := map[string]*survey.Survey{}
-	var responses []survey.Response
+	total := 0
 	for _, sv := range surveys[:4] {
 		attackSurveys[sv.ID] = sv
-		rs, err := pl.Responses(sv.ID)
+		total += pl.ResponseCount(sv.ID)
+	}
+	responses := make([]survey.Response, 0, total)
+	for _, sv := range surveys[:4] {
+		err := pl.ScanResponses(sv.ID, func(r *survey.Response) error {
+			responses = append(responses, *r)
+			return nil
+		})
 		if err != nil {
 			return nil, fmt.Errorf("deanon: %w", err)
 		}
-		responses = append(responses, rs...)
 	}
 	pipe, err := attack.New(reg, cfg.Attack)
 	if err != nil {
@@ -146,7 +154,11 @@ func RunDeanonymization(cfg DeanonConfig) (*DeanonResult, error) {
 		return nil, fmt.Errorf("deanon: %w", err)
 	}
 
-	healthResponses, err := pl.Responses(survey.HealthID)
+	healthResponses := make([]survey.Response, 0, pl.ResponseCount(survey.HealthID))
+	err = pl.ScanResponses(survey.HealthID, func(r *survey.Response) error {
+		healthResponses = append(healthResponses, *r)
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("deanon: %w", err)
 	}
@@ -156,29 +168,29 @@ func RunDeanonymization(cfg DeanonConfig) (*DeanonResult, error) {
 		CostCents:              pl.CostCents(),
 		Days:                   pl.Day(),
 		Stats:                  pl.Stats(),
-		HealthResponses:        append([]survey.Response(nil), healthResponses...),
+		HealthResponses:        healthResponses,
 	}
 
-	// E2: tally the awareness survey.
+	// E2: tally the awareness survey, streamed — the tally never needs
+	// the responses materialized.
 	aw := surveys[4]
-	awResponses, err := pl.Responses(aw.ID)
-	if err != nil {
-		return nil, fmt.Errorf("deanon: %w", err)
-	}
-	res.AwarenessRespondents = len(awResponses)
 	unawareRefuseIDs := make(map[string]bool)
-	for i := range awResponses {
-		resp := &awResponses[i]
+	err = pl.ScanResponses(aw.ID, func(resp *survey.Response) error {
+		res.AwarenessRespondents++
 		aware := resp.Answer("aware")
 		part := resp.Answer("participate")
 		if aware == nil || part == nil {
-			continue
+			return nil
 		}
 		// Option order is YesNo: index 1 = "No".
 		if aware.Choice == 1 && part.Choice == 1 {
 			res.UnawareRefuse++
 			unawareRefuseIDs[resp.WorkerID] = true
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deanon: %w", err)
 	}
 	for _, v := range atk.Victims {
 		if unawareRefuseIDs[v.WorkerID] {

@@ -256,9 +256,11 @@ func (s *Sharded) openMeta() error {
 		if err := json.Unmarshal(line, &sv); err != nil {
 			return fmt.Errorf("corrupt survey record: %w", err)
 		}
-		if _, dup := s.surveys[sv.ID]; dup {
-			return fmt.Errorf("duplicate survey %q", sv.ID)
+		if sv.ID == "" {
+			return errors.New("survey record without ID")
 		}
+		// Later records supersede earlier ones: a republish appends the
+		// new definition and replay applies the log in order.
 		s.surveys[sv.ID] = &sv
 		return nil
 	})
@@ -307,6 +309,31 @@ func (s *Sharded) PutSurvey(sv *survey.Survey) error {
 	if _, dup := s.surveys[sv.ID]; dup {
 		return fmt.Errorf("ingest: survey %q: %w", sv.ID, store.ErrExists)
 	}
+	return s.appendMeta(sv)
+}
+
+// ReplaceSurvey implements store.Store: the republish path. The new
+// definition is appended to the meta log (replay is last-wins per
+// survey ID) and fsynced before it becomes visible.
+func (s *Sharded) ReplaceSurvey(sv *survey.Survey) error {
+	if err := sv.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return errors.New("ingest: use after close")
+	}
+	if s.metaErr != nil {
+		return s.metaErr
+	}
+	return s.appendMeta(sv)
+}
+
+// appendMeta durably appends one survey definition to meta.jsonl and
+// publishes it to the index. The caller holds mu and has cleared the
+// closed/metaErr gates.
+func (s *Sharded) appendMeta(sv *survey.Survey) error {
 	cp := *sv
 	b, err := json.Marshal(&cp)
 	if err != nil {
@@ -420,7 +447,8 @@ func (s *Sharded) Close() error {
 	// committers are still running to serve them. Appenders arriving
 	// after observe the closed flag and bail.
 	s.closeGate.Lock()
-	s.closeGate.Unlock() //nolint:staticcheck // barrier, not a critical section
+	//lint:ignore SA2001 barrier, not a critical section — the empty lock/unlock pair waits out in-flight appenders
+	s.closeGate.Unlock()
 	var first error
 	for _, sh := range s.shards {
 		if err := sh.close(); err != nil && first == nil {

@@ -405,6 +405,34 @@ func (pl *Platform) Responses(surveyID string) ([]survey.Response, error) {
 	return h.Responses, nil
 }
 
+// ScanResponses streams a survey's collected responses to fn in
+// submission order — the non-materializing counterpart of Responses,
+// mirroring store.Store's scan idiom. The *Response passed to fn aliases
+// platform-internal state; fn must not modify or retain it. A non-nil
+// error from fn aborts the scan and is returned verbatim.
+func (pl *Platform) ScanResponses(surveyID string, fn func(r *survey.Response) error) error {
+	h, ok := pl.hits[surveyID]
+	if !ok {
+		return fmt.Errorf("platform: unknown survey %q", surveyID)
+	}
+	for i := range h.Responses {
+		if err := fn(&h.Responses[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResponseCount returns how many responses a survey has collected (0 for
+// unknown surveys).
+func (pl *Platform) ResponseCount(surveyID string) int {
+	h, ok := pl.hits[surveyID]
+	if !ok {
+		return 0
+	}
+	return len(h.Responses)
+}
+
 // Surveys returns the posted surveys in posting order.
 func (pl *Platform) Surveys() []*survey.Survey {
 	out := make([]*survey.Survey, 0, len(pl.order))

@@ -1,15 +1,44 @@
 package server
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loki/internal/aggregate"
+	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
+
+// PoisonError reports a stored record the live accumulator rejects. One
+// such record wedges the survey's incremental read path: the aggregate
+// cannot be served while skipping seq (it would silently undercount),
+// and it cannot be folded. The error is sticky — recorded once on the
+// liveAgg, returned to every subsequent read without rescanning from the
+// cursor, and skipped by the submit path — until the accumulator is
+// rebuilt (e.g. the survey is republished with a definition the record
+// validates under).
+type PoisonError struct {
+	SurveyID string
+	// Seq is the store sequence number of the rejected record.
+	Seq uint64
+	// Err is the accumulator's rejection.
+	Err error
+}
+
+// Error implements error with the survey and sequence coordinates an
+// operator needs to find the record.
+func (e *PoisonError) Error() string {
+	return fmt.Sprintf("poisoned record: survey %q seq %d: %v", e.SurveyID, e.Seq, e.Err)
+}
+
+// Unwrap exposes the underlying rejection.
+func (e *PoisonError) Unwrap() error { return e.Err }
 
 // liveAgg is one survey's live aggregate state: a resumable accumulator
 // plus the store sequence number it has consumed up to. The invariant —
@@ -18,47 +47,134 @@ import (
 // in-flight request payloads, so concurrent submissions cannot
 // double-count or skip: whatever a scan misses, the next scan delivers.
 //
-// The map of liveAggs starts empty and entries are created on first
-// use, which is also the restart story: after a process restart the
-// first read of each survey scans the (durable) store from seq 0 and
-// rebuilds the accumulator before answering.
+// The map of liveAggs starts empty and entries are created on first use.
+// After a process restart the first read of each survey seeds the
+// accumulator from its durable checkpoint when one matches the current
+// definition fingerprint, then scans only the store tail beyond the
+// checkpoint cursor; without a usable checkpoint it rebuilds from seq 0.
 type liveAgg struct {
 	// mu serializes folds and finalizes (acc is not concurrency-safe).
 	mu  sync.Mutex
 	acc *aggregate.Accumulator
+	// fp is the fingerprint of the survey definition acc folds under.
+	// A read that resolves the survey to a different fingerprint must
+	// not use this accumulator: its bins were laid out for a different
+	// question set (the republish staleness bug).
+	fp string
 	// cursor is the last store seq folded, readable without mu (the
 	// admin surface reports it even mid-catch-up). Because sequence
 	// numbers are gap-free from 1, it also equals acc.N().
 	cursor atomic.Uint64
+	// ckptCursor is the cursor covered by the survey's last durable
+	// checkpoint (0 when never checkpointed); the checkpointer uses it
+	// as its dirty marker.
+	ckptCursor atomic.Uint64
+
+	// poison, once set, wedges the accumulator (guarded by mu); the
+	// atomics mirror it for lock-free admin reads. poisonCount points at
+	// the server's cumulative counter and is bumped once per poisoning.
+	poison      *PoisonError
+	poisonSeq   atomic.Uint64
+	poisonMsg   atomic.Value // string
+	poisonCount *atomic.Int64
 }
 
 // liveFor returns the survey's live accumulator, creating it on first
-// use.
+// use — or re-creating it when the stored definition no longer matches
+// the fingerprint the existing accumulator was folded under (the survey
+// was republished).
 func (s *Server) liveFor(sv *survey.Survey) (*liveAgg, error) {
+	fp := sv.Fingerprint()
 	s.liveMu.Lock()
 	defer s.liveMu.Unlock()
 	if la, ok := s.live[sv.ID]; ok {
-		return la, nil
+		if la.fp == fp {
+			return la, nil
+		}
+		// Stale: the definition changed under the accumulator (a read
+		// raced the republish handler's invalidation). Rebuild below.
+		delete(s.live, sv.ID)
 	}
-	acc, err := aggregate.NewAccumulator(s.cfg.Schedule, sv)
-	if err != nil {
-		return nil, err
+	la := &liveAgg{fp: fp, poisonCount: &s.poisoned}
+	// Seed from the durable checkpoint when one matches the definition:
+	// catch-up then scans only the tail beyond the checkpoint cursor. A
+	// fingerprint mismatch or unusable state just means a full rebuild —
+	// checkpoints are an optimization, the store is the source of truth.
+	if s.cfg.Checkpoints != nil {
+		if rec, ok := s.cfg.Checkpoints.Get(sv.ID); ok {
+			stored := uint64(s.cfg.Store.ResponseCount(sv.ID))
+			switch {
+			case rec.Fingerprint != fp:
+				s.logf("checkpoint for %q predates a republish; rebuilding from the store", sv.ID)
+			case rec.Cursor > stored:
+				// A cursor beyond the store's history means the log
+				// belongs to a different (or rebuilt) store. Trusting it
+				// would serve phantom responses forever: the catch-up
+				// scan past a too-high cursor finds nothing and never
+				// corrects the state.
+				s.logf("checkpoint for %q is ahead of the store (cursor %d > %d responses); rebuilding from the store",
+					sv.ID, rec.Cursor, stored)
+			default:
+				if acc, err := aggregate.RestoreAccumulator(s.cfg.Schedule, sv, rec.State); err != nil {
+					s.logf("checkpoint for %q unusable (%v); rebuilding from the store", sv.ID, err)
+				} else {
+					la.acc = acc
+					la.cursor.Store(rec.Cursor)
+					la.ckptCursor.Store(rec.Cursor)
+				}
+			}
+		}
 	}
-	la := &liveAgg{acc: acc}
+	if la.acc == nil {
+		acc, err := aggregate.NewAccumulator(s.cfg.Schedule, sv)
+		if err != nil {
+			return nil, err
+		}
+		la.acc = acc
+	}
 	s.live[sv.ID] = la
 	return la, nil
 }
 
-// catchUp folds every response the store holds beyond the cursor. The
-// caller must hold la's lock.
+// invalidateLive drops a survey's live accumulator and durable
+// checkpoint: fold state laid out under the old definition must never
+// answer a read under the new one.
+func (s *Server) invalidateLive(id string) {
+	s.liveMu.Lock()
+	delete(s.live, id)
+	s.liveMu.Unlock()
+	if s.cfg.Checkpoints != nil {
+		if err := s.cfg.Checkpoints.Drop(id); err != nil {
+			s.logf("dropping checkpoint for %q: %v", id, err)
+		}
+	}
+}
+
+// catchUp folds every response the store holds beyond the cursor. A
+// record the accumulator rejects poisons the liveAgg: the error (with
+// survey ID and seq) is recorded once and returned to every subsequent
+// call without rescanning. The caller must hold la's lock.
 func (la *liveAgg) catchUp(st store.Store) error {
-	return st.ScanResponses(la.acc.SurveyID(), la.cursor.Load(), func(seq uint64, r *survey.Response) error {
+	if la.poison != nil {
+		return la.poison
+	}
+	err := st.ScanResponses(la.acc.SurveyID(), la.cursor.Load(), func(seq uint64, r *survey.Response) error {
 		if err := la.acc.Add(r); err != nil {
-			return err
+			return &PoisonError{SurveyID: la.acc.SurveyID(), Seq: seq, Err: err}
 		}
 		la.cursor.Store(seq)
 		return nil
 	})
+	var pe *PoisonError
+	if errors.As(err, &pe) {
+		la.poison = pe
+		la.poisonSeq.Store(pe.Seq)
+		la.poisonMsg.Store(pe.Err.Error())
+		if la.poisonCount != nil {
+			la.poisonCount.Add(1)
+		}
+	}
+	return err
 }
 
 // refresh catches the accumulator up with the store and finalizes: the
@@ -85,15 +201,23 @@ const coldBacklog = 1024
 // strictly best-effort — the response is already durably stored and
 // reads catch up from the cursor themselves — so it must never add
 // latency to a write request: TryLock skips when another fold (e.g. a
-// reader's whole-backlog catch-up after a restart) holds the lock, and
-// a cold accumulator facing a large backlog is left for the read path
-// rather than rebuilt inline.
+// reader's whole-backlog catch-up after a restart) holds the lock, a
+// poisoned accumulator is left alone (retrying would re-fail on the same
+// record forever), and a large unfolded backlog — whether the
+// accumulator is cold from seq 0 or checkpoint-restored to a stale
+// cursor — is left for the read path rather than rebuilt inline.
 func (la *liveAgg) advance(st store.Store) error {
 	if !la.mu.TryLock() {
 		return nil
 	}
 	defer la.mu.Unlock()
-	if la.cursor.Load() == 0 && st.ResponseCount(la.acc.SurveyID()) > coldBacklog {
+	if la.poison != nil {
+		return nil
+	}
+	// Additive comparison, not subtraction: a cursor ahead of the store
+	// (possible only with a foreign checkpoint log) must read as "no
+	// backlog", not underflow to a huge one.
+	if uint64(st.ResponseCount(la.acc.SurveyID())) > la.cursor.Load()+coldBacklog {
 		return nil
 	}
 	return la.catchUp(st)
@@ -138,6 +262,16 @@ type LiveAccumulator struct {
 	Cursor uint64 `json:"cursor"`
 	// Responses is the number of responses the accumulator holds.
 	Responses int `json:"responses"`
+	// Fingerprint identifies the survey definition the state is folded
+	// under.
+	Fingerprint string `json:"fingerprint"`
+	// CheckpointCursor is the store cursor covered by the survey's last
+	// durable checkpoint (0 when never checkpointed).
+	CheckpointCursor uint64 `json:"checkpoint_cursor,omitempty"`
+	// PoisonedSeq and PoisonedError report the stored record wedging this
+	// accumulator (seq 0 = healthy).
+	PoisonedSeq   uint64 `json:"poisoned_seq,omitempty"`
+	PoisonedError string `json:"poisoned_error,omitempty"`
 }
 
 // liveAccumulators reports every live accumulator's cursor, sorted by
@@ -150,9 +284,139 @@ func (s *Server) liveAccumulators() []LiveAccumulator {
 	out := make([]LiveAccumulator, 0, len(s.live))
 	for id, la := range s.live {
 		cursor := la.cursor.Load()
-		out = append(out, LiveAccumulator{SurveyID: id, Cursor: cursor, Responses: int(cursor)})
+		acc := LiveAccumulator{
+			SurveyID:         id,
+			Cursor:           cursor,
+			Responses:        int(cursor),
+			Fingerprint:      la.fp,
+			CheckpointCursor: la.ckptCursor.Load(),
+			PoisonedSeq:      la.poisonSeq.Load(),
+		}
+		if msg, ok := la.poisonMsg.Load().(string); ok {
+			acc.PoisonedError = msg
+		}
+		out = append(out, acc)
 	}
 	s.liveMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].SurveyID < out[j].SurveyID })
 	return out
+}
+
+// CheckpointRecordInfo is one survey's checkpoint on the admin surface.
+type CheckpointRecordInfo struct {
+	SurveyID string `json:"survey_id"`
+	// Cursor is the store sequence number the checkpoint covers: a
+	// restart's first read scans only beyond it.
+	Cursor      uint64 `json:"cursor"`
+	Fingerprint string `json:"fingerprint"`
+	// AgeSeconds is how long ago the checkpoint was taken; it bounds the
+	// tail a restart would rescan.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// CheckpointInfo describes the durable checkpoint log on the admin
+// surface.
+type CheckpointInfo struct {
+	// Surveys is the number of checkpointed surveys.
+	Surveys int `json:"surveys"`
+	// Records lists every checkpoint, sorted by survey ID.
+	Records []CheckpointRecordInfo `json:"records,omitempty"`
+}
+
+// checkpointInfo snapshots the checkpoint log for the admin surface;
+// nil when checkpointing is disabled.
+func (s *Server) checkpointInfo() *CheckpointInfo {
+	if s.cfg.Checkpoints == nil {
+		return nil
+	}
+	recs := s.cfg.Checkpoints.Records()
+	info := &CheckpointInfo{Surveys: len(recs)}
+	now := time.Now()
+	for _, rec := range recs {
+		info.Records = append(info.Records, CheckpointRecordInfo{
+			SurveyID:    rec.SurveyID,
+			Cursor:      rec.Cursor,
+			Fingerprint: rec.Fingerprint,
+			AgeSeconds:  now.Sub(rec.SavedAt()).Seconds(),
+		})
+	}
+	sort.Slice(info.Records, func(i, j int) bool { return info.Records[i].SurveyID < info.Records[j].SurveyID })
+	return info
+}
+
+// FlushCheckpoints durably checkpoints every live accumulator that has
+// folded at least CheckpointDirty responses since its last checkpoint.
+// It is what the background checkpointer runs on its interval; tests and
+// benchmarks call it directly for a deterministic flush. Poisoned
+// accumulators checkpoint too — their state is exactly the responses
+// before the poisoned record, which is the right resume point.
+func (s *Server) FlushCheckpoints() error {
+	if s.cfg.Checkpoints == nil {
+		return nil
+	}
+	s.liveMu.Lock()
+	las := make([]*liveAgg, 0, len(s.live))
+	for _, la := range s.live {
+		las = append(las, la)
+	}
+	s.liveMu.Unlock()
+	var first error
+	for _, la := range las {
+		la.mu.Lock()
+		cursor := la.cursor.Load()
+		if cursor < la.ckptCursor.Load()+uint64(s.cfg.CheckpointDirty) {
+			la.mu.Unlock()
+			continue
+		}
+		rec := &checkpoint.Record{
+			SurveyID:      la.acc.SurveyID(),
+			Fingerprint:   la.fp,
+			Cursor:        cursor,
+			State:         la.acc.Snapshot(),
+			SavedUnixNano: time.Now().UnixNano(),
+		}
+		la.mu.Unlock()
+		// The durable write happens outside la.mu: a slow fsync must not
+		// stall the read path. Snapshot is a deep copy, so concurrent
+		// folds cannot tear the record.
+		if err := s.cfg.Checkpoints.Put(rec); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		la.ckptCursor.Store(rec.Cursor)
+	}
+	return first
+}
+
+// checkpointLoop is the background checkpointer: a FlushCheckpoints
+// every interval until Close.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.FlushCheckpoints(); err != nil {
+				s.logf("checkpoint flush: %v", err)
+			}
+		case <-s.ckptStop:
+			return
+		}
+	}
+}
+
+// Close stops the background checkpointer after one final flush so a
+// clean shutdown leaves checkpoints covering everything folded. It does
+// not close the store or the checkpoint log — the caller owns both. A
+// server without checkpointing has nothing to stop; Close is a no-op.
+func (s *Server) Close() error {
+	if s.ckptStop == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { close(s.ckptStop) })
+	<-s.ckptDone
+	return s.FlushCheckpoints()
 }

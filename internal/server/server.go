@@ -35,8 +35,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loki/internal/aggregate"
+	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/ingest"
 	"loki/internal/store"
@@ -56,6 +58,19 @@ type Config struct {
 	Logger *log.Logger
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Checkpoints, when non-nil, is the durable checkpoint log for live
+	// aggregate state: restored from on the first read of each survey
+	// (so restart catch-up scans only the store tail beyond the
+	// checkpoint cursor) and written to by a background checkpointer.
+	// The caller owns the log and closes it after the server.
+	Checkpoints *checkpoint.Log
+	// CheckpointInterval is the background checkpointer's flush period
+	// (default 15s).
+	CheckpointInterval time.Duration
+	// CheckpointDirty is the minimum number of newly folded responses
+	// that makes a survey's checkpoint stale enough to rewrite on a
+	// flush (default 1).
+	CheckpointDirty int
 }
 
 // Server is the Loki backend. It implements http.Handler.
@@ -70,6 +85,15 @@ type Server struct {
 	// O(1) in stored responses; see liveAgg.
 	liveMu sync.Mutex
 	live   map[string]*liveAgg
+	// poisoned counts stored records the live read path has rejected
+	// (see PoisonError), for the admin surface.
+	poisoned atomic.Int64
+
+	// ckptStop/ckptDone bracket the background checkpointer's lifetime;
+	// nil when checkpointing is disabled.
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // New validates the configuration and builds the server.
@@ -83,12 +107,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 15 * time.Second
+	}
+	if cfg.CheckpointDirty <= 0 {
+		cfg.CheckpointDirty = 1
+	}
 	est, err := aggregate.NewEstimator(cfg.Schedule)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux(), live: make(map[string]*liveAgg)}
 	s.routes()
+	if cfg.Checkpoints != nil {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return s, nil
 }
 
@@ -290,9 +325,32 @@ func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &sv) {
 		return
 	}
+	status := http.StatusCreated
 	if err := s.cfg.Store.PutSurvey(&sv); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		if !errors.Is(err, store.ErrExists) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Republish. An identical definition is idempotent; a changed
+		// one replaces the stored definition and must invalidate every
+		// piece of fold state built under the old one — the live
+		// accumulator and the durable checkpoint — or /aggregate and
+		// /quality keep answering from bins laid out for the old
+		// question set.
+		prev, gerr := s.cfg.Store.Survey(sv.ID)
+		if gerr != nil {
+			writeError(w, http.StatusInternalServerError, gerr.Error())
+			return
+		}
+		status = http.StatusOK
+		if prev.Fingerprint() != sv.Fingerprint() {
+			if rerr := s.cfg.Store.ReplaceSurvey(&sv); rerr != nil {
+				writeError(w, http.StatusBadRequest, rerr.Error())
+				return
+			}
+			s.invalidateLive(sv.ID)
+			s.logf("republished survey %q with a changed definition; live aggregate state reset", sv.ID)
+		}
 	}
 	portfolio, err := s.cfg.Store.Surveys()
 	if err != nil {
@@ -303,7 +361,7 @@ func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
 	if audit.MaxSeverity() == survey.Critical {
 		s.logf("CRITICAL linkage audit after publishing %q: portfolio completes a quasi-identifier", sv.ID)
 	}
-	writeJSON(w, http.StatusCreated, PublishResult{ID: sv.ID, Audit: audit})
+	writeJSON(w, status, PublishResult{ID: sv.ID, Audit: audit})
 }
 
 func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +500,13 @@ type AdminStoreInfo struct {
 	Shards []ingest.ShardStats `json:"shards,omitempty"`
 	// Accumulators lists the live aggregate cursors, sorted by survey.
 	Accumulators []LiveAccumulator `json:"accumulators"`
+	// PoisonedRecords counts stored records the live read path has
+	// rejected since startup (each one wedges its survey's reads until
+	// the accumulator is rebuilt; see PoisonError).
+	PoisonedRecords int64 `json:"poisoned_records"`
+	// Checkpoints reports the durable checkpoint log's per-survey
+	// cursor and age; nil when checkpointing is disabled.
+	Checkpoints *CheckpointInfo `json:"checkpoints,omitempty"`
 }
 
 // ingestStatser is the optional interface a store implements to report
@@ -454,7 +519,11 @@ type ingestStatser interface {
 }
 
 func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
-	info := AdminStoreInfo{Accumulators: s.liveAccumulators()}
+	info := AdminStoreInfo{
+		Accumulators:    s.liveAccumulators(),
+		PoisonedRecords: s.poisoned.Load(),
+		Checkpoints:     s.checkpointInfo(),
+	}
 	switch s.cfg.Store.(type) {
 	case *store.Mem:
 		info.Backend = "mem"

@@ -124,9 +124,10 @@ func TestPublishRequiresToken(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("publish = %d", resp.StatusCode)
 	}
-	// Duplicate publish rejected.
+	// Republishing the identical definition is idempotent: 200, not a
+	// second 201.
 	resp, _ = doReq(t, http.MethodPost, ts.URL+"/api/v1/surveys", sv, testToken)
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("dup publish = %d", resp.StatusCode)
 	}
 }

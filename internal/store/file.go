@@ -65,9 +65,13 @@ type File struct {
 	syncErr error
 }
 
-// record is one log entry. Exactly one payload field is set.
+// record is one log entry. Exactly one payload field is set. A
+// "republish" record carries a survey definition that overwrites the one
+// currently in effect; replay applies records in order, so responses
+// logged before a republish replay against the definition they were
+// validated under.
 type record struct {
-	Kind     string           `json:"kind"` // "survey" | "response"
+	Kind     string           `json:"kind"` // "survey" | "republish" | "response"
 	Survey   *survey.Survey   `json:"survey,omitempty"`
 	Response *survey.Response `json:"response,omitempty"`
 }
@@ -168,6 +172,11 @@ func (fs *File) applyRecord(line []byte) error {
 			return errors.New("survey record without payload")
 		}
 		return fs.mem.PutSurvey(rec.Survey)
+	case "republish":
+		if rec.Survey == nil {
+			return errors.New("republish record without payload")
+		}
+		return fs.mem.ReplaceSurvey(rec.Survey)
 	case "response":
 		if rec.Response == nil {
 			return errors.New("response record without payload")
@@ -232,6 +241,26 @@ func (fs *File) PutSurvey(s *survey.Survey) error {
 		return err
 	}
 	return fs.mem.PutSurvey(s)
+}
+
+// ReplaceSurvey implements Store: the new definition is logged as a
+// "republish" record (durable before visible, like every mutation) and
+// then overwrites the memory index. Earlier records are untouched, so
+// replay still validates old responses against the definition they were
+// appended under.
+func (fs *File) ReplaceSurvey(s *survey.Survey) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.w == nil {
+		return errors.New("store: use after close")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := fs.append(&record{Kind: "republish", Survey: s}); err != nil {
+		return err
+	}
+	return fs.mem.ReplaceSurvey(s)
 }
 
 // Survey implements Store.

@@ -30,9 +30,18 @@ var ErrExists = errors.New("store: already exists")
 // cursors for incremental readers.
 type Store interface {
 	// PutSurvey stores a survey definition. Overwriting an existing ID
-	// is an error: published surveys are immutable so responses stay
-	// interpretable.
+	// is an error: accidental redefinition would silently change how
+	// stored responses are interpreted. Deliberate redefinition goes
+	// through ReplaceSurvey.
 	PutSurvey(s *survey.Survey) error
+	// ReplaceSurvey stores a survey definition, overwriting any existing
+	// definition with the same ID — the republish operation. Responses
+	// already stored stay in the log (they were validated against the
+	// definition current at append time) and are reinterpreted under the
+	// new definition from here on; derived state folded under the old
+	// definition (live aggregates, checkpoints) must be invalidated by
+	// the caller, which is what definition fingerprints are for.
+	ReplaceSurvey(s *survey.Survey) error
 	// Survey returns the survey with the given ID or ErrNotFound. The
 	// returned survey is the caller's copy: mutating it never affects
 	// the stored definition.
@@ -124,6 +133,21 @@ func (m *Mem) PutSurvey(s *survey.Survey) error {
 	}
 	if _, dup := m.surveys[s.ID]; dup {
 		return fmt.Errorf("store: survey %q: %w", s.ID, ErrExists)
+	}
+	m.surveys[s.ID] = s.Clone()
+	return nil
+}
+
+// ReplaceSurvey implements Store: an upsert that overwrites any existing
+// definition. Stored responses are untouched.
+func (m *Mem) ReplaceSurvey(s *survey.Survey) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("store: use after close")
 	}
 	m.surveys[s.ID] = s.Clone()
 	return nil

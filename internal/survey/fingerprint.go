@@ -1,0 +1,30 @@
+package survey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Fingerprint returns a stable content hash of the survey definition —
+// ID, questions, consistency pairs, reward, everything a response or an
+// aggregate is interpreted against. Two definitions fingerprint equal iff
+// their JSON forms are identical, and the JSON form is stable across a
+// marshal/unmarshal round trip (struct field order is fixed and omitempty
+// drops nil and empty slices alike), so a fingerprint taken before a
+// restart matches the one recomputed from a replayed store.
+//
+// The read path uses fingerprints to detect republished definitions:
+// live accumulators and durable checkpoints record the fingerprint they
+// were folded under, and any state carrying a stale fingerprint is
+// invalid — its bins were laid out for a different question set.
+func (s *Survey) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Survey contains only marshalable fields (strings, numbers,
+		// bools, slices thereof); Marshal cannot fail on it.
+		panic("survey: fingerprint marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

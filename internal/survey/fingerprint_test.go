@@ -1,0 +1,49 @@
+package survey
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFingerprintStability(t *testing.T) {
+	sv := Awareness()
+	fp := sv.Fingerprint()
+	if fp == "" || len(fp) != 64 {
+		t.Fatalf("fingerprint = %q", fp)
+	}
+	if sv.Clone().Fingerprint() != fp {
+		t.Error("clone fingerprints differently")
+	}
+	// Stable across a JSON round trip — the shape a definition has after
+	// store replay.
+	b, err := json.Marshal(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Survey
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != fp {
+		t.Error("fingerprint changed across marshal/unmarshal")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Awareness()
+	fp := base.Fingerprint()
+	mutations := []func(*Survey){
+		func(s *Survey) { s.Title = "x" },
+		func(s *Survey) { s.RewardCents++ },
+		func(s *Survey) { s.Questions[0].Text = "x" },
+		func(s *Survey) { s.Questions[0].Options = append(s.Questions[0].Options, "maybe") },
+		func(s *Survey) { s.Questions = s.Questions[:len(s.Questions)-1] },
+	}
+	for i, mutate := range mutations {
+		sv := Awareness()
+		mutate(sv)
+		if sv.Fingerprint() == fp {
+			t.Errorf("mutation %d not reflected in fingerprint", i)
+		}
+	}
+}

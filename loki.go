@@ -27,6 +27,7 @@ package loki
 import (
 	"loki/internal/aggregate"
 	"loki/internal/attack"
+	"loki/internal/checkpoint"
 	"loki/internal/client"
 	"loki/internal/core"
 	"loki/internal/dp"
@@ -218,6 +219,13 @@ type (
 	SurveyEstimate = aggregate.SurveyEstimate
 	// QualityTally counts responses passing the redundancy screen.
 	QualityTally = aggregate.QualityTally
+	// CheckpointLog is the durable log of live-aggregate checkpoints:
+	// restore it into a ServerConfig so restart catch-up scans only the
+	// store tail beyond each survey's checkpoint cursor.
+	CheckpointLog = checkpoint.Log
+	// CheckpointRecord is one survey's durable checkpoint (accumulator
+	// state + store cursor + definition fingerprint).
+	CheckpointRecord = checkpoint.Record
 )
 
 // File store sync policies.
@@ -246,6 +254,9 @@ var (
 	// OpenIngestStore is the sharded segmented-WAL store built for
 	// concurrent submission at scale.
 	OpenIngestStore = ingest.Open
+	// OpenCheckpointLog opens (replaying, with torn-tail repair) the
+	// durable live-aggregate checkpoint log rooted at a directory.
+	OpenCheckpointLog = checkpoint.Open
 	// NewEstimator builds the noise-aware aggregator.
 	NewEstimator = aggregate.NewEstimator
 	// NewAccumulator builds an empty incremental aggregator for one
