@@ -1,0 +1,481 @@
+// Cluster benchmark ("cluster" experiment id): spin up N in-process
+// nodes plus a frontend, push a fixed response load through the
+// frontend's public API with concurrent workers, and compare submit
+// throughput and merged-read behavior against a single-process
+// standalone server over the same durable store class and the same
+// data.
+//
+// The stores are file-backed with fsync-per-append (SyncAlways), so the
+// bottleneck under test is the one that matters in production: a
+// standalone server funnels every append through one fsync stream,
+// while the cluster's per-shard stores fsync in parallel across shards
+// and nodes. The shardrpc hop the frontend adds is charged against the
+// cluster honestly — the reported scaling is net of transport overhead.
+//
+// Reads exercise the merge path end to end: the frontend fetches every
+// shard's partial accumulator from its owning node and Merges at query
+// time. The benchmark asserts the merged estimates match the standalone
+// single-accumulator estimates on the same data (exact integer counts,
+// float fields to within accumulation-order noise), then reports merged
+// read throughput. Results are teed to BENCH_cluster.json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/server"
+	"loki/internal/shardrpc"
+	"loki/internal/shardset"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// Flags (registered in main.go).
+var (
+	clusterJSONPath  = "BENCH_cluster.json"
+	clusterNodesFlag = "1,2,4"
+	clusterResponses = 6000
+	clusterShards    = 8
+	// clusterWorkers is deliberately deep: batching (transport and
+	// store level) is the mechanism under test, and it only engages
+	// when submits actually queue.
+	clusterWorkers = 64
+)
+
+const clusterToken = "bench-cluster-token"
+
+// clusterResult is one configuration's measurement.
+type clusterResult struct {
+	// Nodes is 0 for the single-process baseline.
+	Nodes     int `json:"nodes"`
+	Shards    int `json:"shards"`
+	Responses int `json:"responses"`
+	Workers   int `json:"workers"`
+	// SubmitRPS is accepted responses per second through the public
+	// submit endpoint (fsync-per-append file stores underneath).
+	SubmitRPS float64 `json:"submit_rps"`
+	// SubmitSpeedup is SubmitRPS over the baseline's.
+	SubmitSpeedup float64 `json:"submit_speedup,omitempty"`
+	// ReadQPS is merged /aggregate queries per second; ReadMillis is
+	// the mean per-query latency.
+	ReadQPS    float64 `json:"read_qps"`
+	ReadMillis float64 `json:"read_millis"`
+	// Equivalent reports whether the merged estimates matched the
+	// baseline's single-accumulator estimates on the same data.
+	Equivalent bool `json:"equivalent"`
+}
+
+// clusterReport is the BENCH_cluster.json schema.
+type clusterReport struct {
+	Schema   int             `json:"schema"`
+	Baseline clusterResult   `json:"baseline"`
+	Results  []clusterResult `json:"results"`
+}
+
+// clusterSurvey reuses the readpath survey: every accumulator cell kind
+// is exercised, so the equivalence check covers Welford bins, choice
+// counts and the quality tally.
+func clusterSurvey() *survey.Survey {
+	sv := readpathSurvey()
+	sv.ID = "bench-cluster"
+	return sv
+}
+
+// clusterResponse builds the i-th deterministic response. Worker IDs
+// drive shard placement, so the same i lands on the same shard in every
+// configuration.
+func clusterResponse(sv *survey.Survey, i int) *survey.Response {
+	levels := []string{"none", "low", "medium", "high"}
+	lvl := levels[i%len(levels)]
+	rating := float64(1 + i%5)
+	q1 := rating
+	if i%68 == 0 {
+		if rating >= 3 {
+			q1 = rating - 2
+		} else {
+			q1 = rating + 2
+		}
+	}
+	return &survey.Response{
+		SurveyID:     sv.ID,
+		WorkerID:     fmt.Sprintf("w%07d", i),
+		PrivacyLevel: lvl,
+		Obfuscated:   lvl != "none",
+		Answers: []survey.Answer{
+			survey.RatingAnswer("q0", rating),
+			survey.RatingAnswer("q1", q1),
+			survey.ChoiceAnswer("q2", i%3),
+		},
+	}
+}
+
+// clusterHarness is one running configuration: a handler to drive and
+// the teardown stack behind it.
+type clusterHarness struct {
+	handler http.Handler
+	closers []func() error
+}
+
+func (h *clusterHarness) close() {
+	for i := len(h.closers) - 1; i >= 0; i-- {
+		_ = h.closers[i]()
+	}
+}
+
+// newStandaloneHarness builds the single-process baseline: one
+// fsync-per-append file store behind the classic server.
+func newStandaloneHarness(dir string, sv *survey.Survey) (*clusterHarness, error) {
+	st, err := store.OpenFile(filepath.Join(dir, "standalone.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	h := &clusterHarness{closers: []func() error{st.Close}}
+	srv, err := server.New(server.Config{Store: st, Schedule: core.DefaultSchedule(), RequesterToken: clusterToken})
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	h.closers = append(h.closers, srv.Close)
+	if err := st.PutSurvey(sv); err != nil {
+		h.close()
+		return nil, err
+	}
+	h.handler = srv
+	return h, nil
+}
+
+// newClusterHarness builds nodes in-process (real HTTP via httptest for
+// the shardrpc hop) and a frontend over them.
+func newClusterHarness(dir string, sv *survey.Survey, nodes int) (*clusterHarness, error) {
+	h := &clusterHarness{}
+	owned := shardrpc.RoundRobinPlacement(clusterShards, nodes)
+	clients := make([]*shardrpc.Client, nodes)
+	for n := 0; n < nodes; n++ {
+		stores := make([]store.Store, len(owned[n]))
+		for i, g := range owned[n] {
+			st, err := store.OpenFile(filepath.Join(dir, fmt.Sprintf("node%d-gshard%03d.jsonl", n, g)))
+			if err != nil {
+				h.close()
+				return nil, err
+			}
+			h.closers = append(h.closers, st.Close)
+			stores[i] = st
+		}
+		local, err := shardset.NewLocal(stores, shardset.LocalOptions{GlobalIDs: owned[n], Journal: true})
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			Router: local, Schedule: core.DefaultSchedule(),
+			RequesterToken: clusterToken, Role: "node",
+		})
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.closers = append(h.closers, srv.Close)
+		node, err := server.NewNode(srv, clusterShards)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		rpc, err := shardrpc.NewHandler(node, clusterToken)
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		ts := httptest.NewServer(rpc)
+		h.closers = append(h.closers, func() error { ts.Close(); return nil })
+		// One transport per node with enough idle conns that the submit
+		// workers are not throttled by connection churn.
+		hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clusterWorkers * 2}}
+		clients[n] = shardrpc.NewClient(ts.URL, clusterToken, hc)
+	}
+	remote, err := shardrpc.NewRemoteRoundRobin(clients, clusterShards)
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	frontend, err := server.New(server.Config{
+		Router: remote, Schedule: core.DefaultSchedule(),
+		RequesterToken: clusterToken, Role: "frontend",
+	})
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	h.closers = append(h.closers, frontend.Close)
+	if err := remote.PutSurvey(sv); err != nil {
+		h.close()
+		return nil, err
+	}
+	h.handler = frontend
+	return h, nil
+}
+
+// driveSubmits pushes n deterministic responses through the handler
+// with the configured worker count and returns accepted responses/sec.
+func driveSubmits(h http.Handler, sv *survey.Survey, n int) (float64, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, clusterWorkers)
+	next := make(chan int, clusterWorkers*2)
+	// failed gates the feeder: if every worker dies on a systematic
+	// error, feeding an unread channel would deadlock the bench instead
+	// of reporting the cause.
+	failed := make(chan struct{})
+	var failOnce sync.Once
+	start := time.Now()
+	for w := 0; w < clusterWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body, err := json.Marshal(clusterResponse(sv, i))
+				if err != nil {
+					errCh <- err
+					failOnce.Do(func() { close(failed) })
+					return
+				}
+				req := httptest.NewRequest(http.MethodPost, "/api/v1/surveys/"+sv.ID+"/responses", strings.NewReader(string(body)))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusCreated {
+					errCh <- fmt.Errorf("submit %d: HTTP %d: %s", i, rec.Code, rec.Body.String())
+					failOnce.Do(func() { close(failed) })
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-failed:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+// fetchAggregate reads the /aggregate payload once.
+func fetchAggregate(h http.Handler, surveyID string) (*server.AggregateResult, error) {
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/surveys/"+surveyID+"/aggregate", nil)
+	req.Header.Set("Authorization", "Bearer "+clusterToken)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("aggregate HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	var out server.AggregateResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// aggregatesEquivalent compares two /aggregate payloads: integer counts
+// must match exactly, float fields to within accumulation-order noise
+// (merging per-shard Welford partials reorders IEEE-754 operations, so
+// bit-identity across fold orders is not a meaningful target; 1e-9
+// relative is far below any statistical meaning the estimates carry).
+func aggregatesEquivalent(a, b *server.AggregateResult) error {
+	feq := func(x, y float64, what string) error {
+		tol := 1e-9 * math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+		if math.Abs(x-y) > tol {
+			return fmt.Errorf("%s: %v vs %v", what, x, y)
+		}
+		return nil
+	}
+	if len(a.Questions) != len(b.Questions) || len(a.Choices) != len(b.Choices) {
+		return fmt.Errorf("shape mismatch: %d/%d questions, %d/%d choices",
+			len(a.Questions), len(b.Questions), len(a.Choices), len(b.Choices))
+	}
+	for i := range a.Questions {
+		qa, qb := &a.Questions[i], &b.Questions[i]
+		if qa.QuestionID != qb.QuestionID || qa.OverallN != qb.OverallN {
+			return fmt.Errorf("question %s: n %d vs %d", qa.QuestionID, qa.OverallN, qb.OverallN)
+		}
+		if err := feq(qa.OverallMean, qb.OverallMean, qa.QuestionID+" overall mean"); err != nil {
+			return err
+		}
+		if err := feq(qa.PooledMean, qb.PooledMean, qa.QuestionID+" pooled mean"); err != nil {
+			return err
+		}
+		for l := range qa.Bins {
+			ba, bb := &qa.Bins[l], &qb.Bins[l]
+			if ba.N != bb.N {
+				return fmt.Errorf("question %s bin %d: n %d vs %d", qa.QuestionID, l, ba.N, bb.N)
+			}
+			if err := feq(ba.Mean, bb.Mean, fmt.Sprintf("%s bin %d mean", qa.QuestionID, l)); err != nil {
+				return err
+			}
+			if err := feq(ba.Variance, bb.Variance, fmt.Sprintf("%s bin %d variance", qa.QuestionID, l)); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range a.Choices {
+		ca, cb := &a.Choices[i], &b.Choices[i]
+		if ca.QuestionID != cb.QuestionID || ca.N != cb.N {
+			return fmt.Errorf("choice %s: n %d vs %d", ca.QuestionID, ca.N, cb.N)
+		}
+		for c := range ca.Observed {
+			if ca.Observed[c] != cb.Observed[c] {
+				return fmt.Errorf("choice %s option %d: observed %d vs %d", ca.QuestionID, c, ca.Observed[c], cb.Observed[c])
+			}
+			if err := feq(ca.Estimated[c], cb.Estimated[c], fmt.Sprintf("%s option %d estimate", ca.QuestionID, c)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// measureReads runs aggregate queries for a short window and returns
+// (queries/sec, mean latency).
+func measureReads(h http.Handler, surveyID string) (float64, time.Duration, error) {
+	qps, err := measure(300*time.Millisecond, 20, func() error {
+		_, err := fetchAggregate(h, surveyID)
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return qps, time.Duration(float64(time.Second) / qps), nil
+}
+
+// runClusterBench measures the baseline and every configured node
+// count, asserts read equivalence, and writes the report.
+func runClusterBench(nodeCounts []int) error {
+	sv := clusterSurvey()
+	report := clusterReport{Schema: 1}
+
+	// Baseline: single process, one fsync stream.
+	baseDir, err := os.MkdirTemp("", "loki-bench-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(baseDir)
+	base, err := newStandaloneHarness(baseDir, sv)
+	if err != nil {
+		return err
+	}
+	baseRPS, err := driveSubmits(base.handler, sv, clusterResponses)
+	if err != nil {
+		base.close()
+		return fmt.Errorf("cluster bench: baseline submits: %w", err)
+	}
+	baseAgg, err := fetchAggregate(base.handler, sv.ID)
+	if err != nil {
+		base.close()
+		return err
+	}
+	baseQPS, baseLat, err := measureReads(base.handler, sv.ID)
+	if err != nil {
+		base.close()
+		return err
+	}
+	base.close()
+	report.Baseline = clusterResult{
+		Nodes: 0, Shards: 1, Responses: clusterResponses, Workers: clusterWorkers,
+		SubmitRPS: baseRPS, ReadQPS: baseQPS, ReadMillis: float64(baseLat) / 1e6, Equivalent: true,
+	}
+
+	for _, nodes := range nodeCounts {
+		dir, err := os.MkdirTemp("", "loki-bench-cluster-*")
+		if err != nil {
+			return err
+		}
+		h, err := newClusterHarness(dir, sv, nodes)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		rps, err := driveSubmits(h.handler, sv, clusterResponses)
+		if err != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return fmt.Errorf("cluster bench: %d-node submits: %w", nodes, err)
+		}
+		agg, err := fetchAggregate(h.handler, sv.ID)
+		if err != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return err
+		}
+		eqErr := aggregatesEquivalent(agg, baseAgg)
+		if eqErr != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return fmt.Errorf("cluster bench: %d-node merged read diverged from the single-accumulator path: %w", nodes, eqErr)
+		}
+		qps, lat, err := measureReads(h.handler, sv.ID)
+		if err != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return err
+		}
+		h.close()
+		os.RemoveAll(dir)
+		report.Results = append(report.Results, clusterResult{
+			Nodes: nodes, Shards: clusterShards, Responses: clusterResponses, Workers: clusterWorkers,
+			SubmitRPS: rps, SubmitSpeedup: rps / baseRPS,
+			ReadQPS: qps, ReadMillis: float64(lat) / 1e6, Equivalent: true,
+		})
+	}
+
+	fmt.Fprintln(out, "CLUSTER — frontend + N nodes vs single process, fsync-per-append stores, merged reads verified against the single-accumulator path")
+	b := report.Baseline
+	fmt.Fprintf(out, "  single    submit %9.0f r/s              reads %8.0f q/s  (%.2fms)\n", b.SubmitRPS, b.ReadQPS, b.ReadMillis)
+	for _, r := range report.Results {
+		fmt.Fprintf(out, "  %d nodes   submit %9.0f r/s  (%5.2fx)    reads %8.0f q/s  (%.2fms)  merged==single: %v\n",
+			r.Nodes, r.SubmitRPS, r.SubmitSpeedup, r.ReadQPS, r.ReadMillis, r.Equivalent)
+	}
+	fmt.Fprintln(out)
+
+	if clusterJSONPath != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(clusterJSONPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("cluster bench: write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// parseClusterNodes parses the -cluster-nodes flag.
+func parseClusterNodes(s string) ([]int, error) {
+	var nodes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("cluster bench: bad node count %q", part)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

@@ -41,6 +41,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"ingest", "ingest throughput: responses/sec per store backend and shard count"},
 	{"readpath", "read path: aggregate queries/sec, batch recompute vs live accumulator"},
 	{"restart", "restart: first-read latency, whole-backlog rescan vs checkpoint restore"},
+	{"cluster", "cluster: N nodes + frontend vs single process; merged-read equivalence"},
 }
 
 func main() {
@@ -58,6 +59,14 @@ func main() {
 		"where the restart experiment writes its machine-readable report (empty disables)")
 	flag.StringVar(&restartSizesFlag, "restart-sizes", restartSizesFlag,
 		"comma-separated stored-response counts the restart experiment measures")
+	flag.StringVar(&clusterJSONPath, "cluster-json", clusterJSONPath,
+		"where the cluster experiment writes its machine-readable report (empty disables)")
+	flag.StringVar(&clusterNodesFlag, "cluster-nodes", clusterNodesFlag,
+		"comma-separated node counts the cluster experiment measures")
+	flag.IntVar(&clusterResponses, "cluster-responses", clusterResponses,
+		"responses the cluster experiment submits per configuration")
+	flag.IntVar(&clusterWorkers, "cluster-workers", clusterWorkers,
+		"concurrent submit workers in the cluster experiment")
 	flag.Parse()
 
 	if *list {
@@ -227,6 +236,15 @@ func run(sel func(...string) bool, seed uint64) error {
 			return err
 		}
 		if err := runRestartBench(sizes); err != nil {
+			return err
+		}
+	}
+	if sel("cluster") {
+		nodes, err := parseClusterNodes(clusterNodesFlag)
+		if err != nil {
+			return err
+		}
+		if err := runClusterBench(nodes); err != nil {
 			return err
 		}
 	}

@@ -151,10 +151,16 @@ func measureRestart(st store.Store, dir, surveyID, token string, n int) (*restar
 	if err := ck.Close(); err != nil {
 		return nil, err
 	}
+	// The log is a directory of per-survey files now; sum them.
 	var ckptBytes int64
-	if fi, err := os.Stat(filepath.Join(dir, "checkpoints.jsonl")); err == nil {
-		ckptBytes = fi.Size()
-	}
+	_ = filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			if fi, ferr := d.Info(); ferr == nil {
+				ckptBytes += fi.Size()
+			}
+		}
+		return nil
+	})
 
 	res := &restartResult{Responses: n, CheckpointBytes: ckptBytes}
 	for trial := 0; trial < restartTrials; trial++ {

@@ -7,6 +7,27 @@
 //	loki-server -addr :8080 -token secret -store loki.jsonl -seed-catalog
 //	loki-server -store ingest:/var/lib/loki -shards 8 -commit-interval 1ms
 //
+// Cluster roles (-role):
+//
+//	standalone  (default) one process owns everything — the classic
+//	            deployment; responses live on one logical shard.
+//	node        owns a subset of the cluster's shard space and serves
+//	            the internal shardrpc transport (submit-batch, cursor
+//	            scans, partial-aggregate snapshots, WAL-tail shipping)
+//	            alongside the public API. Configure with -cluster-shards
+//	            (global shard count), -cluster-nodes (cluster size) and
+//	            -node-index (this node's slot); the node owns every
+//	            shard s with s % cluster-nodes == node-index. Each owned
+//	            shard gets its own store (subdirectory for durable
+//	            backends).
+//	frontend    owns no storage: routes submissions to the nodes in
+//	            -peers by the cluster-wide placement hash and answers
+//	            reads by fetching every shard's partial accumulator and
+//	            Merging at query time.
+//	replica     tails the node at -follow via WAL shipping and serves
+//	            the read-only half of the public API with a staleness
+//	            cursor on the admin surface. Submits/publishes get 403.
+//
 // With -store mem the server keeps everything in memory; with -store
 // ingest:DIR it opens the sharded segmented-WAL ingest store rooted at
 // DIR (tuned by -shards, -commit-interval and -segment-bytes); otherwise
@@ -14,17 +35,18 @@
 // store. -seed-catalog publishes the paper's survey catalog on startup
 // so a fresh server has something to serve.
 //
-// -checkpoint-dir DIR enables durable live-aggregate checkpoints: the
-// server periodically (-checkpoint-interval) persists each survey's
-// accumulator state plus store cursor, so after a restart the first read
-// scans only the store tail beyond the checkpoint instead of the whole
-// backlog.
+// -checkpoint-dir DIR enables durable live-aggregate checkpoints (one
+// file per survey, one record per shard): the server periodically
+// (-checkpoint-interval) persists each shard partial's state plus
+// cursor, so after a restart the first read scans only each shard's
+// tail beyond its own checkpoint.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -37,9 +59,23 @@ import (
 	"loki/internal/core"
 	"loki/internal/ingest"
 	"loki/internal/server"
+	"loki/internal/shardrpc"
+	"loki/internal/shardset"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
+
+// clusterFlags carries the -role wiring.
+type clusterFlags struct {
+	role          string
+	peers         string // frontend: comma-separated node base URLs
+	follow        string // replica: node base URL
+	clusterShards int    // node/frontend: global shard count
+	clusterNodes  int    // node: cluster size (for ownership)
+	nodeIndex     int    // node: this node's slot
+	clusterToken  string // shardrpc bearer token (defaults to -token)
+	pollInterval  time.Duration
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -52,11 +88,23 @@ func main() {
 	idleCompact := flag.Duration("idle-compact", time.Minute, "ingest store: compact a shard's WAL tail after this long without commits (negative disables)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable live-aggregate checkpoints (empty disables; restart catch-up then rescans whole backlogs)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 15*time.Second, "background checkpointer flush period")
+	var cf clusterFlags
+	flag.StringVar(&cf.role, "role", "standalone", "deployment role: standalone, node, frontend or replica")
+	flag.StringVar(&cf.peers, "peers", "", "frontend: comma-separated node base URLs (http://host:port), in node-index order")
+	flag.StringVar(&cf.follow, "follow", "", "replica: base URL of the node to tail")
+	flag.IntVar(&cf.clusterShards, "cluster-shards", 8, "node/frontend: global shard count (fixed for the cluster's lifetime)")
+	flag.IntVar(&cf.clusterNodes, "cluster-nodes", 1, "node: number of nodes in the cluster")
+	flag.IntVar(&cf.nodeIndex, "node-index", 0, "node: this node's slot in [0, cluster-nodes)")
+	flag.StringVar(&cf.clusterToken, "cluster-token", "", "bearer token for the internal shardrpc transport (defaults to -token)")
+	flag.DurationVar(&cf.pollInterval, "replica-poll", 500*time.Millisecond, "replica: journal tail poll interval")
 	flag.Parse()
 
+	if cf.clusterToken == "" {
+		cf.clusterToken = *token
+	}
 	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes, IdleCompact: *idleCompact}
 	logger := log.New(os.Stderr, "loki-server ", log.LstdFlags)
-	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, *checkpointDir, *checkpointEvery, logger); err != nil {
+	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, *checkpointDir, *checkpointEvery, cf, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -74,57 +122,232 @@ func openStore(storePath string, icfg ingest.Config) (store.Store, error) {
 	}
 }
 
-func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, checkpointDir string, checkpointEvery time.Duration, logger *log.Logger) error {
-	st, err := openStore(storePath, icfg)
+// openShardStore resolves the -store flag for one owned global shard of
+// a node: durable backends get a per-shard location derived from the
+// configured one.
+func openShardStore(storePath string, icfg ingest.Config, globalShard int) (store.Store, error) {
+	switch {
+	case storePath == "mem":
+		return store.NewMem(), nil
+	case strings.HasPrefix(storePath, "ingest:"):
+		dir := strings.TrimPrefix(storePath, "ingest:")
+		return ingest.Open(fmt.Sprintf("%s/gshard-%03d", dir, globalShard), icfg)
+	default:
+		return store.OpenFile(fmt.Sprintf("%s.gshard-%03d", storePath, globalShard))
+	}
+}
+
+// ownedShards returns the global shards a node slot owns. The
+// placement itself lives in shardrpc.RoundRobinPlacement — the same
+// function the frontend routes by — so node ownership and frontend
+// routing cannot drift apart.
+func ownedShards(clusterShards, clusterNodes, nodeIndex int) ([]int, error) {
+	if clusterShards < 1 {
+		return nil, fmt.Errorf("cluster-shards %d < 1", clusterShards)
+	}
+	if clusterNodes < 1 || nodeIndex < 0 || nodeIndex >= clusterNodes {
+		return nil, fmt.Errorf("node-index %d outside [0, %d)", nodeIndex, clusterNodes)
+	}
+	owned := shardrpc.RoundRobinPlacement(clusterShards, clusterNodes)[nodeIndex]
+	if len(owned) == 0 {
+		return nil, fmt.Errorf("node %d of %d owns no shards of %d", nodeIndex, clusterNodes, clusterShards)
+	}
+	return owned, nil
+}
+
+// openCheckpoints opens the checkpoint log when enabled, logging its
+// replayed state.
+func openCheckpoints(dir string, every time.Duration, logger *log.Logger) (*checkpoint.Log, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	ckpt, err := checkpoint.Open(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer st.Close()
+	logger.Printf("checkpointing live aggregates to %s every %v (%d surveys on record)", dir, every, ckpt.Len())
+	if n := ckpt.CorruptRecords(); n > 0 {
+		logger.Printf("checkpoint log had %d unreadable records (skipped); affected shards rebuild from the store", n)
+	}
+	return ckpt, nil
+}
 
-	if seedCatalog {
-		if err := seedStore(st, logger); err != nil {
-			return err
+// publisher is the seeding surface both a bare store and a shard router
+// provide.
+type publisher interface {
+	PutSurvey(*survey.Survey) error
+}
+
+func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, checkpointDir string, checkpointEvery time.Duration, cf clusterFlags, logger *log.Logger) error {
+	var handler http.Handler
+	var closers []func() error
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			if err := closers[i](); err != nil {
+				logger.Printf("shutdown: %v", err)
+			}
 		}
-	}
+	}()
 
-	var ckpt *checkpoint.Log
-	if checkpointDir != "" {
-		ckpt, err = checkpoint.Open(checkpointDir)
+	switch cf.role {
+	case "standalone":
+		st, err := openStore(storePath, icfg)
 		if err != nil {
 			return err
 		}
-		defer ckpt.Close()
-		logger.Printf("checkpointing live aggregates to %s every %v (%d surveys on record)",
-			checkpointDir, checkpointEvery, ckpt.Len())
-		if n := ckpt.CorruptRecords(); n > 0 {
-			logger.Printf("checkpoint log had %d unreadable records (skipped); affected surveys rebuild from the store", n)
+		closers = append(closers, st.Close)
+		if seedCatalog {
+			if err := seedStore(st, logger); err != nil {
+				return err
+			}
 		}
-	}
+		ckpt, err := openCheckpoints(checkpointDir, checkpointEvery, logger)
+		if err != nil {
+			return err
+		}
+		if ckpt != nil {
+			closers = append(closers, ckpt.Close)
+		}
+		srv, err := server.New(server.Config{
+			Store:              st,
+			Schedule:           core.DefaultSchedule(),
+			RequesterToken:     token,
+			Logger:             logger,
+			Checkpoints:        ckpt,
+			CheckpointInterval: checkpointEvery,
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, srv.Close)
+		handler = srv
 
-	srv, err := server.New(server.Config{
-		Store:              st,
-		Schedule:           core.DefaultSchedule(),
-		RequesterToken:     token,
-		Logger:             logger,
-		Checkpoints:        ckpt,
-		CheckpointInterval: checkpointEvery,
-	})
-	if err != nil {
-		return err
+	case "node":
+		owned, err := ownedShards(cf.clusterShards, cf.clusterNodes, cf.nodeIndex)
+		if err != nil {
+			return err
+		}
+		stores := make([]store.Store, len(owned))
+		for i, g := range owned {
+			st, err := openShardStore(storePath, icfg, g)
+			if err != nil {
+				return err
+			}
+			closers = append(closers, st.Close)
+			stores[i] = st
+		}
+		local, err := shardset.NewLocal(stores, shardset.LocalOptions{GlobalIDs: owned, Journal: true})
+		if err != nil {
+			return err
+		}
+		if seedCatalog {
+			if err := seedStore(local, logger); err != nil {
+				return err
+			}
+		}
+		ckpt, err := openCheckpoints(checkpointDir, checkpointEvery, logger)
+		if err != nil {
+			return err
+		}
+		if ckpt != nil {
+			closers = append(closers, ckpt.Close)
+		}
+		srv, err := server.New(server.Config{
+			Router:             local,
+			Schedule:           core.DefaultSchedule(),
+			RequesterToken:     token,
+			Logger:             logger,
+			Checkpoints:        ckpt,
+			CheckpointInterval: checkpointEvery,
+			Role:               "node",
+			ClusterShards:      cf.clusterShards,
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, srv.Close)
+		node, err := server.NewNode(srv, cf.clusterShards)
+		if err != nil {
+			return err
+		}
+		rpc, err := shardrpc.NewHandler(node, cf.clusterToken)
+		if err != nil {
+			return err
+		}
+		logger.Printf("node %d/%d owns global shards %v", cf.nodeIndex, cf.clusterNodes, owned)
+		mux := http.NewServeMux()
+		mux.Handle("/shardrpc/", rpc)
+		mux.Handle("/", srv)
+		handler = mux
+
+	case "frontend":
+		if cf.peers == "" {
+			return errors.New("frontend needs -peers")
+		}
+		var clients []*shardrpc.Client
+		for _, p := range strings.Split(cf.peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			clients = append(clients, shardrpc.NewClient(p, cf.clusterToken, nil))
+		}
+		if len(clients) == 0 {
+			return errors.New("frontend needs at least one peer")
+		}
+		remote, err := shardrpc.NewRemoteRoundRobin(clients, cf.clusterShards)
+		if err != nil {
+			return err
+		}
+		if seedCatalog {
+			if err := seedStore(remote, logger); err != nil {
+				return err
+			}
+		}
+		srv, err := server.New(server.Config{
+			Router:         remote,
+			Schedule:       core.DefaultSchedule(),
+			RequesterToken: token,
+			Logger:         logger,
+			Role:           "frontend",
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, srv.Close)
+		logger.Printf("frontend routing %d shards across %d nodes", cf.clusterShards, len(clients))
+		handler = srv
+
+	case "replica":
+		if cf.follow == "" {
+			return errors.New("replica needs -follow")
+		}
+		rep, err := server.NewReplica(server.ReplicaConfig{
+			Client:         shardrpc.NewClient(cf.follow, cf.clusterToken, nil),
+			Schedule:       core.DefaultSchedule(),
+			RequesterToken: token,
+			Logger:         logger,
+			PollInterval:   cf.pollInterval,
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, rep.Close)
+		logger.Printf("replica tailing %s every %v", cf.follow, cf.pollInterval)
+		handler = rep
+
+	default:
+		return fmt.Errorf("unknown role %q (standalone, node, frontend, replica)", cf.role)
 	}
-	// On shutdown, stop the checkpointer after a final flush so the next
-	// start resumes from everything folded (closed before ckpt/st by
-	// LIFO defer order).
-	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", addr)
+		logger.Printf("listening on %s (%s)", addr, cf.role)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -141,14 +364,16 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 	}
 }
 
-// seedStore publishes the paper's survey catalog, skipping surveys that a
-// replayed durable store already holds.
-func seedStore(st store.Store, logger *log.Logger) error {
+// seedStore publishes the paper's survey catalog, skipping surveys that
+// a replayed durable store already holds. It seeds through whatever
+// publish surface the role has: a bare store, a local shard set, or a
+// frontend's remote router.
+func seedStore(dst publisher, logger *log.Logger) error {
 	lecturers := []string{"Dr. Ada", "Dr. Babbage", "Dr. Curie", "Dr. Dijkstra"}
 	catalog := append(survey.ProfilingSurveys(),
 		survey.Health(), survey.Awareness(), survey.Lecturers(lecturers))
 	for _, sv := range catalog {
-		if err := st.PutSurvey(sv); err != nil {
+		if err := dst.PutSurvey(sv); err != nil {
 			if errors.Is(err, store.ErrExists) {
 				continue // already present in a replayed store
 			}

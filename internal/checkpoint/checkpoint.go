@@ -2,36 +2,51 @@
 // resumes folding from where it left off instead of rescanning every
 // survey's whole response backlog.
 //
-// The log is a single JSON-lines file (checkpoints.jsonl) of Records:
-// each line carries one survey's aggregate.AccumulatorState, the store
-// cursor (highest sequence number folded in), and a fingerprint of the
-// survey definition the state was folded under. Later lines supersede
-// earlier ones for the same survey; a Record with a nil State is a
-// tombstone (the survey's checkpoint was invalidated, e.g. by a
-// republish). Open replays the log with the same torn-tail truncation as
-// every other JSON-lines log in the system, so a crash mid-append costs
-// at most the last record — the reader falls back to that survey's
-// previous checkpoint and scans a slightly longer tail.
+// The log is a directory of JSON-lines files, one per survey
+// (surveys/<hex(survey-id)>.jsonl), each holding Records: one line
+// carries one shard's partial aggregate.AccumulatorState, the per-shard
+// cursor (highest sequence number folded in), the shard layout it was
+// taken under, and a fingerprint of the survey definition the state was
+// folded under. Later lines supersede earlier ones for the same (survey,
+// shard); a Record with a nil State is a whole-survey tombstone (the
+// survey's checkpoints were invalidated, e.g. by a republish). Files are
+// opened lazily on first write and replayed in parallel on Open — the
+// per-survey split is what lets restore parallelize across surveys
+// instead of grinding through one interleaved log.
+//
+// Migration: a single-file log from earlier versions
+// (checkpoints.jsonl) is still replayed, before the per-survey files, so
+// its records are superseded by anything newer and shadowed by
+// tombstones. New writes only ever go to per-survey files; the legacy
+// file is left untouched for rollback.
+//
+// Open replays every file with the same torn-tail truncation as every
+// other JSON-lines log in the system, so a crash mid-append costs at
+// most the last record — the reader falls back to that shard's previous
+// checkpoint and scans a slightly longer tail.
 //
 // Checkpoints are an optimization, never the source of truth: the store
 // is. A missing, stale, or invalidated checkpoint only means more
 // catch-up scanning; it can never change an aggregate's value, because
-// restore validates the definition fingerprint and the accumulator shape
-// before trusting any state.
+// restore validates the definition fingerprint, the shard layout and
+// the accumulator shape before trusting any state.
 //
-// The log rewrites itself (tmp + rename + dir sync) once enough
-// superseded lines accumulate, so its size tracks the number of live
-// surveys, not the number of checkpoints ever taken.
+// Each per-survey file rewrites itself (tmp + rename + dir sync) once
+// enough superseded lines accumulate, so its size tracks the survey's
+// live shard count, not the number of checkpoints ever taken.
 package checkpoint
 
 import (
 	"bufio"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,23 +55,36 @@ import (
 )
 
 const (
-	logName   = "checkpoints.jsonl"
-	tmpSuffix = ".tmp"
+	legacyLogName = "checkpoints.jsonl"
+	surveysDir    = "surveys"
+	logSuffix     = ".jsonl"
+	tmpSuffix     = ".tmp"
 )
 
-// Record is one survey's durable checkpoint: resumable fold state plus
-// the coordinates needed to trust it.
+// Record is one shard's durable checkpoint for one survey: resumable
+// partial fold state plus the coordinates needed to trust it.
 type Record struct {
 	SurveyID string `json:"survey_id"`
+	// Shard is the GLOBAL shard index the partial covers, and
+	// ShardCount the global (cluster-wide) shard count of the placement
+	// when the checkpoint was taken — together the identity of the
+	// stream slice the state folds, stable across a node being
+	// redeployed onto a different shard subset. State from a different
+	// layout slices the stream differently and must not be restored.
+	// Records persisted before sharding carry neither field and read as
+	// shard 0 of 1 (see NumShards).
+	Shard      int `json:"shard,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 	// Fingerprint is survey.Fingerprint() of the definition the state
 	// was folded under. Restore must reject state whose fingerprint does
 	// not match the current definition: its bins were laid out for a
 	// different question set.
 	Fingerprint string `json:"fingerprint"`
-	// Cursor is the highest store sequence number folded into State;
-	// catch-up resumes the scan strictly after it.
+	// Cursor is the highest per-shard sequence number folded into
+	// State; catch-up resumes the shard's scan strictly after it.
 	Cursor uint64 `json:"cursor"`
-	// State is the accumulator snapshot. Nil marks a tombstone.
+	// State is the accumulator snapshot. Nil marks a whole-survey
+	// tombstone.
 	State *aggregate.AccumulatorState `json:"state,omitempty"`
 	// SavedUnixNano is when the checkpoint was taken (for the admin
 	// surface's checkpoint-age report).
@@ -66,19 +94,39 @@ type Record struct {
 // SavedAt returns the checkpoint's capture time.
 func (r *Record) SavedAt() time.Time { return time.Unix(0, r.SavedUnixNano) }
 
+// NumShards returns the shard layout the record was taken under;
+// records from pre-sharding logs read as a one-shard layout.
+func (r *Record) NumShards() int {
+	if r.ShardCount <= 0 {
+		return 1
+	}
+	return r.ShardCount
+}
+
+// surveyFile is one survey's lazily opened append handle.
+type surveyFile struct {
+	f *os.File
+	w *bufio.Writer
+	// appended counts lines written since the last rewrite; once it
+	// sufficiently exceeds the survey's live shard-record count the
+	// file compacts.
+	appended int
+}
+
 // Log is a durable checkpoint log rooted in one directory. It is safe
 // for concurrent use.
 type Log struct {
-	dir  string
-	path string
+	dir string
 
-	mu   sync.Mutex
-	recs map[string]*Record
-	f    *os.File
-	w    *bufio.Writer
-	// appended counts lines written since the last rewrite; once it
-	// sufficiently exceeds the live record count the log compacts.
-	appended int
+	mu sync.Mutex
+	// recs maps survey -> shard -> record.
+	recs map[string]map[int]*Record
+	// legacy marks surveys whose records came (only) from the legacy
+	// single-file log: dropping such a survey must leave a durable
+	// tombstone in its per-survey file, or the legacy record would
+	// resurrect on the next Open.
+	legacy map[string]bool
+	files  map[string]*surveyFile
 	// err is the first I/O failure, sticky: after a failed write or
 	// fsync the on-disk tail is unknowable, so further appends could
 	// interleave with the buffered wreckage. Reads keep serving the
@@ -86,83 +134,190 @@ type Log struct {
 	err error
 	// corrupt counts unreadable records Open skipped.
 	corrupt int
+	closed  bool
 }
 
-// Open replays (or creates) the checkpoint log in dir. A torn trailing
-// line from a crashed append is truncated away; unreadable interior
-// records are skipped and counted (CorruptRecords), never a refused
-// open — the log is advisory and the store rebuilds anything it cannot
-// provide.
+// surveyFileName encodes a survey ID into a filesystem-safe name. Hex
+// is clunky but collision-free for arbitrary IDs, and the records
+// inside carry the real ID.
+func surveyFileName(surveyID string) string {
+	return hex.EncodeToString([]byte(surveyID)) + logSuffix
+}
+
+// Open replays (or creates) the checkpoint log in dir: the legacy
+// single-file log first (if present), then every per-survey file, in
+// parallel across surveys. A torn trailing line from a crashed append
+// is truncated away; unreadable interior records are skipped and
+// counted (CorruptRecords), never a refused open — the log is advisory
+// and the store rebuilds anything it cannot provide.
 func Open(dir string) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, surveysDir), 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: mkdir %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, path: filepath.Join(dir, logName), recs: make(map[string]*Record)}
-	err := store.ReplayLines(l.path, true, func(line []byte) error {
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.SurveyID == "" {
-			// Checkpoints are advisory: an unreadable record costs the
-			// affected survey a longer catch-up scan, never a refused
-			// startup — the store can rebuild every accumulator. Skipped
-			// records are counted (CorruptRecords) so the operator hears
-			// about the damage, and the next compaction rewrites the log
-			// clean.
-			l.corrupt++
-			return nil
-		}
-		if rec.State == nil {
-			delete(l.recs, rec.SurveyID) // tombstone
-		} else {
-			l.recs[rec.SurveyID] = &rec
+	l := &Log{
+		dir:    dir,
+		recs:   make(map[string]map[int]*Record),
+		legacy: make(map[string]bool),
+		files:  make(map[string]*surveyFile),
+	}
+	// Legacy single-file log: replayed first so per-survey files
+	// supersede and tombstone it.
+	err := store.ReplayLines(filepath.Join(dir, legacyLogName), true, func(line []byte) error {
+		if rec, ok := l.decode(line); ok {
+			l.applyLocked(rec)
+			l.legacy[rec.SurveyID] = true
 		}
 		return nil
 	})
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
-	if err := l.openForAppend(); err != nil {
+	if err := l.replaySurveyFiles(); err != nil {
 		return nil, err
 	}
 	return l, nil
 }
 
-func (l *Log) openForAppend() error {
-	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY, 0o644)
+// decode parses one record line, counting (not failing on) garbage.
+func (l *Log) decode(line []byte) (*Record, bool) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil || rec.SurveyID == "" {
+		// Checkpoints are advisory: an unreadable record costs the
+		// affected shard a longer catch-up scan, never a refused
+		// startup — the store can rebuild every accumulator. Skipped
+		// records are counted (CorruptRecords) so the operator hears
+		// about the damage, and the next compaction rewrites the file
+		// clean.
+		l.corrupt++
+		return nil, false
+	}
+	return &rec, true
+}
+
+// applyLocked folds one replayed record into the in-memory state.
+func (l *Log) applyLocked(rec *Record) {
+	if rec.State == nil {
+		delete(l.recs, rec.SurveyID) // whole-survey tombstone
+		return
+	}
+	shards := l.recs[rec.SurveyID]
+	if shards == nil {
+		shards = make(map[int]*Record)
+		l.recs[rec.SurveyID] = shards
+	}
+	shards[rec.Shard] = rec
+}
+
+// replaySurveyFiles loads every per-survey file, fanning the replay out
+// across a small worker pool — the restore-parallelism the per-survey
+// layout exists for. Each file touches only its own survey's keys, so
+// workers only contend on the map mutex for an instant per record.
+func (l *Log) replaySurveyFiles() error {
+	entries, err := os.ReadDir(filepath.Join(l.dir, surveysDir))
 	if err != nil {
-		return fmt.Errorf("checkpoint: open %s: %w", l.path, err)
+		return fmt.Errorf("checkpoint: list %s: %w", filepath.Join(l.dir, surveysDir), err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return fmt.Errorf("checkpoint: seek %s: %w", l.path, err)
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, logSuffix) {
+			if strings.HasSuffix(name, tmpSuffix) {
+				// A crash mid-compaction left a temp file; it was never
+				// visible, so it is garbage.
+				_ = os.Remove(filepath.Join(l.dir, surveysDir, name))
+			}
+			continue
+		}
+		names = append(names, name)
 	}
-	l.f = f
-	l.w = bufio.NewWriter(f)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers < 1 {
+		return nil
+	}
+	type fileState struct {
+		recs    []*Record
+		corrupt int
+	}
+	work := make(chan int)
+	states := make([]fileState, len(names))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				st := &states[i]
+				err := store.ReplayLines(filepath.Join(l.dir, surveysDir, names[i]), true, func(line []byte) error {
+					var rec Record
+					if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.SurveyID == "" {
+						st.corrupt++
+						return nil
+					}
+					st.recs = append(st.recs, &rec)
+					return nil
+				})
+				if err != nil && !errors.Is(err, os.ErrNotExist) && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for i := range names {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Apply sequentially: within a file, order matters (tombstones
+	// shadow earlier records); across files it does not (distinct
+	// surveys).
+	for i := range states {
+		l.corrupt += states[i].corrupt
+		for _, rec := range states[i].recs {
+			l.applyLocked(rec)
+		}
+	}
 	return nil
 }
 
-// Get returns the survey's current checkpoint, or false if none. The
-// caller must not mutate the record or its state (RestoreAccumulator
-// copies out of it).
-func (l *Log) Get(surveyID string) (*Record, bool) {
+// GetShard returns the survey's current checkpoint for one shard, or
+// false if none. The caller must not mutate the record or its state
+// (RestoreAccumulator copies out of it).
+func (l *Log) GetShard(surveyID string, shard int) (*Record, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	rec, ok := l.recs[surveyID]
+	rec, ok := l.recs[surveyID][shard]
 	return rec, ok
 }
+
+// Get returns the survey's shard-0 checkpoint — the whole checkpoint in
+// a single-shard deployment.
+func (l *Log) Get(surveyID string) (*Record, bool) { return l.GetShard(surveyID, 0) }
 
 // Records returns every live checkpoint record (no tombstones), in
 // unspecified order. Callers must not mutate the records.
 func (l *Log) Records() []*Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]*Record, 0, len(l.recs))
-	for _, rec := range l.recs {
-		out = append(out, rec)
+	var out []*Record
+	for _, shards := range l.recs {
+		for _, rec := range shards {
+			out = append(out, rec)
+		}
 	}
 	return out
 }
 
-// Len returns the number of live checkpoint records.
+// Len returns the number of surveys holding at least one live
+// checkpoint record.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -170,7 +325,7 @@ func (l *Log) Len() int {
 }
 
 // CorruptRecords returns how many unreadable records Open skipped —
-// nonzero means the log was damaged and some surveys may restart with a
+// nonzero means a file was damaged and some shards may restart with a
 // longer (or whole-backlog) catch-up scan.
 func (l *Log) CorruptRecords() int {
 	l.mu.Lock()
@@ -178,58 +333,109 @@ func (l *Log) CorruptRecords() int {
 	return l.corrupt
 }
 
-// Put durably appends a checkpoint record: by the time it returns nil,
-// the record is written and fsynced. Superseded lines are rewritten away
-// once they outnumber the live records enough.
+// ensureFileLocked lazily opens (creating if necessary) the survey's
+// append handle. Caller holds mu.
+func (l *Log) ensureFileLocked(surveyID string) (*surveyFile, error) {
+	if sf, ok := l.files[surveyID]; ok {
+		return sf, nil
+	}
+	path := filepath.Join(l.dir, surveysDir, surveyFileName(surveyID))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seek %s: %w", path, err)
+	}
+	sf := &surveyFile{f: f, w: bufio.NewWriter(f)}
+	l.files[surveyID] = sf
+	return sf, nil
+}
+
+// Put durably appends a checkpoint record to its survey's file: by the
+// time it returns nil, the record is written and fsynced. Superseded
+// lines are rewritten away once they outnumber the live records enough.
 func (l *Log) Put(rec *Record) error {
 	if rec.SurveyID == "" || rec.State == nil {
 		return errors.New("checkpoint: Put needs a survey ID and state")
 	}
+	if rec.Shard < 0 {
+		return fmt.Errorf("checkpoint: Put with negative shard %d", rec.Shard)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.appendLocked(rec); err != nil {
+	if err := l.appendLocked(rec.SurveyID, rec); err != nil {
 		return err
 	}
-	l.recs[rec.SurveyID] = rec
-	return l.maybeCompactLocked()
+	l.applyLocked(rec)
+	return l.maybeCompactLocked(rec.SurveyID)
 }
 
-// Drop durably tombstones a survey's checkpoint — the invalidation path
-// a republish takes. Dropping an absent checkpoint is a no-op.
+// Drop durably tombstones every shard checkpoint of a survey — the
+// invalidation path a republish (or an admin accumulator clear) takes.
+// Dropping an absent checkpoint is a no-op. For surveys whose records
+// live only in the legacy single-file log, the tombstone written to the
+// per-survey file is what keeps the legacy record shadowed on the next
+// Open; otherwise the per-survey file is simply removed.
 func (l *Log) Drop(surveyID string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.recs[surveyID]; !ok {
 		return nil
 	}
-	if err := l.appendLocked(&Record{SurveyID: surveyID, SavedUnixNano: time.Now().UnixNano()}); err != nil {
+	delete(l.recs, surveyID)
+	if !l.legacy[surveyID] {
+		return l.removeFileLocked(surveyID)
+	}
+	if err := l.appendLocked(surveyID, &Record{SurveyID: surveyID, SavedUnixNano: time.Now().UnixNano()}); err != nil {
 		return err
 	}
-	delete(l.recs, surveyID)
-	return l.maybeCompactLocked()
+	return l.maybeCompactLocked(surveyID)
 }
 
-// appendLocked writes one line, flushes and fsyncs. Caller holds mu.
-func (l *Log) appendLocked(rec *Record) error {
+// removeFileLocked closes and deletes a survey's file. Caller holds mu.
+func (l *Log) removeFileLocked(surveyID string) error {
+	if sf, ok := l.files[surveyID]; ok {
+		delete(l.files, surveyID)
+		_ = sf.w.Flush()
+		_ = sf.f.Close()
+	}
+	path := filepath.Join(l.dir, surveysDir, surveyFileName(surveyID))
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		l.err = fmt.Errorf("checkpoint: remove %s: %w", path, err)
+		return l.err
+	}
+	return syncDir(filepath.Join(l.dir, surveysDir))
+}
+
+// appendLocked writes one line to the survey's file, flushes and
+// fsyncs. Caller holds mu.
+func (l *Log) appendLocked(surveyID string, rec *Record) error {
 	if l.err != nil {
 		return l.err
 	}
-	if l.w == nil {
+	if l.closed {
 		return errors.New("checkpoint: use after close")
+	}
+	sf, err := l.ensureFileLocked(surveyID)
+	if err != nil {
+		l.err = err
+		return err
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal: %w", err)
 	}
 	werr := func() error {
-		if _, err := l.w.Write(append(b, '\n')); err != nil {
-			return fmt.Errorf("checkpoint: write %s: %w", l.path, err)
+		if _, err := sf.w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("checkpoint: write %s: %w", surveyFileName(surveyID), err)
 		}
-		if err := l.w.Flush(); err != nil {
-			return fmt.Errorf("checkpoint: flush %s: %w", l.path, err)
+		if err := sf.w.Flush(); err != nil {
+			return fmt.Errorf("checkpoint: flush %s: %w", surveyFileName(surveyID), err)
 		}
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("checkpoint: sync %s: %w", l.path, err)
+		if err := sf.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync %s: %w", surveyFileName(surveyID), err)
 		}
 		return nil
 	}()
@@ -237,46 +443,73 @@ func (l *Log) appendLocked(rec *Record) error {
 		l.err = werr
 		return werr
 	}
-	l.appended++
+	sf.appended++
 	return nil
 }
 
-// maybeCompactLocked rewrites the log when superseded lines dominate.
-// The threshold (a handful of lines per live record, floor 16) keeps the
-// rewrite amortized against the appends that earned it.
-func (l *Log) maybeCompactLocked() error {
-	threshold := 4 * (len(l.recs) + 1)
-	if threshold < 16 {
-		threshold = 16
-	}
-	if l.appended < threshold {
+// maybeCompactLocked rewrites a survey's file when superseded lines
+// dominate. The threshold (a handful of lines per live shard record,
+// floor 8) keeps the rewrite amortized against the appends that earned
+// it.
+func (l *Log) maybeCompactLocked(surveyID string) error {
+	sf, ok := l.files[surveyID]
+	if !ok {
 		return nil
 	}
-	return l.compactLocked()
+	threshold := 4 * (len(l.recs[surveyID]) + 1)
+	if threshold < 8 {
+		threshold = 8
+	}
+	if sf.appended < threshold {
+		return nil
+	}
+	return l.compactSurveyLocked(surveyID)
 }
 
-// Compact rewrites the log to exactly the live records.
+// Compact rewrites every open survey file to exactly its live records.
 func (l *Log) Compact() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.compactLocked()
+	for id := range l.files {
+		if err := l.compactSurveyLocked(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (l *Log) compactLocked() error {
+func (l *Log) compactSurveyLocked(surveyID string) error {
 	if l.err != nil {
 		return l.err
 	}
-	if l.w == nil {
+	if l.closed {
 		return errors.New("checkpoint: use after close")
 	}
-	tmp := l.path + tmpSuffix
+	sf, ok := l.files[surveyID]
+	if !ok {
+		return nil
+	}
+	path := filepath.Join(l.dir, surveysDir, surveyFileName(surveyID))
+	tmp := path + tmpSuffix
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: create %s: %w", tmp, err)
 	}
 	w := bufio.NewWriter(f)
 	werr := func() error {
-		for _, rec := range l.recs {
+		live := l.recs[surveyID]
+		if len(live) == 0 && l.legacy[surveyID] {
+			// The file exists to shadow a legacy record: keep exactly
+			// one tombstone line.
+			b, err := json.Marshal(&Record{SurveyID: surveyID, SavedUnixNano: time.Now().UnixNano()})
+			if err != nil {
+				return fmt.Errorf("checkpoint: marshal: %w", err)
+			}
+			if _, err := w.Write(append(b, '\n')); err != nil {
+				return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+			}
+		}
+		for _, rec := range live {
 			b, err := json.Marshal(rec)
 			if err != nil {
 				return fmt.Errorf("checkpoint: marshal: %w", err)
@@ -300,48 +533,54 @@ func (l *Log) compactLocked() error {
 	}
 	// Swap the live writer to the compacted file: close the old handle,
 	// publish the rewrite, reopen for appends.
-	l.w = nil
-	if cerr := l.f.Close(); cerr != nil {
-		l.err = fmt.Errorf("checkpoint: close %s: %w", l.path, cerr)
+	delete(l.files, surveyID)
+	if cerr := sf.f.Close(); cerr != nil {
+		l.err = fmt.Errorf("checkpoint: close %s: %w", path, cerr)
 		return l.err
 	}
-	if err := os.Rename(tmp, l.path); err != nil {
-		l.err = fmt.Errorf("checkpoint: publish %s: %w", l.path, err)
+	if err := os.Rename(tmp, path); err != nil {
+		l.err = fmt.Errorf("checkpoint: publish %s: %w", path, err)
 		return l.err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(filepath.Join(l.dir, surveysDir)); err != nil {
 		l.err = err
 		return err
 	}
-	if err := l.openForAppend(); err != nil {
+	nsf, err := l.ensureFileLocked(surveyID)
+	if err != nil {
 		l.err = err
 		return err
 	}
-	l.appended = 0
+	nsf.appended = 0
 	return nil
 }
 
-// Close flushes and closes the log file. The log must not be used
-// afterwards.
+// Close flushes and closes every open survey file. The log must not be
+// used afterwards.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.w == nil {
+	if l.closed {
 		return nil
 	}
-	flushErr := l.err
-	if flushErr == nil {
-		flushErr = l.w.Flush()
+	l.closed = true
+	first := l.err
+	for _, sf := range l.files {
+		flushErr := sf.w.Flush()
+		if flushErr == nil {
+			flushErr = sf.f.Sync()
+		}
+		closeErr := sf.f.Close()
+		if first == nil {
+			if flushErr != nil {
+				first = flushErr
+			} else if closeErr != nil {
+				first = closeErr
+			}
+		}
 	}
-	if flushErr == nil {
-		flushErr = l.f.Sync()
-	}
-	l.w = nil
-	closeErr := l.f.Close()
-	if flushErr != nil {
-		return flushErr
-	}
-	return closeErr
+	l.files = make(map[string]*surveyFile)
+	return first
 }
 
 // syncDir fsyncs a directory so a just-renamed file's entry survives a

@@ -1,6 +1,8 @@
 package checkpoint
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -174,7 +176,7 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	l.Close()
 
-	path := filepath.Join(dir, logName)
+	path := filepath.Join(dir, surveysDir, surveyFileName(sv.ID))
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +224,7 @@ func TestInteriorCorruptionSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	path := filepath.Join(dir, logName)
+	path := filepath.Join(dir, surveysDir, surveyFileName(sv.ID))
 	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	f.WriteString("not json\n")
 	f.WriteString(`{"cursor":3}` + "\n") // parseable but no survey ID
@@ -279,7 +281,7 @@ func TestCompaction(t *testing.T) {
 	if err := l.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	b, err := os.ReadFile(filepath.Join(dir, logName))
+	b, err := os.ReadFile(filepath.Join(dir, surveysDir, surveyFileName(sv.ID)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,5 +311,152 @@ func TestPutValidation(t *testing.T) {
 	}
 	if err := l.Put(&Record{State: &aggregate.AccumulatorState{}}); err == nil {
 		t.Error("record without survey ID accepted")
+	}
+}
+
+// TestPerShardRecords: shard records of one survey live independently
+// and round-trip with their layout coordinates.
+func TestPerShardRecords(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < 3; shard++ {
+		rec := record(t, sv, 2+shard)
+		rec.Shard = shard
+		rec.ShardCount = 3
+		if err := l.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1 survey", l.Len())
+	}
+	if len(l.Records()) != 3 {
+		t.Fatalf("records = %d, want 3 shards", len(l.Records()))
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for shard := 0; shard < 3; shard++ {
+		rec, ok := l2.GetShard(sv.ID, shard)
+		if !ok {
+			t.Fatalf("shard %d lost", shard)
+		}
+		if rec.Cursor != uint64(2+shard) || rec.NumShards() != 3 {
+			t.Fatalf("shard %d = cursor %d layout %d", shard, rec.Cursor, rec.NumShards())
+		}
+	}
+	// Drop tombstones every shard at once.
+	if err := l2.Drop(sv.ID); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 0 {
+		t.Fatal("drop left shard records")
+	}
+}
+
+// TestLegacyMigration: a pre-rotation single-file log is still read;
+// per-survey files supersede it; a Drop shadows it durably across
+// reopens even though the legacy file is never rewritten.
+func TestLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	sv := testSurvey()
+	legacy := record(t, sv, 11)
+	other := record(t, testSurvey(), 7)
+	other.SurveyID = "legacy-other"
+	other.State.SurveyID = "legacy-other"
+	b1, _ := json.Marshal(legacy)
+	b2, _ := json.Marshal(other)
+	if err := os.WriteFile(filepath.Join(dir, "checkpoints.jsonl"),
+		append(append(b1, '\n'), append(b2, '\n')...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy records read as shard 0 of a single-shard layout.
+	rec, ok := l.Get(sv.ID)
+	if !ok || rec.Cursor != 11 || rec.NumShards() != 1 {
+		t.Fatalf("legacy record = %+v", rec)
+	}
+	if _, ok := l.Get("legacy-other"); !ok {
+		t.Fatal("second legacy record lost")
+	}
+	// New writes supersede legacy without touching the legacy file.
+	if err := l.Put(record(t, sv, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := l.Get(sv.ID); rec.Cursor != 20 {
+		t.Fatalf("superseding record lost: %+v", rec)
+	}
+	// Dropping a legacy-only survey must shadow it durably.
+	if err := l.Drop("legacy-other"); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec, _ := l2.Get(sv.ID); rec == nil || rec.Cursor != 20 {
+		t.Fatalf("after reopen: %+v, want cursor 20", rec)
+	}
+	if _, ok := l2.Get("legacy-other"); ok {
+		t.Fatal("dropped legacy record resurrected by replay")
+	}
+	// The legacy file itself is untouched (rollback safety).
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints.jsonl")); err != nil {
+		t.Fatalf("legacy file gone: %v", err)
+	}
+}
+
+// TestParallelRestoreManySurveys: many per-survey files replay to the
+// same state they were written with (the restore fan-out is an
+// implementation detail; correctness is what this pins).
+func TestParallelRestoreManySurveys(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const surveys = 40
+	for i := 0; i < surveys; i++ {
+		sv := testSurvey()
+		sv.ID = fmt.Sprintf("sv-%03d", i)
+		rec := record(t, sv, i+1)
+		rec.SurveyID = sv.ID
+		rec.State.SurveyID = sv.ID
+		rec.Fingerprint = sv.Fingerprint()
+		if err := l.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != surveys {
+		t.Fatalf("replayed %d surveys, want %d", l2.Len(), surveys)
+	}
+	for i := 0; i < surveys; i++ {
+		id := fmt.Sprintf("sv-%03d", i)
+		rec, ok := l2.Get(id)
+		if !ok || rec.Cursor != uint64(i+1) {
+			t.Fatalf("survey %s = %+v", id, rec)
+		}
 	}
 }

@@ -128,6 +128,9 @@ type Sharded struct {
 	// mu guards the survey index and the meta log writer.
 	mu      sync.RWMutex
 	surveys map[string]*survey.Survey
+	// history is each survey's publish-event log (definition
+	// fingerprints with timestamps), rebuilt from the meta log on open.
+	history map[string][]store.SurveyVersion
 	metaF   *os.File
 	metaW   *bufio.Writer
 	// metaErr is the first meta-log I/O failure, sticky like the shard
@@ -175,7 +178,12 @@ func Open(dir string, cfg Config) (*Sharded, error) {
 	if err := checkLayout(dir, cfg.Shards); err != nil {
 		return nil, err
 	}
-	s := &Sharded{cfg: cfg, dir: dir, surveys: make(map[string]*survey.Survey)}
+	s := &Sharded{
+		cfg:     cfg,
+		dir:     dir,
+		surveys: make(map[string]*survey.Survey),
+		history: make(map[string][]store.SurveyVersion),
+	}
 	if err := s.openMeta(); err != nil {
 		return nil, err
 	}
@@ -247,21 +255,31 @@ func checkLayout(dir string, shards int) error {
 	}
 }
 
+// metaRecord is one meta-log line: the survey definition with the
+// publish timestamp alongside. Logs written before the timestamp
+// existed are plain survey JSON; they decode with a zero timestamp.
+type metaRecord struct {
+	survey.Survey
+	PublishedUnixNano int64 `json:"published_unix_nano,omitempty"`
+}
+
 // openMeta replays the survey log (truncating a torn tail) and positions
 // it for appends.
 func (s *Sharded) openMeta() error {
 	path := filepath.Join(s.dir, metaName)
 	err := store.ReplayLines(path, true, func(line []byte) error {
-		var sv survey.Survey
-		if err := json.Unmarshal(line, &sv); err != nil {
+		var rec metaRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
 			return fmt.Errorf("corrupt survey record: %w", err)
 		}
-		if sv.ID == "" {
+		if rec.ID == "" {
 			return errors.New("survey record without ID")
 		}
 		// Later records supersede earlier ones: a republish appends the
 		// new definition and replay applies the log in order.
+		sv := rec.Survey
 		s.surveys[sv.ID] = &sv
+		s.recordVersion(&sv, rec.PublishedUnixNano)
 		return nil
 	})
 	if errors.Is(err, os.ErrNotExist) {
@@ -330,12 +348,33 @@ func (s *Sharded) ReplaceSurvey(sv *survey.Survey) error {
 	return s.appendMeta(sv)
 }
 
+// recordVersion appends a publish event to the survey's history unless
+// the definition is unchanged (an idempotent republish is not a new
+// version). The caller holds mu (or is single-threaded replay).
+func (s *Sharded) recordVersion(sv *survey.Survey, ts int64) {
+	fp := sv.Fingerprint()
+	h := s.history[sv.ID]
+	if len(h) > 0 && h[len(h)-1].Fingerprint == fp {
+		return
+	}
+	s.history[sv.ID] = append(h, store.SurveyVersion{Fingerprint: fp, PublishedUnixNano: ts})
+}
+
+// SurveyHistory implements store.Historian: publish events replayed
+// from the meta log, with their logged timestamps.
+func (s *Sharded) SurveyHistory(surveyID string) []store.SurveyVersion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]store.SurveyVersion(nil), s.history[surveyID]...)
+}
+
 // appendMeta durably appends one survey definition to meta.jsonl and
 // publishes it to the index. The caller holds mu and has cleared the
 // closed/metaErr gates.
 func (s *Sharded) appendMeta(sv *survey.Survey) error {
 	cp := *sv
-	b, err := json.Marshal(&cp)
+	ts := time.Now().UnixNano()
+	b, err := json.Marshal(&metaRecord{Survey: cp, PublishedUnixNano: ts})
 	if err != nil {
 		return fmt.Errorf("ingest: marshal survey: %w", err)
 	}
@@ -356,6 +395,7 @@ func (s *Sharded) appendMeta(sv *survey.Survey) error {
 		return werr
 	}
 	s.surveys[cp.ID] = &cp
+	s.recordVersion(&cp, ts)
 	return nil
 }
 

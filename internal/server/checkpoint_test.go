@@ -13,6 +13,7 @@ import (
 	"loki/internal/aggregate"
 	"loki/internal/checkpoint"
 	"loki/internal/core"
+	"loki/internal/shardset"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
@@ -532,17 +533,18 @@ func TestAdvanceBacklogGuard(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	newLA := func() *liveAgg {
+	router := shardset.NewLocalSingle(st)
+	newLA := func() *livePart {
 		acc, err := aggregate.NewAccumulator(core.DefaultSchedule(), sv)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &liveAgg{acc: acc, fp: sv.Fingerprint()}
+		return &livePart{surveyID: sv.ID, acc: acc}
 	}
 
 	// Cold from 0 with a big backlog: skip.
 	la := newLA()
-	if err := la.advance(st); err != nil {
+	if err := la.advance(router); err != nil {
 		t.Fatal(err)
 	}
 	if got := la.cursor.Load(); got != 0 {
@@ -553,7 +555,7 @@ func TestAdvanceBacklogGuard(t *testing.T) {
 	// (The old cursor==0 guard folded the whole tail inline here.)
 	la = newLA()
 	la.cursor.Store(100)
-	if err := la.advance(st); err != nil {
+	if err := la.advance(router); err != nil {
 		t.Fatal(err)
 	}
 	if got := la.cursor.Load(); got != 100 {
@@ -563,7 +565,7 @@ func TestAdvanceBacklogGuard(t *testing.T) {
 	// Restored with a small tail: fold it.
 	la = newLA()
 	la.cursor.Store(total - 10)
-	if err := la.advance(st); err != nil {
+	if err := la.advance(router); err != nil {
 		t.Fatal(err)
 	}
 	if got := la.cursor.Load(); got != total {

@@ -1,0 +1,510 @@
+// Cluster roles: the glue that turns the one Server implementation into
+// a node (owns a shard subset, serves shardrpc), a frontend (routes
+// submits, merges node partials — no types here, just a Server over a
+// shardrpc.Remote router), and a read replica (tails a node's append
+// journal and serves read-only traffic with a staleness cursor).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/shardrpc"
+	"loki/internal/shardset"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// ---------------------------------------------------------------------------
+// Node
+
+// Node adapts a Server whose router is a journaling shardset.Local into
+// the shardrpc.Backend a cluster frontend and its replicas talk to. It
+// translates the cluster's global shard indices to the node's local
+// subset and keeps the node's live partials hot on routed appends.
+type Node struct {
+	srv   *Server
+	local *shardset.Local
+	total int
+	g2l   map[int]int
+}
+
+// NewNode wraps a Server for shardrpc serving. The server's router must
+// be a shardset.Local (a node owns real storage); totalShards is the
+// cluster's global shard count.
+func NewNode(srv *Server, totalShards int) (*Node, error) {
+	local, ok := srv.Router().(*shardset.Local)
+	if !ok {
+		return nil, errors.New("server: a cluster node needs a local shard router")
+	}
+	if totalShards < local.Shards() {
+		return nil, fmt.Errorf("server: node owns %d shards of a %d-shard cluster", local.Shards(), totalShards)
+	}
+	n := &Node{srv: srv, local: local, total: totalShards, g2l: make(map[int]int, local.Shards())}
+	for i := 0; i < local.Shards(); i++ {
+		n.g2l[local.GlobalID(i)] = i
+	}
+	return n, nil
+}
+
+func (n *Node) localShard(global int) (int, error) {
+	i, ok := n.g2l[global]
+	if !ok {
+		return 0, &shardrpc.ErrNotOwned{Shard: global}
+	}
+	return i, nil
+}
+
+// Meta implements shardrpc.Backend.
+func (n *Node) Meta() shardrpc.Meta {
+	owned := make([]int, n.local.Shards())
+	for i := range owned {
+		owned[i] = n.local.GlobalID(i)
+	}
+	return shardrpc.Meta{TotalShards: n.total, OwnedShards: owned}
+}
+
+// AppendShardBatch implements shardrpc.Backend: durably append a
+// routed batch (one fsync with a batch-capable store), then
+// best-effort fold each touched survey's shard partial so the next
+// partial fetch pays nothing.
+func (n *Node) AppendShardBatch(global int, rs []survey.Response) ([]int, error) {
+	i, err := n.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := n.local.AppendShardBatch(i, rs)
+	for _, id := range uniqueSurveyIDs(rs[:len(counts)]) {
+		n.srv.advanceShard(id, i)
+	}
+	return counts, err
+}
+
+// uniqueSurveyIDs returns the distinct survey IDs of a batch, in first-
+// appearance order (batches are usually one survey; the map only pays
+// off when they are not).
+func uniqueSurveyIDs(rs []survey.Response) []string {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := []string{rs[0].SurveyID}
+	if len(rs) == 1 {
+		return out
+	}
+	seen := map[string]bool{rs[0].SurveyID: true}
+	for i := 1; i < len(rs); i++ {
+		if !seen[rs[i].SurveyID] {
+			seen[rs[i].SurveyID] = true
+			out = append(out, rs[i].SurveyID)
+		}
+	}
+	return out
+}
+
+// ScanShard implements shardrpc.Backend.
+func (n *Node) ScanShard(global int, surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
+	i, err := n.localShard(global)
+	if err != nil {
+		return err
+	}
+	return n.local.ScanShard(i, surveyID, fromSeq, fn)
+}
+
+// CountShard implements shardrpc.Backend.
+func (n *Node) CountShard(global int, surveyID string) int {
+	i, err := n.localShard(global)
+	if err != nil {
+		return 0
+	}
+	return n.local.CountShard(i, surveyID)
+}
+
+// PartialState implements shardrpc.Backend: the node's shard partial,
+// caught up and snapshotted, re-addressed under its global shard index.
+func (n *Node) PartialState(global int, surveyID string) (*shardrpc.Partial, error) {
+	i, err := n.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	p, err := n.srv.PartialState(i, surveyID)
+	if err != nil {
+		return nil, err
+	}
+	p.Shard = global
+	return p, nil
+}
+
+// Tail implements shardrpc.Backend.
+func (n *Node) Tail(global int, epoch, offset uint64, max int) (*shardset.TailBatch, error) {
+	i, err := n.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	return n.local.Tail(i, epoch, offset, max)
+}
+
+// PutSurvey implements shardrpc.Backend.
+func (n *Node) PutSurvey(sv *survey.Survey) error {
+	if err := sv.Validate(); err != nil {
+		return err
+	}
+	return n.local.PutSurvey(sv)
+}
+
+// ReplaceSurvey implements shardrpc.Backend: the republish broadcast.
+// Fold state built under the old definition is invalidated exactly like
+// a republish through the public API.
+func (n *Node) ReplaceSurvey(sv *survey.Survey) error {
+	if err := sv.Validate(); err != nil {
+		return err
+	}
+	if err := n.local.ReplaceSurvey(sv); err != nil {
+		return err
+	}
+	n.srv.invalidateLive(sv.ID)
+	return nil
+}
+
+// Survey implements shardrpc.Backend.
+func (n *Node) Survey(id string) (*survey.Survey, error) { return n.local.Survey(id) }
+
+// Surveys implements shardrpc.Backend.
+func (n *Node) Surveys() ([]*survey.Survey, error) { return n.local.Surveys() }
+
+var _ shardrpc.Backend = (*Node)(nil)
+
+// advanceShard best-effort folds one shard's partial after a routed
+// append (the shardrpc twin of the public submit handler's warm-up).
+func (s *Server) advanceShard(surveyID string, shard int) {
+	sv, err := s.router.Survey(surveyID)
+	if err != nil {
+		return
+	}
+	ls, err := s.liveFor(sv)
+	if err != nil {
+		return
+	}
+	if err := ls.parts[shard].advance(s.router); err != nil {
+		s.logf("live aggregate catch-up for %q shard %d: %v", surveyID, shard, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+
+// resettableStore is a store.Store whose contents can be atomically
+// replaced with an empty store — the epoch-reset path of a replica: a
+// followed node restarted, its journal order changed, and every applied
+// record must go.
+type resettableStore struct {
+	mu    sync.RWMutex
+	inner *store.Mem
+}
+
+func newResettableStore() *resettableStore { return &resettableStore{inner: store.NewMem()} }
+
+func (r *resettableStore) get() *store.Mem {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.inner
+}
+
+// Reset discards everything. In-flight reads against the old store
+// finish against its (immutable from here on) contents.
+func (r *resettableStore) Reset() {
+	r.mu.Lock()
+	r.inner = store.NewMem()
+	r.mu.Unlock()
+}
+
+func (r *resettableStore) PutSurvey(s *survey.Survey) error     { return r.get().PutSurvey(s) }
+func (r *resettableStore) ReplaceSurvey(s *survey.Survey) error { return r.get().ReplaceSurvey(s) }
+func (r *resettableStore) Survey(id string) (*survey.Survey, error) {
+	return r.get().Survey(id)
+}
+func (r *resettableStore) Surveys() ([]*survey.Survey, error) { return r.get().Surveys() }
+func (r *resettableStore) AppendResponse(s *survey.Response) error {
+	return r.get().AppendResponse(s)
+}
+func (r *resettableStore) ScanResponses(surveyID string, fromSeq uint64, fn func(seq uint64, resp *survey.Response) error) error {
+	return r.get().ScanResponses(surveyID, fromSeq, fn)
+}
+func (r *resettableStore) Responses(surveyID string) ([]survey.Response, error) {
+	return r.get().Responses(surveyID)
+}
+func (r *resettableStore) ResponseCount(surveyID string) int { return r.get().ResponseCount(surveyID) }
+func (r *resettableStore) Close() error                      { return r.get().Close() }
+
+var _ store.Store = (*resettableStore)(nil)
+
+// ReplicaConfig configures a read replica.
+type ReplicaConfig struct {
+	// Client speaks shardrpc to the followed node. Required.
+	Client *shardrpc.Client
+	// Schedule and RequesterToken mirror the primary's Server config.
+	Schedule       core.Schedule
+	RequesterToken string
+	// Logger receives replication logs; nil disables logging.
+	Logger *log.Logger
+	// PollInterval is how often the replica polls the node's journal
+	// tails (default 500ms). Staleness is bounded by it plus one
+	// round-trip.
+	PollInterval time.Duration
+	// TailPage bounds one tail fetch (default 1024 records).
+	TailPage int
+}
+
+// Replica is a read-only follower of one node: it tails every shard the
+// node owns via WAL shipping, applies the records to local in-memory
+// stores, and serves the read half of the public API — scans and merged
+// aggregates included — from its own per-shard partials. Submits and
+// publishes are refused with 403. The admin surface reports per-shard
+// staleness cursors (journal epoch, applied offset, lag).
+type Replica struct {
+	cfg    ReplicaConfig
+	srv    *Server
+	local  *shardset.Local
+	stores []*resettableStore
+
+	mu    sync.Mutex
+	state []ReplicaShardInfo
+
+	// syncMu serializes whole replication cycles: an overlapping cycle
+	// would read the same journal offset twice and double-apply.
+	syncMu sync.Mutex
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewReplica connects to the followed node, mirrors its shard layout
+// with empty local stores, and starts the tail loop.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("server: replica needs a shardrpc client")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.TailPage <= 0 {
+		cfg.TailPage = 1024
+	}
+	meta, err := cfg.Client.Meta()
+	if err != nil {
+		return nil, fmt.Errorf("server: replica meta fetch: %w", err)
+	}
+	if len(meta.OwnedShards) == 0 {
+		return nil, errors.New("server: followed node owns no shards")
+	}
+	r := &Replica{
+		cfg:    cfg,
+		stores: make([]*resettableStore, len(meta.OwnedShards)),
+		state:  make([]ReplicaShardInfo, len(meta.OwnedShards)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	stores := make([]store.Store, len(meta.OwnedShards))
+	for i := range r.stores {
+		r.stores[i] = newResettableStore()
+		stores[i] = r.stores[i]
+		r.state[i] = ReplicaShardInfo{Shard: meta.OwnedShards[i]}
+	}
+	local, err := shardset.NewLocal(stores, shardset.LocalOptions{GlobalIDs: meta.OwnedShards})
+	if err != nil {
+		return nil, err
+	}
+	r.local = local
+	srv, err := New(Config{
+		Router:          local,
+		Schedule:        cfg.Schedule,
+		RequesterToken:  cfg.RequesterToken,
+		Logger:          cfg.Logger,
+		Role:            "replica",
+		ReadOnly:        true,
+		ReplicationInfo: r.replicationInfo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.srv = srv
+	go r.loop()
+	return r, nil
+}
+
+// ServeHTTP implements http.Handler: the read-only public API.
+func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.srv.ServeHTTP(w, req) }
+
+// Server exposes the underlying read-only server (tests poke at it).
+func (r *Replica) Server() *Server { return r.srv }
+
+// Close stops the tail loop and releases the local stores.
+func (r *Replica) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+	if err := r.srv.Close(); err != nil {
+		return err
+	}
+	return r.local.Close()
+}
+
+// replicationInfo snapshots the staleness cursors for the admin
+// surface.
+func (r *Replica) replicationInfo() *ReplicationInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := &ReplicationInfo{Source: r.cfg.Client.BaseURL()}
+	info.Shards = append([]ReplicaShardInfo(nil), r.state...)
+	return info
+}
+
+// loop polls every followed shard on the interval until Close.
+func (r *Replica) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.PollInterval)
+	defer t.Stop()
+	// Sync immediately on start so tests (and operators) see data
+	// without waiting out the first tick.
+	r.SyncOnce()
+	for {
+		select {
+		case <-t.C:
+			r.SyncOnce()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// SyncOnce runs one replication cycle: refresh survey definitions, then
+// drain every shard's journal tail. Exported so tests can drive the
+// replica deterministically.
+func (r *Replica) SyncOnce() {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	surveys, err := r.cfg.Client.Surveys()
+	if err != nil {
+		r.logf("replica survey sync: %v", err)
+		return
+	}
+	r.syncSurveys(surveys)
+	for i := range r.stores {
+		r.syncShard(i)
+	}
+}
+
+// syncSurveys replicates definitions into the local stores, handling
+// republishes (fingerprint change) like the public API would.
+func (r *Replica) syncSurveys(surveys []*survey.Survey) {
+	for _, sv := range surveys {
+		cur, err := r.local.Survey(sv.ID)
+		switch {
+		case err == nil && cur.Fingerprint() == sv.Fingerprint():
+			continue
+		case err == nil:
+			if err := r.local.ReplaceSurvey(sv); err != nil {
+				r.logf("replica republish %q: %v", sv.ID, err)
+				continue
+			}
+			r.srv.invalidateLive(sv.ID)
+		default:
+			if err := r.local.PutSurvey(sv); err != nil && !errors.Is(err, store.ErrExists) {
+				r.logf("replica publish %q: %v", sv.ID, err)
+			}
+		}
+	}
+}
+
+// syncShard drains one shard's journal tail, resyncing from scratch on
+// an epoch change (the node restarted; its journal order is new).
+func (r *Replica) syncShard(i int) {
+	r.mu.Lock()
+	st := r.state[i] // copy; written back under the lock below
+	r.mu.Unlock()
+	global := st.Shard
+	for {
+		batch, err := r.cfg.Client.Tail(global, st.Epoch, st.AppliedOffset, r.cfg.TailPage)
+		if err != nil {
+			st.LastError = err.Error()
+			break
+		}
+		if batch.Epoch != st.Epoch {
+			// Epoch reset: discard the local copy of this shard and
+			// resync from offset zero. Live partials go too — their
+			// cursors index the old stream.
+			r.logf("replica shard %d: journal epoch %d -> %d, resyncing", global, st.Epoch, batch.Epoch)
+			r.stores[i].Reset()
+			r.srv.ResetLive()
+			if st.Epoch != 0 {
+				st.Resets++
+			}
+			st.Epoch = batch.Epoch
+			st.AppliedOffset = 0
+			st.SourceEnd = batch.End
+			// The reset wiped this shard's replicated definitions;
+			// restore them before applying records.
+			if svs, err := r.cfg.Client.Surveys(); err == nil {
+				r.syncSurveys(svs)
+			}
+			continue
+		}
+		if err := r.applyBatch(i, batch); err != nil {
+			st.LastError = err.Error()
+			break
+		}
+		st.AppliedOffset = batch.NextOffset
+		st.SourceEnd = batch.End
+		st.LastError = ""
+		if batch.NextOffset >= batch.End {
+			break
+		}
+	}
+	st.LagRecords = 0
+	if st.SourceEnd > st.AppliedOffset {
+		st.LagRecords = st.SourceEnd - st.AppliedOffset
+	}
+	st.LastSyncAt = time.Now()
+	r.mu.Lock()
+	r.state[i] = st
+	r.mu.Unlock()
+}
+
+// applyBatch applies one tail page to the local shard store, verifying
+// that local per-shard seqs come out identical to the source's — the
+// property merged reads on the replica depend on.
+func (r *Replica) applyBatch(i int, batch *shardset.TailBatch) error {
+	for k := range batch.Entries {
+		e := &batch.Entries[k]
+		stored, err := r.local.AppendShard(i, &e.Response)
+		if errors.Is(err, store.ErrNotFound) {
+			// The survey was published after this cycle's definition
+			// sync; fetch it directly and retry once.
+			sv, serr := r.cfg.Client.Survey(e.SurveyID)
+			if serr != nil {
+				return fmt.Errorf("apply (%s, %d): %w", e.SurveyID, e.Seq, err)
+			}
+			if perr := r.local.PutSurvey(sv); perr != nil && !errors.Is(perr, store.ErrExists) {
+				return perr
+			}
+			stored, err = r.local.AppendShard(i, &e.Response)
+		}
+		if err != nil {
+			return fmt.Errorf("apply (%s, %d): %w", e.SurveyID, e.Seq, err)
+		}
+		if uint64(stored) != e.Seq {
+			return fmt.Errorf("apply (%s, %d): local seq diverged to %d", e.SurveyID, e.Seq, stored)
+		}
+	}
+	return nil
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -15,14 +15,20 @@
 //	GET  /api/v1/surveys/{id}/quality         consistency screen [requester]
 //	GET  /api/v1/schedule                     the public noise schedule
 //	GET  /api/v1/admin/store                  store/read-path stats [requester]
+//	POST /api/v1/admin/accumulator/{id}/clear drop a poisoned accumulator [requester]
 //
 // Requester endpoints require "Authorization: Bearer <token>".
 //
-// Reads are incremental: each survey has a live aggregate.Accumulator
-// that folds responses as they are stored (updated on submit, lazily
-// caught up from the store's scan cursor on first read and after a
-// restart), so /aggregate and /quality cost O(1) in the number of
-// stored responses.
+// The persistence layer behind the handlers is a shardset.ShardRouter:
+// responses partition across shards (one shard in the classic
+// standalone deployment, many in a cluster), and each shard has its own
+// live partial aggregate.Accumulator folded independently and Merged at
+// query time — so /aggregate and /quality cost O(1) in the number of
+// stored responses with no cross-shard lock anywhere. The same Server
+// type serves every cluster role: standalone (local single-shard
+// router), node (local multi-shard router + the shardrpc surface),
+// frontend (remote router merging node partials), and read replica
+// (local router fed by WAL-tail shipping, mutating routes refused).
 package server
 
 import (
@@ -41,14 +47,22 @@ import (
 	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/ingest"
+	"loki/internal/shardrpc"
+	"loki/internal/shardset"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
 
 // Config configures a Server.
 type Config struct {
-	// Store is the persistence backend. Required.
+	// Store is the persistence backend for the classic single-shard
+	// deployment. Exactly one of Store and Router must be set; a Store
+	// is wrapped in a one-shard local router.
 	Store store.Store
+	// Router is the sharded persistence backend: a shardset.Local over
+	// per-shard stores (node, replica) or a shardrpc remote router
+	// (frontend).
+	Router shardset.ShardRouter
 	// Schedule is the published noise schedule; workers obfuscate with
 	// it and aggregation attributes per-bin noise from it.
 	Schedule core.Schedule
@@ -60,7 +74,7 @@ type Config struct {
 	MaxBodyBytes int64
 	// Checkpoints, when non-nil, is the durable checkpoint log for live
 	// aggregate state: restored from on the first read of each survey
-	// (so restart catch-up scans only the store tail beyond the
+	// (so restart catch-up scans only each shard's tail beyond its own
 	// checkpoint cursor) and written to by a background checkpointer.
 	// The caller owns the log and closes it after the server.
 	Checkpoints *checkpoint.Log
@@ -68,26 +82,48 @@ type Config struct {
 	// (default 15s).
 	CheckpointInterval time.Duration
 	// CheckpointDirty is the minimum number of newly folded responses
-	// that makes a survey's checkpoint stale enough to rewrite on a
-	// flush (default 1).
+	// that makes a shard partial's checkpoint stale enough to rewrite
+	// on a flush (default 1).
 	CheckpointDirty int
+	// ClusterShards is the global shard count of the placement this
+	// server participates in (a node's router owns a subset of it).
+	// Defaults to the router's own shard count, which is correct for
+	// standalone and frontend deployments; cluster nodes must set it so
+	// durable per-shard state carries the true layout identity.
+	ClusterShards int
+	// Role names the deployment role on the admin surface ("standalone"
+	// when empty; cmd/loki-server sets node/frontend/replica).
+	Role string
+	// ReadOnly refuses every mutating route (publish, submit, admin
+	// clear) with 403 — the read-replica mode.
+	ReadOnly bool
+	// ReplicationInfo, when non-nil, is polled by the admin surface for
+	// the replica's staleness cursors.
+	ReplicationInfo func() *ReplicationInfo
 }
 
 // Server is the Loki backend. It implements http.Handler.
 type Server struct {
 	cfg        Config
+	router     shardset.ShardRouter
 	est        *aggregate.Estimator
 	mux        *http.ServeMux
 	served     atomic.Int64 // responses accepted, for metrics
 	levelTally [core.NumLevels]atomic.Int64
 
-	// live holds per-survey incremental aggregate state so reads are
-	// O(1) in stored responses; see liveAgg.
+	// live holds per-survey live aggregate state (one partial per
+	// shard) so reads are O(1) in stored responses; see liveSet.
 	liveMu sync.Mutex
-	live   map[string]*liveAgg
+	live   map[string]*liveSet
 	// poisoned counts stored records the live read path has rejected
 	// (see PoisonError), for the admin surface.
 	poisoned atomic.Int64
+
+	// partials, when non-nil, is the remote-merge read path: the router
+	// can hand over already-folded per-shard partials (a frontend
+	// asking its nodes), so reads Merge fetched state instead of
+	// folding locally.
+	partials partialFetcher
 
 	// ckptStop/ckptDone bracket the background checkpointer's lifetime;
 	// nil when checkpointing is disabled.
@@ -96,10 +132,20 @@ type Server struct {
 	closeOnce sync.Once
 }
 
+// partialFetcher is the optional router capability behind the frontend
+// read path: fetch one shard's partial accumulator, already folded by
+// whoever owns the shard.
+type partialFetcher interface {
+	Partial(shard int, surveyID string) (*shardrpc.Partial, error)
+}
+
 // New validates the configuration and builds the server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
-		return nil, errors.New("server: config needs a store")
+	if cfg.Store == nil && cfg.Router == nil {
+		return nil, errors.New("server: config needs a store or a shard router")
+	}
+	if cfg.Store != nil && cfg.Router != nil {
+		return nil, errors.New("server: config needs a store or a shard router, not both")
 	}
 	if cfg.RequesterToken == "" {
 		return nil, errors.New("server: config needs a requester token")
@@ -113,11 +159,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointDirty <= 0 {
 		cfg.CheckpointDirty = 1
 	}
+	if cfg.Role == "" {
+		cfg.Role = "standalone"
+	}
 	est, err := aggregate.NewEstimator(cfg.Schedule)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux(), live: make(map[string]*liveAgg)}
+	router := cfg.Router
+	if router == nil {
+		router = shardset.NewLocalSingle(cfg.Store)
+	}
+	if cfg.ClusterShards <= 0 {
+		cfg.ClusterShards = router.Shards()
+	}
+	s := &Server{cfg: cfg, router: router, est: est, mux: http.NewServeMux(), live: make(map[string]*liveSet)}
+	if pf, ok := router.(partialFetcher); ok {
+		s.partials = pf
+	}
 	s.routes()
 	if cfg.Checkpoints != nil {
 		s.ckptStop = make(chan struct{})
@@ -127,16 +186,21 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Router returns the server's shard router (the node glue wires it into
+// the shardrpc surface).
+func (s *Server) Router() shardset.ShardRouter { return s.router }
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /api/v1/surveys", s.handleListSurveys)
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}", s.handleGetSurvey)
-	s.mux.HandleFunc("POST /api/v1/surveys", s.requireToken(s.handlePublishSurvey))
-	s.mux.HandleFunc("POST /api/v1/surveys/{id}/responses", s.handleSubmitResponse)
+	s.mux.HandleFunc("POST /api/v1/surveys", s.requireToken(s.mutating(s.handlePublishSurvey)))
+	s.mux.HandleFunc("POST /api/v1/surveys/{id}/responses", s.mutating(s.handleSubmitResponse))
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/aggregate", s.requireToken(s.handleAggregate))
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/quality", s.requireToken(s.handleQuality))
 	s.mux.HandleFunc("GET /api/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /api/v1/admin/store", s.requireToken(s.handleAdminStore))
+	s.mux.HandleFunc("POST /api/v1/admin/accumulator/{id}/clear", s.requireToken(s.mutating(s.handleAccumulatorClear)))
 }
 
 // ServeHTTP implements http.Handler with panic recovery and logging.
@@ -166,6 +230,16 @@ func (s *Server) requireToken(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		h(w, r)
+	}
+}
+
+// mutating refuses writes on a read-only replica.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	if !s.cfg.ReadOnly {
+		return h
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		writeError(w, http.StatusForbidden, "read-only replica: submit and publish go to the primary")
 	}
 }
 
@@ -207,7 +281,8 @@ func jsonSafe(v float64) float64 {
 type SubmitResult struct {
 	SurveyID string `json:"survey_id"`
 	Accepted bool   `json:"accepted"`
-	// Stored is the number of responses the survey now has.
+	// Stored is the number of responses the accepting shard now holds
+	// for the survey — the survey's total in a single-shard deployment.
 	Stored int `json:"stored"`
 }
 
@@ -273,7 +348,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleListSurveys(w http.ResponseWriter, _ *http.Request) {
-	surveys, err := s.cfg.Store.Surveys()
+	surveys, err := s.router.Surveys()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -291,14 +366,14 @@ func (s *Server) handleListSurveys(w http.ResponseWriter, _ *http.Request) {
 			Questions:   len(sv.Questions),
 			RewardCents: sv.RewardCents,
 			Levels:      levels,
-			Responses:   s.cfg.Store.ResponseCount(sv.ID),
+			Responses:   shardset.Count(s.router, sv.ID),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGetSurvey(w http.ResponseWriter, r *http.Request) {
-	sv, err := s.cfg.Store.Survey(r.PathValue("id"))
+	sv, err := s.router.Survey(r.PathValue("id"))
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, store.ErrNotFound) {
@@ -326,7 +401,7 @@ func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := http.StatusCreated
-	if err := s.cfg.Store.PutSurvey(&sv); err != nil {
+	if err := s.router.PutSurvey(&sv); err != nil {
 		if !errors.Is(err, store.ErrExists) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -334,17 +409,17 @@ func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
 		// Republish. An identical definition is idempotent; a changed
 		// one replaces the stored definition and must invalidate every
 		// piece of fold state built under the old one — the live
-		// accumulator and the durable checkpoint — or /aggregate and
+		// partials and the durable checkpoints — or /aggregate and
 		// /quality keep answering from bins laid out for the old
 		// question set.
-		prev, gerr := s.cfg.Store.Survey(sv.ID)
+		prev, gerr := s.router.Survey(sv.ID)
 		if gerr != nil {
 			writeError(w, http.StatusInternalServerError, gerr.Error())
 			return
 		}
 		status = http.StatusOK
 		if prev.Fingerprint() != sv.Fingerprint() {
-			if rerr := s.cfg.Store.ReplaceSurvey(&sv); rerr != nil {
+			if rerr := s.router.ReplaceSurvey(&sv); rerr != nil {
 				writeError(w, http.StatusBadRequest, rerr.Error())
 				return
 			}
@@ -352,7 +427,7 @@ func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
 			s.logf("republished survey %q with a changed definition; live aggregate state reset", sv.ID)
 		}
 	}
-	portfolio, err := s.cfg.Store.Surveys()
+	portfolio, err := s.router.Surveys()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -366,7 +441,7 @@ func (s *Server) handlePublishSurvey(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sv, err := s.cfg.Store.Survey(id)
+	sv, err := s.router.Survey(id)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, store.ErrNotFound) {
@@ -404,34 +479,41 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := s.cfg.Store.AppendResponse(&resp); err != nil {
+	stored, err := s.router.Append(&resp)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.served.Add(1)
 	s.levelTally[lvl].Add(1)
-	// Keep the live aggregate hot: fold everything newly stored (this
-	// response included) so the next read pays nothing. Best-effort —
-	// the response is already durably accepted, and reads catch up from
-	// the store cursor themselves.
-	if la, err := s.liveFor(sv); err == nil {
-		if err := la.advance(s.cfg.Store); err != nil {
-			s.logf("live aggregate catch-up for %q: %v", id, err)
+	// Keep the routed shard's partial hot: fold everything newly stored
+	// on that shard (this response included) so the next read pays
+	// nothing. Best-effort — the response is already durably accepted,
+	// and reads catch up from the cursor themselves. A frontend skips
+	// this: its nodes fold their own partials.
+	if s.partials == nil {
+		if ls, err := s.liveFor(sv); err == nil {
+			p := ls.parts[s.router.Route(id, resp.WorkerID)]
+			if err := p.advance(s.router); err != nil {
+				s.logf("live aggregate catch-up for %q shard %d: %v", id, p.shard, err)
+			}
 		}
 	}
 	writeJSON(w, http.StatusCreated, SubmitResult{
 		SurveyID: id,
 		Accepted: true,
-		Stored:   s.cfg.Store.ResponseCount(id),
+		Stored:   stored,
 	})
 }
 
 // surveyEstimate is the shared read path of /aggregate and /quality:
-// resolve the survey, then refresh its live accumulator (scan only the
-// responses appended since the last read — usually none — and finalize).
-// Cost is independent of how many responses the store holds.
+// resolve the survey, then refresh its per-shard partials (scan only
+// the responses each shard appended since the last read — usually none
+// — fold, Merge, finalize). On a frontend the partials come from the
+// owning nodes instead of local folds. Cost is independent of how many
+// responses the store holds.
 func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Survey, *aggregate.SurveyEstimate, bool) {
-	sv, err := s.cfg.Store.Survey(id)
+	sv, err := s.router.Survey(id)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, store.ErrNotFound) {
@@ -440,17 +522,67 @@ func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Surve
 		writeError(w, status, err.Error())
 		return nil, nil, false
 	}
-	la, err := s.liveFor(sv)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return nil, nil, false
+	var fin *aggregate.SurveyEstimate
+	if s.partials != nil {
+		fin, err = s.mergedRemoteEstimate(sv)
+	} else {
+		var ls *liveSet
+		if ls, err = s.liveFor(sv); err == nil {
+			fin, err = s.refresh(ls)
+		}
 	}
-	fin, err := la.refresh(s.cfg.Store)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return nil, nil, false
 	}
 	return sv, fin, true
+}
+
+// mergedRemoteEstimate is the frontend read path: fetch every shard's
+// partial accumulator from the node that owns and folds it, Merge the
+// partials, finalize. The state shipped per shard is O(questions ×
+// levels) — independent of response count — so a merged read costs one
+// small RPC per shard regardless of how much data the cluster holds.
+func (s *Server) mergedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstimate, error) {
+	n := s.router.Shards()
+	parts := make([]*shardrpc.Partial, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = s.partials.Partial(i, sv.ID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d partial: %w", i, err)
+		}
+	}
+	fp := sv.Fingerprint()
+	merged, err := aggregate.NewAccumulator(s.cfg.Schedule, sv)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range parts {
+		if p.Fingerprint != fp {
+			// A republish is still propagating: the node folded under a
+			// different definition than the frontend resolved. Refusing
+			// beats merging bins from two question sets.
+			return nil, fmt.Errorf("shard %d partial folded under definition %s, frontend has %s (republish in flight?)",
+				i, p.Fingerprint, fp)
+		}
+		part, err := aggregate.RestoreAccumulator(s.cfg.Schedule, sv, p.State)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d partial: %w", i, err)
+		}
+		if err := merged.Merge(part); err != nil {
+			return nil, fmt.Errorf("shard %d partial: %w", i, err)
+		}
+	}
+	return merged.Finalize()
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -485,28 +617,123 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// PartialState serves a shard's partial accumulator to the shardrpc
+// surface: catch the shard's partial up with its store, snapshot it,
+// and return the state with the coordinates (cursor, fingerprint) the
+// frontend needs to trust the merge. shard is a local shard index.
+func (s *Server) PartialState(shard int, surveyID string) (*shardrpc.Partial, error) {
+	if shard < 0 || shard >= s.router.Shards() {
+		return nil, fmt.Errorf("server: shard %d outside [0, %d)", shard, s.router.Shards())
+	}
+	sv, err := s.router.Survey(surveyID)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := s.liveFor(sv)
+	if err != nil {
+		return nil, err
+	}
+	p := ls.parts[shard]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.catchUp(s.router); err != nil {
+		return nil, err
+	}
+	return &shardrpc.Partial{
+		SurveyID:    surveyID,
+		Shard:       shard,
+		Fingerprint: ls.fp,
+		Cursor:      p.cursor.Load(),
+		State:       p.acc.Snapshot(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Admin surface
+
+// SurveyVersionInfo is one definition version in a survey's republish
+// history.
+type SurveyVersionInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	// PublishedAt is when the definition was published; zero for
+	// records persisted before publish timestamps existed.
+	PublishedAt time.Time `json:"published_at,omitzero"`
+}
+
+// SurveyHistoryInfo is one survey's republish history on the admin
+// surface: every definition fingerprint the store has held, oldest
+// first. A single entry means the survey was never republished.
+type SurveyHistoryInfo struct {
+	SurveyID string              `json:"survey_id"`
+	Versions []SurveyVersionInfo `json:"versions"`
+}
+
+// ReplicaShardInfo is one followed shard's staleness cursor on a
+// replica's admin surface.
+type ReplicaShardInfo struct {
+	// Shard is the global shard index being followed.
+	Shard int `json:"shard"`
+	// Epoch is the source journal epoch the replica is applying.
+	Epoch uint64 `json:"epoch"`
+	// AppliedOffset is how far into the source journal the replica has
+	// applied; SourceEnd is the journal length at the last poll, so
+	// SourceEnd − AppliedOffset is the lag in records.
+	AppliedOffset uint64 `json:"applied_offset"`
+	SourceEnd     uint64 `json:"source_end"`
+	LagRecords    uint64 `json:"lag_records"`
+	// Resets counts epoch mismatches that forced a full resync.
+	Resets int `json:"resets,omitempty"`
+	// LastSyncAt is when the shard last completed a poll; LastError is
+	// the most recent poll failure (empty when healthy).
+	LastSyncAt time.Time `json:"last_sync_at,omitzero"`
+	LastError  string    `json:"last_error,omitempty"`
+}
+
+// ReplicationInfo is the replica's staleness report.
+type ReplicationInfo struct {
+	// Source is the node address the replica follows.
+	Source string `json:"source"`
+	// Shards holds per-followed-shard cursors.
+	Shards []ReplicaShardInfo `json:"shards"`
+}
+
 // AdminStoreInfo is the requester-facing observability view of the
 // persistence layer and the live read path: per-shard WAL shape for the
-// ingest store, plus every live accumulator's catch-up cursor.
+// ingest store, every live partial's catch-up cursor, republish
+// history, and — on a replica — the replication staleness cursors.
 type AdminStoreInfo struct {
 	// Backend names the store implementation ("mem", "file", "ingest",
-	// or the concrete Go type for custom stores).
+	// "remote" for a frontend, or the concrete Go type for custom
+	// stores).
 	Backend string `json:"backend"`
-	// Ingest carries cumulative ingest counters; only for the ingest
-	// backend.
+	// Role is the deployment role (standalone, node, frontend,
+	// replica).
+	Role string `json:"role"`
+	// RouterShards is the shard count responses partition across (1 in
+	// the classic standalone deployment).
+	RouterShards int `json:"router_shards"`
+	// Ingest carries cumulative ingest counters; only for ingest
+	// backends.
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
-	// Shards holds per-shard segment/compaction state; only for the
-	// ingest backend.
+	// Shards holds per-shard segment/compaction state; only for ingest
+	// backends.
 	Shards []ingest.ShardStats `json:"shards,omitempty"`
-	// Accumulators lists the live aggregate cursors, sorted by survey.
+	// Accumulators lists the live partials' cursors, sorted by survey
+	// then shard.
 	Accumulators []LiveAccumulator `json:"accumulators"`
 	// PoisonedRecords counts stored records the live read path has
-	// rejected since startup (each one wedges its survey's reads until
-	// the accumulator is rebuilt; see PoisonError).
+	// rejected since startup (each one wedges its shard's reads for
+	// that survey until the accumulator is rebuilt; see PoisonError).
 	PoisonedRecords int64 `json:"poisoned_records"`
-	// Checkpoints reports the durable checkpoint log's per-survey
-	// cursor and age; nil when checkpointing is disabled.
+	// Checkpoints reports the durable checkpoint log's per-shard
+	// cursors and ages; nil when checkpointing is disabled.
 	Checkpoints *CheckpointInfo `json:"checkpoints,omitempty"`
+	// Surveys is the per-survey republish history (definition
+	// fingerprints with publish timestamps); only for stores that
+	// record it.
+	Surveys []SurveyHistoryInfo `json:"surveys,omitempty"`
+	// Replication is the replica's staleness report; only on replicas.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
 }
 
 // ingestStatser is the optional interface a store implements to report
@@ -518,28 +745,154 @@ type ingestStatser interface {
 	ShardStats() []ingest.ShardStats
 }
 
+// adminStores returns the concrete stores behind the router: the single
+// configured store, or a local router's per-shard stores. Empty for a
+// remote router (a frontend inspects its nodes' admin surfaces
+// instead).
+func (s *Server) adminStores() []store.Store {
+	if s.cfg.Store != nil {
+		return []store.Store{s.cfg.Store}
+	}
+	if l, ok := s.router.(*shardset.Local); ok {
+		out := make([]store.Store, l.Shards())
+		for i := range out {
+			out[i] = l.Store(i)
+		}
+		return out
+	}
+	return nil
+}
+
 func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
 	info := AdminStoreInfo{
+		Role:            s.cfg.Role,
+		RouterShards:    s.router.Shards(),
 		Accumulators:    s.liveAccumulators(),
 		PoisonedRecords: s.poisoned.Load(),
 		Checkpoints:     s.checkpointInfo(),
 	}
-	switch s.cfg.Store.(type) {
-	case *store.Mem:
-		info.Backend = "mem"
-	case *store.File:
-		info.Backend = "file"
-	case *ingest.Sharded:
-		info.Backend = "ingest"
-	default:
-		info.Backend = fmt.Sprintf("%T", s.cfg.Store)
+	stores := s.adminStores()
+	if len(stores) == 0 {
+		info.Backend = "remote"
+	} else {
+		switch stores[0].(type) {
+		case *store.Mem:
+			info.Backend = "mem"
+		case *store.File:
+			info.Backend = "file"
+		case *ingest.Sharded:
+			info.Backend = "ingest"
+		default:
+			info.Backend = fmt.Sprintf("%T", stores[0])
+		}
+		// Sum ingest counters across the router's stores (a node runs
+		// one ingest store per owned shard); per-WAL-shard stats are
+		// concatenated in store order.
+		var agg ingest.Stats
+		var shardStats []ingest.ShardStats
+		haveIngest := false
+		for _, st := range stores {
+			if ist, ok := st.(ingestStatser); ok {
+				haveIngest = true
+				is := ist.Stats()
+				agg.Appends += is.Appends
+				agg.Commits += is.Commits
+				agg.Rotations += is.Rotations
+				agg.Snapshots += is.Snapshots
+				shardStats = append(shardStats, ist.ShardStats()...)
+			}
+		}
+		if haveIngest {
+			info.Ingest = &agg
+			info.Shards = shardStats
+		}
 	}
-	if st, ok := s.cfg.Store.(ingestStatser); ok {
-		stats := st.Stats()
-		info.Ingest = &stats
-		info.Shards = st.ShardStats()
+	info.Surveys = s.surveyHistories(stores)
+	if s.cfg.ReplicationInfo != nil {
+		info.Replication = s.cfg.ReplicationInfo()
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// surveyHistories collects republish history from the first store that
+// records it (definitions are replicated to every shard, so any one
+// store's history covers the deployment).
+func (s *Server) surveyHistories(stores []store.Store) []SurveyHistoryInfo {
+	for _, st := range stores {
+		h, ok := st.(store.Historian)
+		if !ok {
+			continue
+		}
+		svs, err := st.Surveys()
+		if err != nil {
+			continue
+		}
+		out := make([]SurveyHistoryInfo, 0, len(svs))
+		for _, sv := range svs {
+			versions := h.SurveyHistory(sv.ID)
+			info := SurveyHistoryInfo{SurveyID: sv.ID}
+			for _, v := range versions {
+				vi := SurveyVersionInfo{Fingerprint: v.Fingerprint}
+				if v.PublishedUnixNano != 0 {
+					vi.PublishedAt = time.Unix(0, v.PublishedUnixNano)
+				}
+				info.Versions = append(info.Versions, vi)
+			}
+			out = append(out, info)
+		}
+		return out
+	}
+	return nil
+}
+
+// AccumulatorClearResult acknowledges an admin accumulator clear.
+type AccumulatorClearResult struct {
+	SurveyID string `json:"survey_id"`
+	// Cleared reports whether live fold state existed and was dropped.
+	Cleared bool `json:"cleared"`
+	// CheckpointDropped reports whether a durable checkpoint was
+	// tombstoned alongside.
+	CheckpointDropped bool `json:"checkpoint_dropped"`
+}
+
+// handleAccumulatorClear lets an operator drop a poisoned (or merely
+// suspect) survey accumulator — live partials and durable checkpoints —
+// without republishing the survey. The next read rebuilds from the
+// store; if the poisoned record is still there the poison returns,
+// which is the honest outcome (the record, not the accumulator, is the
+// problem — but after an offline store repair this endpoint is how the
+// server notices).
+func (s *Server) handleAccumulatorClear(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.router.Survey(id); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	hadCkpt := false
+	if s.cfg.Checkpoints != nil {
+		_, hadCkpt = s.cfg.Checkpoints.GetShard(id, 0)
+		if !hadCkpt {
+			// Any shard's record counts; shard 0 just covers the common
+			// single-shard case cheaply.
+			for _, rec := range s.cfg.Checkpoints.Records() {
+				if rec.SurveyID == id {
+					hadCkpt = true
+					break
+				}
+			}
+		}
+	}
+	cleared := s.invalidateLive(id)
+	s.logf("admin cleared accumulator for %q (live=%v checkpoint=%v)", id, cleared, hadCkpt)
+	writeJSON(w, http.StatusOK, AccumulatorClearResult{
+		SurveyID:          id,
+		Cleared:           cleared,
+		CheckpointDropped: hadCkpt,
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,124 @@
+package shardrpc
+
+import (
+	"errors"
+	"sync"
+
+	"loki/internal/survey"
+)
+
+// The remote router's submit path group-batches: while one submit RPC
+// to a shard is in flight, concurrent appends for the same shard queue
+// up and ship as the next batch — the transport-layer twin of the
+// ingest store's WAL group commit. One HTTP round-trip then amortizes
+// across every caller waiting in the same window, which is what lets a
+// frontend saturate its nodes instead of paying a full round-trip per
+// response. A lone append still ships immediately (the batcher never
+// waits on a timer), so uncontended submit latency is one round-trip.
+
+// maxSubmitBatch bounds one shipped batch; deeper queues ship as
+// consecutive batches.
+const maxSubmitBatch = 256
+
+// pendingSubmit is one caller's routed response waiting for the next
+// batch. done receives exactly one result.
+type pendingSubmit struct {
+	resp *survey.Response
+	done chan submitDone
+}
+
+type submitDone struct {
+	stored int
+	err    error
+}
+
+// shardBatcher owns one shard's submit queue and its single shipping
+// goroutine (started lazily on the first append).
+type shardBatcher struct {
+	shard  int
+	client *Client
+
+	mu      sync.Mutex
+	queue   []*pendingSubmit
+	running bool
+}
+
+func newShardBatcher(shard int, client *Client) *shardBatcher {
+	return &shardBatcher{shard: shard, client: client}
+}
+
+// append enqueues one response and blocks until its batch is durable on
+// the node (or failed).
+func (b *shardBatcher) append(resp *survey.Response) (int, error) {
+	p := &pendingSubmit{resp: resp, done: make(chan submitDone, 1)}
+	b.mu.Lock()
+	b.queue = append(b.queue, p)
+	if !b.running {
+		b.running = true
+		go b.run()
+	}
+	b.mu.Unlock()
+	d := <-p.done
+	return d.stored, d.err
+}
+
+// run ships batches until the queue drains, then exits (the next append
+// restarts it). Batching needs no window timer: while a ship's
+// round-trip runs, latecomers pile into the queue and form the next
+// batch naturally.
+func (b *shardBatcher) run() {
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.running = false
+			b.mu.Unlock()
+			return
+		}
+		n := len(b.queue)
+		if n > maxSubmitBatch {
+			n = maxSubmitBatch
+		}
+		batch := b.queue[:n:n]
+		b.queue = append([]*pendingSubmit(nil), b.queue[n:]...)
+		b.mu.Unlock()
+		b.ship(batch)
+	}
+}
+
+// ship sends one batch and distributes per-record results. On an error
+// the node reports how many leading records it durably appended before
+// failing (AppendedHeader): that prefix succeeds without a per-record
+// count, the rest fail — nobody is left guessing whether to resubmit.
+func (b *shardBatcher) ship(batch []*pendingSubmit) {
+	responses := make([]survey.Response, len(batch))
+	for i, p := range batch {
+		responses[i] = *p.resp
+	}
+	res, err := b.client.Submit(b.shard, responses)
+	if err != nil {
+		appended := 0
+		var re *remoteError
+		if errors.As(err, &re) {
+			appended = re.Appended
+		}
+		if appended > len(batch) {
+			appended = len(batch)
+		}
+		for i, p := range batch {
+			if i < appended {
+				// Durable, but the count was lost with the error reply.
+				p.done <- submitDone{stored: 0}
+			} else {
+				p.done <- submitDone{err: err}
+			}
+		}
+		return
+	}
+	for i, p := range batch {
+		stored := 0
+		if i < len(res.Stored) {
+			stored = res.Stored[i]
+		}
+		p.done <- submitDone{stored: stored}
+	}
+}

@@ -1,0 +1,206 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"loki/internal/shardset"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// Client speaks shardrpc to one node.
+type Client struct {
+	base  string // e.g. "http://10.0.0.7:8080"
+	token string
+	http  *http.Client
+}
+
+// NewClient builds a client for the node at baseURL. A nil httpClient
+// uses a dedicated client with a conservative timeout (cluster links
+// are LAN-fast; a hung peer should fail the request, not the caller's
+// goroutine budget).
+func NewClient(baseURL, token string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: baseURL, token: token, http: httpClient}
+}
+
+// BaseURL returns the node address the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// remoteError carries a peer's error payload with its HTTP status, and
+// re-wraps the store sentinels so errors.Is works across the wire.
+type remoteError struct {
+	Status int
+	Msg    string
+	// Appended is the durable prefix of a failed submit batch (from
+	// AppendedHeader); 0 for every other call.
+	Appended int
+}
+
+// Error implements error.
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("shardrpc: peer returned %d: %s", e.Status, e.Msg)
+}
+
+// Unwrap maps transport statuses back to the sentinels the local path
+// returns, so callers handle local and remote stores identically.
+func (e *remoteError) Unwrap() error {
+	switch e.Status {
+	case http.StatusNotFound:
+		return store.ErrNotFound
+	case http.StatusConflict:
+		return store.ErrExists
+	default:
+		return nil
+	}
+}
+
+func (c *Client) do(method, path string, query url.Values, in, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("shardrpc: marshal request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return fmt.Errorf("shardrpc: build request: %w", err)
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("shardrpc: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var payload struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&payload)
+		if payload.Error == "" {
+			payload.Error = resp.Status
+		}
+		appended, _ := strconv.Atoi(resp.Header.Get(AppendedHeader))
+		return &remoteError{Status: resp.StatusCode, Msg: payload.Error, Appended: appended}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shardrpc: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Meta fetches the node's shard ownership map.
+func (c *Client) Meta() (*Meta, error) {
+	var m Meta
+	if err := c.do(http.MethodGet, "/shardrpc/v1/meta", nil, nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Submit appends a routed batch to one global shard.
+func (c *Client) Submit(shard int, responses []survey.Response) (*SubmitResult, error) {
+	var res SubmitResult
+	err := c.do(http.MethodPost, "/shardrpc/v1/submit", nil,
+		&SubmitRequest{Shard: shard, Responses: responses}, &res)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Scan fetches one page of a cursor scan.
+func (c *Client) Scan(shard int, surveyID string, from uint64, max int) (*ScanBatch, error) {
+	q := url.Values{
+		"survey": {surveyID},
+		"from":   {strconv.FormatUint(from, 10)},
+		"max":    {strconv.Itoa(max)},
+	}
+	var batch ScanBatch
+	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/scan", q, nil, &batch); err != nil {
+		return nil, err
+	}
+	return &batch, nil
+}
+
+// Count fetches one shard's response count for a survey.
+func (c *Client) Count(shard int, surveyID string) (int, error) {
+	var res CountResult
+	q := url.Values{"survey": {surveyID}}
+	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/count", q, nil, &res); err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// Partial fetches one shard's partial accumulator state for a survey.
+func (c *Client) Partial(shard int, surveyID string) (*Partial, error) {
+	var p Partial
+	q := url.Values{"survey": {surveyID}}
+	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/partial", q, nil, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Tail fetches one page of WAL-tail shipping.
+func (c *Client) Tail(shard int, epoch, offset uint64, max int) (*shardset.TailBatch, error) {
+	q := url.Values{
+		"epoch":  {strconv.FormatUint(epoch, 10)},
+		"offset": {strconv.FormatUint(offset, 10)},
+		"max":    {strconv.Itoa(max)},
+	}
+	var batch shardset.TailBatch
+	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/tail", q, nil, &batch); err != nil {
+		return nil, err
+	}
+	return &batch, nil
+}
+
+// Survey fetches one survey definition.
+func (c *Client) Survey(id string) (*survey.Survey, error) {
+	var sv survey.Survey
+	if err := c.do(http.MethodGet, "/shardrpc/v1/surveys/"+url.PathEscape(id), nil, nil, &sv); err != nil {
+		return nil, err
+	}
+	return &sv, nil
+}
+
+// Surveys fetches every survey definition.
+func (c *Client) Surveys() ([]*survey.Survey, error) {
+	var svs []*survey.Survey
+	if err := c.do(http.MethodGet, "/shardrpc/v1/surveys", nil, nil, &svs); err != nil {
+		return nil, err
+	}
+	return svs, nil
+}
+
+// Publish broadcasts a definition (replace selects the republish path).
+func (c *Client) Publish(sv *survey.Survey, replace bool) error {
+	return c.do(http.MethodPost, "/shardrpc/v1/surveys", nil,
+		&PublishRequest{Survey: sv, Replace: replace}, nil)
+}

@@ -1,0 +1,281 @@
+package shardrpc
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// maxScanPage bounds one scan/tail page so a cold replica syncing a
+// large shard cannot make the node materialize an unbounded response.
+const maxScanPage = 4096
+
+// Handler serves the shardrpc surface over a Backend. Mount it on the
+// node's mux next to (or instead of) the public API; every route is
+// guarded by the cluster token.
+type Handler struct {
+	backend Backend
+	token   string
+	mux     *http.ServeMux
+}
+
+// NewHandler builds the shardrpc handler. The token guards every route
+// — cluster-internal traffic carries "Authorization: Bearer <token>"
+// exactly like the public API's requester endpoints.
+func NewHandler(backend Backend, token string) (*Handler, error) {
+	if backend == nil {
+		return nil, errors.New("shardrpc: handler needs a backend")
+	}
+	if token == "" {
+		return nil, errors.New("shardrpc: handler needs a cluster token")
+	}
+	h := &Handler{backend: backend, token: token, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /shardrpc/v1/meta", h.guard(h.handleMeta))
+	h.mux.HandleFunc("POST /shardrpc/v1/submit", h.guard(h.handleSubmit))
+	h.mux.HandleFunc("GET /shardrpc/v1/shards/{shard}/scan", h.guard(h.handleScan))
+	h.mux.HandleFunc("GET /shardrpc/v1/shards/{shard}/count", h.guard(h.handleCount))
+	h.mux.HandleFunc("GET /shardrpc/v1/shards/{shard}/partial", h.guard(h.handlePartial))
+	h.mux.HandleFunc("GET /shardrpc/v1/shards/{shard}/tail", h.guard(h.handleTail))
+	h.mux.HandleFunc("GET /shardrpc/v1/surveys", h.guard(h.handleSurveys))
+	h.mux.HandleFunc("GET /shardrpc/v1/surveys/{id}", h.guard(h.handleSurvey))
+	h.mux.HandleFunc("POST /shardrpc/v1/surveys", h.guard(h.handlePublish))
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) guard(fn http.HandlerFunc) http.HandlerFunc {
+	want := "Bearer " + h.token
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != want {
+			writeErr(w, http.StatusUnauthorized, "missing or invalid cluster token")
+			return
+		}
+		fn(w, r)
+	}
+}
+
+// writeBackendErr maps backend errors to transport statuses: unknown
+// survey → 404, duplicate publish → 409, unowned shard → 421 (the
+// caller's placement map is wrong), anything else → 400 (validation)
+// so the sender does not blindly retry a rejected record.
+func writeBackendErr(w http.ResponseWriter, err error) {
+	var notOwned *ErrNotOwned
+	switch {
+	case errors.As(err, &notOwned):
+		writeErr(w, http.StatusMisdirectedRequest, err.Error())
+	case errors.Is(err, store.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, store.ErrExists):
+		writeErr(w, http.StatusConflict, err.Error())
+	default:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (h *Handler) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	writeOK(w, h.backend.Meta())
+}
+
+func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Responses) == 0 {
+		writeErr(w, http.StatusBadRequest, "submit batch is empty")
+		return
+	}
+	counts, err := h.backend.AppendShardBatch(req.Shard, req.Responses)
+	if err != nil {
+		// Report the partial progress with the error: the counted
+		// prefix is durable, the sender must not resubmit it.
+		w.Header().Set(AppendedHeader, strconv.Itoa(len(counts)))
+		writeBackendErr(w, err)
+		return
+	}
+	writeOK(w, SubmitResult{Appended: len(counts), Stored: counts})
+}
+
+func (h *Handler) handleScan(w http.ResponseWriter, r *http.Request) {
+	shard, ok := pathShard(w, r)
+	if !ok {
+		return
+	}
+	surveyID := r.URL.Query().Get("survey")
+	from, err := strconv.ParseUint(qDefault(r, "from", "0"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad from cursor")
+		return
+	}
+	max, err := strconv.Atoi(qDefault(r, "max", "1024"))
+	if err != nil || max <= 0 {
+		writeErr(w, http.StatusBadRequest, "bad max")
+		return
+	}
+	if max > maxScanPage {
+		max = maxScanPage
+	}
+	batch := ScanBatch{NextSeq: from}
+	scanErr := h.backend.ScanShard(shard, surveyID, from, func(seq uint64, resp *survey.Response) error {
+		batch.Records = append(batch.Records, ScanRecord{Seq: seq, Response: *resp})
+		batch.NextSeq = seq
+		if len(batch.Records) >= max {
+			return errPageFull
+		}
+		return nil
+	})
+	if scanErr != nil && !errors.Is(scanErr, errPageFull) {
+		writeBackendErr(w, scanErr)
+		return
+	}
+	batch.More = errors.Is(scanErr, errPageFull)
+	writeOK(w, batch)
+}
+
+// errPageFull aborts a scan once a page is full.
+var errPageFull = errors.New("shardrpc: page full")
+
+func (h *Handler) handleCount(w http.ResponseWriter, r *http.Request) {
+	shard, ok := pathShard(w, r)
+	if !ok {
+		return
+	}
+	writeOK(w, CountResult{Count: h.backend.CountShard(shard, r.URL.Query().Get("survey"))})
+}
+
+func (h *Handler) handlePartial(w http.ResponseWriter, r *http.Request) {
+	shard, ok := pathShard(w, r)
+	if !ok {
+		return
+	}
+	p, err := h.backend.PartialState(shard, r.URL.Query().Get("survey"))
+	if err != nil {
+		writeBackendErr(w, err)
+		return
+	}
+	writeOK(w, p)
+}
+
+func (h *Handler) handleTail(w http.ResponseWriter, r *http.Request) {
+	shard, ok := pathShard(w, r)
+	if !ok {
+		return
+	}
+	epoch, err := strconv.ParseUint(qDefault(r, "epoch", "0"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad epoch")
+		return
+	}
+	offset, err := strconv.ParseUint(qDefault(r, "offset", "0"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad offset")
+		return
+	}
+	max, err := strconv.Atoi(qDefault(r, "max", "1024"))
+	if err != nil || max <= 0 {
+		writeErr(w, http.StatusBadRequest, "bad max")
+		return
+	}
+	if max > maxScanPage {
+		max = maxScanPage
+	}
+	batch, err := h.backend.Tail(shard, epoch, offset, max)
+	if err != nil {
+		writeBackendErr(w, err)
+		return
+	}
+	writeOK(w, batch)
+}
+
+func (h *Handler) handleSurveys(w http.ResponseWriter, _ *http.Request) {
+	svs, err := h.backend.Surveys()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeOK(w, svs)
+}
+
+func (h *Handler) handleSurvey(w http.ResponseWriter, r *http.Request) {
+	sv, err := h.backend.Survey(r.PathValue("id"))
+	if err != nil {
+		writeBackendErr(w, err)
+		return
+	}
+	writeOK(w, sv)
+}
+
+func (h *Handler) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Survey == nil {
+		writeErr(w, http.StatusBadRequest, "publish request without a survey")
+		return
+	}
+	var err error
+	if req.Replace {
+		err = h.backend.ReplaceSurvey(req.Survey)
+	} else {
+		err = h.backend.PutSurvey(req.Survey)
+	}
+	if err != nil {
+		writeBackendErr(w, err)
+		return
+	}
+	writeOK(w, map[string]string{"id": req.Survey.ID})
+}
+
+// ---------------------------------------------------------------------------
+// Small HTTP helpers (the transport is internal; bodies are bounded by
+// the node's front proxy or the in-process client, so no MaxBytesReader
+// ceremony beyond a sane cap).
+
+const maxBodyBytes = 32 << 20 // submit batches dominate; 32 MiB is generous
+
+func pathShard(w http.ResponseWriter, r *http.Request) (int, bool) {
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || shard < 0 {
+		writeErr(w, http.StatusBadRequest, "bad shard index")
+		return 0, false
+	}
+	return shard, true
+}
+
+func qDefault(r *http.Request, key, def string) string {
+	if v := r.URL.Query().Get(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	_, _ = io.Copy(io.Discard, body)
+	return true
+}
+
+func writeOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

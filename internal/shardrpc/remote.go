@@ -1,0 +1,265 @@
+package shardrpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"loki/internal/shardset"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// Remote is the cluster-side shardset.ShardRouter: every shard-addressed
+// call is forwarded to the node owning that global shard, survey
+// metadata broadcasts to every node. It is what a frontend hands the
+// server instead of a local store.
+//
+// Survey definitions are read-heavy (every submit resolves one), so
+// Remote keeps a short-TTL read-through cache; publishes and
+// republishes invalidate it. The TTL bounds frontend/node skew for
+// definitions changed behind the frontend's back (an operator
+// publishing directly to a node), which nodes tolerate anyway — they
+// re-validate every append.
+type Remote struct {
+	clients   []*Client
+	placement []int // placement[globalShard] = index into clients
+	// batchers group-batch the submit path per shard (see batcher.go).
+	batchers []*shardBatcher
+
+	metaMu    sync.Mutex
+	metaTTL   time.Duration
+	metaAt    time.Time
+	metaList  []*survey.Survey
+	metaIndex map[string]*survey.Survey
+}
+
+// RoundRobinPlacement spreads a global shard space across n nodes:
+// shard i lives on node i mod n. It is the canonical cluster layout
+// cmd/loki-server and the cluster bench use; anything fancier (weighted
+// placement, shard moves) changes only this function's caller.
+func RoundRobinPlacement(totalShards, nodes int) [][]int {
+	owned := make([][]int, nodes)
+	for s := 0; s < totalShards; s++ {
+		owned[s%nodes] = append(owned[s%nodes], s)
+	}
+	return owned
+}
+
+// NewRemote builds a remote router over one client per node, with
+// placement[globalShard] naming the owning node's client index.
+func NewRemote(clients []*Client, placement []int) (*Remote, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("shardrpc: remote router needs at least one node client")
+	}
+	if len(placement) == 0 {
+		return nil, errors.New("shardrpc: remote router needs a placement map")
+	}
+	for s, n := range placement {
+		if n < 0 || n >= len(clients) {
+			return nil, fmt.Errorf("shardrpc: placement maps shard %d to node %d of %d", s, n, len(clients))
+		}
+	}
+	r := &Remote{clients: clients, placement: placement, metaTTL: time.Second}
+	r.batchers = make([]*shardBatcher, len(placement))
+	for s := range r.batchers {
+		r.batchers[s] = newShardBatcher(s, clients[placement[s]])
+	}
+	return r, nil
+}
+
+// NewRemoteRoundRobin wires the canonical layout: totalShards spread
+// round-robin across the given node clients. The placement is derived
+// from RoundRobinPlacement — the same function nodes compute their
+// ownership with — so routing and ownership cannot drift apart.
+func NewRemoteRoundRobin(clients []*Client, totalShards int) (*Remote, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("shardrpc: remote router needs at least one node client")
+	}
+	placement := make([]int, totalShards)
+	for node, owned := range RoundRobinPlacement(totalShards, len(clients)) {
+		for _, s := range owned {
+			placement[s] = node
+		}
+	}
+	return NewRemote(clients, placement)
+}
+
+// Shards implements shardset.ShardRouter.
+func (r *Remote) Shards() int { return len(r.placement) }
+
+// GlobalID implements shardset.ShardRouter: a frontend's shard space
+// is the global one.
+func (r *Remote) GlobalID(shard int) int { return shard }
+
+// Route implements shardset.ShardRouter with the canonical hash.
+func (r *Remote) Route(surveyID, workerID string) int {
+	return shardset.Route(surveyID, workerID, len(r.placement))
+}
+
+func (r *Remote) clientFor(shard int) (*Client, error) {
+	if shard < 0 || shard >= len(r.placement) {
+		return nil, fmt.Errorf("shardrpc: shard %d outside [0, %d)", shard, len(r.placement))
+	}
+	return r.clients[r.placement[shard]], nil
+}
+
+// invalidateMeta drops the survey cache (after any publish).
+func (r *Remote) invalidateMeta() {
+	r.metaMu.Lock()
+	r.metaAt = time.Time{}
+	r.metaList = nil
+	r.metaIndex = nil
+	r.metaMu.Unlock()
+}
+
+// refreshMetaLocked refetches the survey list when the cache is stale.
+// Caller holds metaMu.
+func (r *Remote) refreshMetaLocked() error {
+	if r.metaIndex != nil && time.Since(r.metaAt) < r.metaTTL {
+		return nil
+	}
+	svs, err := r.clients[0].Surveys()
+	if err != nil {
+		return err
+	}
+	idx := make(map[string]*survey.Survey, len(svs))
+	for _, sv := range svs {
+		idx[sv.ID] = sv
+	}
+	r.metaList, r.metaIndex, r.metaAt = svs, idx, time.Now()
+	return nil
+}
+
+// PutSurvey implements shardset.ShardRouter: broadcast to every node.
+// A node that already holds the definition (a retried broadcast after
+// a partial failure) is skipped but the broadcast continues, so a
+// partial broadcast always converges; ErrExists surfaces only after
+// every node has the definition, preserving the duplicate-publish
+// contract.
+func (r *Remote) PutSurvey(sv *survey.Survey) error {
+	defer r.invalidateMeta()
+	var exists error
+	for _, c := range r.clients {
+		if err := c.Publish(sv, false); err != nil {
+			if errors.Is(err, store.ErrExists) {
+				exists = err
+				continue
+			}
+			return err
+		}
+	}
+	return exists
+}
+
+// ReplaceSurvey implements shardset.ShardRouter: broadcast to every node.
+func (r *Remote) ReplaceSurvey(sv *survey.Survey) error {
+	defer r.invalidateMeta()
+	for _, c := range r.clients {
+		if err := c.Publish(sv, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Survey implements shardset.ShardRouter through the metadata cache.
+func (r *Remote) Survey(id string) (*survey.Survey, error) {
+	r.metaMu.Lock()
+	defer r.metaMu.Unlock()
+	if err := r.refreshMetaLocked(); err != nil {
+		return nil, err
+	}
+	sv, ok := r.metaIndex[id]
+	if !ok {
+		return nil, fmt.Errorf("shardrpc: survey %q: %w", id, store.ErrNotFound)
+	}
+	return sv.Clone(), nil
+}
+
+// Surveys implements shardset.ShardRouter through the metadata cache.
+func (r *Remote) Surveys() ([]*survey.Survey, error) {
+	r.metaMu.Lock()
+	defer r.metaMu.Unlock()
+	if err := r.refreshMetaLocked(); err != nil {
+		return nil, err
+	}
+	out := make([]*survey.Survey, len(r.metaList))
+	for i, sv := range r.metaList {
+		out[i] = sv.Clone()
+	}
+	return out, nil
+}
+
+// Append implements shardset.ShardRouter.
+func (r *Remote) Append(resp *survey.Response) (int, error) {
+	return r.AppendShard(r.Route(resp.SurveyID, resp.WorkerID), resp)
+}
+
+// AppendShard implements shardset.ShardRouter through the shard's
+// group batcher: concurrent appends to one shard coalesce into batch
+// RPCs, one round-trip amortized across every waiter.
+func (r *Remote) AppendShard(shard int, resp *survey.Response) (int, error) {
+	if shard < 0 || shard >= len(r.placement) {
+		return 0, fmt.Errorf("shardrpc: shard %d outside [0, %d)", shard, len(r.placement))
+	}
+	return r.batchers[shard].append(resp)
+}
+
+// ScanShard implements shardset.ShardRouter by paging through the
+// owning node's scan endpoint.
+func (r *Remote) ScanShard(shard int, surveyID string, fromSeq uint64, fn func(seq uint64, resp *survey.Response) error) error {
+	c, err := r.clientFor(shard)
+	if err != nil {
+		return err
+	}
+	cursor := fromSeq
+	for {
+		batch, err := c.Scan(shard, surveyID, cursor, maxScanPage)
+		if err != nil {
+			return err
+		}
+		for i := range batch.Records {
+			rec := &batch.Records[i]
+			if err := fn(rec.Seq, &rec.Response); err != nil {
+				return err
+			}
+		}
+		if !batch.More {
+			return nil
+		}
+		cursor = batch.NextSeq
+	}
+}
+
+// CountShard implements shardset.ShardRouter. The interface cannot
+// carry an error; an unreachable node reads as zero, matching how a
+// local router reports an unknown survey.
+func (r *Remote) CountShard(shard int, surveyID string) int {
+	c, err := r.clientFor(shard)
+	if err != nil {
+		return 0
+	}
+	n, err := c.Count(shard, surveyID)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Partial fetches one shard's partial accumulator from its owning node
+// — the frontend's merge-at-query-time read path.
+func (r *Remote) Partial(shard int, surveyID string) (*Partial, error) {
+	c, err := r.clientFor(shard)
+	if err != nil {
+		return nil, err
+	}
+	return c.Partial(shard, surveyID)
+}
+
+// Close implements shardset.ShardRouter. The HTTP clients hold no
+// resources worth tearing down.
+func (r *Remote) Close() error { return nil }
+
+var _ shardset.ShardRouter = (*Remote)(nil)

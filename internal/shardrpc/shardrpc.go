@@ -1,0 +1,143 @@
+// Package shardrpc is Loki's compact internal HTTP transport between
+// cluster roles: the frontend routes submissions to the nodes owning
+// each shard and merges per-shard partial aggregates at query time;
+// read replicas tail a node's append journal (WAL shipping with a shard
+// epoch + offset) and serve read-only scans and aggregates.
+//
+// The wire is JSON over HTTP — the same operational surface as the
+// public API (curl-able, proxy-friendly), but a distinct, token-guarded
+// namespace with its own stability contract:
+//
+//	POST /shardrpc/v1/submit                    batch append to one shard
+//	GET  /shardrpc/v1/shards/{shard}/scan       cursor scan (paged)
+//	GET  /shardrpc/v1/shards/{shard}/count      per-shard response count
+//	GET  /shardrpc/v1/shards/{shard}/partial    partial accumulator state
+//	GET  /shardrpc/v1/shards/{shard}/tail       WAL-tail shipping
+//	GET  /shardrpc/v1/meta                      shard ownership map
+//	GET  /shardrpc/v1/surveys                   survey definitions
+//	GET  /shardrpc/v1/surveys/{id}              one survey definition
+//	POST /shardrpc/v1/surveys                   publish/republish broadcast
+//
+// Shard indices on this surface are always global (the cluster's shard
+// space); a node translates to its local subset and rejects shards it
+// does not own with 421 (misdirected request), which a frontend treats
+// as a placement-map bug, never retries.
+package shardrpc
+
+import (
+	"fmt"
+
+	"loki/internal/aggregate"
+	"loki/internal/shardset"
+	"loki/internal/survey"
+)
+
+// Meta describes a node's place in the cluster: the size of the global
+// shard space and the slice of it this node owns.
+type Meta struct {
+	TotalShards int   `json:"total_shards"`
+	OwnedShards []int `json:"owned_shards"`
+}
+
+// SubmitRequest is a batch append to one global shard. Responses must
+// already be validated by the sender against the survey definition; the
+// node re-validates against its replicated copy before appending, so a
+// frontend/node definition skew surfaces as a 400, not silent
+// corruption.
+type SubmitRequest struct {
+	Shard     int               `json:"shard"`
+	Responses []survey.Response `json:"responses"`
+}
+
+// SubmitResult acknowledges a durable batch.
+type SubmitResult struct {
+	Appended int `json:"appended"`
+	// Stored holds, per appended response, the shard's response count
+	// for that response's survey right after its append — the submit
+	// ack figure, free at append time.
+	Stored []int `json:"stored"`
+}
+
+// AppendedHeader is the response header a failed submit carries: how
+// many leading records of the batch were durably appended before the
+// failure. Senders must not resubmit that prefix.
+const AppendedHeader = "X-Shardrpc-Appended"
+
+// ScanRecord is one response with its per-shard sequence number.
+type ScanRecord struct {
+	Seq      uint64          `json:"seq"`
+	Response survey.Response `json:"response"`
+}
+
+// ScanBatch is one page of a cursor scan.
+type ScanBatch struct {
+	Records []ScanRecord `json:"records,omitempty"`
+	// NextSeq resumes the scan (the last delivered seq, or the request
+	// cursor when the page is empty).
+	NextSeq uint64 `json:"next_seq"`
+	// More reports whether the shard may hold records beyond this page.
+	More bool `json:"more"`
+}
+
+// CountResult carries a per-shard response count.
+type CountResult struct {
+	Count int `json:"count"`
+}
+
+// Partial is one shard's partial accumulator for a survey: the fold
+// state the frontend Merges at query time, plus the coordinates needed
+// to trust it (the per-shard cursor it covers and the definition
+// fingerprint it was folded under).
+type Partial struct {
+	SurveyID    string                      `json:"survey_id"`
+	Shard       int                         `json:"shard"`
+	Fingerprint string                      `json:"fingerprint"`
+	Cursor      uint64                      `json:"cursor"`
+	State       *aggregate.AccumulatorState `json:"state"`
+}
+
+// PublishRequest broadcasts a survey definition. Replace selects the
+// republish path (overwrite an existing definition).
+type PublishRequest struct {
+	Survey  *survey.Survey `json:"survey"`
+	Replace bool           `json:"replace,omitempty"`
+}
+
+// Backend is what a cluster node exposes through a Handler. The server
+// package's Node implements it over a journaling shardset.Local plus
+// the node's live partial accumulators.
+type Backend interface {
+	// Meta reports the node's shard ownership.
+	Meta() Meta
+	// AppendShardBatch durably appends a routed batch to a global
+	// shard in one durability round, returning per-response stored
+	// counts. On error the returned prefix covers the responses that
+	// were durably appended before the failure.
+	AppendShardBatch(shard int, rs []survey.Response) ([]int, error)
+	// ScanShard streams one global shard's slice of a survey beyond a
+	// per-shard cursor.
+	ScanShard(shard int, surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error
+	// CountShard returns one global shard's response count.
+	CountShard(shard int, surveyID string) int
+	// PartialState returns the shard's current partial accumulator for
+	// the survey, caught up to the shard's latest append.
+	PartialState(shard int, surveyID string) (*Partial, error)
+	// Tail serves WAL-tail shipping for one global shard.
+	Tail(shard int, epoch, offset uint64, max int) (*shardset.TailBatch, error)
+	// PutSurvey / ReplaceSurvey / Survey / Surveys mirror the survey
+	// metadata surface (replicated to every shard by the backend).
+	PutSurvey(sv *survey.Survey) error
+	ReplaceSurvey(sv *survey.Survey) error
+	Survey(id string) (*survey.Survey, error)
+	Surveys() ([]*survey.Survey, error)
+}
+
+// ErrNotOwned is the sentinel a Backend returns from shard-addressed
+// calls for global shards outside its owned subset; the Handler maps it
+// to 421.
+type ErrNotOwned struct{ Shard int }
+
+// Error implements error.
+func (e *ErrNotOwned) Error() string {
+	return fmt.Sprintf("shardrpc: shard %d not owned by this node", e.Shard)
+}

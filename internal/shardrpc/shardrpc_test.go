@@ -1,0 +1,369 @@
+package shardrpc
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"loki/internal/aggregate"
+	"loki/internal/core"
+	"loki/internal/shardset"
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// testBackend adapts a journaling shardset.Local into a Backend with a
+// trivial partial provider: partials are folded on demand from the
+// shard's scan (the real node keeps them warm; the transport does not
+// care).
+type testBackend struct {
+	local *shardset.Local
+	total int
+}
+
+func (b *testBackend) Meta() Meta {
+	owned := make([]int, b.local.Shards())
+	for i := range owned {
+		owned[i] = b.local.GlobalID(i)
+	}
+	return Meta{TotalShards: b.total, OwnedShards: owned}
+}
+
+func (b *testBackend) shard(global int) (int, error) {
+	for i := 0; i < b.local.Shards(); i++ {
+		if b.local.GlobalID(i) == global {
+			return i, nil
+		}
+	}
+	return 0, &ErrNotOwned{Shard: global}
+}
+
+func (b *testBackend) AppendShardBatch(global int, rs []survey.Response) ([]int, error) {
+	i, err := b.shard(global)
+	if err != nil {
+		return nil, err
+	}
+	return b.local.AppendShardBatch(i, rs)
+}
+
+func (b *testBackend) ScanShard(global int, surveyID string, fromSeq uint64, fn func(seq uint64, r *survey.Response) error) error {
+	i, err := b.shard(global)
+	if err != nil {
+		return err
+	}
+	return b.local.ScanShard(i, surveyID, fromSeq, fn)
+}
+
+func (b *testBackend) CountShard(global int, surveyID string) int {
+	i, err := b.shard(global)
+	if err != nil {
+		return 0
+	}
+	return b.local.CountShard(i, surveyID)
+}
+
+func (b *testBackend) PartialState(global int, surveyID string) (*Partial, error) {
+	i, err := b.shard(global)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := b.local.Survey(surveyID)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := aggregate.NewAccumulator(core.DefaultSchedule(), sv)
+	if err != nil {
+		return nil, err
+	}
+	var cursor uint64
+	err = b.local.ScanShard(i, surveyID, 0, func(seq uint64, r *survey.Response) error {
+		cursor = seq
+		return acc.Add(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Partial{
+		SurveyID: surveyID, Shard: global,
+		Fingerprint: sv.Fingerprint(), Cursor: cursor, State: acc.Snapshot(),
+	}, nil
+}
+
+func (b *testBackend) Tail(global int, epoch, offset uint64, max int) (*shardset.TailBatch, error) {
+	i, err := b.shard(global)
+	if err != nil {
+		return nil, err
+	}
+	return b.local.Tail(i, epoch, offset, max)
+}
+
+func (b *testBackend) PutSurvey(sv *survey.Survey) error     { return b.local.PutSurvey(sv) }
+func (b *testBackend) ReplaceSurvey(sv *survey.Survey) error { return b.local.ReplaceSurvey(sv) }
+func (b *testBackend) Survey(id string) (*survey.Survey, error) {
+	return b.local.Survey(id)
+}
+func (b *testBackend) Surveys() ([]*survey.Survey, error) { return b.local.Surveys() }
+
+func rpcSurvey(id string) *survey.Survey {
+	return &survey.Survey{
+		ID:    id,
+		Title: "Shardrpc test survey",
+		Questions: []survey.Question{
+			{ID: "q0", Text: "rate", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+		},
+		RewardCents: 1,
+	}
+}
+
+func rpcResponse(surveyID string, i int) survey.Response {
+	return survey.Response{
+		SurveyID:     surveyID,
+		WorkerID:     fmt.Sprintf("w%05d", i),
+		PrivacyLevel: "none",
+		Answers:      []survey.Answer{survey.RatingAnswer("q0", float64(1+i%5))},
+	}
+}
+
+// newTestNode spins one in-process node over HTTP: shards [0..shards)
+// of a same-sized cluster.
+func newTestNode(t *testing.T, shards int) (*Client, *shardset.Local) {
+	t.Helper()
+	stores := make([]store.Store, shards)
+	for i := range stores {
+		stores[i] = store.NewMem()
+	}
+	local, err := shardset.NewLocal(stores, shardset.LocalOptions{Journal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	h, err := NewHandler(&testBackend{local: local, total: shards}, "cluster-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, "cluster-token", nil), local
+}
+
+// TestRoundTrip drives every verb over the wire.
+func TestRoundTrip(t *testing.T) {
+	c, local := newTestNode(t, 2)
+
+	meta, err := c.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.TotalShards != 2 || len(meta.OwnedShards) != 2 {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	sv := rpcSurvey("sv")
+	if err := c.Publish(sv, false); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate publish maps to the same sentinel a local store returns.
+	if err := c.Publish(sv, false); !errors.Is(err, store.ErrExists) {
+		t.Fatalf("duplicate publish error = %v, want ErrExists", err)
+	}
+
+	batch := []survey.Response{rpcResponse("sv", 0), rpcResponse("sv", 1), rpcResponse("sv", 2)}
+	res, err := c.Submit(1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 3 || len(res.Stored) != 3 || res.Stored[2] != 3 {
+		t.Fatalf("submit result = %+v", res)
+	}
+
+	n, err := c.Count(1, "sv")
+	if err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+
+	// Paged scan: page size 2 over 3 records.
+	sb, err := c.Scan(1, "sv", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Records) != 2 || !sb.More || sb.NextSeq != 2 {
+		t.Fatalf("page 1 = %+v", sb)
+	}
+	sb, err = c.Scan(1, "sv", sb.NextSeq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Records) != 1 || sb.More {
+		t.Fatalf("page 2 = %+v", sb)
+	}
+
+	p, err := c.Partial(1, "sv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cursor != 3 || p.State == nil || p.State.N != 3 || p.Fingerprint != sv.Fingerprint() {
+		t.Fatalf("partial = %+v", p)
+	}
+
+	// Tail: bootstrap then drain.
+	tb, err := c.Tail(1, 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err = c.Tail(1, tb.Epoch, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Entries) != 3 || tb.Entries[0].Response.WorkerID != "w00000" {
+		t.Fatalf("tail = %+v", tb)
+	}
+
+	got, err := c.Survey("sv")
+	if err != nil || got.ID != "sv" {
+		t.Fatalf("survey fetch: %v %v", got, err)
+	}
+	if _, err := c.Survey("ghost"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("unknown survey error = %v, want ErrNotFound", err)
+	}
+	svs, err := c.Surveys()
+	if err != nil || len(svs) != 1 {
+		t.Fatalf("surveys = %v, %v", svs, err)
+	}
+	_ = local
+}
+
+// TestAuthRequired: every route refuses a missing or wrong token.
+func TestAuthRequired(t *testing.T) {
+	c, _ := newTestNode(t, 1)
+	bad := NewClient(c.BaseURL(), "wrong-token", nil)
+	if _, err := bad.Meta(); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+	var re *remoteError
+	if _, err := bad.Count(0, "sv"); !errors.As(err, &re) || re.Status != http.StatusUnauthorized {
+		t.Fatalf("count with wrong token: %v", re)
+	}
+}
+
+// TestNotOwnedShard maps to 421, which a Remote treats as a placement
+// bug (no retry).
+func TestNotOwnedShard(t *testing.T) {
+	c, _ := newTestNode(t, 1)
+	sv := rpcSurvey("sv")
+	if err := c.Publish(sv, false); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(5, []survey.Response{rpcResponse("sv", 0)})
+	var re *remoteError
+	if !errors.As(err, &re) || re.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("unowned shard error = %v", err)
+	}
+}
+
+// TestSubmitPartialFailure: a batch that fails mid-way reports the
+// durable prefix so the sender does not resubmit it.
+func TestSubmitPartialFailure(t *testing.T) {
+	c, _ := newTestNode(t, 1)
+	sv := rpcSurvey("sv")
+	if err := c.Publish(sv, false); err != nil {
+		t.Fatal(err)
+	}
+	batch := []survey.Response{
+		rpcResponse("sv", 0),
+		rpcResponse("sv", 1),
+		{SurveyID: "ghost", WorkerID: "w", PrivacyLevel: "none"},
+	}
+	// Mem's batch appender validates up front (all-or-nothing), so this
+	// exercises the zero-prefix path; the per-record fallback would
+	// report prefix 2. Either way the header and error must agree.
+	_, err := c.Submit(0, batch)
+	var re *remoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("batch with bad record: %v", err)
+	}
+	n, err := c.Count(0, "sv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != re.Appended {
+		t.Fatalf("node stored %d records, error reported %d", n, re.Appended)
+	}
+}
+
+// TestRemoteRouterEquivalence: the Remote router over the wire behaves
+// like a Local router over the same data — same placement, counts and
+// scans — and the submit batcher keeps per-record acks straight under
+// concurrency.
+func TestRemoteRouterEquivalence(t *testing.T) {
+	const shards, n = 2, 60
+	c, local := newTestNode(t, shards)
+	remote, err := NewRemoteRoundRobin([]*Client{c}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	sv := rpcSurvey("sv")
+	if err := remote.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent appends through the batcher.
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := remote.Append(&survey.Response{
+				SurveyID:     "sv",
+				WorkerID:     fmt.Sprintf("w%05d", i),
+				PrivacyLevel: "none",
+				Answers:      []survey.Answer{survey.RatingAnswer("q0", float64(1+i%5))},
+			})
+			errCh <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := shardset.Count(remote, "sv"); got != n {
+		t.Fatalf("remote count = %d, want %d", got, n)
+	}
+	for s := 0; s < shards; s++ {
+		if remote.CountShard(s, "sv") != local.CountShard(s, "sv") {
+			t.Fatalf("shard %d: remote %d vs local %d", s, remote.CountShard(s, "sv"), local.CountShard(s, "sv"))
+		}
+		var viaRemote, viaLocal []string
+		if err := remote.ScanShard(s, "sv", 0, func(_ uint64, r *survey.Response) error {
+			viaRemote = append(viaRemote, r.WorkerID)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := local.ScanShard(s, "sv", 0, func(_ uint64, r *survey.Response) error {
+			viaLocal = append(viaLocal, r.WorkerID)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(viaRemote) != len(viaLocal) {
+			t.Fatalf("shard %d scan lengths differ", s)
+		}
+		for i := range viaRemote {
+			if viaRemote[i] != viaLocal[i] {
+				t.Fatalf("shard %d scan order differs at %d", s, i)
+			}
+		}
+	}
+	// The survey cache serves reads and a republish invalidates it.
+	sv2 := rpcSurvey("sv")
+	sv2.Title = "Republished"
+	if err := remote.ReplaceSurvey(sv2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.Survey("sv")
+	if err != nil || got.Title != "Republished" {
+		t.Fatalf("after republish: %v %v", got, err)
+	}
+}

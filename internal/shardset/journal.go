@@ -1,0 +1,174 @@
+package shardset
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"loki/internal/store"
+	"loki/internal/survey"
+)
+
+// TailEntry is one shipped append: the coordinates a replica needs to
+// apply it ((survey, per-shard seq)) plus the record itself.
+type TailEntry struct {
+	SurveyID string          `json:"survey_id"`
+	Seq      uint64          `json:"seq"`
+	Response survey.Response `json:"response"`
+}
+
+// TailBatch is one page of WAL-tail shipping. The epoch identifies a
+// particular journal ordering: it changes whenever the node rebuilds
+// its journal (every restart), because the rebuild interleaves surveys
+// in a different order than the original arrivals. A replica holding a
+// different epoch than the batch reports must discard its copy of the
+// shard and resync from offset zero — offsets from one epoch mean
+// nothing in another.
+type TailBatch struct {
+	Epoch uint64 `json:"epoch"`
+	// NextOffset is where the follower resumes: offset + len(Entries),
+	// or 0 after an epoch mismatch.
+	NextOffset uint64 `json:"next_offset"`
+	// End is the journal length when the batch was cut; End−NextOffset
+	// is the follower's remaining lag in records.
+	End     uint64      `json:"end"`
+	Entries []TailEntry `json:"entries,omitempty"`
+}
+
+// journalEntry records one append's coordinates. The response payload
+// stays in the shard store's index; tail serving fetches it by (survey,
+// seq) — a constant-time slice index under the store's read lock — so
+// the journal itself stays two words per record.
+type journalEntry struct {
+	surveyID string
+	seq      uint64
+}
+
+// journal is one shard's append journal: arrival order across surveys,
+// which per-survey sequence numbers alone cannot reconstruct.
+type journal struct {
+	epoch uint64
+
+	mu      sync.Mutex
+	entries []journalEntry
+}
+
+// rebuildJournal reconstructs a journal from a shard store after a
+// restart: every survey's stream in survey-ID order. The order differs
+// from the original arrival interleaving, which is exactly why the
+// journal gets a fresh epoch — followers resync rather than trust stale
+// offsets.
+func rebuildJournal(st store.Store, epoch uint64) (*journal, error) {
+	j := &journal{epoch: epoch}
+	surveys, err := st.Surveys()
+	if err != nil {
+		return nil, err
+	}
+	for _, sv := range surveys {
+		err := st.ScanResponses(sv.ID, 0, func(seq uint64, _ *survey.Response) error {
+			j.entries = append(j.entries, journalEntry{surveyID: sv.ID, seq: seq})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// append durably appends to the shard store and journals the entry.
+// Holding the journal lock across the store append serializes appends
+// to this shard: the journal's offset order must equal per-shard seq
+// order per survey, or a replica would apply records out of order. The
+// cost is bounded — cross-shard appends still run in parallel, which is
+// where cluster scaling comes from.
+func (j *journal) append(st store.Store, r *survey.Response) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := st.AppendResponse(r); err != nil {
+		return 0, err
+	}
+	// The append is serialized by j.mu, so the store's count is exactly
+	// the seq it just assigned.
+	n := st.ResponseCount(r.SurveyID)
+	j.entries = append(j.entries, journalEntry{surveyID: r.SurveyID, seq: uint64(n)})
+	return n, nil
+}
+
+// appendBatch is append's batch twin: one journal lock acquisition and
+// — with a BatchAppender store — one fsync for the whole batch. The
+// store computes each record's per-shard seq under its own lock; the
+// journal lock keeps other appenders out, so those seqs are exact.
+func (j *journal) appendBatch(st store.Store, rs []survey.Response) ([]int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var counts []int
+	var err error
+	if ba, ok := st.(store.BatchAppender); ok {
+		counts, err = ba.AppendResponses(rs)
+	} else {
+		counts = make([]int, 0, len(rs))
+		for i := range rs {
+			if aerr := st.AppendResponse(&rs[i]); aerr != nil {
+				err = aerr
+				break
+			}
+			counts = append(counts, st.ResponseCount(rs[i].SurveyID))
+		}
+	}
+	// Journal exactly the durable prefix, error or not.
+	for i, c := range counts {
+		j.entries = append(j.entries, journalEntry{surveyID: rs[i].SurveyID, seq: uint64(c)})
+	}
+	return counts, err
+}
+
+// errStopScan aborts a scan after the one record tail fetching wants.
+var errStopScan = errors.New("shardset: stop scan")
+
+// tail cuts one shipping batch: entries [offset, offset+max) under the
+// caller's epoch. An epoch mismatch returns the current epoch with
+// NextOffset 0 and no entries — the follower's signal to resync. An
+// offset beyond the journal under a matching epoch is a protocol error
+// (offsets only grow within an epoch).
+func (j *journal) tail(st store.Store, epoch, offset uint64, max int) (*TailBatch, error) {
+	j.mu.Lock()
+	entries := j.entries // append-only: the header is a consistent snapshot
+	cur := j.epoch
+	j.mu.Unlock()
+
+	if epoch != cur {
+		return &TailBatch{Epoch: cur, NextOffset: 0, End: uint64(len(entries))}, nil
+	}
+	if offset > uint64(len(entries)) {
+		return nil, fmt.Errorf("shardset: tail offset %d beyond journal end %d in epoch %d", offset, len(entries), cur)
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	end := offset + uint64(max)
+	if end > uint64(len(entries)) {
+		end = uint64(len(entries))
+	}
+	batch := &TailBatch{Epoch: cur, NextOffset: end, End: uint64(len(entries))}
+	for _, e := range entries[offset:end] {
+		te := TailEntry{SurveyID: e.surveyID, Seq: e.seq}
+		found := false
+		err := st.ScanResponses(e.surveyID, e.seq-1, func(seq uint64, r *survey.Response) error {
+			if seq != e.seq {
+				return fmt.Errorf("shardset: journal entry (%s, %d) resolved to seq %d", e.surveyID, e.seq, seq)
+			}
+			te.Response = *r
+			found = true
+			return errStopScan
+		})
+		if err != nil && !errors.Is(err, errStopScan) {
+			return nil, err
+		}
+		if !found {
+			return nil, fmt.Errorf("shardset: journal entry (%s, %d) missing from store", e.surveyID, e.seq)
+		}
+		batch.Entries = append(batch.Entries, te)
+	}
+	return batch, nil
+}

@@ -74,6 +74,10 @@ type record struct {
 	Kind     string           `json:"kind"` // "survey" | "republish" | "response"
 	Survey   *survey.Survey   `json:"survey,omitempty"`
 	Response *survey.Response `json:"response,omitempty"`
+	// LoggedUnixNano is when the record was appended; survey records use
+	// it to restore publish timestamps in the republish history on
+	// replay. Zero in logs written before it existed.
+	LoggedUnixNano int64 `json:"logged_unix_nano,omitempty"`
 }
 
 // OpenFile opens (creating if necessary) a file-backed store at path and
@@ -171,12 +175,20 @@ func (fs *File) applyRecord(line []byte) error {
 		if rec.Survey == nil {
 			return errors.New("survey record without payload")
 		}
-		return fs.mem.PutSurvey(rec.Survey)
+		if err := fs.mem.PutSurvey(rec.Survey); err != nil {
+			return err
+		}
+		fs.mem.setLastVersionTime(rec.Survey.ID, rec.LoggedUnixNano)
+		return nil
 	case "republish":
 		if rec.Survey == nil {
 			return errors.New("republish record without payload")
 		}
-		return fs.mem.ReplaceSurvey(rec.Survey)
+		if err := fs.mem.ReplaceSurvey(rec.Survey); err != nil {
+			return err
+		}
+		fs.mem.setLastVersionTime(rec.Survey.ID, rec.LoggedUnixNano)
+		return nil
 	case "response":
 		if rec.Response == nil {
 			return errors.New("response record without payload")
@@ -237,7 +249,7 @@ func (fs *File) PutSurvey(s *survey.Survey) error {
 	if _, err := fs.mem.Survey(s.ID); err == nil {
 		return fmt.Errorf("store: survey %q: %w", s.ID, ErrExists)
 	}
-	if err := fs.append(&record{Kind: "survey", Survey: s}); err != nil {
+	if err := fs.append(&record{Kind: "survey", Survey: s, LoggedUnixNano: time.Now().UnixNano()}); err != nil {
 		return err
 	}
 	return fs.mem.PutSurvey(s)
@@ -257,7 +269,7 @@ func (fs *File) ReplaceSurvey(s *survey.Survey) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	if err := fs.append(&record{Kind: "republish", Survey: s}); err != nil {
+	if err := fs.append(&record{Kind: "republish", Survey: s, LoggedUnixNano: time.Now().UnixNano()}); err != nil {
 		return err
 	}
 	return fs.mem.ReplaceSurvey(s)
@@ -265,6 +277,12 @@ func (fs *File) ReplaceSurvey(s *survey.Survey) error {
 
 // Survey implements Store.
 func (fs *File) Survey(id string) (*survey.Survey, error) { return fs.mem.Survey(id) }
+
+// SurveyHistory implements Historian: publish events replayed from the
+// log, with their logged timestamps.
+func (fs *File) SurveyHistory(surveyID string) []SurveyVersion {
+	return fs.mem.SurveyHistory(surveyID)
+}
 
 // Surveys implements Store.
 func (fs *File) Surveys() ([]*survey.Survey, error) { return fs.mem.Surveys() }
@@ -288,6 +306,65 @@ func (fs *File) AppendResponse(r *survey.Response) error {
 		return err
 	}
 	return fs.mem.AppendResponse(r)
+}
+
+// AppendResponses implements BatchAppender: one buffered write per
+// record, one flush, one fsync for the whole batch — the fsync
+// amortization that makes batched ingestion worth routing. Validation
+// runs for every record before any byte is written, so a rejected batch
+// leaves the log untouched.
+func (fs *File) AppendResponses(rs []survey.Response) ([]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.w == nil {
+		return nil, errors.New("store: use after close")
+	}
+	if fs.syncErr != nil {
+		return nil, fs.syncErr
+	}
+	for i := range rs {
+		s, err := fs.mem.Survey(rs[i].SurveyID)
+		if err != nil {
+			return nil, err
+		}
+		if err := rs[i].Validate(s); err != nil {
+			return nil, err
+		}
+	}
+	werr := func() error {
+		for i := range rs {
+			b, err := json.Marshal(&record{Kind: "response", Response: &rs[i]})
+			if err != nil {
+				return fmt.Errorf("store: marshal: %w", err)
+			}
+			if _, err := fs.w.Write(append(b, '\n')); err != nil {
+				return fmt.Errorf("store: write %s: %w", fs.path, err)
+			}
+		}
+		if err := fs.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush %s: %w", fs.path, err)
+		}
+		if fs.opts.Sync == SyncAlways {
+			if err := fs.f.Sync(); err != nil {
+				return fmt.Errorf("store: sync %s: %w", fs.path, err)
+			}
+		}
+		return nil
+	}()
+	if werr != nil {
+		// The on-disk tail is unknowable mid-batch; poison the store and
+		// report nothing appended (replay truncates any torn tail).
+		fs.syncErr = werr
+		return nil, werr
+	}
+	counts := make([]int, len(rs))
+	for i := range rs {
+		if err := fs.mem.AppendResponse(&rs[i]); err != nil {
+			return counts[:i], err
+		}
+		counts[i] = fs.mem.ResponseCount(rs[i].SurveyID)
+	}
+	return counts, nil
 }
 
 // ScanResponses implements Store, serving from the replayed memory

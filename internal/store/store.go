@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"loki/internal/survey"
 )
@@ -74,6 +75,35 @@ type Store interface {
 	Close() error
 }
 
+// SurveyVersion is one entry in a survey's republish history: the
+// definition fingerprint and when it was published. PublishedUnixNano
+// is zero for records persisted before publish timestamps existed.
+type SurveyVersion struct {
+	Fingerprint       string `json:"fingerprint"`
+	PublishedUnixNano int64  `json:"published_unix_nano,omitempty"`
+}
+
+// Historian is the optional Store interface behind the admin surface's
+// republish history: every definition fingerprint a survey has held,
+// oldest first (the current definition last). Stores that replay a
+// durable log reconstruct it from the log, so history survives
+// restarts.
+type Historian interface {
+	SurveyHistory(surveyID string) []SurveyVersion
+}
+
+// BatchAppender is the optional Store interface for appending several
+// responses in one durability round: a file-backed store writes every
+// record and fsyncs once, so the fsync cost amortizes across the batch
+// — the store-level half of the cluster transport's group batching. On
+// success the returned slice holds, per response, the survey's response
+// count right after that append (its assigned sequence number). On
+// error, the returned prefix covers the responses that were durably
+// appended before the failure; the rest were not.
+type BatchAppender interface {
+	AppendResponses(rs []survey.Response) ([]int, error)
+}
+
 // ScanSlice streams rs[fromSeq:] through fn with 1-based sequence
 // numbers, the shared scan core for stores whose per-survey history is
 // an append-only slice. Callers must pass a slice snapshot whose
@@ -110,6 +140,7 @@ type Mem struct {
 	mu        sync.RWMutex
 	surveys   map[string]*survey.Survey
 	responses map[string][]survey.Response
+	history   map[string][]SurveyVersion
 	closed    bool
 }
 
@@ -118,7 +149,38 @@ func NewMem() *Mem {
 	return &Mem{
 		surveys:   make(map[string]*survey.Survey),
 		responses: make(map[string][]survey.Response),
+		history:   make(map[string][]SurveyVersion),
 	}
+}
+
+// recordVersionLocked appends a publish event to the survey's history
+// unless the definition is unchanged (an idempotent republish is not a
+// new version). Caller holds mu.
+func (m *Mem) recordVersionLocked(s *survey.Survey, ts int64) {
+	fp := s.Fingerprint()
+	h := m.history[s.ID]
+	if len(h) > 0 && h[len(h)-1].Fingerprint == fp {
+		return
+	}
+	m.history[s.ID] = append(h, SurveyVersion{Fingerprint: fp, PublishedUnixNano: ts})
+}
+
+// setLastVersionTime overrides the newest history entry's timestamp —
+// the hook a replaying durable store uses to restore logged publish
+// times instead of replay times.
+func (m *Mem) setLastVersionTime(surveyID string, ts int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.history[surveyID]; len(h) > 0 {
+		h[len(h)-1].PublishedUnixNano = ts
+	}
+}
+
+// SurveyHistory implements Historian.
+func (m *Mem) SurveyHistory(surveyID string) []SurveyVersion {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]SurveyVersion(nil), m.history[surveyID]...)
 }
 
 // PutSurvey implements Store.
@@ -135,6 +197,7 @@ func (m *Mem) PutSurvey(s *survey.Survey) error {
 		return fmt.Errorf("store: survey %q: %w", s.ID, ErrExists)
 	}
 	m.surveys[s.ID] = s.Clone()
+	m.recordVersionLocked(s, time.Now().UnixNano())
 	return nil
 }
 
@@ -150,6 +213,7 @@ func (m *Mem) ReplaceSurvey(s *survey.Survey) error {
 		return errors.New("store: use after close")
 	}
 	m.surveys[s.ID] = s.Clone()
+	m.recordVersionLocked(s, time.Now().UnixNano())
 	return nil
 }
 
@@ -195,6 +259,31 @@ func (m *Mem) AppendResponse(r *survey.Response) error {
 	}
 	m.responses[r.SurveyID] = append(m.responses[r.SurveyID], *r)
 	return nil
+}
+
+// AppendResponses implements BatchAppender: every response validates
+// before any is applied, so a rejected batch changes nothing.
+func (m *Mem) AppendResponses(rs []survey.Response) ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("store: use after close")
+	}
+	for i := range rs {
+		s, ok := m.surveys[rs[i].SurveyID]
+		if !ok {
+			return nil, fmt.Errorf("store: response for unknown survey %q: %w", rs[i].SurveyID, ErrNotFound)
+		}
+		if err := rs[i].Validate(s); err != nil {
+			return nil, err
+		}
+	}
+	counts := make([]int, len(rs))
+	for i := range rs {
+		m.responses[rs[i].SurveyID] = append(m.responses[rs[i].SurveyID], rs[i])
+		counts[i] = len(m.responses[rs[i].SurveyID])
+	}
+	return counts, nil
 }
 
 // ScanResponses implements Store. The response history is an

@@ -37,6 +37,8 @@ import (
 	"loki/internal/population"
 	"loki/internal/rng"
 	"loki/internal/server"
+	"loki/internal/shardrpc"
+	"loki/internal/shardset"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
@@ -219,13 +221,39 @@ type (
 	SurveyEstimate = aggregate.SurveyEstimate
 	// QualityTally counts responses passing the redundancy screen.
 	QualityTally = aggregate.QualityTally
-	// CheckpointLog is the durable log of live-aggregate checkpoints:
-	// restore it into a ServerConfig so restart catch-up scans only the
-	// store tail beyond each survey's checkpoint cursor.
+	// CheckpointLog is the durable log of live-aggregate checkpoints
+	// (one file per survey, one record per shard): restore it into a
+	// ServerConfig so restart catch-up scans only each shard's tail
+	// beyond its own checkpoint cursor.
 	CheckpointLog = checkpoint.Log
-	// CheckpointRecord is one survey's durable checkpoint (accumulator
-	// state + store cursor + definition fingerprint).
+	// CheckpointRecord is one shard's durable checkpoint (partial
+	// accumulator state + per-shard cursor + definition fingerprint +
+	// shard layout).
 	CheckpointRecord = checkpoint.Record
+	// ShardRouter partitions the response stream across shards — one in
+	// the classic standalone deployment, many on a cluster — behind the
+	// interface ServerConfig.Router accepts. Implementations: LocalShards
+	// (in-process stores) and RemoteShards (shardrpc clients).
+	ShardRouter = shardset.ShardRouter
+	// LocalShards is the in-process ShardRouter over per-shard stores.
+	LocalShards = shardset.Local
+	// LocalShardOptions tune a LocalShards (global shard IDs, journal).
+	LocalShardOptions = shardset.LocalOptions
+	// RemoteShards is the cluster-side ShardRouter: shard-addressed
+	// calls forward to the owning nodes over shardrpc, submits are
+	// group-batched per shard.
+	RemoteShards = shardrpc.Remote
+	// ShardRPCClient speaks the internal cluster transport to one node.
+	ShardRPCClient = shardrpc.Client
+	// ShardRPCHandler serves the cluster transport over a node backend.
+	ShardRPCHandler = shardrpc.Handler
+	// ClusterNode adapts a Server with a local router into the shardrpc
+	// backend a frontend and its replicas talk to.
+	ClusterNode = server.Node
+	// Replica is a read-only follower fed by WAL-tail shipping.
+	Replica = server.Replica
+	// ReplicaConfig configures it.
+	ReplicaConfig = server.ReplicaConfig
 )
 
 // File store sync policies.
@@ -257,6 +285,23 @@ var (
 	// OpenCheckpointLog opens (replaying, with torn-tail repair) the
 	// durable live-aggregate checkpoint log rooted at a directory.
 	OpenCheckpointLog = checkpoint.Open
+	// NewLocalShards builds the in-process shard router over per-shard
+	// stores.
+	NewLocalShards = shardset.NewLocal
+	// NewShardRPCClient connects to one cluster node's shardrpc
+	// surface.
+	NewShardRPCClient = shardrpc.NewClient
+	// NewShardRPCHandler serves shardrpc over a node backend.
+	NewShardRPCHandler = shardrpc.NewHandler
+	// NewRemoteShards builds the cluster router over node clients with
+	// an explicit placement map; NewRemoteShardsRoundRobin uses the
+	// canonical round-robin layout.
+	NewRemoteShards           = shardrpc.NewRemote
+	NewRemoteShardsRoundRobin = shardrpc.NewRemoteRoundRobin
+	// NewClusterNode wraps a Server for shardrpc serving.
+	NewClusterNode = server.NewNode
+	// NewReplica starts a read-only follower tailing one node.
+	NewReplica = server.NewReplica
 	// NewEstimator builds the noise-aware aggregator.
 	NewEstimator = aggregate.NewEstimator
 	// NewAccumulator builds an empty incremental aggregator for one
