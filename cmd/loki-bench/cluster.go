@@ -28,9 +28,11 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"loki/internal/core"
@@ -51,6 +53,9 @@ var (
 	// store level) is the mechanism under test, and it only engages
 	// when submits actually queue.
 	clusterWorkers = 64
+	// clusterCacheTTL is the caching frontend's staleness bound under
+	// test (the loki-server default).
+	clusterCacheTTL = 250 * time.Millisecond
 )
 
 const clusterToken = "bench-cluster-token"
@@ -67,20 +72,67 @@ type clusterResult struct {
 	SubmitRPS float64 `json:"submit_rps"`
 	// SubmitSpeedup is SubmitRPS over the baseline's.
 	SubmitSpeedup float64 `json:"submit_speedup,omitempty"`
-	// ReadQPS is merged /aggregate queries per second; ReadMillis is
-	// the mean per-query latency.
+	// ReadQPS is merged /aggregate queries per second through the
+	// UNCACHED frontend (one full snapshot RPC fan-out per read, the
+	// PR 4 path); ReadMillis is the mean per-query latency.
 	ReadQPS    float64 `json:"read_qps"`
 	ReadMillis float64 `json:"read_millis"`
-	// Equivalent reports whether the merged estimates matched the
-	// baseline's single-accumulator estimates on the same data.
+	// CachedReadQPS/CachedReadMillis measure the same reads through a
+	// caching frontend over the same nodes (cursor-vector partial
+	// cache, conditional delta revalidation); CachedSpeedup is cached
+	// over uncached.
+	CachedReadQPS    float64 `json:"cached_read_qps,omitempty"`
+	CachedReadMillis float64 `json:"cached_read_millis,omitempty"`
+	CachedSpeedup    float64 `json:"cached_speedup,omitempty"`
+	// Equivalent reports whether the merged estimates — uncached AND
+	// cached — matched the baseline's single-accumulator estimates on
+	// the same data.
 	Equivalent bool `json:"equivalent"`
+}
+
+// clusterContext records the environment facts needed to read the
+// numbers correctly — above all that every shard store in this
+// in-process run fsyncs to the same device, which is why submit
+// speedup plateaus (or sags slightly) as nodes grow: parallel fsyncs
+// from N "nodes" serialize on one filesystem journal, so shard scaling
+// above ~1 node measures transport overhead, not storage parallelism.
+// On real deployments with per-node disks the submit trajectory is the
+// interesting number; here it is a floor.
+type clusterContext struct {
+	GOOS   string `json:"goos"`
+	NumCPU int    `json:"num_cpu"`
+	// StoreRoot is where every configuration's shard stores lived.
+	StoreRoot string `json:"store_root"`
+	// FsyncDevice is the device id backing StoreRoot; SingleFsyncDevice
+	// reports that every shard store shared it (always true for this
+	// in-process benchmark).
+	FsyncDevice       string `json:"fsync_device"`
+	SingleFsyncDevice bool   `json:"single_fsync_device"`
+	Note              string `json:"note"`
 }
 
 // clusterReport is the BENCH_cluster.json schema.
 type clusterReport struct {
-	Schema   int             `json:"schema"`
-	Baseline clusterResult   `json:"baseline"`
-	Results  []clusterResult `json:"results"`
+	Schema   int            `json:"schema"`
+	Context  clusterContext `json:"context"`
+	Baseline clusterResult  `json:"baseline"`
+	// CacheTTLMillis is the caching frontend's staleness bound.
+	CacheTTLMillis float64         `json:"cache_ttl_millis"`
+	Results        []clusterResult `json:"results"`
+}
+
+// deviceID returns a printable device id for the filesystem holding
+// path (the fsync serialization domain of this run's stores).
+func deviceID(path string) string {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "unknown"
+	}
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("dev-%d", st.Dev)
 }
 
 // clusterSurvey reuses the readpath survey: every accumulator cell kind
@@ -121,9 +173,12 @@ func clusterResponse(sv *survey.Survey, i int) *survey.Response {
 }
 
 // clusterHarness is one running configuration: a handler to drive and
-// the teardown stack behind it.
+// the teardown stack behind it. Cluster configurations additionally
+// carry a caching frontend over the same nodes (cached is nil for the
+// standalone baseline).
 type clusterHarness struct {
 	handler http.Handler
+	cached  http.Handler
 	closers []func() error
 }
 
@@ -208,20 +263,35 @@ func newClusterHarness(dir string, sv *survey.Survey, nodes int) (*clusterHarnes
 		h.close()
 		return nil, err
 	}
+	// Two frontends over the same nodes: one with the partial cache
+	// disabled (the PR 4 fan-out-per-read path, the honest "uncached"
+	// measurement) and one caching with the production-default TTL.
 	frontend, err := server.New(server.Config{
 		Router: remote, Schedule: core.DefaultSchedule(),
 		RequesterToken: clusterToken, Role: "frontend",
+		FrontendCacheTTL: -1,
 	})
 	if err != nil {
 		h.close()
 		return nil, err
 	}
 	h.closers = append(h.closers, frontend.Close)
+	cached, err := server.New(server.Config{
+		Router: remote, Schedule: core.DefaultSchedule(),
+		RequesterToken: clusterToken, Role: "frontend",
+		FrontendCacheTTL: clusterCacheTTL,
+	})
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	h.closers = append(h.closers, cached.Close)
 	if err := remote.PutSurvey(sv); err != nil {
 		h.close()
 		return nil, err
 	}
 	h.handler = frontend
+	h.cached = cached
 	return h, nil
 }
 
@@ -370,7 +440,7 @@ func measureReads(h http.Handler, surveyID string) (float64, time.Duration, erro
 // count, asserts read equivalence, and writes the report.
 func runClusterBench(nodeCounts []int) error {
 	sv := clusterSurvey()
-	report := clusterReport{Schema: 1}
+	report := clusterReport{Schema: 2, CacheTTLMillis: float64(clusterCacheTTL) / 1e6}
 
 	// Baseline: single process, one fsync stream.
 	baseDir, err := os.MkdirTemp("", "loki-bench-cluster-*")
@@ -378,6 +448,17 @@ func runClusterBench(nodeCounts []int) error {
 		return err
 	}
 	defer os.RemoveAll(baseDir)
+	report.Context = clusterContext{
+		GOOS:              runtime.GOOS,
+		NumCPU:            runtime.NumCPU(),
+		StoreRoot:         filepath.Dir(baseDir),
+		FsyncDevice:       deviceID(baseDir),
+		SingleFsyncDevice: true,
+		Note: "all shard stores fsync to one device in this in-process run; " +
+			"submit speedup over the baseline reflects batching and per-shard fsync overlap on a shared filesystem journal, " +
+			"so it plateaus (or sags) as in-process nodes grow — that is fsync serialization, not a routing scaling bug. " +
+			"Per-node devices move this number; see the README cluster section.",
+	}
 	base, err := newStandaloneHarness(baseDir, sv)
 	if err != nil {
 		return err
@@ -437,21 +518,53 @@ func runClusterBench(nodeCounts []int) error {
 			os.RemoveAll(dir)
 			return err
 		}
+		// Cached frontend over the same nodes and data: the merged
+		// estimate must stay equivalent (cold fill = full fan-out, then
+		// cache hits serve the identical finalized merge), and the
+		// throughput must never fall below the uncached path — the gate
+		// CI enforces.
+		cachedAgg, err := fetchAggregate(h.cached, sv.ID)
+		if err != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return err
+		}
+		if eqErr := aggregatesEquivalent(cachedAgg, baseAgg); eqErr != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return fmt.Errorf("cluster bench: %d-node cached read diverged from the single-accumulator path: %w", nodes, eqErr)
+		}
+		cachedQPS, cachedLat, err := measureReads(h.cached, sv.ID)
+		if err != nil {
+			h.close()
+			os.RemoveAll(dir)
+			return err
+		}
 		h.close()
 		os.RemoveAll(dir)
+		if cachedQPS < qps {
+			return fmt.Errorf("cluster bench: %d-node cached reads (%.0f q/s) fell below the uncached fan-out path (%.0f q/s)",
+				nodes, cachedQPS, qps)
+		}
 		report.Results = append(report.Results, clusterResult{
 			Nodes: nodes, Shards: clusterShards, Responses: clusterResponses, Workers: clusterWorkers,
 			SubmitRPS: rps, SubmitSpeedup: rps / baseRPS,
-			ReadQPS: qps, ReadMillis: float64(lat) / 1e6, Equivalent: true,
+			ReadQPS: qps, ReadMillis: float64(lat) / 1e6,
+			CachedReadQPS: cachedQPS, CachedReadMillis: float64(cachedLat) / 1e6,
+			CachedSpeedup: cachedQPS / qps,
+			Equivalent:    true,
 		})
 	}
 
-	fmt.Fprintln(out, "CLUSTER — frontend + N nodes vs single process, fsync-per-append stores, merged reads verified against the single-accumulator path")
+	fmt.Fprintln(out, "CLUSTER — frontend + N nodes vs single process, fsync-per-append stores, merged reads (uncached and cached) verified against the single-accumulator path")
+	fmt.Fprintf(out, "  context: %s, %d CPUs, one fsync device (%s) for every shard store\n",
+		report.Context.GOOS, report.Context.NumCPU, report.Context.FsyncDevice)
 	b := report.Baseline
-	fmt.Fprintf(out, "  single    submit %9.0f r/s              reads %8.0f q/s  (%.2fms)\n", b.SubmitRPS, b.ReadQPS, b.ReadMillis)
+	fmt.Fprintf(out, "  single    submit %9.0f r/s              reads %8.0f q/s  (%.3fms)\n", b.SubmitRPS, b.ReadQPS, b.ReadMillis)
 	for _, r := range report.Results {
-		fmt.Fprintf(out, "  %d nodes   submit %9.0f r/s  (%5.2fx)    reads %8.0f q/s  (%.2fms)  merged==single: %v\n",
-			r.Nodes, r.SubmitRPS, r.SubmitSpeedup, r.ReadQPS, r.ReadMillis, r.Equivalent)
+		fmt.Fprintf(out, "  %d nodes   submit %9.0f r/s  (%5.2fx)    reads %8.0f q/s  (%.3fms)   cached %8.0f q/s  (%.3fms, %5.1fx)  merged==single: %v\n",
+			r.Nodes, r.SubmitRPS, r.SubmitSpeedup, r.ReadQPS, r.ReadMillis,
+			r.CachedReadQPS, r.CachedReadMillis, r.CachedSpeedup, r.Equivalent)
 	}
 	fmt.Fprintln(out)
 

@@ -22,8 +22,14 @@
 //	            backends).
 //	frontend    owns no storage: routes submissions to the nodes in
 //	            -peers by the cluster-wide placement hash and answers
-//	            reads by fetching every shard's partial accumulator and
-//	            Merging at query time.
+//	            reads from a per-survey partial cache (keyed by the
+//	            per-shard cursor vector, revalidated with conditional
+//	            delta RPCs within -frontend-cache-ttl, invalidated for
+//	            read-your-writes by submits through this frontend;
+//	            -frontend-refresh keeps hot surveys warm in the
+//	            background). With caching disabled every read fetches
+//	            every shard's partial accumulator and Merges at query
+//	            time.
 //	replica     tails the node at -follow via WAL shipping and serves
 //	            the read-only half of the public API with a staleness
 //	            cursor on the admin surface. Submits/publishes get 403.
@@ -75,6 +81,10 @@ type clusterFlags struct {
 	nodeIndex     int    // node: this node's slot
 	clusterToken  string // shardrpc bearer token (defaults to -token)
 	pollInterval  time.Duration
+	cacheTTL      time.Duration // frontend: partial cache staleness bound
+	cacheRefresh  time.Duration // frontend: background refresher interval
+	journalRetain int           // node: journal retained-entry bound
+	followerID    string        // replica: stable follower id for truncation acks
 }
 
 func main() {
@@ -97,6 +107,14 @@ func main() {
 	flag.IntVar(&cf.nodeIndex, "node-index", 0, "node: this node's slot in [0, cluster-nodes)")
 	flag.StringVar(&cf.clusterToken, "cluster-token", "", "bearer token for the internal shardrpc transport (defaults to -token)")
 	flag.DurationVar(&cf.pollInterval, "replica-poll", 500*time.Millisecond, "replica: journal tail poll interval")
+	flag.DurationVar(&cf.cacheTTL, "frontend-cache-ttl", 250*time.Millisecond,
+		"frontend: partial cache staleness bound — reads within it are served from cache with no node RPCs (negative disables caching)")
+	flag.DurationVar(&cf.cacheRefresh, "frontend-refresh", 0,
+		"frontend: background cache refresher interval for recently read surveys (0 disables; reads then revalidate inline on expiry)")
+	flag.IntVar(&cf.journalRetain, "journal-retain", 65536,
+		"node: per-shard append-journal retained-entry bound; lagging replicas past it rebuild from store scans (0 retains until every registered follower acks)")
+	flag.StringVar(&cf.followerID, "follower-id", "",
+		"replica: stable follower id for journal-truncation acks (defaults to a process-scoped id)")
 	flag.Parse()
 
 	if cf.clusterToken == "" {
@@ -236,7 +254,9 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 			closers = append(closers, st.Close)
 			stores[i] = st
 		}
-		local, err := shardset.NewLocal(stores, shardset.LocalOptions{GlobalIDs: owned, Journal: true})
+		local, err := shardset.NewLocal(stores, shardset.LocalOptions{
+			GlobalIDs: owned, Journal: true, JournalRetain: cf.journalRetain,
+		})
 		if err != nil {
 			return err
 		}
@@ -305,17 +325,24 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 			}
 		}
 		srv, err := server.New(server.Config{
-			Router:         remote,
-			Schedule:       core.DefaultSchedule(),
-			RequesterToken: token,
-			Logger:         logger,
-			Role:           "frontend",
+			Router:           remote,
+			Schedule:         core.DefaultSchedule(),
+			RequesterToken:   token,
+			Logger:           logger,
+			Role:             "frontend",
+			FrontendCacheTTL: cf.cacheTTL,
+			FrontendRefresh:  cf.cacheRefresh,
 		})
 		if err != nil {
 			return err
 		}
 		closers = append(closers, srv.Close)
-		logger.Printf("frontend routing %d shards across %d nodes", cf.clusterShards, len(clients))
+		if cf.cacheTTL < 0 {
+			logger.Printf("frontend routing %d shards across %d nodes (partial cache disabled)", cf.clusterShards, len(clients))
+		} else {
+			logger.Printf("frontend routing %d shards across %d nodes (partial cache TTL %v, refresh %v)",
+				cf.clusterShards, len(clients), cf.cacheTTL, cf.cacheRefresh)
+		}
 		handler = srv
 
 	case "replica":
@@ -328,6 +355,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 			RequesterToken: token,
 			Logger:         logger,
 			PollInterval:   cf.pollInterval,
+			FollowerID:     cf.followerID,
 		})
 		if err != nil {
 			return err

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -125,13 +126,15 @@ func (n *Node) CountShard(global int, surveyID string) int {
 }
 
 // PartialState implements shardrpc.Backend: the node's shard partial,
-// caught up and snapshotted, re-addressed under its global shard index.
-func (n *Node) PartialState(global int, surveyID string) (*shardrpc.Partial, error) {
+// caught up and answered conditionally against the caller's cursor
+// (not-modified / delta / full — see shardrpc.Partial), re-addressed
+// under its global shard index.
+func (n *Node) PartialState(global int, surveyID string, have uint64) (*shardrpc.Partial, error) {
 	i, err := n.localShard(global)
 	if err != nil {
 		return nil, err
 	}
-	p, err := n.srv.PartialState(i, surveyID)
+	p, err := n.srv.PartialState(i, surveyID, have)
 	if err != nil {
 		return nil, err
 	}
@@ -140,12 +143,12 @@ func (n *Node) PartialState(global int, surveyID string) (*shardrpc.Partial, err
 }
 
 // Tail implements shardrpc.Backend.
-func (n *Node) Tail(global int, epoch, offset uint64, max int) (*shardset.TailBatch, error) {
+func (n *Node) Tail(global int, epoch, offset uint64, max int, follower string) (*shardset.TailBatch, error) {
 	i, err := n.localShard(global)
 	if err != nil {
 		return nil, err
 	}
-	return n.local.Tail(i, epoch, offset, max)
+	return n.local.Tail(i, epoch, offset, max, follower)
 }
 
 // PutSurvey implements shardrpc.Backend.
@@ -257,6 +260,13 @@ type ReplicaConfig struct {
 	PollInterval time.Duration
 	// TailPage bounds one tail fetch (default 1024 records).
 	TailPage int
+	// FollowerID identifies this replica to the node's journal
+	// truncation accounting: the node retains journal entries until
+	// every registered follower acks past them. Defaults to a
+	// process-scoped id; give long-lived replicas a stable one so a
+	// replica restart re-registers as the same follower instead of
+	// leaking a stale ack.
+	FollowerID string
 }
 
 // Replica is a read-only follower of one node: it tails every shard the
@@ -294,6 +304,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	}
 	if cfg.TailPage <= 0 {
 		cfg.TailPage = 1024
+	}
+	if cfg.FollowerID == "" {
+		cfg.FollowerID = fmt.Sprintf("replica-%d", os.Getpid())
 	}
 	meta, err := cfg.Client.Meta()
 	if err != nil {
@@ -428,7 +441,7 @@ func (r *Replica) syncShard(i int) {
 	r.mu.Unlock()
 	global := st.Shard
 	for {
-		batch, err := r.cfg.Client.Tail(global, st.Epoch, st.AppliedOffset, r.cfg.TailPage)
+		batch, err := r.cfg.Client.Tail(global, st.Epoch, st.AppliedOffset, r.cfg.TailPage, r.cfg.FollowerID)
 		if err != nil {
 			st.LastError = err.Error()
 			break
@@ -453,6 +466,39 @@ func (r *Replica) syncShard(i int) {
 			}
 			continue
 		}
+		if batch.Truncated {
+			// The journal no longer holds our resume offset — we
+			// registered after truncation, or fell behind a retain
+			// bound. The records themselves are still in the node's
+			// store: rebuild this shard from paged scans, then resume
+			// tailing at the truncation base. Journal entries the scans
+			// already covered carry seqs at or below the rebuilt counts
+			// and are skipped by applyBatch.
+			r.logf("replica shard %d: journal truncated below offset %d, rebuilding from store scans (resume at %d)",
+				global, st.AppliedOffset, batch.NextOffset)
+			r.stores[i].Reset()
+			r.srv.ResetLive()
+			// Unlike the epoch path above — which resumes at offset 0 and
+			// self-heals a failed definition sync record by record — this
+			// path jumps the offset past the truncated prefix, so
+			// bootstrapping from an incomplete survey list would silently
+			// drop that prefix forever. A failed fetch must leave the
+			// offset untouched and retry the whole bootstrap next poll.
+			svs, err := r.cfg.Client.Surveys()
+			if err != nil {
+				st.LastError = err.Error()
+				break
+			}
+			r.syncSurveys(svs)
+			if err := r.bootstrapShard(i, global); err != nil {
+				st.LastError = err.Error()
+				break
+			}
+			st.Bootstraps++
+			st.AppliedOffset = batch.NextOffset
+			st.SourceEnd = batch.End
+			continue
+		}
 		if err := r.applyBatch(i, batch); err != nil {
 			st.LastError = err.Error()
 			break
@@ -474,22 +520,86 @@ func (r *Replica) syncShard(i int) {
 	r.mu.Unlock()
 }
 
+// bootstrapShard rebuilds one (freshly reset) local shard from the
+// source's paged store scans: every replicated survey's shard slice,
+// in per-shard seq order, verified to land on identical local seqs.
+// It is how a replica recovers when the node's journal has been
+// truncated below the offset it needs.
+func (r *Replica) bootstrapShard(i, global int) error {
+	svs, err := r.local.Surveys()
+	if err != nil {
+		return err
+	}
+	for _, sv := range svs {
+		var cursor uint64
+		for {
+			batch, err := r.cfg.Client.Scan(global, sv.ID, cursor, r.cfg.TailPage)
+			if err != nil {
+				return fmt.Errorf("bootstrap scan %q from %d: %w", sv.ID, cursor, err)
+			}
+			for k := range batch.Records {
+				rec := &batch.Records[k]
+				stored, err := r.local.AppendShard(i, &rec.Response)
+				if errors.Is(err, store.ErrNotFound) {
+					// The reset wiped this shard's replicated copy of the
+					// definition and the survey-level sync only checks
+					// shard 0; heal like applyBatch does — re-put the
+					// definition and retry once.
+					if perr := r.healSurvey(rec.Response.SurveyID); perr != nil {
+						return perr
+					}
+					stored, err = r.local.AppendShard(i, &rec.Response)
+				}
+				if err != nil {
+					return fmt.Errorf("bootstrap apply (%s, %d): %w", sv.ID, rec.Seq, err)
+				}
+				if uint64(stored) != rec.Seq {
+					return fmt.Errorf("bootstrap apply (%s, %d): local seq diverged to %d", sv.ID, rec.Seq, stored)
+				}
+			}
+			if !batch.More {
+				break
+			}
+			cursor = batch.NextSeq
+		}
+	}
+	return nil
+}
+
+// healSurvey re-fetches one survey definition from the followed node
+// and broadcasts it to the local stores (shards that already hold it
+// are skipped). It is the repair for a reset shard whose definitions
+// the survey-level sync — which only inspects shard 0 — skipped.
+func (r *Replica) healSurvey(surveyID string) error {
+	sv, err := r.cfg.Client.Survey(surveyID)
+	if err != nil {
+		return fmt.Errorf("heal survey %q: %w", surveyID, err)
+	}
+	if err := r.local.PutSurvey(sv); err != nil && !errors.Is(err, store.ErrExists) {
+		return err
+	}
+	return nil
+}
+
 // applyBatch applies one tail page to the local shard store, verifying
 // that local per-shard seqs come out identical to the source's — the
 // property merged reads on the replica depend on.
 func (r *Replica) applyBatch(i int, batch *shardset.TailBatch) error {
 	for k := range batch.Entries {
 		e := &batch.Entries[k]
+		// A seq at or below the local count was already applied — by a
+		// truncation bootstrap whose store scans overlap the journal
+		// tail, where skipping is what makes the two paths compose.
+		if e.Seq <= uint64(r.local.CountShard(i, e.SurveyID)) {
+			continue
+		}
 		stored, err := r.local.AppendShard(i, &e.Response)
 		if errors.Is(err, store.ErrNotFound) {
 			// The survey was published after this cycle's definition
-			// sync; fetch it directly and retry once.
-			sv, serr := r.cfg.Client.Survey(e.SurveyID)
-			if serr != nil {
+			// sync (or a reset wiped this shard's copy); fetch it
+			// directly and retry once.
+			if perr := r.healSurvey(e.SurveyID); perr != nil {
 				return fmt.Errorf("apply (%s, %d): %w", e.SurveyID, e.Seq, err)
-			}
-			if perr := r.local.PutSurvey(sv); perr != nil && !errors.Is(perr, store.ErrExists) {
-				return perr
 			}
 			stored, err = r.local.AppendShard(i, &e.Response)
 		}

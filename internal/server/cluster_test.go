@@ -186,9 +186,9 @@ func TestClusterMergeEquivalence(t *testing.T) {
 	}
 }
 
-// newTestCluster spins nodes (shardrpc over real HTTP) and a frontend
-// server; returns the frontend's test server and the remote router.
-func newTestCluster(t *testing.T, nodes, totalShards int) (*httptest.Server, *shardrpc.Remote) {
+// newTestNodes spins nodes (shardrpc over real HTTP) and returns one
+// client per node.
+func newTestNodes(t *testing.T, nodes, totalShards, journalRetain int) []*shardrpc.Client {
 	t.Helper()
 	owned := shardrpc.RoundRobinPlacement(totalShards, nodes)
 	clients := make([]*shardrpc.Client, nodes)
@@ -197,7 +197,9 @@ func newTestCluster(t *testing.T, nodes, totalShards int) (*httptest.Server, *sh
 		for i := range stores {
 			stores[i] = store.NewMem()
 		}
-		local, err := shardset.NewLocal(stores, shardset.LocalOptions{GlobalIDs: owned[nd], Journal: true})
+		local, err := shardset.NewLocal(stores, shardset.LocalOptions{
+			GlobalIDs: owned[nd], Journal: true, JournalRetain: journalRetain,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,17 +221,38 @@ func newTestCluster(t *testing.T, nodes, totalShards int) (*httptest.Server, *sh
 		t.Cleanup(nts.Close)
 		clients[nd] = shardrpc.NewClient(nts.URL, testToken, nil)
 	}
+	return clients
+}
+
+// newTestFrontend builds one frontend server over the given node
+// clients with explicit cache settings (ttl < 0 disables the cache,
+// matching Config semantics).
+func newTestFrontend(t *testing.T, clients []*shardrpc.Client, totalShards int, cacheTTL, refresh time.Duration) (*httptest.Server, *shardrpc.Remote, *Server) {
+	t.Helper()
 	remote, err := shardrpc.NewRemoteRoundRobin(clients, totalShards)
 	if err != nil {
 		t.Fatal(err)
 	}
-	frontend, err := New(Config{Router: remote, Schedule: core.DefaultSchedule(), RequesterToken: testToken, Role: "frontend"})
+	frontend, err := New(Config{
+		Router: remote, Schedule: core.DefaultSchedule(), RequesterToken: testToken, Role: "frontend",
+		FrontendCacheTTL: cacheTTL, FrontendRefresh: refresh,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { frontend.Close() })
 	fts := httptest.NewServer(frontend)
 	t.Cleanup(fts.Close)
+	return fts, remote, frontend
+}
+
+// newTestCluster spins nodes (shardrpc over real HTTP) and a frontend
+// server with default caching; returns the frontend's test server and
+// the remote router.
+func newTestCluster(t *testing.T, nodes, totalShards int) (*httptest.Server, *shardrpc.Remote) {
+	t.Helper()
+	clients := newTestNodes(t, nodes, totalShards, 0)
+	fts, remote, _ := newTestFrontend(t, clients, totalShards, 0, 0)
 	return fts, remote
 }
 
@@ -658,5 +681,113 @@ func TestCheckpointGlobalShardIdentity(t *testing.T) {
 	t.Cleanup(tsC.Close)
 	if got := getAggregate(t, tsC, sv.ID); got.Choices[0].N != 30 {
 		t.Fatalf("resized cluster folded %d, want 30 from a clean rescan", got.Choices[0].N)
+	}
+}
+
+// TestReplicaTruncationBootstrap: a replica that needs journal entries
+// the node has truncated (retain bound) rebuilds the shard from paged
+// store scans and converges — and keeps converging when the bound
+// truncates past it again.
+func TestReplicaTruncationBootstrap(t *testing.T) {
+	const shards = 2
+	stores := make([]store.Store, shards)
+	for i := range stores {
+		stores[i] = store.NewMem()
+	}
+	local, err := shardset.NewLocal(stores, shardset.LocalOptions{Journal: true, JournalRetain: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	nsrv, err := New(Config{Router: local, Schedule: core.DefaultSchedule(), RequesterToken: testToken, Role: "node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nsrv.Close() })
+	node, err := NewNode(nsrv, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := shardrpc.NewHandler(node, testToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nts := httptest.NewServer(h)
+	t.Cleanup(nts.Close)
+
+	sv := clusterTestSurvey()
+	if err := local.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	const n = 60 // far beyond the journal's 5 retained entries
+	for i := 0; i < n; i++ {
+		if _, err := local.Append(randomResponse(sv, rng, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := local.JournalStats()[0]; st.Base == 0 {
+		t.Fatalf("retain bound never truncated: %+v", st)
+	}
+
+	rep, err := NewReplica(ReplicaConfig{
+		Client:         shardrpc.NewClient(nts.URL, testToken, nil),
+		Schedule:       core.DefaultSchedule(),
+		RequesterToken: testToken,
+		PollInterval:   time.Hour, // tests drive SyncOnce directly
+		TailPage:       7,         // force paging through both paths
+		FollowerID:     "bootstrap-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	rep.SyncOnce()
+	rts := httptest.NewServer(rep)
+	t.Cleanup(rts.Close)
+
+	compareAggregate(t, getAggregate(t, rts, sv.ID), referenceAggregate(t, local, sv))
+	ri := rep.replicationInfo()
+	boots := 0
+	for _, sh := range ri.Shards {
+		boots += sh.Bootstraps
+		if sh.LagRecords != 0 || sh.LastError != "" {
+			t.Fatalf("shard %d staleness after bootstrap = %+v", sh.Shard, sh)
+		}
+	}
+	if boots == 0 {
+		t.Fatal("truncated journal never forced a bootstrap")
+	}
+
+	// Another burst past the retain bound: the replica (now registered,
+	// but outrun by the bound) must bootstrap again and still converge.
+	for i := 0; i < 30; i++ {
+		if _, err := local.Append(randomResponse(sv, rng, n+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep.SyncOnce()
+	compareAggregate(t, getAggregate(t, rts, sv.ID), referenceAggregate(t, local, sv))
+
+	// A steady trickle within the bound flows through plain tailing (no
+	// further bootstraps).
+	rep.SyncOnce() // ack the current end first
+	before := 0
+	for _, sh := range rep.replicationInfo().Shards {
+		before += sh.Bootstraps
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := local.Append(randomResponse(sv, rng, 500+i)); err != nil {
+			t.Fatal(err)
+		}
+		rep.SyncOnce()
+	}
+	compareAggregate(t, getAggregate(t, rts, sv.ID), referenceAggregate(t, local, sv))
+	after := 0
+	for _, sh := range rep.replicationInfo().Shards {
+		after += sh.Bootstraps
+	}
+	if after != before {
+		t.Fatalf("in-bound tailing still bootstrapped (%d -> %d)", before, after)
 	}
 }

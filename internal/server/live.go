@@ -173,6 +173,11 @@ func (s *Server) invalidateLive(id string) bool {
 	_, had := s.live[id]
 	delete(s.live, id)
 	s.liveMu.Unlock()
+	if s.cache != nil {
+		// A frontend's partial cache is fold state under the old
+		// definition too: drop it with the live set.
+		s.cache.drop(id)
+	}
 	if s.cfg.Checkpoints != nil {
 		if err := s.cfg.Checkpoints.Drop(id); err != nil {
 			s.logf("dropping checkpoint for %q: %v", id, err)
@@ -528,15 +533,26 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// Close stops the background checkpointer after one final flush so a
-// clean shutdown leaves checkpoints covering everything folded. It does
-// not close the store or the checkpoint log — the caller owns both. A
-// server without checkpointing has nothing to stop; Close is a no-op.
+// Close stops the background loops — the frontend cache refresher, and
+// the checkpointer after one final flush so a clean shutdown leaves
+// checkpoints covering everything folded. It does not close the store
+// or the checkpoint log — the caller owns both. A server without
+// background loops has nothing to stop; Close is a no-op.
 func (s *Server) Close() error {
-	if s.ckptStop == nil {
+	s.closeOnce.Do(func() {
+		if s.refStop != nil {
+			close(s.refStop)
+		}
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+		}
+	})
+	if s.refDone != nil {
+		<-s.refDone
+	}
+	if s.ckptDone == nil {
 		return nil
 	}
-	s.closeOnce.Do(func() { close(s.ckptStop) })
 	<-s.ckptDone
 	return s.FlushCheckpoints()
 }

@@ -91,6 +91,21 @@ type Config struct {
 	// standalone and frontend deployments; cluster nodes must set it so
 	// durable per-shard state carries the true layout identity.
 	ClusterShards int
+	// FrontendCacheTTL bounds how long a frontend serves a cached
+	// merged aggregate without revalidating against the nodes: within
+	// the TTL a read is a pure cache hit (no RPCs) unless a submit
+	// through this frontend bumped the expected cursor for some shard.
+	// Zero means the 250ms default; negative disables caching entirely
+	// (every read fans out full snapshot RPCs, the pre-cache behavior).
+	// Only frontends (routers that serve partials) consult it. In a
+	// multi-frontend deployment the TTL is the staleness bound for
+	// submits routed through *other* frontends.
+	FrontendCacheTTL time.Duration
+	// FrontendRefresh, when positive, starts a background refresher
+	// that revalidates recently read surveys' cache entries on this
+	// interval, so steady-state reads of hot surveys never block on
+	// node RPCs. Zero disables (reads refresh inline on expiry).
+	FrontendRefresh time.Duration
 	// Role names the deployment role on the admin surface ("standalone"
 	// when empty; cmd/loki-server sets node/frontend/replica).
 	Role string
@@ -124,19 +139,28 @@ type Server struct {
 	// asking its nodes), so reads Merge fetched state instead of
 	// folding locally.
 	partials partialFetcher
+	// cache, when non-nil, is the frontend partial cache over partials:
+	// reads serve a cached merge keyed by (survey, cursor vector) and
+	// revalidate with conditional delta RPCs instead of re-shipping
+	// full snapshots. See frontcache.go.
+	cache *frontCache
 
 	// ckptStop/ckptDone bracket the background checkpointer's lifetime;
-	// nil when checkpointing is disabled.
+	// refStop/refDone the frontend cache refresher's. Nil when the
+	// respective loop is disabled.
 	ckptStop  chan struct{}
 	ckptDone  chan struct{}
+	refStop   chan struct{}
+	refDone   chan struct{}
 	closeOnce sync.Once
 }
 
 // partialFetcher is the optional router capability behind the frontend
 // read path: fetch one shard's partial accumulator, already folded by
-// whoever owns the shard.
+// whoever owns the shard — conditionally, against the cursor the
+// caller already holds.
 type partialFetcher interface {
-	Partial(shard int, surveyID string) (*shardrpc.Partial, error)
+	PartialSince(shard int, surveyID string, have uint64) (*shardrpc.Partial, error)
 }
 
 // New validates the configuration and builds the server.
@@ -176,12 +200,24 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, router: router, est: est, mux: http.NewServeMux(), live: make(map[string]*liveSet)}
 	if pf, ok := router.(partialFetcher); ok {
 		s.partials = pf
+		if cfg.FrontendCacheTTL >= 0 {
+			ttl := cfg.FrontendCacheTTL
+			if ttl == 0 {
+				ttl = DefaultFrontendCacheTTL
+			}
+			s.cache = newFrontCache(ttl)
+		}
 	}
 	s.routes()
 	if cfg.Checkpoints != nil {
 		s.ckptStop = make(chan struct{})
 		s.ckptDone = make(chan struct{})
 		go s.checkpointLoop()
+	}
+	if s.cache != nil && cfg.FrontendRefresh > 0 {
+		s.refStop = make(chan struct{})
+		s.refDone = make(chan struct{})
+		go s.refreshLoop(cfg.FrontendRefresh)
 	}
 	return s, nil
 }
@@ -490,7 +526,10 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 	// on that shard (this response included) so the next read pays
 	// nothing. Best-effort — the response is already durably accepted,
 	// and reads catch up from the cursor themselves. A frontend skips
-	// this: its nodes fold their own partials.
+	// this — its nodes fold their own partials — but tells its partial
+	// cache the shard's cursor floor moved, so the next read through
+	// this frontend revalidates that shard instead of serving a cached
+	// merge that predates this submit (read-your-writes).
 	if s.partials == nil {
 		if ls, err := s.liveFor(sv); err == nil {
 			p := ls.parts[s.router.Route(id, resp.WorkerID)]
@@ -498,6 +537,8 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 				s.logf("live aggregate catch-up for %q shard %d: %v", id, p.shard, err)
 			}
 		}
+	} else if s.cache != nil && stored > 0 {
+		s.cache.noteSubmit(id, s.router.Route(id, resp.WorkerID), uint64(stored))
 	}
 	writeJSON(w, http.StatusCreated, SubmitResult{
 		SurveyID: id,
@@ -523,9 +564,12 @@ func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Surve
 		return nil, nil, false
 	}
 	var fin *aggregate.SurveyEstimate
-	if s.partials != nil {
+	switch {
+	case s.cache != nil:
+		fin, err = s.cachedRemoteEstimate(sv)
+	case s.partials != nil:
 		fin, err = s.mergedRemoteEstimate(sv)
-	} else {
+	default:
 		var ls *liveSet
 		if ls, err = s.liveFor(sv); err == nil {
 			fin, err = s.refresh(ls)
@@ -538,11 +582,13 @@ func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Surve
 	return sv, fin, true
 }
 
-// mergedRemoteEstimate is the frontend read path: fetch every shard's
-// partial accumulator from the node that owns and folds it, Merge the
-// partials, finalize. The state shipped per shard is O(questions ×
-// levels) — independent of response count — so a merged read costs one
-// small RPC per shard regardless of how much data the cluster holds.
+// mergedRemoteEstimate is the uncached frontend read path: fetch every
+// shard's full partial accumulator from the node that owns and folds
+// it, Merge the partials, finalize. The state shipped per shard is
+// O(questions × levels) — independent of response count — so a merged
+// read costs one small RPC per shard regardless of how much data the
+// cluster holds. It is what a frontend runs with caching disabled, and
+// what a cold cache's first fill is equivalent to.
 func (s *Server) mergedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstimate, error) {
 	n := s.router.Shards()
 	parts := make([]*shardrpc.Partial, n)
@@ -552,7 +598,7 @@ func (s *Server) mergedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstim
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i], errs[i] = s.partials.Partial(i, sv.ID)
+			parts[i], errs[i] = s.partials.PartialSince(i, sv.ID, 0)
 		}(i)
 	}
 	wg.Wait()
@@ -617,11 +663,19 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// errDeltaDone aborts a delta fold once it reaches the partial's
+// cursor (later records belong to the next delta).
+var errDeltaDone = errors.New("server: delta complete")
+
 // PartialState serves a shard's partial accumulator to the shardrpc
-// surface: catch the shard's partial up with its store, snapshot it,
-// and return the state with the coordinates (cursor, fingerprint) the
-// frontend needs to trust the merge. shard is a local shard index.
-func (s *Server) PartialState(shard int, surveyID string) (*shardrpc.Partial, error) {
+// surface: catch the shard's partial up with its store, then answer
+// conditionally against the cursor the caller already holds —
+// not-modified when nothing changed, a delta fold of only the
+// responses in (have, cursor] when the caller is merely behind, a full
+// snapshot when the caller is cold (have 0) or ahead of the shard (its
+// cached state indexes a stream this store never produced). shard is a
+// local shard index.
+func (s *Server) PartialState(shard int, surveyID string, have uint64) (*shardrpc.Partial, error) {
 	if shard < 0 || shard >= s.router.Shards() {
 		return nil, fmt.Errorf("server: shard %d outside [0, %d)", shard, s.router.Shards())
 	}
@@ -635,17 +689,50 @@ func (s *Server) PartialState(shard int, surveyID string) (*shardrpc.Partial, er
 	}
 	p := ls.parts[shard]
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err := p.catchUp(s.router); err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
-	return &shardrpc.Partial{
+	cursor := p.cursor.Load()
+	out := &shardrpc.Partial{
 		SurveyID:    surveyID,
 		Shard:       shard,
 		Fingerprint: ls.fp,
-		Cursor:      p.cursor.Load(),
-		State:       p.acc.Snapshot(),
-	}, nil
+		Cursor:      cursor,
+	}
+	if have == cursor && have > 0 {
+		p.mu.Unlock()
+		out.NotModified = true
+		return out, nil
+	}
+	if have == 0 || have > cursor {
+		out.State = p.acc.Snapshot()
+		p.mu.Unlock()
+		return out, nil
+	}
+	p.mu.Unlock()
+	// Delta: fold only (have, cursor] from the store into a fresh
+	// accumulator. The records are already durable and immutable, so no
+	// lock is held across the scan; the partial itself folded every one
+	// of them without error during catch-up, so Add cannot reject here
+	// short of store corruption.
+	delta, err := aggregate.NewAccumulator(s.cfg.Schedule, sv)
+	if err != nil {
+		return nil, err
+	}
+	err = s.router.ScanShard(shard, surveyID, have, func(seq uint64, r *survey.Response) error {
+		if seq > cursor {
+			return errDeltaDone
+		}
+		return delta.Add(r)
+	})
+	if err != nil && !errors.Is(err, errDeltaDone) {
+		return nil, err
+	}
+	out.Delta = true
+	out.From = have
+	out.State = delta.Snapshot()
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -683,6 +770,9 @@ type ReplicaShardInfo struct {
 	LagRecords    uint64 `json:"lag_records"`
 	// Resets counts epoch mismatches that forced a full resync.
 	Resets int `json:"resets,omitempty"`
+	// Bootstraps counts journal truncations that forced a rebuild from
+	// store scans.
+	Bootstraps int `json:"bootstraps,omitempty"`
 	// LastSyncAt is when the shard last completed a poll; LastError is
 	// the most recent poll failure (empty when healthy).
 	LastSyncAt time.Time `json:"last_sync_at,omitzero"`
@@ -728,6 +818,14 @@ type AdminStoreInfo struct {
 	// Checkpoints reports the durable checkpoint log's per-shard
 	// cursors and ages; nil when checkpointing is disabled.
 	Checkpoints *CheckpointInfo `json:"checkpoints,omitempty"`
+	// Journals reports per-shard append-journal retention (entries,
+	// truncation base, retained bytes, registered followers); only on
+	// journaling nodes.
+	Journals []shardset.JournalStats `json:"journals,omitempty"`
+	// FrontendCache reports the frontend partial cache's per-survey
+	// hit/miss/delta/not-modified counters and cursor vectors; only on
+	// caching frontends.
+	FrontendCache *FrontendCacheInfo `json:"frontend_cache,omitempty"`
 	// Surveys is the per-survey republish history (definition
 	// fingerprints with publish timestamps); only for stores that
 	// record it.
@@ -770,6 +868,10 @@ func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
 		Accumulators:    s.liveAccumulators(),
 		PoisonedRecords: s.poisoned.Load(),
 		Checkpoints:     s.checkpointInfo(),
+		FrontendCache:   s.frontendCacheInfo(),
+	}
+	if l, ok := s.router.(*shardset.Local); ok {
+		info.Journals = l.JournalStats()
 	}
 	stores := s.adminStores()
 	if len(stores) == 0 {

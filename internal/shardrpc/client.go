@@ -1,7 +1,6 @@
 package shardrpc
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -69,21 +68,37 @@ func (c *Client) do(method, path string, query url.Values, in, out any) error {
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	var body io.Reader
+	var body *pooledBody
+	var bodyReader io.Reader // a typed-nil *pooledBody must not reach NewRequest
+	var bodyLen int
 	if in != nil {
-		b, err := json.Marshal(in)
+		// Marshal through the shared buffer pool: submit batches are
+		// the client's hot path, and a per-request []byte would make
+		// encoder growth the dominant allocation. The buffer is
+		// recycled by pooledBody.Close when the Transport is done with
+		// it — recycling any earlier races a background body write.
+		buf, err := encodeJSON(in)
 		if err != nil {
 			return fmt.Errorf("shardrpc: marshal request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = newPooledBody(buf)
+		bodyReader = body
+		bodyLen = buf.Len()
 	}
-	req, err := http.NewRequest(method, u, body)
+	req, err := http.NewRequest(method, u, bodyReader)
 	if err != nil {
+		if body != nil {
+			body.Close()
+		}
 		return fmt.Errorf("shardrpc: build request: %w", err)
 	}
 	req.Header.Set("Authorization", "Bearer "+c.token)
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+		// NewRequest cannot size an opaque reader; set the length so
+		// the wire keeps Content-Length framing. GetBody stays nil on
+		// purpose: a replay would read a possibly recycled buffer.
+		req.ContentLength = int64(bodyLen)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -157,22 +172,38 @@ func (c *Client) Count(shard int, surveyID string) (int, error) {
 	return res.Count, nil
 }
 
-// Partial fetches one shard's partial accumulator state for a survey.
+// Partial fetches one shard's full partial accumulator state for a
+// survey (the unconditional fetch: have = 0).
 func (c *Client) Partial(shard int, surveyID string) (*Partial, error) {
+	return c.PartialSince(shard, surveyID, 0)
+}
+
+// PartialSince is the conditional fetch: have is the per-shard cursor
+// the caller already holds. The node replies not-modified, a delta
+// covering (have, cursor], or a full snapshot — see Partial.
+func (c *Client) PartialSince(shard int, surveyID string, have uint64) (*Partial, error) {
 	var p Partial
 	q := url.Values{"survey": {surveyID}}
+	if have > 0 {
+		q.Set("have", strconv.FormatUint(have, 10))
+	}
 	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/partial", q, nil, &p); err != nil {
 		return nil, err
 	}
 	return &p, nil
 }
 
-// Tail fetches one page of WAL-tail shipping.
-func (c *Client) Tail(shard int, epoch, offset uint64, max int) (*shardset.TailBatch, error) {
+// Tail fetches one page of WAL-tail shipping. A non-empty follower id
+// registers the caller with the node's journal-truncation accounting
+// (the offset doubles as the ack of everything before it).
+func (c *Client) Tail(shard int, epoch, offset uint64, max int, follower string) (*shardset.TailBatch, error) {
 	q := url.Values{
 		"epoch":  {strconv.FormatUint(epoch, 10)},
 		"offset": {strconv.FormatUint(offset, 10)},
 		"max":    {strconv.Itoa(max)},
+	}
+	if follower != "" {
+		q.Set("follower", follower)
 	}
 	var batch shardset.TailBatch
 	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/tail", q, nil, &batch); err != nil {

@@ -155,7 +155,12 @@ func (h *Handler) handlePartial(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	p, err := h.backend.PartialState(shard, r.URL.Query().Get("survey"))
+	have, err := strconv.ParseUint(qDefault(r, "have", "0"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad have cursor")
+		return
+	}
+	p, err := h.backend.PartialState(shard, r.URL.Query().Get("survey"), have)
 	if err != nil {
 		writeBackendErr(w, err)
 		return
@@ -186,7 +191,7 @@ func (h *Handler) handleTail(w http.ResponseWriter, r *http.Request) {
 	if max > maxScanPage {
 		max = maxScanPage
 	}
-	batch, err := h.backend.Tail(shard, epoch, offset, max)
+	batch, err := h.backend.Tail(shard, epoch, offset, max, r.URL.Query().Get("follower"))
 	if err != nil {
 		writeBackendErr(w, err)
 		return
@@ -268,10 +273,20 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// writeOK encodes through a pooled buffer: response bodies are the
+// node's half of the shardrpc hot paths (snapshot and submit replies),
+// and encoding straight into the ResponseWriter would allocate the
+// encoder's scratch per request instead of reusing it.
 func writeOK(w http.ResponseWriter, v any) {
+	buf, err := encodeJSON(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 func writeErr(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,103 @@
+package shardrpc
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"loki/internal/survey"
+)
+
+// discardResponseWriter is an http.ResponseWriter that throws the body
+// away — the benchmarks measure encoding, not a recorder's buffering.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// benchSubmitRequest is a representative hot-path body: a 64-response
+// submit batch, the shape the frontend's batchers ship under load.
+func benchSubmitRequest() *SubmitRequest {
+	req := &SubmitRequest{Shard: 3}
+	for i := 0; i < 64; i++ {
+		req.Responses = append(req.Responses, rpcResponse("bench-survey", i))
+	}
+	return req
+}
+
+// BenchmarkEncodePooled measures the pooled encode path (what writeOK
+// and the client's request marshal use); compare its allocs/op against
+// BenchmarkEncodeUnpooled to see what the sync.Pool buys.
+func BenchmarkEncodePooled(b *testing.B) {
+	req := benchSubmitRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := encodeJSON(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		putBuf(buf)
+	}
+}
+
+// BenchmarkEncodeUnpooled is the pre-pool baseline: one fresh []byte
+// per request via json.Marshal.
+func BenchmarkEncodeUnpooled(b *testing.B) {
+	req := benchSubmitRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bs, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteOK measures the handler's full response-write path
+// (pooled) end to end.
+func BenchmarkWriteOK(b *testing.B) {
+	res := &SubmitResult{Appended: 64, Stored: make([]int, 64)}
+	w := &discardResponseWriter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		writeOK(w, res)
+	}
+}
+
+// TestPoolRoundTrip: a recycled buffer starts empty, and oversized
+// buffers are not retained.
+func TestPoolRoundTrip(t *testing.T) {
+	buf, err := encodeJSON(map[string]string{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("encode produced no bytes")
+	}
+	putBuf(buf)
+	again := getBuf()
+	if again.Len() != 0 {
+		t.Fatalf("pooled buffer not reset: %d bytes", again.Len())
+	}
+	putBuf(again)
+
+	big, err := encodeJSON(make([]survey.Response, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.Grow(2 * maxPooledBuf)
+	putBuf(big) // must not panic, must not pool; nothing observable beyond that
+}

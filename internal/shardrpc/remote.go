@@ -248,14 +248,21 @@ func (r *Remote) CountShard(shard int, surveyID string) int {
 	return n
 }
 
-// Partial fetches one shard's partial accumulator from its owning node
-// — the frontend's merge-at-query-time read path.
+// Partial fetches one shard's full partial accumulator from its owning
+// node — the frontend's merge-at-query-time read path.
 func (r *Remote) Partial(shard int, surveyID string) (*Partial, error) {
+	return r.PartialSince(shard, surveyID, 0)
+}
+
+// PartialSince is the conditional fetch behind the frontend's partial
+// cache: the owning node answers not-modified, a delta past have, or a
+// full snapshot.
+func (r *Remote) PartialSince(shard int, surveyID string, have uint64) (*Partial, error) {
 	c, err := r.clientFor(shard)
 	if err != nil {
 		return nil, err
 	}
-	return c.Partial(shard, surveyID)
+	return c.PartialSince(shard, surveyID, have)
 }
 
 // Close implements shardset.ShardRouter. The HTTP clients hold no

@@ -12,7 +12,11 @@
 //	GET  /shardrpc/v1/shards/{shard}/scan       cursor scan (paged)
 //	GET  /shardrpc/v1/shards/{shard}/count      per-shard response count
 //	GET  /shardrpc/v1/shards/{shard}/partial    partial accumulator state
+//	                                            (conditional: ?have=cursor
+//	                                            answers not-modified/delta)
 //	GET  /shardrpc/v1/shards/{shard}/tail       WAL-tail shipping
+//	                                            (?follower=id registers a
+//	                                            truncation ack)
 //	GET  /shardrpc/v1/meta                      shard ownership map
 //	GET  /shardrpc/v1/surveys                   survey definitions
 //	GET  /shardrpc/v1/surveys/{id}              one survey definition
@@ -88,12 +92,34 @@ type CountResult struct {
 // state the frontend Merges at query time, plus the coordinates needed
 // to trust it (the per-shard cursor it covers and the definition
 // fingerprint it was folded under).
+//
+// The fetch is conditional: the request carries the cursor the caller
+// already holds (`have`), and the node answers with the cheapest
+// response that brings the caller current —
+//
+//   - NotModified (no state): the shard cursor equals have; the
+//     caller's cached copy is already exact.
+//   - Delta (From == have): State is the fold of only the responses
+//     with seq in (From, Cursor] — the caller Merges it into its cached
+//     accumulator instead of replacing it. O(new responses) to build,
+//     O(questions × levels) on the wire like any snapshot.
+//   - Full (neither flag): State covers seq [1, Cursor]; the caller
+//     replaces its cached copy. This is the have=0 cold fetch and the
+//     resync path when the caller's cursor is ahead of the shard (the
+//     shard store was rebuilt).
 type Partial struct {
 	SurveyID    string                      `json:"survey_id"`
 	Shard       int                         `json:"shard"`
 	Fingerprint string                      `json:"fingerprint"`
 	Cursor      uint64                      `json:"cursor"`
-	State       *aggregate.AccumulatorState `json:"state"`
+	State       *aggregate.AccumulatorState `json:"state,omitempty"`
+	// NotModified reports the shard cursor equals the request's have
+	// cursor; no state is shipped.
+	NotModified bool `json:"not_modified,omitempty"`
+	// Delta reports State covers only (From, Cursor]; the caller merges
+	// it over a cached copy whose cursor is exactly From.
+	Delta bool   `json:"delta,omitempty"`
+	From  uint64 `json:"from,omitempty"`
 }
 
 // PublishRequest broadcasts a survey definition. Replace selects the
@@ -120,10 +146,17 @@ type Backend interface {
 	// CountShard returns one global shard's response count.
 	CountShard(shard int, surveyID string) int
 	// PartialState returns the shard's current partial accumulator for
-	// the survey, caught up to the shard's latest append.
-	PartialState(shard int, surveyID string) (*Partial, error)
-	// Tail serves WAL-tail shipping for one global shard.
-	Tail(shard int, epoch, offset uint64, max int) (*shardset.TailBatch, error)
+	// the survey, caught up to the shard's latest append. have is the
+	// per-shard cursor the caller already holds (0 = none): the node
+	// answers not-modified, a delta past have, or a full snapshot —
+	// see Partial.
+	PartialState(shard int, surveyID string, have uint64) (*Partial, error)
+	// Tail serves WAL-tail shipping for one global shard. A non-empty
+	// follower id registers the caller for journal-truncation
+	// accounting: the offset it sends is its ack (everything before it
+	// is applied), and the journal retains entries every registered
+	// follower still needs.
+	Tail(shard int, epoch, offset uint64, max int, follower string) (*shardset.TailBatch, error)
 	// PutSurvey / ReplaceSurvey / Survey / Surveys mirror the survey
 	// metadata surface (replicated to every shard by the backend).
 	PutSurvey(sv *survey.Survey) error

@@ -64,7 +64,7 @@ func (b *testBackend) CountShard(global int, surveyID string) int {
 	return b.local.CountShard(i, surveyID)
 }
 
-func (b *testBackend) PartialState(global int, surveyID string) (*Partial, error) {
+func (b *testBackend) PartialState(global int, surveyID string, have uint64) (*Partial, error) {
 	i, err := b.shard(global)
 	if err != nil {
 		return nil, err
@@ -73,30 +73,38 @@ func (b *testBackend) PartialState(global int, surveyID string) (*Partial, error
 	if err != nil {
 		return nil, err
 	}
+	cursor := uint64(b.local.CountShard(i, surveyID))
+	out := &Partial{SurveyID: surveyID, Shard: global, Fingerprint: sv.Fingerprint(), Cursor: cursor}
+	if have == cursor && have > 0 {
+		out.NotModified = true
+		return out, nil
+	}
+	from := uint64(0)
+	if have > 0 && have < cursor {
+		from = have
+		out.Delta = true
+		out.From = have
+	}
 	acc, err := aggregate.NewAccumulator(core.DefaultSchedule(), sv)
 	if err != nil {
 		return nil, err
 	}
-	var cursor uint64
-	err = b.local.ScanShard(i, surveyID, 0, func(seq uint64, r *survey.Response) error {
-		cursor = seq
+	err = b.local.ScanShard(i, surveyID, from, func(_ uint64, r *survey.Response) error {
 		return acc.Add(r)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Partial{
-		SurveyID: surveyID, Shard: global,
-		Fingerprint: sv.Fingerprint(), Cursor: cursor, State: acc.Snapshot(),
-	}, nil
+	out.State = acc.Snapshot()
+	return out, nil
 }
 
-func (b *testBackend) Tail(global int, epoch, offset uint64, max int) (*shardset.TailBatch, error) {
+func (b *testBackend) Tail(global int, epoch, offset uint64, max int, follower string) (*shardset.TailBatch, error) {
 	i, err := b.shard(global)
 	if err != nil {
 		return nil, err
 	}
-	return b.local.Tail(i, epoch, offset, max)
+	return b.local.Tail(i, epoch, offset, max, follower)
 }
 
 func (b *testBackend) PutSurvey(sv *survey.Survey) error     { return b.local.PutSurvey(sv) }
@@ -208,11 +216,11 @@ func TestRoundTrip(t *testing.T) {
 	}
 
 	// Tail: bootstrap then drain.
-	tb, err := c.Tail(1, 0, 0, 10)
+	tb, err := c.Tail(1, 0, 0, 10, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb, err = c.Tail(1, tb.Epoch, 0, 10)
+	tb, err = c.Tail(1, tb.Epoch, 0, 10, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,5 +373,59 @@ func TestRemoteRouterEquivalence(t *testing.T) {
 	got, err := remote.Survey("sv")
 	if err != nil || got.Title != "Republished" {
 		t.Fatalf("after republish: %v %v", got, err)
+	}
+}
+
+// TestConditionalPartial drives the conditional fetch over the wire:
+// cold full fetch, not-modified revalidation, delta past a held
+// cursor, and the full-resync answer for a cursor ahead of the shard.
+func TestConditionalPartial(t *testing.T) {
+	c, _ := newTestNode(t, 1)
+	sv := rpcSurvey("sv")
+	if err := c.Publish(sv, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(0, []survey.Response{rpcResponse("sv", 0), rpcResponse("sv", 1), rpcResponse("sv", 2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold fetch: full snapshot.
+	full, err := c.PartialSince(0, "sv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Delta || full.NotModified || full.Cursor != 3 || full.State == nil || full.State.N != 3 {
+		t.Fatalf("cold fetch = %+v", full)
+	}
+
+	// Revalidation at the current cursor: not-modified, no state.
+	nm, err := c.PartialSince(0, "sv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nm.NotModified || nm.State != nil || nm.Cursor != 3 {
+		t.Fatalf("revalidation = %+v", nm)
+	}
+
+	// Two more responses: a delta covering exactly (3, 5].
+	if _, err := c.Submit(0, []survey.Response{rpcResponse("sv", 3), rpcResponse("sv", 4)}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.PartialSince(0, "sv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Delta || d.From != 3 || d.Cursor != 5 || d.State == nil || d.State.N != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+
+	// A cursor ahead of the shard (the caller cached a stream this
+	// store never produced): full resync, not a delta.
+	re, err := c.PartialSince(0, "sv", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Delta || re.NotModified || re.Cursor != 5 || re.State == nil || re.State.N != 5 {
+		t.Fatalf("ahead-of-shard fetch = %+v", re)
 	}
 }

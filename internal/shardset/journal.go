@@ -27,12 +27,21 @@ type TailEntry struct {
 type TailBatch struct {
 	Epoch uint64 `json:"epoch"`
 	// NextOffset is where the follower resumes: offset + len(Entries),
-	// or 0 after an epoch mismatch.
+	// 0 after an epoch mismatch, or the truncation base after a
+	// Truncated reply.
 	NextOffset uint64 `json:"next_offset"`
 	// End is the journal length when the batch was cut; End−NextOffset
 	// is the follower's remaining lag in records.
 	End     uint64      `json:"end"`
 	Entries []TailEntry `json:"entries,omitempty"`
+	// Truncated reports the requested offset fell below the journal's
+	// truncation base: the entries are gone from the journal (though
+	// their records are still in the store). The follower must rebuild
+	// its copy of the shard from paged store scans, then resume tailing
+	// from NextOffset — journal entries covering records the scans
+	// already delivered carry per-survey seqs at or below the scanned
+	// counts and are skipped on apply.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // journalEntry records one append's coordinates. The response payload
@@ -44,13 +53,39 @@ type journalEntry struct {
 	seq      uint64
 }
 
+// journalEntrySize approximates one entry's retained heap bytes: the
+// two struct words plus string header and payload. Exact accounting is
+// not the point — the admin counter exists so an operator can see the
+// journal's footprint shrink when truncation runs.
+func journalEntrySize(e *journalEntry) int64 { return int64(len(e.surveyID)) + 32 }
+
 // journal is one shard's append journal: arrival order across surveys,
 // which per-survey sequence numbers alone cannot reconstruct.
+//
+// The journal is truncatable: entries below base have been dropped
+// (their records live on in the shard store; only the arrival-order
+// index is gone). Truncation advances base to the lowest offset any
+// registered follower still needs — a follower's tail request offset is
+// its ack of everything before it — and, when a retain bound is set,
+// past acks too so the journal's memory stays bounded even with a
+// wedged follower (which then recovers through the Truncated resync
+// path). With no registered followers and no retain bound the journal
+// keeps everything, the pre-truncation behavior.
 type journal struct {
 	epoch uint64
+	// retain, when positive, bounds the retained entry count.
+	retain int
 
 	mu      sync.Mutex
+	base    uint64 // offset of entries[0]
 	entries []journalEntry
+	// followers maps follower id → acked offset (the offset of its last
+	// tail request: everything before it is applied on the follower).
+	followers map[string]uint64
+	// retainedBytes approximates the entries' heap footprint;
+	// truncatedEntries counts entries dropped over the journal's life.
+	retainedBytes    int64
+	truncatedEntries uint64
 }
 
 // rebuildJournal reconstructs a journal from a shard store after a
@@ -58,22 +93,95 @@ type journal struct {
 // from the original arrival interleaving, which is exactly why the
 // journal gets a fresh epoch — followers resync rather than trust stale
 // offsets.
-func rebuildJournal(st store.Store, epoch uint64) (*journal, error) {
-	j := &journal{epoch: epoch}
+func rebuildJournal(st store.Store, epoch uint64, retain int) (*journal, error) {
+	j := &journal{epoch: epoch, retain: retain, followers: make(map[string]uint64)}
 	surveys, err := st.Surveys()
 	if err != nil {
 		return nil, err
 	}
 	for _, sv := range surveys {
 		err := st.ScanResponses(sv.ID, 0, func(seq uint64, _ *survey.Response) error {
-			j.entries = append(j.entries, journalEntry{surveyID: sv.ID, seq: seq})
+			e := journalEntry{surveyID: sv.ID, seq: seq}
+			j.entries = append(j.entries, e)
+			j.retainedBytes += journalEntrySize(&e)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
+	j.mu.Lock()
+	j.maybeTruncateLocked()
+	j.mu.Unlock()
 	return j, nil
+}
+
+// maybeTruncateLocked drops the journal prefix nobody needs: entries
+// below every registered follower's ack, and — under a retain bound —
+// entries beyond the bound regardless of acks. Caller holds j.mu.
+func (j *journal) maybeTruncateLocked() {
+	end := j.base + uint64(len(j.entries))
+	floor := j.base
+	if len(j.followers) > 0 {
+		minAck := end
+		for _, ack := range j.followers {
+			if ack < minAck {
+				minAck = ack
+			}
+		}
+		if minAck > floor {
+			floor = minAck
+		}
+	}
+	if j.retain > 0 && end > uint64(j.retain) && end-uint64(j.retain) > floor {
+		floor = end - uint64(j.retain)
+	}
+	if floor <= j.base {
+		return
+	}
+	drop := int(floor - j.base)
+	for i := 0; i < drop; i++ {
+		j.retainedBytes -= journalEntrySize(&j.entries[i])
+	}
+	// Copy the survivors into a fresh slice so the dropped prefix's
+	// backing array (and its survey-ID strings) actually becomes
+	// collectable — re-slicing would pin it forever.
+	j.entries = append([]journalEntry(nil), j.entries[drop:]...)
+	j.base = floor
+	j.truncatedEntries += uint64(drop)
+}
+
+// JournalStats describes one shard journal on the admin surface.
+type JournalStats struct {
+	// Shard is the global shard index.
+	Shard int    `json:"shard"`
+	Epoch uint64 `json:"epoch"`
+	// Base is the truncation base: the lowest offset still served.
+	Base uint64 `json:"base"`
+	// Entries is the retained entry count (End − Base).
+	Entries int `json:"entries"`
+	// RetainedBytes approximates the retained entries' heap footprint.
+	RetainedBytes int64 `json:"retained_bytes"`
+	// TruncatedEntries counts entries dropped since the journal was
+	// built.
+	TruncatedEntries uint64 `json:"truncated_entries,omitempty"`
+	// Followers is the number of registered followers (tail callers
+	// that sent a follower id).
+	Followers int `json:"followers,omitempty"`
+}
+
+// stats snapshots the journal for the admin surface.
+func (j *journal) stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Epoch:            j.epoch,
+		Base:             j.base,
+		Entries:          len(j.entries),
+		RetainedBytes:    j.retainedBytes,
+		TruncatedEntries: j.truncatedEntries,
+		Followers:        len(j.followers),
+	}
 }
 
 // append durably appends to the shard store and journals the entry.
@@ -91,7 +199,10 @@ func (j *journal) append(st store.Store, r *survey.Response) (int, error) {
 	// The append is serialized by j.mu, so the store's count is exactly
 	// the seq it just assigned.
 	n := st.ResponseCount(r.SurveyID)
-	j.entries = append(j.entries, journalEntry{surveyID: r.SurveyID, seq: uint64(n)})
+	e := journalEntry{surveyID: r.SurveyID, seq: uint64(n)}
+	j.entries = append(j.entries, e)
+	j.retainedBytes += journalEntrySize(&e)
+	j.maybeTruncateLocked()
 	return n, nil
 }
 
@@ -118,8 +229,11 @@ func (j *journal) appendBatch(st store.Store, rs []survey.Response) ([]int, erro
 	}
 	// Journal exactly the durable prefix, error or not.
 	for i, c := range counts {
-		j.entries = append(j.entries, journalEntry{surveyID: rs[i].SurveyID, seq: uint64(c)})
+		e := journalEntry{surveyID: rs[i].SurveyID, seq: uint64(c)}
+		j.entries = append(j.entries, e)
+		j.retainedBytes += journalEntrySize(&e)
 	}
+	j.maybeTruncateLocked()
 	return counts, err
 }
 
@@ -129,29 +243,53 @@ var errStopScan = errors.New("shardset: stop scan")
 // tail cuts one shipping batch: entries [offset, offset+max) under the
 // caller's epoch. An epoch mismatch returns the current epoch with
 // NextOffset 0 and no entries — the follower's signal to resync. An
-// offset beyond the journal under a matching epoch is a protocol error
-// (offsets only grow within an epoch).
-func (j *journal) tail(st store.Store, epoch, offset uint64, max int) (*TailBatch, error) {
+// offset below the truncation base returns Truncated with NextOffset
+// at the base — the follower's signal to rebuild from store scans and
+// resume there. An offset beyond the journal under a matching epoch is
+// a protocol error (offsets only grow within an epoch).
+//
+// A non-empty follower id registers the caller for truncation
+// accounting: its request offset is its ack (everything before it is
+// applied), so the journal can drop what every registered follower has
+// passed. A mismatched epoch resets the ack to zero — the follower is
+// about to resync from scratch.
+func (j *journal) tail(st store.Store, epoch, offset uint64, max int, follower string) (*TailBatch, error) {
 	j.mu.Lock()
-	entries := j.entries // append-only: the header is a consistent snapshot
 	cur := j.epoch
+	if follower != "" {
+		if epoch == cur {
+			j.followers[follower] = offset
+		} else {
+			j.followers[follower] = 0
+		}
+		j.maybeTruncateLocked()
+	}
+	// Entry slices are immutable once cut (truncation swaps in a fresh
+	// slice rather than mutating), so base+entries is a consistent
+	// snapshot to serve from outside the lock.
+	base := j.base
+	entries := j.entries
 	j.mu.Unlock()
 
+	end64 := base + uint64(len(entries))
 	if epoch != cur {
-		return &TailBatch{Epoch: cur, NextOffset: 0, End: uint64(len(entries))}, nil
+		return &TailBatch{Epoch: cur, NextOffset: 0, End: end64}, nil
 	}
-	if offset > uint64(len(entries)) {
-		return nil, fmt.Errorf("shardset: tail offset %d beyond journal end %d in epoch %d", offset, len(entries), cur)
+	if offset < base {
+		return &TailBatch{Epoch: cur, NextOffset: base, End: end64, Truncated: true}, nil
+	}
+	if offset > end64 {
+		return nil, fmt.Errorf("shardset: tail offset %d beyond journal end %d in epoch %d", offset, end64, cur)
 	}
 	if max <= 0 {
 		max = 1024
 	}
 	end := offset + uint64(max)
-	if end > uint64(len(entries)) {
-		end = uint64(len(entries))
+	if end > end64 {
+		end = end64
 	}
-	batch := &TailBatch{Epoch: cur, NextOffset: end, End: uint64(len(entries))}
-	for _, e := range entries[offset:end] {
+	batch := &TailBatch{Epoch: cur, NextOffset: end, End: end64}
+	for _, e := range entries[offset-base : end-base] {
 		te := TailEntry{SurveyID: e.surveyID, Seq: e.seq}
 		found := false
 		err := st.ScanResponses(e.surveyID, e.seq-1, func(seq uint64, r *survey.Response) error {

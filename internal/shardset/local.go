@@ -58,6 +58,13 @@ type LocalOptions struct {
 	// fresh epoch, so a restarted node's replicas detect the epoch
 	// change and resync.
 	Journal bool
+	// JournalRetain, when positive, bounds each shard journal's
+	// retained entry count: entries beyond it are truncated even past
+	// follower acks (a follower that falls behind the bound rebuilds
+	// through the Truncated resync path). Zero keeps entries until
+	// every registered follower acks past them — and forever when no
+	// follower ever registers.
+	JournalRetain int
 }
 
 // NewLocal builds a router over the given per-shard stores. The stores
@@ -81,7 +88,7 @@ func NewLocal(stores []store.Store, opts LocalOptions) (*Local, error) {
 		epoch := nextEpoch()
 		l.journals = make([]*journal, len(stores))
 		for i, st := range stores {
-			j, err := rebuildJournal(st, epoch)
+			j, err := rebuildJournal(st, epoch, opts.JournalRetain)
 			if err != nil {
 				return nil, fmt.Errorf("shardset: rebuild journal for shard %d: %w", ids[i], err)
 			}
@@ -232,16 +239,32 @@ func (l *Local) CountShard(shard int, surveyID string) int {
 }
 
 // Tail serves WAL-tail shipping for one local shard: journal entries
-// from offset under the given epoch. See journal.Tail for the epoch
-// contract. It errors when journaling is disabled.
-func (l *Local) Tail(shard int, epoch uint64, offset uint64, max int) (*TailBatch, error) {
+// from offset under the given epoch. See journal.tail for the epoch,
+// truncation, and follower-ack contracts. It errors when journaling is
+// disabled.
+func (l *Local) Tail(shard int, epoch uint64, offset uint64, max int, follower string) (*TailBatch, error) {
 	if l.journals == nil {
 		return nil, errors.New("shardset: tail shipping needs a journaling router")
 	}
 	if shard < 0 || shard >= len(l.stores) {
 		return nil, fmt.Errorf("shardset: shard %d outside [0, %d)", shard, len(l.stores))
 	}
-	return l.journals[shard].tail(l.stores[shard], epoch, offset, max)
+	return l.journals[shard].tail(l.stores[shard], epoch, offset, max, follower)
+}
+
+// JournalStats reports every shard journal's retention state for the
+// admin surface (shards keyed by global index); nil when journaling is
+// disabled.
+func (l *Local) JournalStats() []JournalStats {
+	if l.journals == nil {
+		return nil
+	}
+	out := make([]JournalStats, len(l.journals))
+	for i, j := range l.journals {
+		out[i] = j.stats()
+		out[i].Shard = l.ids[i]
+	}
+	return out
 }
 
 // Close implements ShardRouter, closing every shard store.

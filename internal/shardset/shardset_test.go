@@ -210,11 +210,11 @@ func TestAppendShardBatch(t *testing.T) {
 		t.Fatal("batch landed on the wrong shard")
 	}
 	// The journal saw all five in order.
-	tb, err := l.Tail(1, 0, 0, 100)
+	tb, err := l.Tail(1, 0, 0, 100, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb, err = l.Tail(1, tb.Epoch, 0, 100)
+	tb, err = l.Tail(1, tb.Epoch, 0, 100, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestJournalTail(t *testing.T) {
 	}
 	// Epoch 0 never matches a live journal: the first poll returns the
 	// real epoch and nothing else.
-	first, err := l.Tail(0, 0, 7, 10)
+	first, err := l.Tail(0, 0, 7, 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestJournalTail(t *testing.T) {
 	// Page through the whole journal.
 	offset, got := uint64(0), 0
 	for {
-		b, err := l.Tail(0, first.Epoch, offset, 10)
+		b, err := l.Tail(0, first.Epoch, offset, 10, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +274,7 @@ func TestJournalTail(t *testing.T) {
 	}
 	// Offsets beyond the journal under a matching epoch are a protocol
 	// error.
-	if _, err := l.Tail(0, first.Epoch, uint64(n+1), 10); err == nil {
+	if _, err := l.Tail(0, first.Epoch, uint64(n+1), 10, ""); err == nil {
 		t.Fatal("offset beyond journal accepted")
 	}
 }
@@ -297,7 +297,7 @@ func TestJournalRebuildChangesEpoch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	b1, err := l1.Tail(0, 0, 0, 1)
+	b1, err := l1.Tail(0, 0, 0, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestJournalRebuildChangesEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := l2.Tail(0, b1.Epoch, 3, 10)
+	b2, err := l2.Tail(0, b1.Epoch, 3, 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestJournalRebuildChangesEpoch(t *testing.T) {
 		t.Fatalf("epoch mismatch should reset, got %+v", b2)
 	}
 	// The rebuilt journal still serves the full history from zero.
-	b3, err := l2.Tail(0, b2.Epoch, 0, 10)
+	b3, err := l2.Tail(0, b2.Epoch, 0, 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,5 +352,140 @@ func TestSurveyBroadcast(t *testing.T) {
 		if err != nil || got.Title != "Republished" {
 			t.Fatalf("shard %d: %v %v", s, got, err)
 		}
+	}
+}
+
+// TestJournalTruncationByAcks: entries below every registered
+// follower's ack are dropped; unregistered callers never constrain or
+// trigger truncation; a follower asking below the truncation base gets
+// the Truncated resync signal with the base to resume from.
+func TestJournalTruncationByAcks(t *testing.T) {
+	l := newMemLocal(t, 1, LocalOptions{Journal: true})
+	sv := testSurvey("sv")
+	if err := l.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(testResponse(sv.ID, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boot, err := l.Tail(0, 0, 0, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := boot.Epoch
+
+	// An anonymous reader pages the whole journal without registering:
+	// nothing truncates.
+	if _, err := l.Tail(0, epoch, 30, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.JournalStats()[0]; st.Base != 0 || st.Entries != n || st.Followers != 0 {
+		t.Fatalf("anonymous tailing changed retention: %+v", st)
+	}
+
+	// Two registered followers: the journal truncates to the slower
+	// one's ack, no further. (The slow one registers first — a lone
+	// follower's ack would truncate to itself immediately.)
+	if _, err := l.Tail(0, epoch, 10, 10, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Tail(0, epoch, 25, 10, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	st := l.JournalStats()[0]
+	if st.Base != 10 || st.Entries != n-10 || st.Followers != 2 || st.TruncatedEntries != 10 {
+		t.Fatalf("after acks 25/10: %+v", st)
+	}
+	if st.RetainedBytes <= 0 {
+		t.Fatalf("retained bytes = %d", st.RetainedBytes)
+	}
+
+	// The slow follower catches up; the floor moves with it.
+	if _, err := l.Tail(0, epoch, 25, 10, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.JournalStats()[0]; st.Base != 25 || st.Entries != n-25 {
+		t.Fatalf("after slow ack 25: %+v", st)
+	}
+
+	// Entries above the base still serve exactly.
+	b, err := l.Tail(0, epoch, 30, 5, "fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 5 || b.Entries[0].Seq != 31 {
+		t.Fatalf("post-truncation page = %+v", b)
+	}
+
+	// A newcomer below the base gets the Truncated signal pointing at
+	// the base — and its registration pins the floor from here on.
+	nb, err := l.Tail(0, epoch, 0, 10, "newcomer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nb.Truncated || nb.NextOffset != 25 || len(nb.Entries) != 0 {
+		t.Fatalf("below-base tail = %+v", nb)
+	}
+	if _, err := l.Tail(0, epoch, 25, 10, "newcomer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Tail(0, epoch, uint64(n), 10, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.JournalStats()[0]; st.Base != 25 {
+		t.Fatalf("newcomer ack did not pin the floor: %+v", st)
+	}
+}
+
+// TestJournalRetainBound: a retain bound truncates even without
+// followers (the no-replica node whose journal would otherwise grow
+// with its whole history) and even past a registered follower's ack.
+func TestJournalRetainBound(t *testing.T) {
+	l := newMemLocal(t, 1, LocalOptions{Journal: true, JournalRetain: 8})
+	sv := testSurvey("sv")
+	if err := l.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(testResponse(sv.ID, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.JournalStats()[0]
+	if st.Entries != 8 || st.Base != 22 || st.TruncatedEntries != 22 {
+		t.Fatalf("retain bound not enforced: %+v", st)
+	}
+	// A follower acks low; the bound still wins and the follower is
+	// told to resync from the base.
+	boot, err := l.Tail(0, 0, 0, 10, "lagger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Tail(0, boot.Epoch, 2, 10, "lagger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Truncated || b.NextOffset != 22 {
+		t.Fatalf("lagging follower reply = %+v", b)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(testResponse(sv.ID, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.JournalStats()[0]; st.Entries != 8 || st.Base != 32 {
+		t.Fatalf("retain bound ignored the lagging ack: %+v", st)
+	}
+
+	// The rebuilt journal honors the bound from the start.
+	l2, err := NewLocal([]store.Store{l.Store(0)}, LocalOptions{Journal: true, JournalRetain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l2.JournalStats()[0]; st.Entries != 8 || st.Base != 32 {
+		t.Fatalf("rebuilt journal retention: %+v", st)
 	}
 }

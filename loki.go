@@ -254,6 +254,15 @@ type (
 	Replica = server.Replica
 	// ReplicaConfig configures it.
 	ReplicaConfig = server.ReplicaConfig
+	// ShardPartial is one shard's partial-accumulator answer on the
+	// cluster transport (full, delta, or not-modified — the frontend
+	// cache's conditional fetch).
+	ShardPartial = shardrpc.Partial
+	// JournalShardStats reports one shard journal's retention state
+	// (truncation base, retained entries/bytes, registered followers).
+	JournalShardStats = shardset.JournalStats
+	// FrontendCacheInfo is the frontend partial cache's admin report.
+	FrontendCacheInfo = server.FrontendCacheInfo
 )
 
 // File store sync policies.
