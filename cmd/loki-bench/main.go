@@ -42,6 +42,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"readpath", "read path: aggregate queries/sec, batch recompute vs live accumulator"},
 	{"restart", "restart: first-read latency, whole-backlog rescan vs checkpoint restore"},
 	{"cluster", "cluster: N nodes + frontend vs single process; merged-read equivalence"},
+	{"budget", "budget: submit throughput with the privacy-budget ledger off vs enforcing"},
 }
 
 func main() {
@@ -67,6 +68,10 @@ func main() {
 		"responses the cluster experiment submits per configuration")
 	flag.IntVar(&clusterWorkers, "cluster-workers", clusterWorkers,
 		"concurrent submit workers in the cluster experiment")
+	flag.StringVar(&budgetJSONPath, "budget-json", budgetJSONPath,
+		"where the budget experiment writes its machine-readable report (empty disables)")
+	flag.IntVar(&budgetResponses, "budget-responses", budgetResponses,
+		"responses the budget experiment submits per mode")
 	flag.Parse()
 
 	if *list {
@@ -245,6 +250,11 @@ func run(sel func(...string) bool, seed uint64) error {
 			return err
 		}
 		if err := runClusterBench(nodes); err != nil {
+			return err
+		}
+	}
+	if sel("budget") {
+		if err := runBudgetBench(); err != nil {
 			return err
 		}
 	}

@@ -46,6 +46,15 @@
 // (-checkpoint-interval) persists each shard partial's state plus
 // cursor, so after a restart the first read scans only each shard's
 // tail beyond its own checkpoint.
+//
+// Privacy budget (-budget-enforce=off|log|enforce): every submit debits
+// the worker's zCDP account against a (-budget-cap-epsilon,
+// -budget-delta) ceiling before it is appended. Standalone servers keep
+// the ledger in process; cluster nodes host the budget shards their
+// slot owns (durable under -budget-dir) and frontends charge through
+// them over shardrpc, so one worker's spend is enforced across every
+// frontend. Set the budget flags identically on node and frontend
+// roles — the shard count and placement must agree.
 package main
 
 import (
@@ -61,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"loki/internal/budget"
 	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/ingest"
@@ -73,18 +83,36 @@ import (
 
 // clusterFlags carries the -role wiring.
 type clusterFlags struct {
-	role          string
-	peers         string // frontend: comma-separated node base URLs
-	follow        string // replica: node base URL
-	clusterShards int    // node/frontend: global shard count
-	clusterNodes  int    // node: cluster size (for ownership)
-	nodeIndex     int    // node: this node's slot
-	clusterToken  string // shardrpc bearer token (defaults to -token)
-	pollInterval  time.Duration
-	cacheTTL      time.Duration // frontend: partial cache staleness bound
-	cacheRefresh  time.Duration // frontend: background refresher interval
-	journalRetain int           // node: journal retained-entry bound
-	followerID    string        // replica: stable follower id for truncation acks
+	role           string
+	peers          string // frontend: comma-separated node base URLs
+	follow         string // replica: node base URL
+	clusterShards  int    // node/frontend: global shard count
+	clusterNodes   int    // node: cluster size (for ownership)
+	nodeIndex      int    // node: this node's slot
+	clusterToken   string // shardrpc bearer token (defaults to -token)
+	pollInterval   time.Duration
+	cacheTTL       time.Duration // frontend: partial cache staleness bound
+	cacheRefresh   time.Duration // frontend: background refresher interval
+	journalRetain  int           // node: journal retained-entry bound
+	followerID     string        // replica: stable follower id for truncation acks
+	followerAckTTL time.Duration // node: expire silent follower acks after this long
+
+	budgetDir     string  // node/standalone: budget WAL directory (empty = in-memory)
+	budgetCap     float64 // epsilon ceiling per worker
+	budgetDelta   float64 // delta the epsilon conversion is quoted at
+	budgetEnforce string  // off, log or enforce
+}
+
+// budgetEnabled reports whether any budget accounting is configured:
+// an enforcement mode past off, or a durable ledger directory (which
+// hosts accounts even when this process does not enforce, so that
+// frontends that do can charge through it).
+func (cf *clusterFlags) budgetEnabled() bool {
+	return cf.budgetEnforce != "off" || cf.budgetDir != ""
+}
+
+func (cf *clusterFlags) budgetConfig() budget.Config {
+	return budget.Config{CapEpsilon: cf.budgetCap, Delta: cf.budgetDelta}
 }
 
 func main() {
@@ -115,6 +143,16 @@ func main() {
 		"node: per-shard append-journal retained-entry bound; lagging replicas past it rebuild from store scans (0 retains until every registered follower acks)")
 	flag.StringVar(&cf.followerID, "follower-id", "",
 		"replica: stable follower id for journal-truncation acks (defaults to a process-scoped id)")
+	flag.DurationVar(&cf.followerAckTTL, "follower-ack-ttl", 10*time.Minute,
+		"node: drop a replica's journal-truncation ack after this long without a tail from it, so dead replicas stop pinning retention (0 keeps acks forever)")
+	flag.StringVar(&cf.budgetDir, "budget-dir", "",
+		"directory for the durable per-worker privacy-budget ledgers (empty keeps them in memory)")
+	flag.Float64Var(&cf.budgetCap, "budget-cap-epsilon", 10,
+		"per-worker privacy-budget ceiling, quoted as epsilon at -budget-delta")
+	flag.Float64Var(&cf.budgetDelta, "budget-delta", 1e-6,
+		"delta the budget epsilon conversion is quoted at")
+	flag.StringVar(&cf.budgetEnforce, "budget-enforce", "off",
+		"privacy-budget mode: off (no accounting), log (account and log over-cap workers) or enforce (reject over-cap submits with 429)")
 	flag.Parse()
 
 	if cf.clusterToken == "" {
@@ -196,6 +234,14 @@ type publisher interface {
 	PutSurvey(*survey.Survey) error
 }
 
+// budgetWhere names the ledger's home for startup logs.
+func budgetWhere(dir string) string {
+	if dir == "" {
+		return "in memory"
+	}
+	return dir
+}
+
 func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, checkpointDir string, checkpointEvery time.Duration, cf clusterFlags, logger *log.Logger) error {
 	var handler http.Handler
 	var closers []func() error
@@ -226,14 +272,28 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 		if ckpt != nil {
 			closers = append(closers, ckpt.Close)
 		}
-		srv, err := server.New(server.Config{
+		scfg := server.Config{
 			Store:              st,
 			Schedule:           core.DefaultSchedule(),
 			RequesterToken:     token,
 			Logger:             logger,
 			Checkpoints:        ckpt,
 			CheckpointInterval: checkpointEvery,
-		})
+		}
+		if cf.budgetEnabled() {
+			set, err := budget.NewSet(budget.SetOptions{
+				Shards: 1, Dir: cf.budgetDir, Config: cf.budgetConfig(),
+			})
+			if err != nil {
+				return err
+			}
+			closers = append(closers, set.Close)
+			scfg.Budget = set
+			scfg.BudgetEnforce = cf.budgetEnforce
+			logger.Printf("privacy budget %s: cap ε=%g at δ=%g (ledger %s)",
+				cf.budgetEnforce, cf.budgetCap, cf.budgetDelta, budgetWhere(cf.budgetDir))
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			return err
 		}
@@ -256,6 +316,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 		}
 		local, err := shardset.NewLocal(stores, shardset.LocalOptions{
 			GlobalIDs: owned, Journal: true, JournalRetain: cf.journalRetain,
+			FollowerAckTTL: cf.followerAckTTL,
 		})
 		if err != nil {
 			return err
@@ -272,7 +333,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 		if ckpt != nil {
 			closers = append(closers, ckpt.Close)
 		}
-		srv, err := server.New(server.Config{
+		scfg := server.Config{
 			Router:             local,
 			Schedule:           core.DefaultSchedule(),
 			RequesterToken:     token,
@@ -281,7 +342,25 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 			CheckpointInterval: checkpointEvery,
 			Role:               "node",
 			ClusterShards:      cf.clusterShards,
-		})
+		}
+		var bset *budget.Set
+		if cf.budgetEnabled() {
+			bset, err = budget.NewSet(budget.SetOptions{
+				Shards: cf.clusterShards, GlobalIDs: owned, Dir: cf.budgetDir, Config: cf.budgetConfig(),
+			})
+			if err != nil {
+				return err
+			}
+			closers = append(closers, bset.Close)
+			// The node's own public API enforces through its hosted
+			// subset; charges for workers on other nodes' shards are
+			// skipped here and enforced at the frontend.
+			scfg.Budget = bset
+			scfg.BudgetEnforce = cf.budgetEnforce
+			logger.Printf("privacy budget %s: hosting budget shards %v, cap ε=%g at δ=%g (ledger %s)",
+				cf.budgetEnforce, owned, cf.budgetCap, cf.budgetDelta, budgetWhere(cf.budgetDir))
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			return err
 		}
@@ -289,6 +368,9 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 		node, err := server.NewNode(srv, cf.clusterShards)
 		if err != nil {
 			return err
+		}
+		if bset != nil {
+			node.HostBudget(bset)
 		}
 		rpc, err := shardrpc.NewHandler(node, cf.clusterToken)
 		if err != nil {
@@ -324,7 +406,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 				return err
 			}
 		}
-		srv, err := server.New(server.Config{
+		scfg := server.Config{
 			Router:           remote,
 			Schedule:         core.DefaultSchedule(),
 			RequesterToken:   token,
@@ -332,7 +414,24 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 			Role:             "frontend",
 			FrontendCacheTTL: cf.cacheTTL,
 			FrontendRefresh:  cf.cacheRefresh,
-		})
+		}
+		if cf.budgetEnforce != "off" {
+			charger, err := shardrpc.NewRemoteCharger(clients, cf.clusterShards, cf.budgetConfig())
+			if err != nil {
+				return err
+			}
+			// Fuse charges into the submit RPC for workers whose budget
+			// shard is colocated with the response shard; the charger
+			// covers the rest (and refunds, peeks, stats).
+			if err := remote.EnablePiggybackCharges(cf.clusterShards); err != nil {
+				return err
+			}
+			scfg.Budget = charger
+			scfg.BudgetEnforce = cf.budgetEnforce
+			logger.Printf("privacy budget %s: charging %d budget shards across %d nodes, cap ε=%g at δ=%g",
+				cf.budgetEnforce, cf.clusterShards, len(clients), cf.budgetCap, cf.budgetDelta)
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			return err
 		}

@@ -305,6 +305,35 @@ func (o *Obfuscator) responseRho(s *survey.Survey, l Level) (float64, error) {
 	return total, nil
 }
 
+// ResponseRho is the budget layer's costing entry point: the total zCDP
+// cost ρ of releasing one response to s at level l, plus the number of
+// answers that release with no noise at all. Level None costs ρ=0 and
+// counts every question as unprotected; above None, free-text questions
+// (which the obfuscator cannot protect) are excluded from ρ and counted
+// as unprotected instead — charging them a fake finite ε would
+// understate the disclosure, so the ledger tallies them separately.
+func (o *Obfuscator) ResponseRho(s *survey.Survey, l Level) (rho float64, unprotected int, err error) {
+	if !l.Valid() {
+		return 0, 0, fmt.Errorf("core: invalid privacy level %d", int(l))
+	}
+	if l == None {
+		return 0, len(s.Questions), nil
+	}
+	for i := range s.Questions {
+		q := &s.Questions[i]
+		if q.Kind == survey.FreeText {
+			unprotected++
+			continue
+		}
+		c, err := o.questionCost(q, l)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: survey %q: %w", s.ID, err)
+		}
+		rho += c.rho
+	}
+	return rho, unprotected, nil
+}
+
 // CostOfResponse returns the (ε, δ) privacy cost of answering the whole
 // survey once at the given level, composed across questions with zCDP
 // (the ledger's accounting), without releasing anything. Level None

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,6 +44,35 @@ func (lg *Ledger) WriteTo(w io.Writer) (int64, error) {
 	}
 	n, err := w.Write(append(b, '\n'))
 	return int64(n), err
+}
+
+// Snapshot serializes the ledger to JSON bytes — WriteTo without the
+// writer plumbing, for callers (like a budget ledger embedding per-user
+// histories) that want a value they can stash in their own log.
+func (lg *Ledger) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := lg.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the ledger's state with a snapshot previously
+// produced by Snapshot (or WriteTo). The accountant's events are
+// replayed verbatim, so a restored ledger answers every total exactly
+// like the one that was snapshotted.
+func (lg *Ledger) Restore(data []byte) error {
+	restored, err := ReadLedger(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	lg.acct = restored.acct
+	lg.delta = restored.delta
+	lg.unprotected = restored.unprotected
+	lg.surveys = restored.surveys
+	return nil
 }
 
 // ReadLedger deserializes a ledger previously written with WriteTo.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"loki/internal/dp"
 	"loki/internal/rng"
 	"loki/internal/survey"
 )
@@ -184,5 +185,106 @@ func TestNoiseKindString(t *testing.T) {
 	}
 	if NoiseKind(9).String() == "" {
 		t.Error("unknown noise kind string empty")
+	}
+}
+
+func TestLedgerSnapshotRestore(t *testing.T) {
+	lg := populatedLedger(t)
+	snap, err := lg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh ledger (different delta, some state of its
+	// own): every total must come back exactly.
+	fresh, err := NewLedger(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newObf(t, DefaultOptions())
+	sv := survey.Lecturers([]string{"X"})
+	if err := fresh.RecordResponse(o, sv, Low); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Delta() != lg.Delta() {
+		t.Errorf("delta %g vs %g", fresh.Delta(), lg.Delta())
+	}
+	if fresh.Rho() != lg.Rho() {
+		t.Errorf("rho %g vs %g", fresh.Rho(), lg.Rho())
+	}
+	if fresh.Spent() != lg.Spent() {
+		t.Errorf("spent %v vs %v", fresh.Spent(), lg.Spent())
+	}
+	if fresh.Unprotected() != lg.Unprotected() {
+		t.Errorf("unprotected %d vs %d", fresh.Unprotected(), lg.Unprotected())
+	}
+	if fresh.Responses() != lg.Responses() {
+		t.Errorf("responses %d vs %d", fresh.Responses(), lg.Responses())
+	}
+	if fresh.Events() != lg.Events() {
+		t.Errorf("events %d vs %d", fresh.Events(), lg.Events())
+	}
+
+	// And the round trip is lossless through a second snapshot.
+	again, err := fresh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, again) {
+		t.Error("second snapshot differs from first")
+	}
+
+	if err := fresh.Restore([]byte("{nope")); err == nil {
+		t.Error("corrupt snapshot restored")
+	}
+}
+
+func TestResponseRho(t *testing.T) {
+	o := newObf(t, DefaultOptions())
+	sv := survey.Lecturers([]string{"A", "B"})
+
+	// None: free of finite cost, every answer unprotected.
+	rho, unprot, err := o.ResponseRho(sv, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 0 || unprot != len(sv.Questions) {
+		t.Fatalf("None: rho=%g unprot=%d, want 0/%d", rho, unprot, len(sv.Questions))
+	}
+
+	// Above None the rho must agree with CostOfResponse's composition.
+	rho, unprot, err = o.ResponseRho(sv, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho <= 0 || unprot != 0 {
+		t.Fatalf("Medium: rho=%g unprot=%d", rho, unprot)
+	}
+	cost, ok, err := o.CostOfResponse(sv, Medium)
+	if err != nil || !ok {
+		t.Fatalf("CostOfResponse: %v ok=%v", err, ok)
+	}
+	if got := dp.EpsilonFromRho(rho, DefaultOptions().Delta); math.Abs(got-cost.Epsilon) > 1e-12 {
+		t.Fatalf("rho→ε %g disagrees with CostOfResponse ε %g", got, cost.Epsilon)
+	}
+
+	// Free-text questions are excluded from rho, counted unprotected.
+	ft := &survey.Survey{ID: "ft", Questions: []survey.Question{
+		{ID: "r", Kind: survey.Rating, ScaleMin: 1, ScaleMax: 5},
+		{ID: "t", Kind: survey.FreeText},
+	}}
+	rho2, unprot, err := o.ResponseRho(ft, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho2 <= 0 || unprot != 1 {
+		t.Fatalf("free-text survey: rho=%g unprot=%d, want >0/1", rho2, unprot)
+	}
+
+	if _, _, err := o.ResponseRho(sv, Level(99)); err == nil {
+		t.Fatal("invalid level accepted")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"loki/internal/budget"
 	"loki/internal/core"
 	"loki/internal/shardrpc"
 	"loki/internal/shardset"
@@ -33,6 +34,10 @@ type Node struct {
 	local *shardset.Local
 	total int
 	g2l   map[int]int
+
+	// budget, when set via HostBudget, is the node's hosted budget shard
+	// subset; it makes the node a shardrpc.BudgetBackend.
+	budget *budget.Set
 }
 
 // NewNode wraps a Server for shardrpc serving. The server's router must
@@ -180,6 +185,193 @@ func (n *Node) Survey(id string) (*survey.Survey, error) { return n.local.Survey
 func (n *Node) Surveys() ([]*survey.Survey, error) { return n.local.Surveys() }
 
 var _ shardrpc.Backend = (*Node)(nil)
+
+// ---------------------------------------------------------------------------
+// Node budget hosting
+
+// HostBudget attaches a budget shard set to the node: frontends debit
+// worker accounts through it before forwarding submits. A Node always
+// satisfies shardrpc.BudgetBackend (so the handler always mounts the
+// budget routes); without a hosted set every budget call errors. Call
+// it before serving — the field is not synchronized against traffic.
+func (n *Node) HostBudget(set *budget.Set) { n.budget = set }
+
+// budgetSet guards the budget surface of a node that hosts none.
+func (n *Node) budgetSet() (*budget.Set, error) {
+	if n.budget == nil {
+		return nil, errors.New("server: node hosts no budget shards")
+	}
+	return n.budget, nil
+}
+
+// BudgetCharge implements shardrpc.BudgetBackend.
+func (n *Node) BudgetCharge(shard int, charges []budget.Charge) ([]budget.Outcome, error) {
+	set, err := n.budgetSet()
+	if err != nil {
+		return nil, err
+	}
+	outs, err := set.ChargeShard(shard, charges)
+	if errors.Is(err, budget.ErrNotHosted) {
+		return nil, &shardrpc.ErrNotOwned{Shard: shard}
+	}
+	return outs, err
+}
+
+// BudgetRefund implements shardrpc.BudgetBackend.
+func (n *Node) BudgetRefund(shard int, c budget.Charge) error {
+	set, err := n.budgetSet()
+	if err != nil {
+		return err
+	}
+	err = set.RefundShard(shard, c)
+	if errors.Is(err, budget.ErrNotHosted) {
+		return &shardrpc.ErrNotOwned{Shard: shard}
+	}
+	return err
+}
+
+// BudgetPeek implements shardrpc.BudgetBackend.
+func (n *Node) BudgetPeek(shard int, workerID string) (budget.Account, error) {
+	set, err := n.budgetSet()
+	if err != nil {
+		return budget.Account{}, err
+	}
+	a, err := set.PeekShard(shard, workerID)
+	if errors.Is(err, budget.ErrNotHosted) {
+		return budget.Account{}, &shardrpc.ErrNotOwned{Shard: shard}
+	}
+	return a, err
+}
+
+// BudgetStats implements shardrpc.BudgetBackend.
+func (n *Node) BudgetStats() ([]budget.ShardStats, error) {
+	if n.budget == nil {
+		return nil, nil
+	}
+	return n.budget.Stats()
+}
+
+var _ shardrpc.BudgetBackend = (*Node)(nil)
+
+// AppendShardBatchCharged implements shardrpc.ChargedBackend: decide a
+// batch's piggybacked budget debits and append the admitted responses
+// in one call — the node half of the frontend's fused submit RPC.
+//
+// Ordering is charge-then-append, the same privacy-safe direction the
+// frontend's two-RPC path uses: a crash between the two over-counts
+// spend (a refund that never happened), never under-counts it. Entries
+// whose append fails after an accepted charge are refunded before the
+// reply; every HTTP-level error this method returns happens before any
+// state changes, so a transport error leaves nothing half-committed.
+func (n *Node) AppendShardBatchCharged(global int, rs []survey.Response, charges []budget.Charge) (*shardrpc.SubmitResult, error) {
+	if len(charges) != len(rs) {
+		return nil, fmt.Errorf("server: %d charges for %d responses", len(charges), len(rs))
+	}
+	i, err := n.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	set, err := n.budgetSet()
+	if err != nil {
+		return nil, err
+	}
+	// Pre-flight every charge's routing before touching any ledger: a
+	// batch spanning hosted and unhosted budget shards must fail whole
+	// (the sender's colocation test is wrong), not half-commit.
+	total := set.Shards()
+	groups := make(map[int][]int)
+	batches := make(map[int][]budget.Charge)
+	for k := range charges {
+		if charges[k].WorkerID == "" {
+			continue
+		}
+		b := budget.Route(charges[k].WorkerID, total)
+		if !set.Hosts(b) {
+			return nil, &shardrpc.ErrNotOwned{Shard: b}
+		}
+		groups[b] = append(groups[b], k)
+		batches[b] = append(batches[b], charges[k])
+	}
+	res := &shardrpc.SubmitResult{
+		Stored:   make([]int, len(rs)),
+		Outcomes: make([]budget.Outcome, len(rs)),
+	}
+	// Charge every shard group in one ledger commit: a submit batch
+	// scatters across most of the hosted budget shards, and the shared
+	// journal turns that scatter into a single group-committed fsync
+	// instead of one per shard.
+	if len(groups) > 0 {
+		outs, err := set.ChargeShards(batches)
+		if err != nil {
+			res.ChargeErrs = make([]string, len(rs))
+			for _, idx := range groups {
+				for _, k := range idx {
+					res.ChargeErrs[k] = err.Error()
+				}
+			}
+		} else {
+			for b, idx := range groups {
+				for j, k := range idx {
+					res.Outcomes[k] = outs[b][j]
+				}
+			}
+		}
+	}
+	// Admit everything the ledger did not block: uncharged entries,
+	// accepted charges, and log-mode (non-enforce) entries whose charge
+	// errored — those fail open, exactly like the two-RPC path.
+	admitted := make([]int, 0, len(rs))
+	for k := range rs {
+		switch {
+		case charges[k].WorkerID == "":
+		case res.ChargeErrs != nil && res.ChargeErrs[k] != "":
+			if charges[k].Enforce {
+				continue
+			}
+		case res.Outcomes[k].Rejected:
+			continue
+		}
+		admitted = append(admitted, k)
+	}
+	toAppend := make([]survey.Response, len(admitted))
+	for j, k := range admitted {
+		toAppend[j] = rs[k]
+	}
+	var counts []int
+	var aerr error
+	if len(toAppend) > 0 {
+		counts, aerr = n.local.AppendShardBatch(i, toAppend)
+	}
+	for j, k := range admitted {
+		if j < len(counts) {
+			res.Stored[k] = counts[j]
+			res.Appended++
+			continue
+		}
+		// Not durable: compensate the accepted charge so the ledger
+		// never counts spend for a response the store refused.
+		if res.AppendErrs == nil {
+			res.AppendErrs = make([]string, len(rs))
+		}
+		msg := "append did not report this record durable"
+		if aerr != nil {
+			msg = aerr.Error()
+		}
+		res.AppendErrs[k] = msg
+		if charges[k].WorkerID != "" && (res.ChargeErrs == nil || res.ChargeErrs[k] == "") {
+			if rerr := set.RefundShard(budget.Route(charges[k].WorkerID, total), charges[k]); rerr != nil {
+				n.srv.logf("budget refund for worker %q after failed charged append: %v", charges[k].WorkerID, rerr)
+			}
+			res.Outcomes[k] = budget.Outcome{}
+		}
+	}
+	for _, id := range uniqueSurveyIDs(toAppend[:len(counts)]) {
+		n.srv.advanceShard(id, i)
+	}
+	return res, nil
+}
+
+var _ shardrpc.ChargedBackend = (*Node)(nil)
 
 // advanceShard best-effort folds one shard's partial after a routed
 // append (the shardrpc twin of the public submit handler's warm-up).

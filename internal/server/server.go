@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"loki/internal/aggregate"
+	"loki/internal/budget"
 	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/ingest"
@@ -115,7 +116,26 @@ type Config struct {
 	// ReplicationInfo, when non-nil, is polled by the admin surface for
 	// the replica's staleness cursors.
 	ReplicationInfo func() *ReplicationInfo
+	// Budget, when non-nil, is the privacy-budget charger the submit
+	// path debits per-worker epsilon accounts through before appending:
+	// an in-process budget.Set (standalone, node) or a shardrpc remote
+	// charger (frontend). The caller owns it and closes it after the
+	// server.
+	Budget budget.Charger
+	// BudgetEnforce selects what a charge decides: "off" never consults
+	// the charger, "log" records every debit but admits over-cap
+	// submits (reporting them), "enforce" rejects an over-cap submit
+	// with 429 budget_exhausted. Empty defaults to "enforce" when
+	// Budget is set, "off" otherwise.
+	BudgetEnforce string
 }
+
+// Budget enforcement modes (parsed from Config.BudgetEnforce).
+const (
+	budgetOff = iota
+	budgetLog
+	budgetEnforcing
+)
 
 // Server is the Loki backend. It implements http.Handler.
 type Server struct {
@@ -125,6 +145,13 @@ type Server struct {
 	mux        *http.ServeMux
 	served     atomic.Int64 // responses accepted, for metrics
 	levelTally [core.NumLevels]atomic.Int64
+
+	// obf costs submits for budget charging (rho per response); only
+	// built when a budget charger is configured. budgetMode is the
+	// parsed BudgetEnforce; budgetRejected counts 429s served.
+	obf            *core.Obfuscator
+	budgetMode     int
+	budgetRejected atomic.Int64
 
 	// live holds per-survey live aggregate state (one partial per
 	// shard) so reads are O(1) in stored responses; see liveSet.
@@ -186,9 +213,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Role == "" {
 		cfg.Role = "standalone"
 	}
+	if cfg.BudgetEnforce == "" {
+		if cfg.Budget != nil {
+			cfg.BudgetEnforce = "enforce"
+		} else {
+			cfg.BudgetEnforce = "off"
+		}
+	}
+	var budgetMode int
+	switch cfg.BudgetEnforce {
+	case "off":
+		budgetMode = budgetOff
+	case "log":
+		budgetMode = budgetLog
+	case "enforce":
+		budgetMode = budgetEnforcing
+	default:
+		return nil, fmt.Errorf("server: budget enforce mode %q (want off, log, or enforce)", cfg.BudgetEnforce)
+	}
+	if budgetMode != budgetOff && cfg.Budget == nil {
+		return nil, fmt.Errorf("server: budget mode %q needs a budget charger", cfg.BudgetEnforce)
+	}
 	est, err := aggregate.NewEstimator(cfg.Schedule)
 	if err != nil {
 		return nil, err
+	}
+	var obf *core.Obfuscator
+	if cfg.Budget != nil {
+		// The submit path costs each response with the published
+		// schedule; δ lives in the charger's config, so the default
+		// options are fine here — rho is δ-free.
+		obf, err = core.NewObfuscator(cfg.Schedule, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
 	}
 	router := cfg.Router
 	if router == nil {
@@ -197,7 +255,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ClusterShards <= 0 {
 		cfg.ClusterShards = router.Shards()
 	}
-	s := &Server{cfg: cfg, router: router, est: est, mux: http.NewServeMux(), live: make(map[string]*liveSet)}
+	s := &Server{cfg: cfg, router: router, est: est, obf: obf, budgetMode: budgetMode, mux: http.NewServeMux(), live: make(map[string]*liveSet)}
 	if pf, ok := router.(partialFetcher); ok {
 		s.partials = pf
 		if cfg.FrontendCacheTTL >= 0 {
@@ -236,6 +294,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/quality", s.requireToken(s.handleQuality))
 	s.mux.HandleFunc("GET /api/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /api/v1/admin/store", s.requireToken(s.handleAdminStore))
+	s.mux.HandleFunc("GET /api/v1/admin/budget/{worker}", s.requireToken(s.handleAdminBudget))
 	s.mux.HandleFunc("POST /api/v1/admin/accumulator/{id}/clear", s.requireToken(s.mutating(s.handleAccumulatorClear)))
 }
 
@@ -515,9 +574,11 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	stored, err := s.router.Append(&resp)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	// Charge the worker's privacy budget and append — fused into one
+	// node RPC when the router can piggyback the charge, two steps
+	// (charge, then append, refunding on failure) otherwise.
+	stored, ok := s.admitAndAppend(w, sv, &resp, lvl)
+	if !ok {
 		return
 	}
 	s.served.Add(1)
@@ -545,6 +606,142 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 		Accepted: true,
 		Stored:   stored,
 	})
+}
+
+// piggybackRouter is the optional router surface that fuses a budget
+// charge into the submit RPC itself (shardrpc.Remote implements it):
+// the owning node decides the debit and appends in one handler call,
+// keeping the enforce-mode hot path at a single round-trip.
+type piggybackRouter interface {
+	CanPiggybackCharge(shard int, workerID string) bool
+	AppendCharged(shard int, resp *survey.Response, ch budget.Charge) (int, budget.Outcome, error)
+}
+
+// admitAndAppend is the submit path's admission + durability step:
+// charge the worker's privacy budget (when accounting is on) and
+// durably append the response. When the router can carry the charge on
+// the submit RPC — the worker's budget shard lives on the response
+// shard's node — the two fuse into one round-trip; otherwise the
+// charge ships first and a failed append is compensated by a refund.
+// Returns the stored count and whether the submit succeeded; on false
+// the response has been written.
+func (s *Server) admitAndAppend(w http.ResponseWriter, sv *survey.Survey, resp *survey.Response, lvl core.Level) (int, bool) {
+	if s.budgetMode != budgetOff {
+		shard := s.router.Route(resp.SurveyID, resp.WorkerID)
+		if pr, ok := s.router.(piggybackRouter); ok && pr.CanPiggybackCharge(shard, resp.WorkerID) {
+			return s.appendCharged(w, pr, shard, sv, resp, lvl)
+		}
+	}
+	charged, ok := s.chargeBudget(w, sv, resp, lvl)
+	if !ok {
+		return 0, false
+	}
+	stored, err := s.router.Append(resp)
+	if err != nil {
+		if charged != nil {
+			if rerr := s.cfg.Budget.Refund(*charged); rerr != nil {
+				s.logf("budget refund for worker %q after failed append: %v", resp.WorkerID, rerr)
+			}
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return 0, false
+	}
+	return stored, true
+}
+
+// appendCharged is the fused path: one RPC decides the debit and
+// appends. The error vocabulary mirrors chargeBudget's status mapping;
+// a failed append's charge was already refunded on the node.
+func (s *Server) appendCharged(w http.ResponseWriter, pr piggybackRouter, shard int, sv *survey.Survey, resp *survey.Response, lvl core.Level) (int, bool) {
+	ch, ok := s.buildCharge(w, sv, resp, lvl)
+	if !ok {
+		return 0, false
+	}
+	stored, out, err := pr.AppendCharged(shard, resp, *ch)
+	switch {
+	case errors.Is(err, budget.ErrExhausted):
+		s.budgetRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, budget.ErrExhausted.Error())
+		return 0, false
+	case errors.Is(err, budget.ErrUndecided):
+		writeError(w, http.StatusServiceUnavailable, "privacy-budget charge failed: "+err.Error())
+		return 0, false
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return 0, false
+	}
+	// A zero outcome on a stored response is the log-mode fail-open
+	// signature: the node could not decide the charge but appended
+	// anyway (enforce-mode charge failures surface as ErrUndecided).
+	if out.WorkerID == "" {
+		s.logf("budget charge for worker %q failed (log mode, submit admitted)", resp.WorkerID)
+	} else if out.OverCap {
+		s.logOverCap(resp.WorkerID, out, lvl)
+	}
+	return stored, true
+}
+
+// buildCharge prices one submit for the ledger; on false the response
+// has been written.
+func (s *Server) buildCharge(w http.ResponseWriter, sv *survey.Survey, resp *survey.Response, lvl core.Level) (*budget.Charge, bool) {
+	rho, unprotected, err := s.obf.ResponseRho(sv, lvl)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return &budget.Charge{
+		WorkerID:    resp.WorkerID,
+		SurveyID:    sv.ID,
+		Rho:         rho,
+		Unprotected: unprotected,
+		Enforce:     s.budgetMode == budgetEnforcing,
+	}, true
+}
+
+func (s *Server) logOverCap(workerID string, out budget.Outcome, lvl core.Level) {
+	s.logf("worker %q over budget cap (spent ε %.4g of %.4g) at level %s; %s mode admits",
+		workerID, out.SpentEpsilon, s.cfg.Budget.Config().CapEpsilon, lvl, s.cfg.BudgetEnforce)
+}
+
+// chargeBudget debits the submitting worker's privacy budget over the
+// separate charge RPC. It returns the charge to refund on a later
+// append failure (nil when nothing was charged) and whether the submit
+// may proceed; on false the response has been written.
+//
+// Failure policy: in enforce mode an undecidable charge (shard down,
+// WAL failure) fails the submit closed with 503 — admitting unmetered
+// spend would defeat the cap. In log mode it fails open: accounting is
+// advisory there, so the submit proceeds and the miss is logged. A
+// charge routed to a budget shard this server's charger does not host
+// (a direct-to-node submit whose worker lives on another node's shard)
+// is skipped: enforcement for that worker happens at the frontier.
+func (s *Server) chargeBudget(w http.ResponseWriter, sv *survey.Survey, resp *survey.Response, lvl core.Level) (*budget.Charge, bool) {
+	if s.budgetMode == budgetOff {
+		return nil, true
+	}
+	ch, ok := s.buildCharge(w, sv, resp, lvl)
+	if !ok {
+		return nil, false
+	}
+	out, err := s.cfg.Budget.Charge(*ch)
+	switch {
+	case errors.Is(err, budget.ErrNotHosted):
+		return nil, true
+	case err != nil && s.budgetMode == budgetEnforcing:
+		writeError(w, http.StatusServiceUnavailable, "privacy-budget charge failed: "+err.Error())
+		return nil, false
+	case err != nil:
+		s.logf("budget charge for worker %q failed (log mode, submit admitted): %v", resp.WorkerID, err)
+		return nil, true
+	case out.Rejected:
+		s.budgetRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, budget.ErrExhausted.Error())
+		return nil, false
+	}
+	if out.OverCap {
+		s.logOverCap(resp.WorkerID, out, lvl)
+	}
+	return ch, true
 }
 
 // surveyEstimate is the shared read path of /aggregate and /quality:
@@ -832,6 +1029,48 @@ type AdminStoreInfo struct {
 	Surveys []SurveyHistoryInfo `json:"surveys,omitempty"`
 	// Replication is the replica's staleness report; only on replicas.
 	Replication *ReplicationInfo `json:"replication,omitempty"`
+	// Budget reports the privacy-budget ledger (mode, cap, per-shard
+	// stats); only when a budget charger is configured.
+	Budget *BudgetInfo `json:"budget,omitempty"`
+}
+
+// BudgetInfo is the admin surface's view of the budget service.
+type BudgetInfo struct {
+	// Mode is the enforcement mode (off, log, enforce).
+	Mode string `json:"mode"`
+	// CapEpsilon and Delta are the configured per-worker (ε, δ) ceiling.
+	CapEpsilon float64 `json:"cap_epsilon"`
+	Delta      float64 `json:"delta"`
+	// Shards is the global budget shard count workers hash into.
+	Shards int `json:"shards"`
+	// Rejected counts submits this server refused with 429.
+	Rejected int64 `json:"rejected,omitempty"`
+	// Ledgers holds per-shard ledger stats: the hosted shards for an
+	// in-process set, every node's for a frontend. Nil (with Error set)
+	// when the stats fetch failed.
+	Ledgers []budget.ShardStats `json:"ledgers,omitempty"`
+	// Error reports a failed stats fetch (an unreachable node).
+	Error string `json:"error,omitempty"`
+}
+
+// WorkerBudgetInfo is one worker's remaining budget on the admin
+// surface.
+type WorkerBudgetInfo struct {
+	WorkerID string `json:"worker_id"`
+	// SpentEpsilon is the cumulative ε at the configured δ;
+	// RemainingEpsilon the headroom under the cap.
+	SpentEpsilon     float64 `json:"spent_epsilon"`
+	RemainingEpsilon float64 `json:"remaining_epsilon"`
+	CapEpsilon       float64 `json:"cap_epsilon"`
+	Delta            float64 `json:"delta"`
+	// Rho is the raw zCDP total behind SpentEpsilon.
+	Rho float64 `json:"rho"`
+	// Unprotected counts answers released with no noise (unbounded
+	// loss, outside the finite budget).
+	Unprotected int `json:"unprotected,omitempty"`
+	// Charges and Refunds count accepted debits and credits.
+	Charges uint64 `json:"charges,omitempty"`
+	Refunds uint64 `json:"refunds,omitempty"`
 }
 
 // ingestStatser is the optional interface a store implements to report
@@ -913,7 +1152,55 @@ func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.ReplicationInfo != nil {
 		info.Replication = s.cfg.ReplicationInfo()
 	}
+	if s.cfg.Budget != nil {
+		bcfg := s.cfg.Budget.Config()
+		bi := &BudgetInfo{
+			Mode:       s.cfg.BudgetEnforce,
+			CapEpsilon: bcfg.CapEpsilon,
+			Delta:      bcfg.Delta,
+			Shards:     s.cfg.Budget.Shards(),
+			Rejected:   s.budgetRejected.Load(),
+		}
+		if ledgers, err := s.cfg.Budget.Stats(); err != nil {
+			bi.Error = err.Error()
+		} else {
+			bi.Ledgers = ledgers
+		}
+		info.Budget = bi
+	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleAdminBudget answers one worker's remaining budget, routed to
+// the shard owning the account (so any frontend or the standalone
+// server answers for any worker).
+func (s *Server) handleAdminBudget(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Budget == nil {
+		writeError(w, http.StatusNotFound, "budget accounting is not configured on this server")
+		return
+	}
+	worker := r.PathValue("worker")
+	a, err := s.cfg.Budget.Peek(worker)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, budget.ErrNotHosted) {
+			status = http.StatusMisdirectedRequest
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	bcfg := s.cfg.Budget.Config()
+	writeJSON(w, http.StatusOK, WorkerBudgetInfo{
+		WorkerID:         worker,
+		SpentEpsilon:     bcfg.Epsilon(a.Rho),
+		RemainingEpsilon: bcfg.Remaining(a.Rho),
+		CapEpsilon:       bcfg.CapEpsilon,
+		Delta:            bcfg.Delta,
+		Rho:              a.Rho,
+		Unprotected:      a.Unprotected,
+		Charges:          a.Charges,
+		Refunds:          a.Refunds,
+	})
 }
 
 // surveyHistories collects republish history from the first store that

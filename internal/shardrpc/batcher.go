@@ -2,8 +2,10 @@ package shardrpc
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
+	"loki/internal/budget"
 	"loki/internal/survey"
 )
 
@@ -15,20 +17,28 @@ import (
 // frontend saturate its nodes instead of paying a full round-trip per
 // response. A lone append still ships immediately (the batcher never
 // waits on a timer), so uncontended submit latency is one round-trip.
+//
+// Entries may carry a piggybacked budget charge (see AppendCharged on
+// Remote): the batch then ships as a charged submit, and the node
+// decides every debit before appending — the enforce-mode hot path at
+// the same one round-trip as the plain one.
 
 // maxSubmitBatch bounds one shipped batch; deeper queues ship as
 // consecutive batches.
 const maxSubmitBatch = 256
 
 // pendingSubmit is one caller's routed response waiting for the next
-// batch. done receives exactly one result.
+// batch. charge, when non-nil, rides the same RPC. done receives
+// exactly one result.
 type pendingSubmit struct {
-	resp *survey.Response
-	done chan submitDone
+	resp   *survey.Response
+	charge *budget.Charge
+	done   chan submitDone
 }
 
 type submitDone struct {
 	stored int
+	out    budget.Outcome
 	err    error
 }
 
@@ -50,7 +60,17 @@ func newShardBatcher(shard int, client *Client) *shardBatcher {
 // append enqueues one response and blocks until its batch is durable on
 // the node (or failed).
 func (b *shardBatcher) append(resp *survey.Response) (int, error) {
-	p := &pendingSubmit{resp: resp, done: make(chan submitDone, 1)}
+	d := b.enqueue(&pendingSubmit{resp: resp, done: make(chan submitDone, 1)})
+	return d.stored, d.err
+}
+
+// appendCharged enqueues one response with its budget charge and blocks
+// until the node has decided the debit and appended (or refused) it.
+func (b *shardBatcher) appendCharged(resp *survey.Response, ch budget.Charge) submitDone {
+	return b.enqueue(&pendingSubmit{resp: resp, charge: &ch, done: make(chan submitDone, 1)})
+}
+
+func (b *shardBatcher) enqueue(p *pendingSubmit) submitDone {
 	b.mu.Lock()
 	b.queue = append(b.queue, p)
 	if !b.running {
@@ -58,8 +78,7 @@ func (b *shardBatcher) append(resp *survey.Response) (int, error) {
 		go b.run()
 	}
 	b.mu.Unlock()
-	d := <-p.done
-	return d.stored, d.err
+	return <-p.done
 }
 
 // run ships batches until the queue drains, then exits (the next append
@@ -85,14 +104,41 @@ func (b *shardBatcher) run() {
 	}
 }
 
-// ship sends one batch and distributes per-record results. On an error
-// the node reports how many leading records it durably appended before
-// failing (AppendedHeader): that prefix succeeds without a per-record
-// count, the rest fail — nobody is left guessing whether to resubmit.
+// ship sends one batch and distributes per-record results. A batch with
+// any charged entry ships as a charged submit and is settled entry by
+// entry from the request-aligned reply. A plain batch keeps the
+// durable-prefix contract: on an error the node reports how many
+// leading records it durably appended before failing (AppendedHeader) —
+// that prefix succeeds without a per-record count, the rest fail.
 func (b *shardBatcher) ship(batch []*pendingSubmit) {
 	responses := make([]survey.Response, len(batch))
+	charged := false
 	for i, p := range batch {
 		responses[i] = *p.resp
+		charged = charged || p.charge != nil
+	}
+	if charged {
+		charges := make([]budget.Charge, len(batch))
+		for i, p := range batch {
+			if p.charge != nil {
+				charges[i] = *p.charge
+			}
+		}
+		res, err := b.client.SubmitCharged(b.shard, responses, charges)
+		if err != nil {
+			// A charged submit reports append failures inside a 200
+			// reply; a transport-level error means the node refused the
+			// whole batch before touching any state (or the reply was
+			// lost — the same exposure the plain path has).
+			for _, p := range batch {
+				p.done <- submitDone{err: err}
+			}
+			return
+		}
+		for i, p := range batch {
+			p.done <- settleCharged(res, i, p)
+		}
+		return
 	}
 	res, err := b.client.Submit(b.shard, responses)
 	if err != nil {
@@ -121,4 +167,31 @@ func (b *shardBatcher) ship(batch []*pendingSubmit) {
 		}
 		p.done <- submitDone{stored: stored}
 	}
+}
+
+// settleCharged maps one request entry of a charged reply to its
+// caller's result: append failure (the charge was refunded node-side),
+// enforce-mode undecided charge (fail closed), budget rejection, or a
+// stored response with its outcome. A log-mode entry whose charge
+// errored was still appended — it settles as stored with a zero
+// outcome, and the caller can tell from the empty outcome worker id.
+func settleCharged(res *SubmitResult, i int, p *pendingSubmit) submitDone {
+	if i < len(res.AppendErrs) && res.AppendErrs[i] != "" {
+		return submitDone{err: errors.New(res.AppendErrs[i])}
+	}
+	var out budget.Outcome
+	if i < len(res.Outcomes) {
+		out = res.Outcomes[i]
+	}
+	if i < len(res.ChargeErrs) && res.ChargeErrs[i] != "" && p.charge != nil && p.charge.Enforce {
+		return submitDone{err: fmt.Errorf("%w: %s", budget.ErrUndecided, res.ChargeErrs[i])}
+	}
+	if out.Rejected {
+		return submitDone{out: out, err: fmt.Errorf("worker %q: %w", out.WorkerID, budget.ErrExhausted)}
+	}
+	stored := 0
+	if i < len(res.Stored) {
+		stored = res.Stored[i]
+	}
+	return submitDone{stored: stored, out: out}
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"loki/internal/budget"
 	"loki/internal/shardset"
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -139,9 +140,16 @@ func (c *Client) Meta() (*Meta, error) {
 
 // Submit appends a routed batch to one global shard.
 func (c *Client) Submit(shard int, responses []survey.Response) (*SubmitResult, error) {
+	return c.SubmitCharged(shard, responses, nil)
+}
+
+// SubmitCharged appends a routed batch with piggybacked budget charges
+// (aligned 1:1 with responses; an empty worker id carries no charge) —
+// see ChargedBackend for the node-side contract.
+func (c *Client) SubmitCharged(shard int, responses []survey.Response, charges []budget.Charge) (*SubmitResult, error) {
 	var res SubmitResult
 	err := c.do(http.MethodPost, "/shardrpc/v1/submit", nil,
-		&SubmitRequest{Shard: shard, Responses: responses}, &res)
+		&SubmitRequest{Shard: shard, Responses: responses, Charges: charges}, &res)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,11 @@ func NewHandler(backend Backend, token string) (*Handler, error) {
 	h.mux.HandleFunc("GET /shardrpc/v1/surveys", h.guard(h.handleSurveys))
 	h.mux.HandleFunc("GET /shardrpc/v1/surveys/{id}", h.guard(h.handleSurvey))
 	h.mux.HandleFunc("POST /shardrpc/v1/surveys", h.guard(h.handlePublish))
+	// The budget surface is optional: nodes that host budget shards
+	// implement BudgetBackend and get its routes; plain backends do not.
+	if bb, ok := backend.(BudgetBackend); ok {
+		h.registerBudget(bb)
+	}
 	return h, nil
 }
 
@@ -90,6 +95,24 @@ func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Responses) == 0 {
 		writeErr(w, http.StatusBadRequest, "submit batch is empty")
+		return
+	}
+	if len(req.Charges) > 0 {
+		if len(req.Charges) != len(req.Responses) {
+			writeErr(w, http.StatusBadRequest, "charges are not aligned with responses")
+			return
+		}
+		cb, ok := h.backend.(ChargedBackend)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "this node does not accept piggybacked budget charges")
+			return
+		}
+		res, err := cb.AppendShardBatchCharged(req.Shard, req.Responses, req.Charges)
+		if err != nil {
+			writeBackendErr(w, err)
+			return
+		}
+		writeOK(w, res)
 		return
 	}
 	counts, err := h.backend.AppendShardBatch(req.Shard, req.Responses)

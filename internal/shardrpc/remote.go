@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"loki/internal/budget"
 	"loki/internal/shardset"
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -27,6 +28,10 @@ type Remote struct {
 	placement []int // placement[globalShard] = index into clients
 	// batchers group-batch the submit path per shard (see batcher.go).
 	batchers []*shardBatcher
+	// budgetPlacement, when non-nil, maps budget shards to client
+	// indices (EnablePiggybackCharges): the colocation test for riding
+	// a charge on the submit RPC instead of a separate charge RPC.
+	budgetPlacement []int
 
 	metaMu    sync.Mutex
 	metaTTL   time.Duration
@@ -205,6 +210,55 @@ func (r *Remote) AppendShard(shard int, resp *survey.Response) (int, error) {
 		return 0, fmt.Errorf("shardrpc: shard %d outside [0, %d)", shard, len(r.placement))
 	}
 	return r.batchers[shard].append(resp)
+}
+
+// EnablePiggybackCharges tells the router the cluster's budget shard
+// count so it can fuse a worker's budget debit into the submit RPC
+// whenever the worker's budget shard lives on the same node as the
+// response's shard (always, on a one-node cluster; 1/nodes of the
+// time under round-robin placement otherwise). The derived placement
+// is the canonical round-robin layout — the same one RemoteCharger and
+// the nodes compute — so the colocation test cannot drift from where
+// charges actually land.
+func (r *Remote) EnablePiggybackCharges(budgetShards int) error {
+	if budgetShards <= 0 {
+		return fmt.Errorf("shardrpc: piggyback charges need a positive budget shard count, got %d", budgetShards)
+	}
+	bp := make([]int, budgetShards)
+	for node, owned := range RoundRobinPlacement(budgetShards, len(r.clients)) {
+		for _, s := range owned {
+			bp[s] = node
+		}
+	}
+	r.budgetPlacement = bp
+	return nil
+}
+
+// CanPiggybackCharge reports whether a submit routed to the given
+// response shard can carry workerID's budget charge in the same RPC:
+// piggybacking is enabled and the worker's budget shard is owned by
+// the node that owns the response shard.
+func (r *Remote) CanPiggybackCharge(shard int, workerID string) bool {
+	if r.budgetPlacement == nil || shard < 0 || shard >= len(r.placement) {
+		return false
+	}
+	return r.budgetPlacement[budget.Route(workerID, len(r.budgetPlacement))] == r.placement[shard]
+}
+
+// AppendCharged submits one response with its budget charge fused into
+// the same group-batched RPC — the owning node decides the debit and
+// appends in one handler call, so the enforce-mode hot path costs the
+// same single round-trip as an uncharged submit. Callers must check
+// CanPiggybackCharge first. Error vocabulary: budget.ErrExhausted (the
+// charge was refused; nothing stored), budget.ErrUndecided (enforce
+// charge undecidable; nothing stored), anything else an append failure
+// whose charge the node already refunded.
+func (r *Remote) AppendCharged(shard int, resp *survey.Response, ch budget.Charge) (int, budget.Outcome, error) {
+	if shard < 0 || shard >= len(r.placement) {
+		return 0, budget.Outcome{}, fmt.Errorf("shardrpc: shard %d outside [0, %d)", shard, len(r.placement))
+	}
+	d := r.batchers[shard].appendCharged(resp, ch)
+	return d.stored, d.out, d.err
 }
 
 // ScanShard implements shardset.ShardRouter by paging through the

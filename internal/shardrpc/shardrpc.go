@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"loki/internal/aggregate"
+	"loki/internal/budget"
 	"loki/internal/shardset"
 	"loki/internal/survey"
 )
@@ -51,15 +52,45 @@ type Meta struct {
 type SubmitRequest struct {
 	Shard     int               `json:"shard"`
 	Responses []survey.Response `json:"responses"`
+	// Charges, when present, piggybacks privacy-budget debits on the
+	// submit round-trip: aligned 1:1 with Responses (an empty WorkerID
+	// carries no charge), each debit is decided against the worker's
+	// budget shard ON THE RECEIVING NODE before the append, so the
+	// enforce-mode hot path stays one RPC instead of charge + submit.
+	// The sender must route: every non-empty charge's worker hashes to
+	// a budget shard the addressed node hosts (else 421). The receiving
+	// backend must implement ChargedBackend.
+	Charges []budget.Charge `json:"charges,omitempty"`
 }
 
 // SubmitResult acknowledges a durable batch.
+//
+// Two shapes share it. A plain batch (no Charges) keeps the original
+// contract: Stored holds one count per durably appended response — a
+// strict prefix of the request on error. A charged batch answers per
+// request entry: Stored, Outcomes, ChargeErrs and AppendErrs are all
+// aligned with the request's Responses, because a budget rejection in
+// the middle of the batch means the durable set is no longer a prefix.
 type SubmitResult struct {
 	Appended int `json:"appended"`
 	// Stored holds, per appended response, the shard's response count
 	// for that response's survey right after its append — the submit
-	// ack figure, free at append time.
+	// ack figure, free at append time. On a charged batch the slice is
+	// request-aligned and zero where nothing was appended.
 	Stored []int `json:"stored"`
+	// Outcomes (charged batches only) carries each entry's budget
+	// decision; a rejected entry was not appended. Zero-valued for
+	// entries whose charge errored or that carried no charge.
+	Outcomes []budget.Outcome `json:"outcomes,omitempty"`
+	// ChargeErrs (charged batches only) reports entries whose debit
+	// could not be decided. Enforce-mode entries with a charge error
+	// were not appended (fail closed); log-mode entries were (fail
+	// open, the miss is reported for the sender's logs).
+	ChargeErrs []string `json:"charge_errs,omitempty"`
+	// AppendErrs (charged batches only) reports entries admitted by the
+	// ledger whose append then failed; their charges were refunded on
+	// the node before the reply.
+	AppendErrs []string `json:"append_errs,omitempty"`
 }
 
 // AppendedHeader is the response header a failed submit carries: how
@@ -163,6 +194,27 @@ type Backend interface {
 	ReplaceSurvey(sv *survey.Survey) error
 	Survey(id string) (*survey.Survey, error)
 	Surveys() ([]*survey.Survey, error)
+}
+
+// ChargedBackend is the optional submit-with-charges surface: a node
+// that hosts budget shards next to its response shards can decide a
+// batch's debits and append its admitted responses in one handler call
+// — the transport-level fusion that keeps the frontend's enforce-mode
+// hot path at one round-trip. Contract per request entry i:
+//
+//   - charge i (when its WorkerID is non-empty) routes to a budget
+//     shard this node hosts, or the whole call fails with ErrNotOwned
+//     before any state changes;
+//   - a rejected or (enforce-mode) undecided charge excludes entry i
+//     from the append;
+//   - an entry whose append fails after an accepted charge is refunded
+//     before the reply.
+//
+// The result is request-aligned (see SubmitResult); append failures
+// travel per entry inside a successful reply, not as a transport error,
+// because the durable set of a charged batch is not a request prefix.
+type ChargedBackend interface {
+	AppendShardBatchCharged(shard int, rs []survey.Response, charges []budget.Charge) (*SubmitResult, error)
 }
 
 // ErrNotOwned is the sentinel a Backend returns from shard-addressed

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -75,17 +76,35 @@ type journal struct {
 	epoch uint64
 	// retain, when positive, bounds the retained entry count.
 	retain int
+	// ackTTL, when positive, expires followers that have not tailed for
+	// that long: a dead replica's last ack must not pin retention
+	// forever. An expired follower that returns re-registers on its next
+	// tail and, if the journal truncated past it meanwhile, rebuilds
+	// through the ordinary Truncated resync path.
+	ackTTL time.Duration
+	// now is the clock, injectable by tests.
+	now func() time.Time
 
 	mu      sync.Mutex
 	base    uint64 // offset of entries[0]
 	entries []journalEntry
-	// followers maps follower id → acked offset (the offset of its last
-	// tail request: everything before it is applied on the follower).
-	followers map[string]uint64
+	// followers maps follower id → its last ack (the offset of its last
+	// tail request: everything before it is applied on the follower) and
+	// when it was heard from.
+	followers map[string]followerAck
 	// retainedBytes approximates the entries' heap footprint;
-	// truncatedEntries counts entries dropped over the journal's life.
+	// truncatedEntries counts entries dropped over the journal's life;
+	// expiredFollowers counts acks dropped by the TTL.
 	retainedBytes    int64
 	truncatedEntries uint64
+	expiredFollowers uint64
+}
+
+// followerAck is one follower's registration: the offset it has applied
+// through, and when it last tailed.
+type followerAck struct {
+	offset uint64
+	seen   time.Time
 }
 
 // rebuildJournal reconstructs a journal from a shard store after a
@@ -93,8 +112,8 @@ type journal struct {
 // from the original arrival interleaving, which is exactly why the
 // journal gets a fresh epoch — followers resync rather than trust stale
 // offsets.
-func rebuildJournal(st store.Store, epoch uint64, retain int) (*journal, error) {
-	j := &journal{epoch: epoch, retain: retain, followers: make(map[string]uint64)}
+func rebuildJournal(st store.Store, epoch uint64, retain int, ackTTL time.Duration) (*journal, error) {
+	j := &journal{epoch: epoch, retain: retain, ackTTL: ackTTL, now: time.Now, followers: make(map[string]followerAck)}
 	surveys, err := st.Surveys()
 	if err != nil {
 		return nil, err
@@ -120,13 +139,24 @@ func rebuildJournal(st store.Store, epoch uint64, retain int) (*journal, error) 
 // below every registered follower's ack, and — under a retain bound —
 // entries beyond the bound regardless of acks. Caller holds j.mu.
 func (j *journal) maybeTruncateLocked() {
+	// Expire followers not heard from within the TTL before taking the
+	// ack floor: a departed replica's last ack must not pin retention.
+	if j.ackTTL > 0 && len(j.followers) > 0 {
+		cutoff := j.now().Add(-j.ackTTL)
+		for id, ack := range j.followers {
+			if ack.seen.Before(cutoff) {
+				delete(j.followers, id)
+				j.expiredFollowers++
+			}
+		}
+	}
 	end := j.base + uint64(len(j.entries))
 	floor := j.base
 	if len(j.followers) > 0 {
 		minAck := end
 		for _, ack := range j.followers {
-			if ack < minAck {
-				minAck = ack
+			if ack.offset < minAck {
+				minAck = ack.offset
 			}
 		}
 		if minAck > floor {
@@ -168,6 +198,9 @@ type JournalStats struct {
 	// Followers is the number of registered followers (tail callers
 	// that sent a follower id).
 	Followers int `json:"followers,omitempty"`
+	// ExpiredFollowers counts follower acks dropped by the ack TTL since
+	// the journal was built.
+	ExpiredFollowers uint64 `json:"expired_followers,omitempty"`
 }
 
 // stats snapshots the journal for the admin surface.
@@ -181,6 +214,7 @@ func (j *journal) stats() JournalStats {
 		RetainedBytes:    j.retainedBytes,
 		TruncatedEntries: j.truncatedEntries,
 		Followers:        len(j.followers),
+		ExpiredFollowers: j.expiredFollowers,
 	}
 }
 
@@ -257,11 +291,11 @@ func (j *journal) tail(st store.Store, epoch, offset uint64, max int, follower s
 	j.mu.Lock()
 	cur := j.epoch
 	if follower != "" {
+		ack := followerAck{seen: j.now()}
 		if epoch == cur {
-			j.followers[follower] = offset
-		} else {
-			j.followers[follower] = 0
+			ack.offset = offset
 		}
+		j.followers[follower] = ack
 		j.maybeTruncateLocked()
 	}
 	// Entry slices are immutable once cut (truncation swaps in a fresh

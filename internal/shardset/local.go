@@ -65,6 +65,10 @@ type LocalOptions struct {
 	// every registered follower acks past them — and forever when no
 	// follower ever registers.
 	JournalRetain int
+	// FollowerAckTTL, when positive, expires a follower's ack after it
+	// has been silent that long, so a departed replica stops pinning
+	// journal retention. Zero keeps acks forever (the pre-TTL behavior).
+	FollowerAckTTL time.Duration
 }
 
 // NewLocal builds a router over the given per-shard stores. The stores
@@ -88,7 +92,7 @@ func NewLocal(stores []store.Store, opts LocalOptions) (*Local, error) {
 		epoch := nextEpoch()
 		l.journals = make([]*journal, len(stores))
 		for i, st := range stores {
-			j, err := rebuildJournal(st, epoch, opts.JournalRetain)
+			j, err := rebuildJournal(st, epoch, opts.JournalRetain, opts.FollowerAckTTL)
 			if err != nil {
 				return nil, fmt.Errorf("shardset: rebuild journal for shard %d: %w", ids[i], err)
 			}

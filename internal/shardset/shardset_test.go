@@ -3,6 +3,7 @@ package shardset
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -487,5 +488,79 @@ func TestJournalRetainBound(t *testing.T) {
 	}
 	if st := l2.JournalStats()[0]; st.Entries != 8 || st.Base != 32 {
 		t.Fatalf("rebuilt journal retention: %+v", st)
+	}
+}
+
+// TestFollowerAckTTL: a follower that goes silent past the ack TTL
+// stops pinning journal retention — the live follower's ack becomes the
+// truncation floor — and re-registers (through the Truncated resync
+// path if needed) when it returns.
+func TestFollowerAckTTL(t *testing.T) {
+	l := newMemLocal(t, 1, LocalOptions{Journal: true, FollowerAckTTL: 10 * time.Minute})
+	sv := testSurvey("sv")
+	if err := l.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(testResponse(sv.ID, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Inject a fake clock so the test controls the TTL.
+	now := time.Unix(1_700_000_000, 0)
+	j := l.journals[0]
+	j.mu.Lock()
+	j.now = func() time.Time { return now }
+	j.mu.Unlock()
+
+	boot, err := l.Tail(0, 0, 0, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := boot.Epoch
+
+	// Two followers register; "dead" acks 5, "live" acks 20. The floor
+	// is the dead one's ack.
+	if _, err := l.Tail(0, epoch, 5, 5, "dead"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Tail(0, epoch, 20, 5, "live"); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.JournalStats()[0]; st.Base != 5 || st.Followers != 2 {
+		t.Fatalf("with both followers live: %+v", st)
+	}
+
+	// "dead" goes silent past the TTL while "live" keeps tailing:
+	// truncation proceeds to the live ack instead of staying pinned.
+	now = now.Add(11 * time.Minute)
+	if _, err := l.Tail(0, epoch, 30, 5, "live"); err != nil {
+		t.Fatal(err)
+	}
+	st := l.JournalStats()[0]
+	if st.Base != 30 || st.Followers != 1 || st.ExpiredFollowers != 1 {
+		t.Fatalf("after TTL expiry: %+v", st)
+	}
+
+	// The departed follower returns below the base: it gets the
+	// Truncated signal, rebuilds, and its fresh registration pins the
+	// floor again.
+	back, err := l.Tail(0, epoch, 10, 5, "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Truncated || back.NextOffset != 30 {
+		t.Fatalf("returned follower batch = %+v", back)
+	}
+	if _, err := l.Tail(0, epoch, 30, 5, "dead"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Tail(0, epoch, uint64(n), 5, "live"); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.JournalStats()[0]; st.Base != 30 || st.Followers != 2 {
+		t.Fatalf("returned follower does not pin retention: %+v", st)
 	}
 }

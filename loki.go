@@ -27,6 +27,7 @@ package loki
 import (
 	"loki/internal/aggregate"
 	"loki/internal/attack"
+	"loki/internal/budget"
 	"loki/internal/checkpoint"
 	"loki/internal/client"
 	"loki/internal/core"
@@ -263,6 +264,30 @@ type (
 	JournalShardStats = shardset.JournalStats
 	// FrontendCacheInfo is the frontend partial cache's admin report.
 	FrontendCacheInfo = server.FrontendCacheInfo
+	// BudgetConfig is the per-worker privacy-budget ceiling (cap ε at a
+	// fixed δ) every budget shard enforces.
+	BudgetConfig = budget.Config
+	// BudgetCharge is one submit's debit request against a worker's
+	// account.
+	BudgetCharge = budget.Charge
+	// BudgetOutcome reports one charge's decision: rejected or admitted,
+	// with the spent and remaining ε after it.
+	BudgetOutcome = budget.Outcome
+	// BudgetAccount is a worker's folded privacy spend (zCDP rho,
+	// unprotected disclosures, charge/refund counters).
+	BudgetAccount = budget.Account
+	// BudgetShardStats is one budget shard's admin snapshot.
+	BudgetShardStats = budget.ShardStats
+	// BudgetCharger is the accounting interface the submit path consults:
+	// a BudgetSet in-process, or a RemoteBudgetCharger on frontends.
+	BudgetCharger = budget.Charger
+	// BudgetSet hosts budget shards with a shared durable charge journal
+	// — the whole shard space standalone, the node's owned subset on
+	// clusters.
+	BudgetSet = budget.Set
+	// BudgetSetOptions configure NewBudgetSet (shard space, hosted
+	// subset, journal directory, cap).
+	BudgetSetOptions = budget.SetOptions
 )
 
 // File store sync policies.
@@ -321,7 +346,22 @@ var (
 	// CollectResponses materializes a survey's responses through the
 	// store's streaming scan.
 	CollectResponses = store.CollectResponses
+	// NewBudgetSet opens (replaying the charge journal) a set of hosted
+	// privacy-budget shards.
+	NewBudgetSet = budget.NewSet
+	// NewRemoteBudgetCharger is the frontend-side Charger routing charges
+	// to the owning nodes over shardrpc.
+	NewRemoteBudgetCharger = shardrpc.NewRemoteCharger
+	// BudgetRoute maps a worker ID to its global budget shard — the same
+	// hash every frontend and node uses, which is what makes cross-
+	// frontend double-spend impossible.
+	BudgetRoute = budget.Route
 )
+
+// ErrBudgetExhausted marks a submit refused because the worker's
+// cumulative privacy spend would exceed the configured cap; the HTTP
+// surface maps it to 429 with code "budget_exhausted".
+var ErrBudgetExhausted = budget.ErrExhausted
 
 // Experiments: every figure and table of the paper.
 var (
