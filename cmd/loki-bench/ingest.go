@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/ingest"
 	"loki/internal/store"
 	"loki/internal/survey"
@@ -43,11 +44,47 @@ type ingestBenchResult struct {
 	MeanBatch    float64 `json:"mean_batch,omitempty"`
 }
 
+// ingestCodecResult compares the on-disk codecs on one identical
+// single-shard workload: bytes per response on disk and the time a cold
+// restart spends replaying the directory back into the index.
+type ingestCodecResult struct {
+	Codec            string  `json:"codec"`
+	BytesOnDisk      int64   `json:"bytes_on_disk"`
+	BytesPerResponse float64 `json:"bytes_per_response"`
+	ColdRecoverySecs float64 `json:"cold_recovery_seconds"`
+}
+
+// ingestSeekResult measures a cursor resume near the tail of one sealed
+// binary segment: the block index seeks straight to the last block,
+// against a full sequential replay of every block.
+type ingestSeekResult struct {
+	Records        int     `json:"records"`
+	FullReplaySecs float64 `json:"full_replay_seconds"`
+	TailSeekSecs   float64 `json:"tail_seek_seconds"`
+	Speedup        float64 `json:"speedup"`
+	// BlocksRead counts the compressed frames the tail-seek actually
+	// decompressed (the full replay reads all of them).
+	BlocksRead int `json:"blocks_read"`
+}
+
+// ingestGates are the regression gates the committed report asserts:
+// the binary codec must store a response in at most BinaryBytesRatioMax
+// of the JSON bytes, and the indexed tail-seek must beat a full replay.
+type ingestGates struct {
+	BinaryBytesRatio    float64 `json:"binary_bytes_ratio"`
+	BinaryBytesRatioMax float64 `json:"binary_bytes_ratio_max"`
+	TailSeekSpeedup     float64 `json:"tail_seek_speedup"`
+	TailSeekSpeedupMin  float64 `json:"tail_seek_speedup_min"`
+}
+
 // ingestBenchReport is the BENCH_ingest.json schema.
 type ingestBenchReport struct {
 	Schema  int                 `json:"schema"`
 	Config  ingestBenchConfig   `json:"config"`
 	Results []ingestBenchResult `json:"results"`
+	Codecs  []ingestCodecResult `json:"codecs"`
+	Seek    ingestSeekResult    `json:"seek"`
+	Gates   ingestGates         `json:"gates"`
 }
 
 // benchIngestSurvey builds one tiny distinct survey per stream so the
@@ -116,6 +153,143 @@ func driveStore(st store.Store, cfg ingestBenchConfig) (time.Duration, error) {
 // ingestBenchSize is the default workload; tests shrink it.
 var ingestBenchSize = ingestBenchConfig{Goroutines: 32, Responses: 4000, Surveys: 16}
 
+// ingestSeekRecords sizes the tail-seek measurement; tests shrink it.
+var ingestSeekRecords = 1_000_000
+
+// dirSize sums the file sizes under dir.
+func dirSize(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// runCodecComparison drives the same single-shard workload through each
+// codec and measures bytes-per-response on disk plus the cold-recovery
+// replay time of a fresh open.
+func runCodecComparison(tmp string, cfg ingestBenchConfig) ([]ingestCodecResult, error) {
+	var results []ingestCodecResult
+	for _, codec := range []string{blockio.CodecJSON, blockio.CodecBinary} {
+		dir := filepath.Join(tmp, "codec-"+codec)
+		ing, err := ingest.Open(dir, ingest.Config{Shards: 1, Codec: codec})
+		if err != nil {
+			return nil, err
+		}
+		_, err = driveStore(ing, cfg)
+		if cerr := ing.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("codec bench (%s): %w", codec, err)
+		}
+		bytes, err := dirSize(dir)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ing, err = ingest.Open(dir, ingest.Config{Shards: 1, Codec: codec})
+		if err != nil {
+			return nil, fmt.Errorf("codec bench (%s) cold reopen: %w", codec, err)
+		}
+		recovery := time.Since(start)
+		ing.Close()
+		results = append(results, ingestCodecResult{
+			Codec:            codec,
+			BytesOnDisk:      bytes,
+			BytesPerResponse: float64(bytes) / float64(cfg.Responses),
+			ColdRecoverySecs: recovery.Seconds(),
+		})
+	}
+	return results, nil
+}
+
+// runSeekBench writes one sealed binary segment of ingestSeekRecords
+// response-shaped records, then times a cursor resume 100 records from
+// the end two ways: the block-index seek and a full sequential replay.
+func runSeekBench(tmp string) (ingestSeekResult, error) {
+	n := ingestSeekRecords
+	path := filepath.Join(tmp, "seek.seg")
+	f, err := os.Create(path)
+	if err != nil {
+		return ingestSeekResult{}, err
+	}
+	w, err := blockio.NewWriter(f, 1)
+	if err != nil {
+		return ingestSeekResult{}, err
+	}
+	r := &survey.Response{
+		SurveyID:     "bench-seek",
+		Answers:      []survey.Answer{survey.RatingAnswer("q0", 3)},
+		PrivacyLevel: "medium",
+		Obfuscated:   true,
+	}
+	for i := 0; i < n; i++ {
+		r.WorkerID = fmt.Sprintf("worker-%07d", i)
+		b, err := json.Marshal(r)
+		if err != nil {
+			return ingestSeekResult{}, err
+		}
+		if _, err := w.Append(b); err != nil {
+			return ingestSeekResult{}, err
+		}
+	}
+	if err := w.Seal(); err != nil {
+		return ingestSeekResult{}, err
+	}
+	if err := w.Close(); err != nil {
+		return ingestSeekResult{}, err
+	}
+
+	start := time.Now()
+	replayed := 0
+	if _, err := blockio.Replay(path, false, func(uint64, []byte) error {
+		replayed++
+		return nil
+	}); err != nil {
+		return ingestSeekResult{}, err
+	}
+	fullReplay := time.Since(start)
+	if replayed != n {
+		return ingestSeekResult{}, fmt.Errorf("seek bench: replay saw %d of %d records", replayed, n)
+	}
+
+	cursor := uint64(n - 100)
+	start = time.Now()
+	sought := 0
+	stats, err := blockio.ScanFrom(path, cursor, func(uint64, []byte) error {
+		sought++
+		return nil
+	})
+	if err != nil {
+		return ingestSeekResult{}, err
+	}
+	tailSeek := time.Since(start)
+	if !stats.Indexed {
+		return ingestSeekResult{}, fmt.Errorf("seek bench: sealed segment scan was not index-driven")
+	}
+	if sought != 100 {
+		return ingestSeekResult{}, fmt.Errorf("seek bench: tail scan saw %d records, want 100", sought)
+	}
+	return ingestSeekResult{
+		Records:        n,
+		FullReplaySecs: fullReplay.Seconds(),
+		TailSeekSecs:   tailSeek.Seconds(),
+		Speedup:        fullReplay.Seconds() / tailSeek.Seconds(),
+		BlocksRead:     stats.BlocksRead,
+	}, nil
+}
+
 // runIngestBench measures every backend and writes the report.
 func runIngestBench() error {
 	cfg := ingestBenchSize
@@ -125,7 +299,7 @@ func runIngestBench() error {
 	}
 	defer os.RemoveAll(tmp)
 
-	report := ingestBenchReport{Schema: 1, Config: cfg}
+	report := ingestBenchReport{Schema: 2, Config: cfg}
 	record := func(name string, shards int, el time.Duration, st *ingest.Stats) {
 		res := ingestBenchResult{
 			Backend:         name,
@@ -173,6 +347,28 @@ func runIngestBench() error {
 		record("ingest", shards, el, &stats)
 	}
 
+	if report.Codecs, err = runCodecComparison(tmp, cfg); err != nil {
+		return err
+	}
+	if report.Seek, err = runSeekBench(tmp); err != nil {
+		return err
+	}
+	var jsonBytes, binBytes float64
+	for _, c := range report.Codecs {
+		switch c.Codec {
+		case blockio.CodecJSON:
+			jsonBytes = float64(c.BytesOnDisk)
+		case blockio.CodecBinary:
+			binBytes = float64(c.BytesOnDisk)
+		}
+	}
+	report.Gates = ingestGates{
+		BinaryBytesRatio:    binBytes / jsonBytes,
+		BinaryBytesRatioMax: 0.7,
+		TailSeekSpeedup:     report.Seek.Speedup,
+		TailSeekSpeedupMin:  1,
+	}
+
 	fmt.Fprintln(out, "INGEST THROUGHPUT — concurrent response submission")
 	fmt.Fprintf(out, "  %d responses, %d goroutines, %d surveys, durable backends fsync\n",
 		cfg.Responses, cfg.Goroutines, cfg.Surveys)
@@ -199,6 +395,21 @@ func runIngestBench() error {
 	}
 	fmt.Fprintln(out)
 
+	fmt.Fprintln(out, "ON-DISK CODECS — identical single-shard workload")
+	for _, c := range report.Codecs {
+		fmt.Fprintf(out, "  %-8s %8.1f bytes/response  cold recovery %8.2f ms\n",
+			c.Codec, c.BytesPerResponse, c.ColdRecoverySecs*1e3)
+	}
+	fmt.Fprintf(out, "  binary/json bytes ratio %.2f (gate: <= %.2f)\n",
+		report.Gates.BinaryBytesRatio, report.Gates.BinaryBytesRatioMax)
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "CURSOR RESUME — sealed binary segment, %d records, cursor 100 from the end\n", report.Seek.Records)
+	fmt.Fprintf(out, "  full replay   %10.2f ms\n", report.Seek.FullReplaySecs*1e3)
+	fmt.Fprintf(out, "  indexed seek  %10.2f ms  (%d block(s) read, %.0fx faster; gate: > %.0fx)\n",
+		report.Seek.TailSeekSecs*1e3, report.Seek.BlocksRead, report.Seek.Speedup, report.Gates.TailSeekSpeedupMin)
+	fmt.Fprintln(out)
+
 	if ingestJSONPath != "" {
 		b, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
@@ -207,6 +418,14 @@ func runIngestBench() error {
 		if err := os.WriteFile(ingestJSONPath, append(b, '\n'), 0o644); err != nil {
 			return fmt.Errorf("ingest bench: write report: %w", err)
 		}
+	}
+	if report.Gates.BinaryBytesRatio > report.Gates.BinaryBytesRatioMax {
+		return fmt.Errorf("ingest bench gate: binary codec stores %.2fx the JSON bytes (gate %.2f)",
+			report.Gates.BinaryBytesRatio, report.Gates.BinaryBytesRatioMax)
+	}
+	if report.Gates.TailSeekSpeedup <= report.Gates.TailSeekSpeedupMin {
+		return fmt.Errorf("ingest bench gate: indexed tail-seek %.2fx vs full replay (gate > %.2f)",
+			report.Gates.TailSeekSpeedup, report.Gates.TailSeekSpeedupMin)
 	}
 	return nil
 }

@@ -11,9 +11,10 @@ import (
 // workload and checks the JSON report is well-formed and complete.
 func TestRunIngestBench(t *testing.T) {
 	silence(t)
-	prevSize, prevPath := ingestBenchSize, ingestJSONPath
-	t.Cleanup(func() { ingestBenchSize, ingestJSONPath = prevSize, prevPath })
+	prevSize, prevPath, prevSeek := ingestBenchSize, ingestJSONPath, ingestSeekRecords
+	t.Cleanup(func() { ingestBenchSize, ingestJSONPath, ingestSeekRecords = prevSize, prevPath, prevSeek })
 	ingestBenchSize = ingestBenchConfig{Goroutines: 8, Responses: 200, Surveys: 4}
+	ingestSeekRecords = 50_000
 	ingestJSONPath = filepath.Join(t.TempDir(), "BENCH_ingest.json")
 
 	if err := runIngestBench(); err != nil {
@@ -27,8 +28,22 @@ func TestRunIngestBench(t *testing.T) {
 	if err := json.Unmarshal(b, &report); err != nil {
 		t.Fatal(err)
 	}
-	if report.Schema != 1 {
-		t.Fatalf("schema = %d, want 1", report.Schema)
+	if report.Schema != 2 {
+		t.Fatalf("schema = %d, want 2", report.Schema)
+	}
+	if len(report.Codecs) != 2 {
+		t.Fatalf("%d codec results, want 2", len(report.Codecs))
+	}
+	for _, c := range report.Codecs {
+		if c.BytesPerResponse <= 0 || c.ColdRecoverySecs <= 0 {
+			t.Fatalf("codec %s: %+v", c.Codec, c)
+		}
+	}
+	if report.Gates.BinaryBytesRatio <= 0 || report.Gates.BinaryBytesRatio > report.Gates.BinaryBytesRatioMax {
+		t.Fatalf("binary bytes ratio gate: %+v", report.Gates)
+	}
+	if report.Seek.Speedup <= 1 || !indexedSeekWon(report.Seek) {
+		t.Fatalf("tail-seek gate: %+v", report.Seek)
 	}
 	if len(report.Results) != 6 { // mem, file, ingest x {1,2,4,8}
 		t.Fatalf("%d results, want 6", len(report.Results))
@@ -41,4 +56,10 @@ func TestRunIngestBench(t *testing.T) {
 			t.Fatalf("ingest backend with %d shards reports no group commits", r.Shards)
 		}
 	}
+}
+
+// indexedSeekWon is the committed-report gate restated: the indexed
+// resume must strictly beat the full replay.
+func indexedSeekWon(s ingestSeekResult) bool {
+	return s.TailSeekSecs < s.FullReplaySecs
 }

@@ -70,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/budget"
 	"loki/internal/checkpoint"
 	"loki/internal/core"
@@ -124,6 +125,8 @@ func main() {
 	commitEvery := flag.Duration("commit-interval", 0, "ingest store: group-commit window (0 = commit as soon as the committer is free)")
 	segmentBytes := flag.Int64("segment-bytes", 16<<20, "ingest store: WAL segment rotation threshold")
 	idleCompact := flag.Duration("idle-compact", time.Minute, "ingest store: compact a shard's WAL tail after this long without commits (negative disables)")
+	storeCodec := flag.String("store-codec", blockio.CodecBinary,
+		`on-disk record codec for new files: "binary" (compressed block format) or "json" (plain JSON lines); existing files keep the format they were written in`)
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable live-aggregate checkpoints (empty disables; restart catch-up then rescans whole backlogs)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 15*time.Second, "background checkpointer flush period")
 	var cf clusterFlags
@@ -158,30 +161,34 @@ func main() {
 	if cf.clusterToken == "" {
 		cf.clusterToken = *token
 	}
-	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes, IdleCompact: *idleCompact}
+	icfg := ingest.Config{Shards: *shards, CommitInterval: *commitEvery, SegmentBytes: *segmentBytes, IdleCompact: *idleCompact, Codec: *storeCodec}
 	logger := log.New(os.Stderr, "loki-server ", log.LstdFlags)
-	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, *checkpointDir, *checkpointEvery, cf, logger); err != nil {
+	if !blockio.ValidCodec(*storeCodec) {
+		logger.Fatalf("unknown -store-codec %q (binary, json)", *storeCodec)
+	}
+	if err := run(*addr, *storePath, *token, *seedCatalog, icfg, *storeCodec, *checkpointDir, *checkpointEvery, cf, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
 // openStore resolves the -store flag: "mem", "ingest:DIR", or a
-// JSON-lines file path.
-func openStore(storePath string, icfg ingest.Config) (store.Store, error) {
+// single-log file path. codec picks the on-disk record format for new
+// files (existing files keep whatever format they sniff as).
+func openStore(storePath string, icfg ingest.Config, codec string) (store.Store, error) {
 	switch {
 	case storePath == "mem":
 		return store.NewMem(), nil
 	case strings.HasPrefix(storePath, "ingest:"):
 		return ingest.Open(strings.TrimPrefix(storePath, "ingest:"), icfg)
 	default:
-		return store.OpenFile(storePath)
+		return store.OpenFileWith(storePath, store.FileOptions{Codec: codec})
 	}
 }
 
 // openShardStore resolves the -store flag for one owned global shard of
 // a node: durable backends get a per-shard location derived from the
 // configured one.
-func openShardStore(storePath string, icfg ingest.Config, globalShard int) (store.Store, error) {
+func openShardStore(storePath string, icfg ingest.Config, codec string, globalShard int) (store.Store, error) {
 	switch {
 	case storePath == "mem":
 		return store.NewMem(), nil
@@ -189,7 +196,7 @@ func openShardStore(storePath string, icfg ingest.Config, globalShard int) (stor
 		dir := strings.TrimPrefix(storePath, "ingest:")
 		return ingest.Open(fmt.Sprintf("%s/gshard-%03d", dir, globalShard), icfg)
 	default:
-		return store.OpenFile(fmt.Sprintf("%s.gshard-%03d", storePath, globalShard))
+		return store.OpenFileWith(fmt.Sprintf("%s.gshard-%03d", storePath, globalShard), store.FileOptions{Codec: codec})
 	}
 }
 
@@ -213,11 +220,11 @@ func ownedShards(clusterShards, clusterNodes, nodeIndex int) ([]int, error) {
 
 // openCheckpoints opens the checkpoint log when enabled, logging its
 // replayed state.
-func openCheckpoints(dir string, every time.Duration, logger *log.Logger) (*checkpoint.Log, error) {
+func openCheckpoints(dir, codec string, every time.Duration, logger *log.Logger) (*checkpoint.Log, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	ckpt, err := checkpoint.Open(dir)
+	ckpt, err := checkpoint.OpenWith(dir, checkpoint.Options{Codec: codec})
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +249,7 @@ func budgetWhere(dir string) string {
 	return dir
 }
 
-func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, checkpointDir string, checkpointEvery time.Duration, cf clusterFlags, logger *log.Logger) error {
+func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, storeCodec, checkpointDir string, checkpointEvery time.Duration, cf clusterFlags, logger *log.Logger) error {
 	var handler http.Handler
 	var closers []func() error
 	defer func() {
@@ -255,7 +262,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 
 	switch cf.role {
 	case "standalone":
-		st, err := openStore(storePath, icfg)
+		st, err := openStore(storePath, icfg, storeCodec)
 		if err != nil {
 			return err
 		}
@@ -265,7 +272,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 				return err
 			}
 		}
-		ckpt, err := openCheckpoints(checkpointDir, checkpointEvery, logger)
+		ckpt, err := openCheckpoints(checkpointDir, storeCodec, checkpointEvery, logger)
 		if err != nil {
 			return err
 		}
@@ -307,7 +314,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 		}
 		stores := make([]store.Store, len(owned))
 		for i, g := range owned {
-			st, err := openShardStore(storePath, icfg, g)
+			st, err := openShardStore(storePath, icfg, storeCodec, g)
 			if err != nil {
 				return err
 			}
@@ -326,7 +333,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, ch
 				return err
 			}
 		}
-		ckpt, err := openCheckpoints(checkpointDir, checkpointEvery, logger)
+		ckpt, err := openCheckpoints(checkpointDir, storeCodec, checkpointEvery, logger)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"loki/internal/blockio"
 	"loki/internal/ingest"
 	"loki/internal/store"
 )
@@ -14,7 +15,7 @@ import (
 func TestOpenStore(t *testing.T) {
 	icfg := ingest.Config{Shards: 2}
 
-	st, err := openStore("mem", icfg)
+	st, err := openStore("mem", icfg, blockio.CodecBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestOpenStore(t *testing.T) {
 	st.Close()
 
 	dir := t.TempDir()
-	st, err = openStore("ingest:"+dir, icfg)
+	st, err = openStore("ingest:"+dir, icfg, blockio.CodecBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestOpenStore(t *testing.T) {
 	}
 	st.Close()
 
-	st, err = openStore(filepath.Join(t.TempDir(), "loki.jsonl"), icfg)
+	st, err = openStore(filepath.Join(t.TempDir(), "loki.jsonl"), icfg, blockio.CodecBinary)
 	if err != nil {
 		t.Fatal(err)
 	}

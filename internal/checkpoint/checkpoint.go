@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"loki/internal/aggregate"
+	"loki/internal/blockio"
 	"loki/internal/store"
 )
 
@@ -103,20 +104,54 @@ func (r *Record) NumShards() int {
 	return r.ShardCount
 }
 
-// surveyFile is one survey's lazily opened append handle.
+// surveyFile is one survey's lazily opened append handle, in either
+// codec (exactly one of w/bw is set — a file never mixes formats).
 type surveyFile struct {
-	f *os.File
-	w *bufio.Writer
-	// appended counts lines written since the last rewrite; once it
+	f  *os.File
+	w  *bufio.Writer   // JSON lines
+	bw *blockio.Writer // blockio blocks, resumed unsealed
+	// appended counts records written since the last rewrite; once it
 	// sufficiently exceeds the survey's live shard-record count the
 	// file compacts.
 	appended int
 }
 
+// write buffers one marshaled record in the file's codec framing.
+func (sf *surveyFile) write(b []byte) error {
+	if sf.bw != nil {
+		_, err := sf.bw.Append(b)
+		return err
+	}
+	if _, err := sf.w.Write(b); err != nil {
+		return err
+	}
+	return sf.w.WriteByte('\n')
+}
+
+// flush pushes buffered records to the OS.
+func (sf *surveyFile) flush() error {
+	if sf.bw != nil {
+		return sf.bw.Flush()
+	}
+	return sf.w.Flush()
+}
+
+// Options tune a checkpoint log.
+type Options struct {
+	// Codec is the encoding for files created (or rewritten by
+	// compaction) under this log: blockio.CodecJSON (default — readable
+	// lines) or blockio.CodecBinary (compressed blockio blocks; what the
+	// server configures). Existing files keep their own sniffed format
+	// for appends until a compaction rewrites them, which is how a
+	// directory migrates codecs in place.
+	Codec string
+}
+
 // Log is a durable checkpoint log rooted in one directory. It is safe
 // for concurrent use.
 type Log struct {
-	dir string
+	dir   string
+	codec string
 
 	mu sync.Mutex
 	// recs maps survey -> shard -> record.
@@ -151,11 +186,23 @@ func surveyFileName(surveyID string) string {
 // counted (CorruptRecords), never a refused open — the log is advisory
 // and the store rebuilds anything it cannot provide.
 func Open(dir string) (*Log, error) {
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith opens the checkpoint log with explicit options.
+func OpenWith(dir string, opts Options) (*Log, error) {
+	if opts.Codec == "" {
+		opts.Codec = blockio.CodecJSON
+	}
+	if !blockio.ValidCodec(opts.Codec) {
+		return nil, fmt.Errorf("checkpoint: unknown codec %q", opts.Codec)
+	}
 	if err := os.MkdirAll(filepath.Join(dir, surveysDir), 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: mkdir %s: %w", dir, err)
 	}
 	l := &Log{
 		dir:    dir,
+		codec:  opts.Codec,
 		recs:   make(map[string]map[int]*Record),
 		legacy: make(map[string]bool),
 		files:  make(map[string]*surveyFile),
@@ -251,15 +298,24 @@ func (l *Log) replaySurveyFiles() error {
 			defer wg.Done()
 			for i := range work {
 				st := &states[i]
-				err := store.ReplayLines(filepath.Join(l.dir, surveysDir, names[i]), true, func(line []byte) error {
-					var rec Record
-					if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.SurveyID == "" {
+				path := filepath.Join(l.dir, surveysDir, names[i])
+				apply := func(rec []byte) error {
+					var r Record
+					if jerr := json.Unmarshal(rec, &r); jerr != nil || r.SurveyID == "" {
 						st.corrupt++
 						return nil
 					}
-					st.recs = append(st.recs, &rec)
+					st.recs = append(st.recs, &r)
 					return nil
-				})
+				}
+				bin, err := blockio.Sniff(path)
+				if err == nil && bin {
+					_, err = blockio.Replay(path, true, func(_ uint64, payload []byte) error {
+						return apply(payload)
+					})
+				} else if err == nil {
+					err = store.ReplayLines(path, true, apply)
+				}
 				if err != nil && !errors.Is(err, os.ErrNotExist) && errs[w] == nil {
 					errs[w] = err
 				}
@@ -340,15 +396,43 @@ func (l *Log) ensureFileLocked(surveyID string) (*surveyFile, error) {
 		return sf, nil
 	}
 	path := filepath.Join(l.dir, surveysDir, surveyFileName(surveyID))
+	// A non-empty file dictates its own codec (never mix formats within
+	// one file); a fresh or empty one takes the log's configured codec.
+	binary := l.codec == blockio.CodecBinary
+	if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+		if binary, err = blockio.Sniff(path); err != nil {
+			return nil, fmt.Errorf("checkpoint: sniff %s: %w", path, err)
+		}
+	}
+	var nextSeq uint64 = 1
+	if binary {
+		// Re-walk the block log for the resume point (repairing any torn
+		// tail); checkpoint files are compacted small, so this is cheap.
+		if _, err := blockio.Replay(path, true, func(seq uint64, _ []byte) error {
+			nextSeq = seq + 1
+			return nil
+		}); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("checkpoint: resume %s: %w", path, err)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("checkpoint: seek %s: %w", path, err)
 	}
-	sf := &surveyFile{f: f, w: bufio.NewWriter(f)}
+	sf := &surveyFile{f: f}
+	if binary {
+		if sf.bw, err = blockio.NewWriterAt(f, off, nextSeq); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: resume %s: %w", path, err)
+		}
+	} else {
+		sf.w = bufio.NewWriter(f)
+	}
 	l.files[surveyID] = sf
 	return sf, nil
 }
@@ -398,7 +482,7 @@ func (l *Log) Drop(surveyID string) error {
 func (l *Log) removeFileLocked(surveyID string) error {
 	if sf, ok := l.files[surveyID]; ok {
 		delete(l.files, surveyID)
-		_ = sf.w.Flush()
+		_ = sf.flush()
 		_ = sf.f.Close()
 	}
 	path := filepath.Join(l.dir, surveysDir, surveyFileName(surveyID))
@@ -428,10 +512,10 @@ func (l *Log) appendLocked(surveyID string, rec *Record) error {
 		return fmt.Errorf("checkpoint: marshal: %w", err)
 	}
 	werr := func() error {
-		if _, err := sf.w.Write(append(b, '\n')); err != nil {
+		if err := sf.write(b); err != nil {
 			return fmt.Errorf("checkpoint: write %s: %w", surveyFileName(surveyID), err)
 		}
-		if err := sf.w.Flush(); err != nil {
+		if err := sf.flush(); err != nil {
 			return fmt.Errorf("checkpoint: flush %s: %w", surveyFileName(surveyID), err)
 		}
 		if err := sf.f.Sync(); err != nil {
@@ -495,17 +579,31 @@ func (l *Log) compactSurveyLocked(surveyID string) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: create %s: %w", tmp, err)
 	}
-	w := bufio.NewWriter(f)
+	// The rewrite targets the log's CONFIGURED codec regardless of the
+	// old file's format: compaction is the in-place migration step.
+	nf := &surveyFile{f: f}
+	if l.codec == blockio.CodecBinary {
+		bw, err := blockio.NewWriter(f, 1)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			l.err = fmt.Errorf("checkpoint: rewrite %s: %w", tmp, err)
+			return l.err
+		}
+		nf.bw = bw // left unsealed: the reopened handle keeps appending
+	} else {
+		nf.w = bufio.NewWriter(f)
+	}
 	werr := func() error {
 		live := l.recs[surveyID]
 		if len(live) == 0 && l.legacy[surveyID] {
 			// The file exists to shadow a legacy record: keep exactly
-			// one tombstone line.
+			// one tombstone record.
 			b, err := json.Marshal(&Record{SurveyID: surveyID, SavedUnixNano: time.Now().UnixNano()})
 			if err != nil {
 				return fmt.Errorf("checkpoint: marshal: %w", err)
 			}
-			if _, err := w.Write(append(b, '\n')); err != nil {
+			if err := nf.write(b); err != nil {
 				return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
 			}
 		}
@@ -514,11 +612,11 @@ func (l *Log) compactSurveyLocked(surveyID string) error {
 			if err != nil {
 				return fmt.Errorf("checkpoint: marshal: %w", err)
 			}
-			if _, err := w.Write(append(b, '\n')); err != nil {
+			if err := nf.write(b); err != nil {
 				return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
 			}
 		}
-		if err := w.Flush(); err != nil {
+		if err := nf.flush(); err != nil {
 			return fmt.Errorf("checkpoint: flush %s: %w", tmp, err)
 		}
 		return f.Sync() // the rename must never publish torn content
@@ -566,7 +664,7 @@ func (l *Log) Close() error {
 	l.closed = true
 	first := l.err
 	for _, sf := range l.files {
-		flushErr := sf.w.Flush()
+		flushErr := sf.flush()
 		if flushErr == nil {
 			flushErr = sf.f.Sync()
 		}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -247,6 +248,53 @@ func (c *Client) Schedule(ctx context.Context) (*server.ScheduleInfo, error) {
 // ---------------------------------------------------------------------------
 // HTTP plumbing
 
+// BudgetError is the typed form of a 429 budget_exhausted refusal: the
+// server refused the upload because the worker's cumulative privacy
+// spend would pass the deployment cap. It carries the server's
+// Retry-After hint and the remaining (ε, δ) headroom so the app can
+// tell the user whether a cheaper privacy level would still fit.
+type BudgetError struct {
+	// RetryAfter is the server's advisory back-off (zero when the
+	// header was absent or malformed).
+	RetryAfter time.Duration
+	// RemainingEpsilon is the ε headroom left under the cap, measured
+	// at RemainingDelta.
+	RemainingEpsilon float64
+	RemainingDelta   float64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("client: privacy budget exhausted (remaining ε %.4g at δ %.3g, retry after %s)",
+		e.RemainingEpsilon, e.RemainingDelta, e.RetryAfter)
+}
+
+// parseBudgetError recognizes the enriched 429 budget_exhausted answer;
+// nil for every other error response.
+func parseBudgetError(resp *http.Response, body []byte) *BudgetError {
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return nil
+	}
+	var e server.BudgetExhaustedError
+	if json.Unmarshal(body, &e) != nil || e.Error != "budget_exhausted" {
+		return nil
+	}
+	be := &BudgetError{
+		RemainingEpsilon: e.RemainingEpsilon,
+		RemainingDelta:   e.RemainingDelta,
+	}
+	// Prefer the header (the HTTP-standard location); the body copy is
+	// the fallback for callers that routed the payload without headers.
+	secs := e.RetryAfterSeconds
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			secs = n
+		}
+	}
+	be.RetryAfter = time.Duration(secs) * time.Second
+	return be
+}
+
 func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
 	if err != nil {
@@ -279,6 +327,9 @@ func (c *Client) do(req *http.Request, dst any) error {
 		return fmt.Errorf("client: read response: %w", err)
 	}
 	if resp.StatusCode >= 300 {
+		if be := parseBudgetError(resp, body); be != nil {
+			return be
+		}
 		var e struct {
 			Error string `json:"error"`
 		}

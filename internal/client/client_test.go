@@ -1,7 +1,11 @@
 package client
 
 import (
+	"errors"
+	"time"
+
 	"context"
+	"loki/internal/budget"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -397,5 +401,63 @@ func TestDurableLedgerAcrossRestart(t *testing.T) {
 	}
 	if _, err := New(Config{BaseURL: ts.URL, Schedule: core.DefaultSchedule(), LedgerPath: path}); err == nil {
 		t.Fatal("corrupt ledger silently reset")
+	}
+}
+
+func TestBudgetExhaustedTypedError(t *testing.T) {
+	sv := survey.Lecturers([]string{"A", "B"})
+	st := store.NewMem()
+	t.Cleanup(func() { st.Close() })
+	if err := st.PutSurvey(sv); err != nil {
+		t.Fatal(err)
+	}
+	cap := budget.Config{CapEpsilon: 0.5, Delta: 1e-6}
+	set, err := budget.NewSet(budget.SetOptions{Shards: 1, Config: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { set.Close() })
+	srv, err := server.New(server.Config{
+		Store: st, Schedule: core.DefaultSchedule(), RequesterToken: testToken,
+		Budget: set, BudgetEnforce: "enforce",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	c := newClient(t, ts.URL)
+	ctx := context.Background()
+	raw := []survey.Answer{
+		survey.RatingAnswer("lecturer-00", 4),
+		survey.RatingAnswer("lecturer-01", 5),
+	}
+	var be *BudgetError
+	for i := 0; i < 100; i++ {
+		_, err := c.Take(ctx, sv, "worker-exhaust", raw, core.Medium)
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &be) {
+			t.Fatalf("submit failed with untyped error: %v", err)
+		}
+		break
+	}
+	if be == nil {
+		t.Fatal("cap never rejected a submit")
+	}
+	if be.RetryAfter != time.Duration(server.BudgetRetryAfterSeconds)*time.Second {
+		t.Fatalf("RetryAfter = %s", be.RetryAfter)
+	}
+	if be.RemainingDelta != cap.Delta {
+		t.Fatalf("RemainingDelta = %g, want %g", be.RemainingDelta, cap.Delta)
+	}
+	if be.RemainingEpsilon < 0 || be.RemainingEpsilon > cap.CapEpsilon {
+		t.Fatalf("RemainingEpsilon = %g outside [0, %g]", be.RemainingEpsilon, cap.CapEpsilon)
+	}
+	if !strings.Contains(be.Error(), "budget exhausted") {
+		t.Fatalf("Error() = %q", be.Error())
 	}
 }

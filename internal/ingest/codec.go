@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"loki/internal/blockio"
+)
+
+// segAppender is the committer's write seam over one active segment
+// file: the readable JSON-lines codec or the blockio binary codec
+// behind the same group-commit verbs. Replay dispatches per file by
+// sniffing the format magic, so a directory can mix codecs (the
+// in-place migration story: old segments stay JSON, new ones are
+// written in the configured codec).
+type segAppender interface {
+	// append buffers one record (no terminator; the codec frames it).
+	append(payload []byte) error
+	// flush pushes every buffered byte to the OS — the group-commit
+	// boundary. Durability still needs sync.
+	flush() error
+	sync() error
+	// seal finalizes a rotated segment: the binary codec appends its
+	// block index so cold scans can seek; JSON has nothing to add.
+	seal() error
+	// close closes the fd. Callers flush/sync (or seal) first.
+	close() error
+	// offset is the segment's size in framed bytes after a flush.
+	offset() int64
+	// file exposes the fd (tests sabotage it to exercise sticky
+	// failure handling).
+	file() *os.File
+}
+
+func newSegAppender(codec string, f *os.File) (segAppender, error) {
+	switch codec {
+	case blockio.CodecJSON:
+		return &jsonSeg{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	case blockio.CodecBinary:
+		w, err := blockio.NewWriter(f, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &binarySeg{f: f, w: w}, nil
+	default:
+		return nil, fmt.Errorf("ingest: unknown codec %q", codec)
+	}
+}
+
+type jsonSeg struct {
+	f *os.File
+	w *bufio.Writer
+	n int64
+}
+
+func (s *jsonSeg) append(p []byte) error {
+	if _, err := s.w.Write(p); err != nil {
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	s.n += int64(len(p)) + 1
+	return nil
+}
+
+func (s *jsonSeg) flush() error   { return s.w.Flush() }
+func (s *jsonSeg) sync() error    { return s.f.Sync() }
+func (s *jsonSeg) seal() error    { return nil }
+func (s *jsonSeg) close() error   { return s.f.Close() }
+func (s *jsonSeg) offset() int64  { return s.n }
+func (s *jsonSeg) file() *os.File { return s.f }
+
+type binarySeg struct {
+	f *os.File
+	w *blockio.Writer
+}
+
+func (s *binarySeg) append(p []byte) error {
+	_, err := s.w.Append(p)
+	return err
+}
+
+func (s *binarySeg) flush() error   { return s.w.Flush() }
+func (s *binarySeg) sync() error    { return s.w.Sync() }
+func (s *binarySeg) seal() error    { return s.w.Seal() }
+func (s *binarySeg) close() error   { return s.f.Close() }
+func (s *binarySeg) offset() int64  { return s.w.Offset() }
+func (s *binarySeg) file() *os.File { return s.f }

@@ -26,10 +26,15 @@
 //	dir/
 //	  meta.jsonl            survey definitions
 //	  shard-000/
-//	    wal-<seq>.seg       response segments (JSON lines)
-//	    snap-<seq>.snap     snapshot covering segments <= seq
+//	    wal-<seq>.seg       response segments (blockio binary blocks, or JSON lines)
+//	    snap-<seq>.snap     snapshot covering segments <= seq (same codecs)
 //	  shard-001/
 //	    ...
+//
+// Segments and snapshots are written in the configured codec (binary by
+// default) but replayed by sniffing each file's magic, so a directory
+// written under the old JSON-lines codec — or a mix, mid-migration —
+// reopens in place and converts as new files are written.
 package ingest
 
 import (
@@ -46,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
@@ -77,6 +83,12 @@ type Config struct {
 	// since ordinary compaction only runs on segment rotation. Default
 	// 1 minute; negative disables idle compaction.
 	IdleCompact time.Duration
+	// Codec selects the encoding of new segments and snapshots:
+	// blockio.CodecBinary (the default) writes compressed, checksummed,
+	// block-indexed files; blockio.CodecJSON writes readable JSON lines.
+	// Replay autodetects per file, so the codec may change between opens
+	// of the same directory.
+	Codec string
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +106,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleCompact == 0 {
 		c.IdleCompact = time.Minute
+	}
+	if c.Codec == "" {
+		c.Codec = blockio.CodecBinary
 	}
 	return c
 }
@@ -114,6 +129,9 @@ func (c Config) Validate() error {
 	}
 	if c.CommitInterval < 0 {
 		return fmt.Errorf("ingest: negative commit interval %v", c.CommitInterval)
+	}
+	if !blockio.ValidCodec(c.Codec) {
+		return fmt.Errorf("ingest: unknown codec %q", c.Codec)
 	}
 	return nil
 }
@@ -446,7 +464,7 @@ func (s *Sharded) AppendResponse(r *survey.Response) error {
 	if err != nil {
 		return fmt.Errorf("ingest: marshal response: %w", err)
 	}
-	req := &appendReq{resp: &cp, line: append(b, '\n'), errc: make(chan error, 1)}
+	req := &appendReq{resp: &cp, payload: b, errc: make(chan error, 1)}
 	s.shardFor(cp.SurveyID).reqCh <- req
 	return <-req.errc
 }

@@ -371,7 +371,7 @@ func TestFailedShardRefusesAppends(t *testing.T) {
 	}
 	// Sabotage the active segment file descriptor.
 	sh := s.shards[0]
-	if err := sh.f.Close(); err != nil {
+	if err := sh.seg.file().Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AppendResponse(benchResponse(sv.ID, "w2")); err == nil {
@@ -384,20 +384,25 @@ func TestFailedShardRefusesAppends(t *testing.T) {
 	if n := s.ResponseCount(sv.ID); n != 1 {
 		t.Fatalf("ResponseCount = %d, want 1", n)
 	}
-	sh.f = nil // keep Close from double-closing the sabotaged fd
+	sh.seg = nil // keep Close from double-closing the sabotaged fd
 }
 
-// TestOpenRejectsCorruptInterior: a corrupt record in the middle of a
-// sealed segment must refuse to open, not silently drop data.
+// TestOpenRejectsCorruptInterior: a flipped byte inside a sealed,
+// rotated segment must refuse to open, not silently drop data — sealed
+// files replay with strict semantics (no torn-tail repair).
 func TestOpenRejectsCorruptInterior(t *testing.T) {
 	dir := t.TempDir()
 	cfg := testConfig(1)
+	cfg.CompactSegments = 1000 // keep the sealed segment from compacting away
 	s := openTest(t, dir, cfg)
 	sv := benchSurvey(0)
 	if err := s.PutSurvey(sv); err != nil {
 		t.Fatal(err)
 	}
-	for k := 0; k < 3; k++ {
+	for k := 0; s.Stats().Rotations == 0; k++ {
+		if k > 10000 {
+			t.Fatal("no rotation after 10000 appends")
+		}
 		if err := s.AppendResponse(benchResponse(sv.ID, fmt.Sprintf("w%d", k))); err != nil {
 			t.Fatal(err)
 		}
@@ -407,15 +412,16 @@ func TestOpenRejectsCorruptInterior(t *testing.T) {
 	}
 	shardDir := filepath.Join(dir, shardDirName(0))
 	segs, err := listSeqs(shardDir, segPrefix, segSuffix)
-	if err != nil || len(segs) == 0 {
-		t.Fatalf("segments: %v, %v", segs, err)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments: %v, %v (want a rotated segment plus the active one)", segs, err)
 	}
+	// segs[0] was rotated, so it carries its seal; corrupt its interior.
 	path := filepath.Join(shardDir, segName(segs[0]))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	copy(data, []byte("garbage!")) // clobber the first record
+	data[len(data)/2] ^= 0xFF
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package ingest
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
@@ -18,9 +18,9 @@ import (
 // replies on errc exactly once: nil after the record is durable (written
 // and fsynced) and visible to reads, or the commit error.
 type appendReq struct {
-	resp *survey.Response // validated private copy
-	line []byte           // marshaled JSON record, newline-terminated
-	errc chan error
+	resp    *survey.Response // validated private copy
+	payload []byte           // marshaled JSON record; the codec frames it
+	errc    chan error
 }
 
 // shard owns one hash partition of the response stream: a segmented WAL
@@ -41,8 +41,7 @@ type shard struct {
 	index map[string][]survey.Response
 
 	// Committer-owned state (no locking: single goroutine).
-	f         *os.File
-	w         *bufio.Writer
+	seg       segAppender
 	segSeq    uint64   // active segment sequence number
 	segBytes  int64    // bytes appended to the active segment
 	completed []uint64 // sealed segments not yet covered by a snapshot
@@ -124,17 +123,30 @@ func openShard(id int, dir string, cfg Config) (*shard, error) {
 }
 
 // replaySegment loads every complete response record of one segment into
-// the index, truncating a torn tail when tornOK.
+// the index, truncating a torn tail when tornOK. The codec is sniffed
+// per file, so a directory written under the other codec (or a mix,
+// mid-migration) replays transparently.
 func (sh *shard) replaySegment(seq uint64, tornOK bool) error {
 	path := filepath.Join(sh.dir, segName(seq))
-	return store.ReplayLines(path, tornOK, func(line []byte) error {
+	apply := func(rec []byte) error {
 		var r survey.Response
-		if err := json.Unmarshal(line, &r); err != nil {
+		if err := json.Unmarshal(rec, &r); err != nil {
 			return fmt.Errorf("corrupt response record: %w", err)
 		}
 		sh.index[r.SurveyID] = append(sh.index[r.SurveyID], r)
 		return nil
-	})
+	}
+	bin, err := blockio.Sniff(path)
+	if err != nil {
+		return fmt.Errorf("ingest: sniff segment %s: %w", path, err)
+	}
+	if bin {
+		_, err := blockio.Replay(path, tornOK, func(_ uint64, payload []byte) error {
+			return apply(payload)
+		})
+		return err
+	}
+	return store.ReplayLines(path, tornOK, apply)
 }
 
 // openSegment creates the active segment file for sh.segSeq and makes its
@@ -145,12 +157,16 @@ func (sh *shard) openSegment() error {
 	if err != nil {
 		return fmt.Errorf("ingest: create segment %s: %w", path, err)
 	}
+	seg, err := newSegAppender(sh.cfg.Codec, f)
+	if err != nil {
+		f.Close()
+		return err
+	}
 	if err := syncDir(sh.dir); err != nil {
 		f.Close()
 		return err
 	}
-	sh.f = f
-	sh.w = bufio.NewWriterSize(f, 1<<16)
+	sh.seg = seg
 	sh.segBytes = 0
 	return nil
 }
@@ -284,26 +300,28 @@ func (sh *shard) commit(batch []*appendReq) {
 		reply(sh.failed)
 		return
 	}
-	var n int64
+	before := sh.seg.offset()
 	var werr error
 	for _, r := range batch {
-		if _, err := sh.w.Write(r.line); err != nil {
+		if err := sh.seg.append(r.payload); err != nil {
 			werr = err
 			break
 		}
-		n += int64(len(r.line))
 	}
 	if werr == nil {
-		werr = sh.w.Flush()
+		werr = sh.seg.flush()
 	}
 	if werr == nil {
-		werr = sh.f.Sync()
+		werr = sh.seg.sync()
 	}
 	if werr != nil {
 		sh.failed = fmt.Errorf("ingest: shard %d segment %d: %w", sh.id, sh.segSeq, werr)
 		reply(sh.failed)
 		return
 	}
+	// Framed (binary: compressed) bytes, measured after the flush so the
+	// rotation threshold tracks the on-disk size, not the logical one.
+	n := sh.seg.offset() - before
 	sh.segBytes += n
 	sh.tailBytes += n
 	sh.mu.Lock()
@@ -335,10 +353,15 @@ func (sh *shard) maintain() {
 	}
 }
 
-// rotate seals the active segment (already fsynced by the last commit)
-// and opens its successor.
+// rotate seals the active segment (record data already fsynced by the
+// last commit; the binary codec appends and fsyncs its block index here)
+// and opens its successor. Only rotation seals: the active segment stays
+// unsealed so a crash mid-append truncates cleanly on replay.
 func (sh *shard) rotate() error {
-	if err := sh.f.Close(); err != nil {
+	if err := sh.seg.seal(); err != nil {
+		return fmt.Errorf("ingest: seal segment %d: %w", sh.segSeq, err)
+	}
+	if err := sh.seg.close(); err != nil {
 		return fmt.Errorf("ingest: seal segment %d: %w", sh.segSeq, err)
 	}
 	sh.completed = append(sh.completed, sh.segSeq)
@@ -349,20 +372,21 @@ func (sh *shard) rotate() error {
 }
 
 // close stops the committer (serving everything already enqueued) and
-// seals the active segment. Callers must guarantee no new appends are in
-// flight.
+// closes the active segment — flushed and fsynced but deliberately NOT
+// sealed, so the next open can keep treating it as a repairable tail.
+// Callers must guarantee no new appends are in flight.
 func (sh *shard) close() error {
 	close(sh.quit)
 	<-sh.done
-	if sh.f == nil {
+	if sh.seg == nil {
 		return sh.failed
 	}
-	flushErr := sh.w.Flush()
+	flushErr := sh.seg.flush()
 	if flushErr == nil {
-		flushErr = sh.f.Sync()
+		flushErr = sh.seg.sync()
 	}
-	closeErr := sh.f.Close()
-	sh.f = nil
+	closeErr := sh.seg.close()
+	sh.seg = nil
 	if sh.failed != nil {
 		return sh.failed
 	}

@@ -8,12 +8,15 @@ import (
 	"path/filepath"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
 
-// snapHeader is the first line of a snapshot file. The remaining Count
-// lines are one JSON response each, in index (append) order per survey.
+// snapHeader is the first record of a snapshot file. The remaining Count
+// records are one JSON response each, in index (append) order per survey.
+// Under the binary codec the same records ride in sealed blockio blocks;
+// replay sniffs the format per file.
 type snapHeader struct {
 	Format int    `json:"format"`
 	Shard  int    `json:"shard"`
@@ -42,20 +45,7 @@ func (sh *shard) snapshot() error {
 	if err != nil {
 		return fmt.Errorf("ingest: create snapshot %s: %w", tmp, err)
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	enc := json.NewEncoder(w) // Encode appends the newline separator
-	werr := enc.Encode(snapHeader{Format: snapFormat, Shard: sh.id, Covers: covers, Count: count})
-	for _, rs := range sh.index {
-		for i := range rs {
-			if werr != nil {
-				break
-			}
-			werr = enc.Encode(&rs[i])
-		}
-	}
-	if werr == nil {
-		werr = w.Flush()
-	}
+	werr := sh.writeSnapshot(f, snapHeader{Format: snapFormat, Shard: sh.id, Covers: covers, Count: count})
 	var written int64
 	if werr == nil {
 		var fi os.FileInfo
@@ -105,6 +95,50 @@ func (sh *shard) snapshot() error {
 	return nil
 }
 
+// writeSnapshot encodes the header plus every indexed response into f
+// using the shard's configured codec. Binary snapshots are sealed: they
+// are immutable once published, so they always carry a block index and
+// replay with strict (non-repairing) semantics.
+func (sh *shard) writeSnapshot(f *os.File, hdr snapHeader) error {
+	if sh.cfg.Codec == blockio.CodecBinary {
+		w, err := blockio.NewWriter(f, 1)
+		if err != nil {
+			return err
+		}
+		rec, err := json.Marshal(&hdr)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Append(rec); err != nil {
+			return err
+		}
+		for _, rs := range sh.index {
+			for i := range rs {
+				if rec, err = json.Marshal(&rs[i]); err != nil {
+					return err
+				}
+				if _, err := w.Append(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return w.Seal() // flushes and fsyncs; the caller closes f
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(w) // Encode appends the newline separator
+	if err := enc.Encode(&hdr); err != nil {
+		return err
+	}
+	for _, rs := range sh.index {
+		for i := range rs {
+			if err := enc.Encode(&rs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
 // loadSnapshot restores the index from the newest snapshot, if any, and
 // removes superseded older ones.
 func (sh *shard) loadSnapshot() error {
@@ -124,7 +158,7 @@ func (sh *shard) loadSnapshot() error {
 	path := filepath.Join(sh.dir, snapName(latest))
 	var hdr *snapHeader
 	loaded := 0
-	err = store.ReplayLines(path, false, func(line []byte) error {
+	apply := func(line []byte) error {
 		if hdr == nil {
 			hdr = new(snapHeader)
 			if err := json.Unmarshal(line, hdr); err != nil {
@@ -145,7 +179,18 @@ func (sh *shard) loadSnapshot() error {
 		sh.index[r.SurveyID] = append(sh.index[r.SurveyID], r)
 		loaded++
 		return nil
-	})
+	}
+	bin, err := blockio.Sniff(path)
+	if err != nil {
+		return fmt.Errorf("ingest: sniff snapshot %s: %w", path, err)
+	}
+	if bin {
+		_, err = blockio.Replay(path, false, func(_ uint64, payload []byte) error {
+			return apply(payload)
+		})
+	} else {
+		err = store.ReplayLines(path, false, apply)
+	}
 	if err != nil {
 		return err
 	}

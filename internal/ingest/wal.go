@@ -95,6 +95,8 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Segment and snapshot replay share store.ReplayLines, the JSON-lines
-// crash-recovery primitive (complete-line streaming with torn-tail
-// truncation).
+// Segment and snapshot replay dispatch per file on blockio.Sniff:
+// binary files go through blockio.Replay, JSON-lines files through
+// store.ReplayLines. Both share the same crash-recovery contract
+// (complete-record streaming with torn-tail truncation on the active
+// tail, strict verification for sealed/immutable files).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -145,6 +146,32 @@ func submitCode(t *testing.T, ts *httptest.Server, r *survey.Response) (int, []b
 	return resp.StatusCode, body
 }
 
+// checkExhausted429 asserts the enriched budget_exhausted contract: a
+// Retry-After header matching the body's hint, and the remaining (ε, δ)
+// headroom — ε zero-or-tiny for an exhausted worker, δ the deployment's
+// configured conversion δ.
+func checkExhausted429(t *testing.T, ts *httptest.Server, r *survey.Response) {
+	t.Helper()
+	resp, body := doReq(t, http.MethodPost, submitURL(ts, r.SurveyID), r, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(BudgetRetryAfterSeconds) {
+		t.Fatalf("Retry-After header = %q, want %d", got, BudgetRetryAfterSeconds)
+	}
+	var e BudgetExhaustedError
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("429 body %s: %v", body, err)
+	}
+	cfg := budgetTestConfig(t)
+	if e.Error != budget.ErrExhausted.Error() ||
+		e.RetryAfterSeconds != BudgetRetryAfterSeconds ||
+		e.RemainingEpsilon < 0 || e.RemainingEpsilon >= cfg.CapEpsilon ||
+		e.RemainingDelta != cfg.Delta {
+		t.Fatalf("429 body = %+v (cap %+v)", e, cfg)
+	}
+}
+
 // TestClusterBudgetEnforcement is the tentpole acceptance path: a
 // worker who exhausts the (ε, δ) cap submitting through one frontend is
 // rejected with 429 budget_exhausted through a *different* frontend —
@@ -182,10 +209,9 @@ func TestClusterBudgetEnforcement(t *testing.T) {
 		t.Fatalf("accepted=%d rejected=%d; want both nonzero", accepted, rejected)
 	}
 
-	// The other frontend must reject immediately: same account.
-	if code, body := submitCode(t, fts[1], budgetResponse(sv, worker, "medium")); code != http.StatusTooManyRequests {
-		t.Fatalf("cross-frontend submit = %d: %s", code, body)
-	}
+	// The other frontend must reject immediately: same account. The 429
+	// carries the enriched contract — Retry-After plus (ε, δ) headroom.
+	checkExhausted429(t, fts[1], budgetResponse(sv, worker, "medium"))
 
 	// A fresh worker through either frontend is admitted.
 	if code, body := submitCode(t, fts[1], budgetResponse(sv, "worker-fresh", "medium")); code != http.StatusCreated {

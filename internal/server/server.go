@@ -39,6 +39,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -661,7 +662,7 @@ func (s *Server) appendCharged(w http.ResponseWriter, pr piggybackRouter, shard 
 	switch {
 	case errors.Is(err, budget.ErrExhausted):
 		s.budgetRejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, budget.ErrExhausted.Error())
+		s.writeBudgetExhausted(w, out)
 		return 0, false
 	case errors.Is(err, budget.ErrUndecided):
 		writeError(w, http.StatusServiceUnavailable, "privacy-budget charge failed: "+err.Error())
@@ -679,6 +680,37 @@ func (s *Server) appendCharged(w http.ResponseWriter, pr piggybackRouter, shard 
 		s.logOverCap(resp.WorkerID, out, lvl)
 	}
 	return stored, true
+}
+
+// BudgetRetryAfterSeconds is the advisory Retry-After on 429
+// budget_exhausted answers. A privacy budget is cumulative — it does
+// not replenish on a clock — so the hint is a coarse back-off until an
+// operator raises the cap or the worker drops to a cheaper privacy
+// level, not a lease expiry.
+const BudgetRetryAfterSeconds = 3600
+
+// BudgetExhaustedError is the 429 budget_exhausted body: the error
+// code plus the worker's remaining (ε, δ) headroom and the Retry-After
+// hint, so a client can tell whether a cheaper level would still fit
+// without a follow-up balance query.
+type BudgetExhaustedError struct {
+	Error             string  `json:"error"`
+	RetryAfterSeconds int     `json:"retry_after_seconds"`
+	RemainingEpsilon  float64 `json:"remaining_epsilon"`
+	// RemainingDelta is the δ the ε headroom is measured at (the
+	// ledger's configured conversion δ, constant per deployment).
+	RemainingDelta float64 `json:"remaining_delta"`
+}
+
+// writeBudgetExhausted answers a rejected charge with the enriched 429.
+func (s *Server) writeBudgetExhausted(w http.ResponseWriter, out budget.Outcome) {
+	w.Header().Set("Retry-After", strconv.Itoa(BudgetRetryAfterSeconds))
+	writeJSON(w, http.StatusTooManyRequests, BudgetExhaustedError{
+		Error:             budget.ErrExhausted.Error(),
+		RetryAfterSeconds: BudgetRetryAfterSeconds,
+		RemainingEpsilon:  out.RemainingEpsilon,
+		RemainingDelta:    s.cfg.Budget.Config().Delta,
+	})
 }
 
 // buildCharge prices one submit for the ledger; on false the response
@@ -735,7 +767,7 @@ func (s *Server) chargeBudget(w http.ResponseWriter, sv *survey.Survey, resp *su
 		return nil, true
 	case out.Rejected:
 		s.budgetRejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, budget.ErrExhausted.Error())
+		s.writeBudgetExhausted(w, out)
 		return nil, false
 	}
 	if out.OverCap {

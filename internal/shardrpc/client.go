@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/budget"
 	"loki/internal/shardset"
 	"loki/internal/store"
@@ -123,6 +124,23 @@ func (c *Client) do(method, path string, query url.Values, in, out any) error {
 	if out == nil {
 		return nil
 	}
+	// The bulk read paths request codec=binary; a peer that granted it
+	// marks the body with the frame content type. A plain JSON answer
+	// means an older peer that ignored the parameter — fall through.
+	if resp.Header.Get("Content-Type") == blockio.FrameContentType {
+		frame, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if err != nil {
+			return fmt.Errorf("shardrpc: read %s response: %w", path, err)
+		}
+		raw, err := blockio.DecodeFrame(frame)
+		if err != nil {
+			return fmt.Errorf("shardrpc: decode %s frame: %w", path, err)
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("shardrpc: decode %s response: %w", path, err)
+		}
+		return nil
+	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("shardrpc: decode %s response: %w", path, err)
 	}
@@ -162,6 +180,7 @@ func (c *Client) Scan(shard int, surveyID string, from uint64, max int) (*ScanBa
 		"survey": {surveyID},
 		"from":   {strconv.FormatUint(from, 10)},
 		"max":    {strconv.Itoa(max)},
+		"codec":  {blockio.CodecBinary},
 	}
 	var batch ScanBatch
 	if err := c.do(http.MethodGet, "/shardrpc/v1/shards/"+strconv.Itoa(shard)+"/scan", q, nil, &batch); err != nil {
@@ -209,6 +228,7 @@ func (c *Client) Tail(shard int, epoch, offset uint64, max int, follower string)
 		"epoch":  {strconv.FormatUint(epoch, 10)},
 		"offset": {strconv.FormatUint(offset, 10)},
 		"max":    {strconv.Itoa(max)},
+		"codec":  {blockio.CodecBinary},
 	}
 	if follower != "" {
 		q.Set("follower", follower)

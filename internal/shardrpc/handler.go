@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"loki/internal/blockio"
 	"loki/internal/store"
 	"loki/internal/survey"
 )
@@ -159,7 +160,7 @@ func (h *Handler) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	batch.More = errors.Is(scanErr, errPageFull)
-	writeOK(w, batch)
+	writeMaybeFramed(w, r, batch)
 }
 
 // errPageFull aborts a scan once a page is full.
@@ -219,7 +220,7 @@ func (h *Handler) handleTail(w http.ResponseWriter, r *http.Request) {
 		writeBackendErr(w, err)
 		return
 	}
-	writeOK(w, batch)
+	writeMaybeFramed(w, r, batch)
 }
 
 func (h *Handler) handleSurveys(w http.ResponseWriter, _ *http.Request) {
@@ -310,6 +311,32 @@ func writeOK(w http.ResponseWriter, v any) {
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
 	putBuf(buf)
+}
+
+// writeMaybeFramed answers the bulk read paths (tail shipping, replica
+// bootstrap scans): callers that negotiated codec=binary get the JSON
+// body compressed into one blockio wire frame, marked by its content
+// type; everyone else (and every older peer) gets plain JSON. The
+// negotiation is per request, so mixed-version clusters keep working.
+func writeMaybeFramed(w http.ResponseWriter, r *http.Request, v any) {
+	if r.URL.Query().Get("codec") != blockio.CodecBinary {
+		writeOK(w, v)
+		return
+	}
+	buf, err := encodeJSON(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	frame, err := blockio.EncodeFrame(buf.Bytes())
+	putBuf(buf)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "frame response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", blockio.FrameContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
 }
 
 func writeErr(w http.ResponseWriter, status int, msg string) {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"loki/internal/blockio"
 	"loki/internal/survey"
 )
 
@@ -37,12 +38,21 @@ type FileOptions struct {
 	Sync SyncPolicy
 	// Interval is the flush period for SyncInterval (default 100ms).
 	Interval time.Duration
+	// Codec is the encoding for a log created by this open:
+	// blockio.CodecJSON (the default here — readable lines) or
+	// blockio.CodecBinary (compressed, checksummed blockio blocks; what
+	// the server configures). An EXISTING log keeps its own format
+	// regardless: the codec is sniffed from the file's magic on open, so
+	// appends never mix formats within one file.
+	Codec string
 }
 
-// File is a durable Store backed by an append-only JSON-lines log. Every
-// mutation is a single JSON record on its own line; opening the store
-// replays the log into an in-memory index. Partial trailing writes (a
-// crash mid-append) are detected and truncated away on open.
+// File is a durable Store backed by an append-only record log: readable
+// JSON lines (this package's default) or compressed, checksummed blockio
+// blocks (FileOptions.Codec; what the server configures). Every mutation
+// is one record; opening the store sniffs the file's format and replays
+// it into an in-memory index. Partial trailing writes (a crash
+// mid-append) are detected and truncated away on open.
 //
 // Durability: under the default SyncAlways policy every acknowledged
 // mutation has been fsynced before PutSurvey/AppendResponse returns. See
@@ -51,11 +61,15 @@ type File struct {
 	mu   sync.Mutex
 	mem  *Mem
 	f    *os.File
-	w    *bufio.Writer
+	w    *bufio.Writer   // JSON-lines writer; nil under the binary codec
+	bw   *blockio.Writer // binary writer; nil under the JSON codec
 	path string
 	opts FileOptions
-	stop chan struct{} // stops the SyncInterval flusher
-	done chan struct{}
+	// closed refuses mutations after Close (the writers stay non-nil so
+	// Close itself can flush them exactly once).
+	closed bool
+	stop   chan struct{} // stops the SyncInterval flusher
+	done   chan struct{}
 	// syncErr is the first append-path or background flush/fsync
 	// failure; once set, every subsequent append and Close reports it.
 	// Sticky by design: after a failed fsync the kernel may have dropped
@@ -98,11 +112,34 @@ func OpenFileWith(path string, opts FileOptions) (*File, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
+	if opts.Codec == "" {
+		opts.Codec = blockio.CodecJSON
+	}
+	if !blockio.ValidCodec(opts.Codec) {
+		return nil, fmt.Errorf("store: unknown codec %q", opts.Codec)
+	}
 	fs := &File{mem: NewMem(), path: path, opts: opts}
+	// A non-empty log dictates its own codec (never mix formats within
+	// one file); a fresh or empty one takes the configured codec.
+	binary := opts.Codec == blockio.CodecBinary
+	if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+		if binary, err = blockio.Sniff(path); err != nil {
+			return nil, fmt.Errorf("store: sniff %s: %w", path, err)
+		}
+	}
 	// Replay complete records into the memory index; a partial trailing
 	// record (crash mid-append) is truncated away. A missing file just
 	// means a fresh store.
-	err := ReplayLines(path, true, fs.applyRecord)
+	var nextSeq uint64 = 1
+	var err error
+	if binary {
+		_, err = blockio.Replay(path, true, func(seq uint64, payload []byte) error {
+			nextSeq = seq + 1
+			return fs.applyRecord(payload)
+		})
+	} else {
+		err = ReplayLines(path, true, fs.applyRecord)
+	}
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
@@ -110,12 +147,24 @@ func OpenFileWith(path string, opts FileOptions) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: seek %s: %w", path, err)
 	}
 	fs.f = f
-	fs.w = bufio.NewWriter(f)
+	if binary {
+		// Resumes the unsealed block log at its repaired tail; the log is
+		// never sealed (appends continue across opens), so replay always
+		// scans it with torn-tail semantics.
+		fs.bw, err = blockio.NewWriterAt(f, off, nextSeq)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: resume %s: %w", path, err)
+		}
+	} else {
+		fs.w = bufio.NewWriter(f)
+	}
 	if opts.Sync == SyncInterval {
 		fs.stop = make(chan struct{})
 		fs.done = make(chan struct{})
@@ -139,11 +188,11 @@ func (fs *File) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
 			// interval, since everything flushed so far is in the page
 			// cache the fsync covers).
 			fs.mu.Lock()
-			if fs.w == nil || fs.syncErr != nil {
+			if fs.closed || fs.syncErr != nil {
 				fs.mu.Unlock()
 				continue
 			}
-			err := fs.w.Flush()
+			err := fs.flushLog()
 			f := fs.f
 			fs.mu.Unlock()
 			if err == nil {
@@ -151,7 +200,7 @@ func (fs *File) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
 			}
 			if err != nil {
 				fs.mu.Lock()
-				if fs.w != nil && fs.syncErr == nil {
+				if !fs.closed && fs.syncErr == nil {
 					fs.syncErr = fmt.Errorf("store: background sync %s: %w", fs.path, err)
 				}
 				fs.mu.Unlock()
@@ -199,6 +248,27 @@ func (fs *File) applyRecord(line []byte) error {
 	}
 }
 
+// writeRec buffers one marshaled record in the log's codec framing.
+func (fs *File) writeRec(b []byte) error {
+	if fs.bw != nil {
+		_, err := fs.bw.Append(b)
+		return err
+	}
+	if _, err := fs.w.Write(b); err != nil {
+		return err
+	}
+	return fs.w.WriteByte('\n')
+}
+
+// flushLog pushes buffered records to the OS; under the binary codec
+// that cuts the open block, so every flush is a recoverable boundary.
+func (fs *File) flushLog() error {
+	if fs.bw != nil {
+		return fs.bw.Flush()
+	}
+	return fs.w.Flush()
+}
+
 // append writes one record and makes it as durable as the sync policy
 // promises: flushed to the OS always, fsynced under SyncAlways
 // (SyncInterval leaves the fsync to the flusher goroutine). Any I/O
@@ -212,13 +282,10 @@ func (fs *File) append(rec *record) error {
 		return fmt.Errorf("store: marshal: %w", err)
 	}
 	werr := func() error {
-		if _, err := fs.w.Write(b); err != nil {
+		if err := fs.writeRec(b); err != nil {
 			return fmt.Errorf("store: write %s: %w", fs.path, err)
 		}
-		if err := fs.w.WriteByte('\n'); err != nil {
-			return fmt.Errorf("store: write %s: %w", fs.path, err)
-		}
-		if err := fs.w.Flush(); err != nil {
+		if err := fs.flushLog(); err != nil {
 			return fmt.Errorf("store: flush %s: %w", fs.path, err)
 		}
 		if fs.opts.Sync == SyncAlways {
@@ -240,7 +307,7 @@ func (fs *File) append(rec *record) error {
 func (fs *File) PutSurvey(s *survey.Survey) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.w == nil {
+	if fs.closed {
 		return errors.New("store: use after close")
 	}
 	if err := s.Validate(); err != nil {
@@ -263,7 +330,7 @@ func (fs *File) PutSurvey(s *survey.Survey) error {
 func (fs *File) ReplaceSurvey(s *survey.Survey) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.w == nil {
+	if fs.closed {
 		return errors.New("store: use after close")
 	}
 	if err := s.Validate(); err != nil {
@@ -292,7 +359,7 @@ func (fs *File) Surveys() ([]*survey.Survey, error) { return fs.mem.Surveys() }
 func (fs *File) AppendResponse(r *survey.Response) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.w == nil {
+	if fs.closed {
 		return errors.New("store: use after close")
 	}
 	s, err := fs.mem.Survey(r.SurveyID)
@@ -316,7 +383,7 @@ func (fs *File) AppendResponse(r *survey.Response) error {
 func (fs *File) AppendResponses(rs []survey.Response) ([]int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.w == nil {
+	if fs.closed {
 		return nil, errors.New("store: use after close")
 	}
 	if fs.syncErr != nil {
@@ -337,11 +404,11 @@ func (fs *File) AppendResponses(rs []survey.Response) ([]int, error) {
 			if err != nil {
 				return fmt.Errorf("store: marshal: %w", err)
 			}
-			if _, err := fs.w.Write(append(b, '\n')); err != nil {
+			if err := fs.writeRec(b); err != nil {
 				return fmt.Errorf("store: write %s: %w", fs.path, err)
 			}
 		}
-		if err := fs.w.Flush(); err != nil {
+		if err := fs.flushLog(); err != nil {
 			return fmt.Errorf("store: flush %s: %w", fs.path, err)
 		}
 		if fs.opts.Sync == SyncAlways {
@@ -394,17 +461,17 @@ func (fs *File) Close() error {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.w == nil {
+	if fs.closed {
 		return nil
 	}
 	flushErr := fs.syncErr
 	if flushErr == nil {
-		flushErr = fs.w.Flush()
+		flushErr = fs.flushLog()
 	}
 	if flushErr == nil {
 		flushErr = fs.f.Sync()
 	}
-	fs.w = nil
+	fs.closed = true
 	closeErr := fs.f.Close()
 	if mErr := fs.mem.Close(); mErr != nil && flushErr == nil {
 		flushErr = mErr

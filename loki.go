@@ -27,6 +27,7 @@ package loki
 import (
 	"loki/internal/aggregate"
 	"loki/internal/attack"
+	"loki/internal/blockio"
 	"loki/internal/budget"
 	"loki/internal/checkpoint"
 	"loki/internal/client"
@@ -288,6 +289,11 @@ type (
 	// BudgetSetOptions configure NewBudgetSet (shard space, hosted
 	// subset, journal directory, cap).
 	BudgetSetOptions = budget.SetOptions
+	// CheckpointOptions select the checkpoint log's on-disk codec.
+	CheckpointOptions = checkpoint.Options
+	// BudgetError is the client-side typed form of a 429
+	// budget_exhausted refusal: Retry-After plus remaining (ε, δ).
+	BudgetError = client.BudgetError
 )
 
 // File store sync policies.
@@ -298,6 +304,16 @@ const (
 	SyncInterval = store.SyncInterval
 	// SyncNever leaves write-back to the OS.
 	SyncNever = store.SyncNever
+)
+
+// On-disk record codecs (see internal/blockio): every durable log
+// accepts either; non-empty files dictate their own codec on open.
+const (
+	// CodecBinary is the chunked compressed block format with a
+	// trailing block index on sealed files.
+	CodecBinary = blockio.CodecBinary
+	// CodecJSON is the readable JSON-lines fallback.
+	CodecJSON = blockio.CodecJSON
 )
 
 // Backend constructors.
@@ -317,8 +333,10 @@ var (
 	// concurrent submission at scale.
 	OpenIngestStore = ingest.Open
 	// OpenCheckpointLog opens (replaying, with torn-tail repair) the
-	// durable live-aggregate checkpoint log rooted at a directory.
-	OpenCheckpointLog = checkpoint.Open
+	// durable live-aggregate checkpoint log rooted at a directory;
+	// OpenCheckpointLogWith selects the on-disk codec.
+	OpenCheckpointLog     = checkpoint.Open
+	OpenCheckpointLogWith = checkpoint.OpenWith
 	// NewLocalShards builds the in-process shard router over per-shard
 	// stores.
 	NewLocalShards = shardset.NewLocal
