@@ -53,6 +53,8 @@ type budgetResult struct {
 	Responses int     `json:"responses"`
 	Workers   int     `json:"workers"`
 	SubmitRPS float64 `json:"submit_rps"`
+	// SubmitLatency holds the best round's per-submit percentiles.
+	SubmitLatency latencySummary `json:"submit_latency"`
 	// Charges is the ledger-side debit count after the run (zero with
 	// the charger off); every submit must have been accounted.
 	Charges uint64 `json:"charges,omitempty"`
@@ -183,24 +185,25 @@ func newBudgetHarness(dir string, sv *survey.Survey, enforce bool) (*budgetHarne
 // measureBudgetMode runs budgetRounds fresh harnesses in the given mode
 // and keeps the best throughput, returning it with the final round's
 // ledger charge count.
-func measureBudgetMode(sv *survey.Survey, enforce bool) (float64, uint64, error) {
+func measureBudgetMode(sv *survey.Survey, enforce bool) (float64, latencySummary, uint64, error) {
 	var best float64
+	var bestLat latencySummary
 	var charges uint64
 	for round := 0; round < budgetRounds; round++ {
 		dir, err := os.MkdirTemp("", "loki-bench-budget-*")
 		if err != nil {
-			return 0, 0, err
+			return 0, latencySummary{}, 0, err
 		}
 		h, err := newBudgetHarness(dir, sv, enforce)
 		if err != nil {
 			os.RemoveAll(dir)
-			return 0, 0, err
+			return 0, latencySummary{}, 0, err
 		}
-		rps, err := driveSubmits(h.handler, sv, budgetResponses)
+		rps, lat, err := driveSubmits(h.handler, sv, budgetResponses)
 		if err != nil {
 			h.close()
 			os.RemoveAll(dir)
-			return 0, 0, fmt.Errorf("budget bench (enforce=%v): %w", enforce, err)
+			return 0, latencySummary{}, 0, fmt.Errorf("budget bench (enforce=%v): %w", enforce, err)
 		}
 		charges = 0
 		if h.set != nil {
@@ -208,7 +211,7 @@ func measureBudgetMode(sv *survey.Survey, enforce bool) (float64, uint64, error)
 			if err != nil {
 				h.close()
 				os.RemoveAll(dir)
-				return 0, 0, err
+				return 0, latencySummary{}, 0, err
 			}
 			for _, s := range stats {
 				charges += s.Charges
@@ -216,45 +219,49 @@ func measureBudgetMode(sv *survey.Survey, enforce bool) (float64, uint64, error)
 			if charges != uint64(budgetResponses) {
 				h.close()
 				os.RemoveAll(dir)
-				return 0, 0, fmt.Errorf("budget bench: ledger holds %d charges for %d submits", charges, budgetResponses)
+				return 0, latencySummary{}, 0, fmt.Errorf("budget bench: ledger holds %d charges for %d submits", charges, budgetResponses)
 			}
 		}
 		h.close()
 		os.RemoveAll(dir)
 		if rps > best {
 			best = rps
+			bestLat = lat
 		}
 	}
-	return best, charges, nil
+	return best, bestLat, charges, nil
 }
 
 // runBudgetBench measures submit throughput with the budget off and
 // enforcing, gates on the overhead ceiling, and writes the report.
 func runBudgetBench() error {
 	sv := clusterSurvey()
-	offRPS, _, err := measureBudgetMode(sv, false)
+	offRPS, offLat, _, err := measureBudgetMode(sv, false)
 	if err != nil {
 		return err
 	}
-	onRPS, charges, err := measureBudgetMode(sv, true)
+	onRPS, onLat, charges, err := measureBudgetMode(sv, true)
 	if err != nil {
 		return err
 	}
 	report := budgetReport{
-		Schema: 1, GOOS: runtime.GOOS, NumCPU: runtime.NumCPU(), Shards: clusterShards,
-		Off: budgetResult{Mode: "off", Responses: budgetResponses, Workers: clusterWorkers, SubmitRPS: offRPS},
+		Schema: 2, GOOS: runtime.GOOS, NumCPU: runtime.NumCPU(), Shards: clusterShards,
+		Off: budgetResult{
+			Mode: "off", Responses: budgetResponses, Workers: clusterWorkers,
+			SubmitRPS: offRPS, SubmitLatency: offLat,
+		},
 		Enforce: budgetResult{
 			Mode: "enforce", Responses: budgetResponses, Workers: clusterWorkers,
-			SubmitRPS: onRPS, Charges: charges,
+			SubmitRPS: onRPS, SubmitLatency: onLat, Charges: charges,
 		},
 		OverheadFrac:    1 - onRPS/offRPS,
 		MaxOverheadFrac: budgetMaxOverhead,
 	}
 
 	fmt.Fprintln(out, "BUDGET — submit throughput with the privacy-budget ledger off vs enforcing (one node, fsync-per-append stores, durable charge WAL)")
-	fmt.Fprintf(out, "  off      submit %9.0f r/s\n", offRPS)
-	fmt.Fprintf(out, "  enforce  submit %9.0f r/s  (%d charges accounted, %.1f%% overhead, ceiling %.0f%%)\n",
-		onRPS, charges, report.OverheadFrac*100, budgetMaxOverhead*100)
+	fmt.Fprintf(out, "  off      submit %9.0f r/s  p50 %6.2fms p99 %7.2fms\n", offRPS, offLat.P50Millis, offLat.P99Millis)
+	fmt.Fprintf(out, "  enforce  submit %9.0f r/s  p50 %6.2fms p99 %7.2fms  (%d charges accounted, %.1f%% overhead, ceiling %.0f%%)\n",
+		onRPS, onLat.P50Millis, onLat.P99Millis, charges, report.OverheadFrac*100, budgetMaxOverhead*100)
 	fmt.Fprintln(out)
 
 	if budgetJSONPath != "" {

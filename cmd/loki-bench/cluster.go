@@ -68,8 +68,10 @@ type clusterResult struct {
 	Responses int `json:"responses"`
 	Workers   int `json:"workers"`
 	// SubmitRPS is accepted responses per second through the public
-	// submit endpoint (fsync-per-append file stores underneath).
-	SubmitRPS float64 `json:"submit_rps"`
+	// submit endpoint (fsync-per-append file stores underneath);
+	// SubmitLatency its per-request percentiles over the same window.
+	SubmitRPS     float64        `json:"submit_rps"`
+	SubmitLatency latencySummary `json:"submit_latency"`
 	// SubmitSpeedup is SubmitRPS over the baseline's.
 	SubmitSpeedup float64 `json:"submit_speedup,omitempty"`
 	// ReadQPS is merged /aggregate queries per second through the
@@ -296,8 +298,10 @@ func newClusterHarness(dir string, sv *survey.Survey, nodes int) (*clusterHarnes
 }
 
 // driveSubmits pushes n deterministic responses through the handler
-// with the configured worker count and returns accepted responses/sec.
-func driveSubmits(h http.Handler, sv *survey.Survey, n int) (float64, error) {
+// with the configured worker count and returns accepted responses/sec
+// plus per-submit latency percentiles.
+func driveSubmits(h http.Handler, sv *survey.Survey, n int) (float64, latencySummary, error) {
+	var lat latencyRecorder
 	var wg sync.WaitGroup
 	errCh := make(chan error, clusterWorkers)
 	next := make(chan int, clusterWorkers*2)
@@ -321,7 +325,9 @@ func driveSubmits(h http.Handler, sv *survey.Survey, n int) (float64, error) {
 				req := httptest.NewRequest(http.MethodPost, "/api/v1/surveys/"+sv.ID+"/responses", strings.NewReader(string(body)))
 				req.Header.Set("Content-Type", "application/json")
 				rec := httptest.NewRecorder()
+				reqStart := time.Now()
 				h.ServeHTTP(rec, req)
+				lat.observe(time.Since(reqStart))
 				if rec.Code != http.StatusCreated {
 					errCh <- fmt.Errorf("submit %d: HTTP %d: %s", i, rec.Code, rec.Body.String())
 					failOnce.Do(func() { close(failed) })
@@ -343,10 +349,10 @@ feed:
 	elapsed := time.Since(start)
 	select {
 	case err := <-errCh:
-		return 0, err
+		return 0, latencySummary{}, err
 	default:
 	}
-	return float64(n) / elapsed.Seconds(), nil
+	return float64(n) / elapsed.Seconds(), lat.summarize(), nil
 }
 
 // fetchAggregate reads the /aggregate payload once.
@@ -440,7 +446,7 @@ func measureReads(h http.Handler, surveyID string) (float64, time.Duration, erro
 // count, asserts read equivalence, and writes the report.
 func runClusterBench(nodeCounts []int) error {
 	sv := clusterSurvey()
-	report := clusterReport{Schema: 2, CacheTTLMillis: float64(clusterCacheTTL) / 1e6}
+	report := clusterReport{Schema: 3, CacheTTLMillis: float64(clusterCacheTTL) / 1e6}
 
 	// Baseline: single process, one fsync stream.
 	baseDir, err := os.MkdirTemp("", "loki-bench-cluster-*")
@@ -463,7 +469,7 @@ func runClusterBench(nodeCounts []int) error {
 	if err != nil {
 		return err
 	}
-	baseRPS, err := driveSubmits(base.handler, sv, clusterResponses)
+	baseRPS, baseSubmitLat, err := driveSubmits(base.handler, sv, clusterResponses)
 	if err != nil {
 		base.close()
 		return fmt.Errorf("cluster bench: baseline submits: %w", err)
@@ -481,7 +487,8 @@ func runClusterBench(nodeCounts []int) error {
 	base.close()
 	report.Baseline = clusterResult{
 		Nodes: 0, Shards: 1, Responses: clusterResponses, Workers: clusterWorkers,
-		SubmitRPS: baseRPS, ReadQPS: baseQPS, ReadMillis: float64(baseLat) / 1e6, Equivalent: true,
+		SubmitRPS: baseRPS, SubmitLatency: baseSubmitLat,
+		ReadQPS: baseQPS, ReadMillis: float64(baseLat) / 1e6, Equivalent: true,
 	}
 
 	for _, nodes := range nodeCounts {
@@ -494,7 +501,7 @@ func runClusterBench(nodeCounts []int) error {
 			os.RemoveAll(dir)
 			return err
 		}
-		rps, err := driveSubmits(h.handler, sv, clusterResponses)
+		rps, submitLat, err := driveSubmits(h.handler, sv, clusterResponses)
 		if err != nil {
 			h.close()
 			os.RemoveAll(dir)
@@ -548,7 +555,7 @@ func runClusterBench(nodeCounts []int) error {
 		}
 		report.Results = append(report.Results, clusterResult{
 			Nodes: nodes, Shards: clusterShards, Responses: clusterResponses, Workers: clusterWorkers,
-			SubmitRPS: rps, SubmitSpeedup: rps / baseRPS,
+			SubmitRPS: rps, SubmitSpeedup: rps / baseRPS, SubmitLatency: submitLat,
 			ReadQPS: qps, ReadMillis: float64(lat) / 1e6,
 			CachedReadQPS: cachedQPS, CachedReadMillis: float64(cachedLat) / 1e6,
 			CachedSpeedup: cachedQPS / qps,
@@ -560,10 +567,12 @@ func runClusterBench(nodeCounts []int) error {
 	fmt.Fprintf(out, "  context: %s, %d CPUs, one fsync device (%s) for every shard store\n",
 		report.Context.GOOS, report.Context.NumCPU, report.Context.FsyncDevice)
 	b := report.Baseline
-	fmt.Fprintf(out, "  single    submit %9.0f r/s              reads %8.0f q/s  (%.3fms)\n", b.SubmitRPS, b.ReadQPS, b.ReadMillis)
+	fmt.Fprintf(out, "  single    submit %9.0f r/s  p50 %6.2fms p99 %7.2fms            reads %8.0f q/s  (%.3fms)\n",
+		b.SubmitRPS, b.SubmitLatency.P50Millis, b.SubmitLatency.P99Millis, b.ReadQPS, b.ReadMillis)
 	for _, r := range report.Results {
-		fmt.Fprintf(out, "  %d nodes   submit %9.0f r/s  (%5.2fx)    reads %8.0f q/s  (%.3fms)   cached %8.0f q/s  (%.3fms, %5.1fx)  merged==single: %v\n",
-			r.Nodes, r.SubmitRPS, r.SubmitSpeedup, r.ReadQPS, r.ReadMillis,
+		fmt.Fprintf(out, "  %d nodes   submit %9.0f r/s  p50 %6.2fms p99 %7.2fms  (%5.2fx)  reads %8.0f q/s  (%.3fms)   cached %8.0f q/s  (%.3fms, %5.1fx)  merged==single: %v\n",
+			r.Nodes, r.SubmitRPS, r.SubmitLatency.P50Millis, r.SubmitLatency.P99Millis, r.SubmitSpeedup,
+			r.ReadQPS, r.ReadMillis,
 			r.CachedReadQPS, r.CachedReadMillis, r.CachedSpeedup, r.Equivalent)
 	}
 	fmt.Fprintln(out)

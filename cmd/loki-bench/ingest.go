@@ -38,6 +38,8 @@ type ingestBenchResult struct {
 	Shards          int     `json:"shards,omitempty"`
 	Seconds         float64 `json:"seconds"`
 	ResponsesPerSec float64 `json:"responses_per_sec"`
+	// AppendLatency holds per-append percentiles across the workers.
+	AppendLatency latencySummary `json:"append_latency"`
 	// GroupCommits and MeanBatch are ingest-only: fsyncs on the append
 	// path and the achieved appends-per-fsync.
 	GroupCommits int64   `json:"group_commits,omitempty"`
@@ -101,15 +103,17 @@ func benchIngestSurvey(i int) *survey.Survey {
 }
 
 // driveStore hammers st with cfg.Responses submissions from
-// cfg.Goroutines goroutines and returns the wall time.
-func driveStore(st store.Store, cfg ingestBenchConfig) (time.Duration, error) {
+// cfg.Goroutines goroutines and returns the wall time plus per-append
+// latency percentiles.
+func driveStore(st store.Store, cfg ingestBenchConfig) (time.Duration, latencySummary, error) {
 	surveys := make([]*survey.Survey, cfg.Surveys)
 	for i := range surveys {
 		surveys[i] = benchIngestSurvey(i)
 		if err := st.PutSurvey(surveys[i]); err != nil {
-			return 0, err
+			return 0, latencySummary{}, err
 		}
 	}
+	var lat latencyRecorder
 	var next atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
@@ -131,7 +135,10 @@ func driveStore(st store.Store, cfg ingestBenchConfig) (time.Duration, error) {
 					PrivacyLevel: "medium",
 					Obfuscated:   true,
 				}
-				if err := st.AppendResponse(r); err != nil {
+				appendStart := time.Now()
+				err := st.AppendResponse(r)
+				lat.observe(time.Since(appendStart))
+				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -145,9 +152,9 @@ func driveStore(st store.Store, cfg ingestBenchConfig) (time.Duration, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		return 0, firstErr
+		return 0, latencySummary{}, firstErr
 	}
-	return elapsed, nil
+	return elapsed, lat.summarize(), nil
 }
 
 // ingestBenchSize is the default workload; tests shrink it.
@@ -186,7 +193,7 @@ func runCodecComparison(tmp string, cfg ingestBenchConfig) ([]ingestCodecResult,
 		if err != nil {
 			return nil, err
 		}
-		_, err = driveStore(ing, cfg)
+		_, _, err = driveStore(ing, cfg)
 		if cerr := ing.Close(); err == nil {
 			err = cerr
 		}
@@ -299,13 +306,14 @@ func runIngestBench() error {
 	}
 	defer os.RemoveAll(tmp)
 
-	report := ingestBenchReport{Schema: 2, Config: cfg}
-	record := func(name string, shards int, el time.Duration, st *ingest.Stats) {
+	report := ingestBenchReport{Schema: 3, Config: cfg}
+	record := func(name string, shards int, el time.Duration, lat latencySummary, st *ingest.Stats) {
 		res := ingestBenchResult{
 			Backend:         name,
 			Shards:          shards,
 			Seconds:         el.Seconds(),
 			ResponsesPerSec: float64(cfg.Responses) / el.Seconds(),
+			AppendLatency:   lat,
 		}
 		if st != nil && st.Commits > 0 {
 			res.GroupCommits = st.Commits
@@ -315,36 +323,36 @@ func runIngestBench() error {
 	}
 
 	mem := store.NewMem()
-	el, err := driveStore(mem, cfg)
+	el, lat, err := driveStore(mem, cfg)
 	mem.Close()
 	if err != nil {
 		return fmt.Errorf("ingest bench (mem): %w", err)
 	}
-	record("mem", 0, el, nil)
+	record("mem", 0, el, lat, nil)
 
 	fileStore, err := store.OpenFile(filepath.Join(tmp, "file.jsonl"))
 	if err != nil {
 		return err
 	}
-	el, err = driveStore(fileStore, cfg)
+	el, lat, err = driveStore(fileStore, cfg)
 	fileStore.Close()
 	if err != nil {
 		return fmt.Errorf("ingest bench (file): %w", err)
 	}
-	record("file-sync-always", 0, el, nil)
+	record("file-sync-always", 0, el, lat, nil)
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		ing, err := ingest.Open(filepath.Join(tmp, fmt.Sprintf("ingest-%d", shards)), ingest.Config{Shards: shards})
 		if err != nil {
 			return err
 		}
-		el, err = driveStore(ing, cfg)
+		el, lat, err = driveStore(ing, cfg)
 		stats := ing.Stats()
 		ing.Close()
 		if err != nil {
 			return fmt.Errorf("ingest bench (%d shards): %w", shards, err)
 		}
-		record("ingest", shards, el, &stats)
+		record("ingest", shards, el, lat, &stats)
 	}
 
 	if report.Codecs, err = runCodecComparison(tmp, cfg); err != nil {
@@ -383,7 +391,8 @@ func runIngestBench() error {
 		if r.Shards > 0 {
 			name = fmt.Sprintf("%s-%d", r.Backend, r.Shards)
 		}
-		line := fmt.Sprintf("  %-18s %10.0f resp/s", name, r.ResponsesPerSec)
+		line := fmt.Sprintf("  %-18s %10.0f resp/s  p50 %7.3fms p99 %7.3fms",
+			name, r.ResponsesPerSec, r.AppendLatency.P50Millis, r.AppendLatency.P99Millis)
 		if r.GroupCommits > 0 {
 			line += fmt.Sprintf("  (%5.1f appends/fsync", r.MeanBatch)
 			if fileRate > 0 {

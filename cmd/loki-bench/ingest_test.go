@@ -28,8 +28,8 @@ func TestRunIngestBench(t *testing.T) {
 	if err := json.Unmarshal(b, &report); err != nil {
 		t.Fatal(err)
 	}
-	if report.Schema != 2 {
-		t.Fatalf("schema = %d, want 2", report.Schema)
+	if report.Schema != 3 {
+		t.Fatalf("schema = %d, want 3", report.Schema)
 	}
 	if len(report.Codecs) != 2 {
 		t.Fatalf("%d codec results, want 2", len(report.Codecs))
@@ -54,6 +54,9 @@ func TestRunIngestBench(t *testing.T) {
 		}
 		if r.Backend == "ingest" && r.GroupCommits <= 0 {
 			t.Fatalf("ingest backend with %d shards reports no group commits", r.Shards)
+		}
+		if r.AppendLatency.Samples != ingestBenchSize.Responses || r.AppendLatency.P99Millis < r.AppendLatency.P50Millis {
+			t.Fatalf("backend %s (%d shards): malformed latency summary %+v", r.Backend, r.Shards, r.AppendLatency)
 		}
 	}
 }

@@ -43,6 +43,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"restart", "restart: first-read latency, whole-backlog rescan vs checkpoint restore"},
 	{"cluster", "cluster: N nodes + frontend vs single process; merged-read equivalence"},
 	{"budget", "budget: submit throughput with the privacy-budget ledger off vs enforcing"},
+	{"load", "load: open-loop Poisson arrivals vs admission control; shed rate and tail latency"},
 }
 
 func main() {
@@ -72,6 +73,20 @@ func main() {
 		"where the budget experiment writes its machine-readable report (empty disables)")
 	flag.IntVar(&budgetResponses, "budget-responses", budgetResponses,
 		"responses the budget experiment submits per mode")
+	flag.StringVar(&loadJSONPath, "load-json", loadJSONPath,
+		"where the load experiment writes its machine-readable report (empty disables)")
+	flag.StringVar(&loadRatesFlag, "load-rates", loadRatesFlag,
+		"comma-separated open-loop arrival rates in responses/sec (empty auto-calibrates 0.5x/1x/1.5x of closed-loop capacity)")
+	flag.DurationVar(&loadDuration, "load-duration", loadDuration,
+		"open-loop window length per arrival rate")
+	flag.IntVar(&loadNodes, "load-nodes", loadNodes,
+		"nodes in the load experiment's cluster topology")
+	flag.IntVar(&loadQueue, "load-submit-queue", loadQueue,
+		"frontend admission queue bound in the load experiment")
+	flag.IntVar(&loadInflight, "load-inflight", loadInflight,
+		"frontend admission inflight bound in the load experiment")
+	flag.BoolVar(&loadExpectShed, "load-expect-shed", loadExpectShed,
+		"fail the load experiment unless the shed path activated (CI smoke for the overload contract)")
 	flag.Parse()
 
 	if *list {
@@ -255,6 +270,11 @@ func run(sel func(...string) bool, seed uint64) error {
 	}
 	if sel("budget") {
 		if err := runBudgetBench(); err != nil {
+			return err
+		}
+	}
+	if sel("load") {
+		if err := runLoadBench(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,62 @@
+// Shared latency accounting for the throughput benchmarks: every
+// driven request records its wall time, and the run reports tail
+// percentiles alongside the mean throughput — a saturated system can
+// hold its responses/sec while its p99 quietly detonates, and the
+// committed reports should show that.
+package main
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRecorder collects per-request durations from concurrent
+// workers.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []int64 // nanoseconds
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, int64(d))
+	l.mu.Unlock()
+}
+
+// latencySummary is the wire form embedded in the BENCH_*.json reports.
+type latencySummary struct {
+	Samples   int     `json:"latency_samples,omitempty"`
+	P50Millis float64 `json:"p50_millis,omitempty"`
+	P99Millis float64 `json:"p99_millis,omitempty"`
+	// P999Millis needs ≥1000 samples to mean anything; smaller runs
+	// leave it zero.
+	P999Millis float64 `json:"p999_millis,omitempty"`
+}
+
+// summarize sorts the collected samples and extracts the percentiles
+// (nearest-rank). It may be called once per run; the recorder is not
+// reusable afterwards.
+func (l *latencyRecorder) summarize() latencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.samples)
+	if n == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	s := latencySummary{
+		Samples:   n,
+		P50Millis: l.quantileLocked(0.50),
+		P99Millis: l.quantileLocked(0.99),
+	}
+	if n >= 1000 {
+		s.P999Millis = l.quantileLocked(0.999)
+	}
+	return s
+}
+
+func (l *latencyRecorder) quantileLocked(q float64) float64 {
+	idx := int(q*float64(len(l.samples)-1) + 0.5)
+	return float64(l.samples[idx]) / 1e6
+}

@@ -34,14 +34,16 @@ func main() {
 	workerID := flag.String("worker", "cli-user", "worker ID to report")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "noise seed")
 	ledgerPath := flag.String("ledger", "", "file to persist the privacy-loss ledger across runs")
+	batch := flag.Int("batch", 0, "upload through the batching submit pipeline with this batch size (0 posts inline)")
+	batchWait := flag.Duration("batch-wait", 50*time.Millisecond, "batching pipeline: flush a partial batch after this long")
 	flag.Parse()
 
-	if err := run(*serverURL, *surveyID, *levelName, *answersCSV, *workerID, *ledgerPath, *seed, *list); err != nil {
+	if err := run(*serverURL, *surveyID, *levelName, *answersCSV, *workerID, *ledgerPath, *seed, *list, *batch, *batchWait); err != nil {
 		log.Fatal("loki-client: ", err)
 	}
 }
 
-func run(serverURL, surveyID, levelName, answersCSV, workerID, ledgerPath string, seed uint64, list bool) error {
+func run(serverURL, surveyID, levelName, answersCSV, workerID, ledgerPath string, seed uint64, list bool, batch int, batchWait time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
@@ -82,7 +84,16 @@ func run(serverURL, surveyID, levelName, answersCSV, workerID, ledgerPath string
 	if err != nil {
 		return err
 	}
-	res, err := c.Take(ctx, sv, workerID, answers, level)
+	var res *client.TakeResult
+	if batch > 0 {
+		sub := c.NewSubmitter(client.SubmitterConfig{
+			MaxBatch: batch, MaxWait: batchWait, Seed: seed,
+		})
+		defer sub.Close()
+		res, err = c.TakeVia(ctx, sub, sv, workerID, answers, level)
+	} else {
+		res, err = c.Take(ctx, sv, workerID, answers, level)
+	}
 	if err != nil {
 		return err
 	}

@@ -55,6 +55,13 @@
 // them over shardrpc, so one worker's spend is enforced across every
 // frontend. Set the budget flags identically on node and frontend
 // roles — the shard count and placement must agree.
+//
+// Overload protection (default off): -submit-inflight and -submit-queue
+// bound concurrent and queued submits, shedding the excess with 429 +
+// Retry-After instead of letting latency and goroutines grow without
+// bound; -rate-limit-rps adds a per-requester token-bucket ceiling.
+// The admin store endpoint reports queue depth, shed and throttle
+// counters when either is on.
 package main
 
 import (
@@ -102,6 +109,20 @@ type clusterFlags struct {
 	budgetCap     float64 // epsilon ceiling per worker
 	budgetDelta   float64 // delta the epsilon conversion is quoted at
 	budgetEnforce string  // off, log or enforce
+
+	submitInflight int     // admission: concurrent submits past which arrivals queue (0 = off)
+	submitQueue    int     // admission: queued submits past which arrivals shed with 429
+	rateLimitRPS   float64 // per-requester submit rate ceiling (0 = off)
+	rateLimitBurst int     // per-requester burst above the sustained rate
+}
+
+// admission threads the overload knobs into a server config; zero
+// values leave the config untouched (default-off paths stay identical).
+func (cf *clusterFlags) admission(scfg *server.Config) {
+	scfg.SubmitInflight = cf.submitInflight
+	scfg.SubmitQueue = cf.submitQueue
+	scfg.RateLimitRPS = cf.rateLimitRPS
+	scfg.RateLimitBurst = cf.rateLimitBurst
 }
 
 // budgetEnabled reports whether any budget accounting is configured:
@@ -156,6 +177,14 @@ func main() {
 		"delta the budget epsilon conversion is quoted at")
 	flag.StringVar(&cf.budgetEnforce, "budget-enforce", "off",
 		"privacy-budget mode: off (no accounting), log (account and log over-cap workers) or enforce (reject over-cap submits with 429)")
+	flag.IntVar(&cf.submitInflight, "submit-inflight", 0,
+		"admission control: submits served concurrently before arrivals queue (0 disables admission control)")
+	flag.IntVar(&cf.submitQueue, "submit-queue", 0,
+		"admission control: submits queued behind -submit-inflight before arrivals shed with 429 + Retry-After (setting it without -submit-inflight defaults inflight to 4x GOMAXPROCS)")
+	flag.Float64Var(&cf.rateLimitRPS, "rate-limit-rps", 0,
+		"per-requester submit rate ceiling in responses/sec; over-rate submits get 429 + Retry-After (0 disables)")
+	flag.IntVar(&cf.rateLimitBurst, "rate-limit-burst", 0,
+		"per-requester burst allowance above -rate-limit-rps (0 defaults to the rate, minimum 1)")
 	flag.Parse()
 
 	if cf.clusterToken == "" {
@@ -287,6 +316,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 			Checkpoints:        ckpt,
 			CheckpointInterval: checkpointEvery,
 		}
+		cf.admission(&scfg)
 		if cf.budgetEnabled() {
 			set, err := budget.NewSet(budget.SetOptions{
 				Shards: 1, Dir: cf.budgetDir, Config: cf.budgetConfig(),
@@ -350,6 +380,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 			Role:               "node",
 			ClusterShards:      cf.clusterShards,
 		}
+		cf.admission(&scfg)
 		var bset *budget.Set
 		if cf.budgetEnabled() {
 			bset, err = budget.NewSet(budget.SetOptions{
@@ -422,6 +453,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 			FrontendCacheTTL: cf.cacheTTL,
 			FrontendRefresh:  cf.cacheRefresh,
 		}
+		cf.admission(&scfg)
 		if cf.budgetEnforce != "off" {
 			charger, err := shardrpc.NewRemoteCharger(clients, cf.clusterShards, cf.budgetConfig())
 			if err != nil {

@@ -13,10 +13,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +43,10 @@ type Client struct {
 	ledgerPath string
 	r          *rng.RNG
 	verified   bool
+
+	maxAttempts int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
 }
 
 // Config configures a client.
@@ -60,6 +66,21 @@ type Config struct {
 	// every upload. A user's cumulative loss must survive app restarts,
 	// otherwise a reinstall silently resets it to zero.
 	LedgerPath string
+	// MaxAttempts bounds the attempts per HTTP request. The default 1
+	// preserves the original fail-fast behavior; higher values retry
+	// transport errors and retryable statuses (429 overloaded /
+	// rate_limited, 503) with capped exponential backoff plus jitter,
+	// honoring the server's Retry-After hint. Budget rejections are
+	// never retried — a privacy budget does not replenish on a clock.
+	// Retries are safe for the upload path because the ledger is
+	// charged at noise-generation time, before the first attempt.
+	MaxAttempts int
+	// RetryBaseBackoff is the first retry's backoff before jitter
+	// (default 200ms); RetryMaxBackoff caps the exponential growth
+	// (default 5s). The server's Retry-After overrides a smaller
+	// computed delay.
+	RetryBaseBackoff time.Duration
+	RetryMaxBackoff  time.Duration
 }
 
 // New builds a client, restoring its ledger from Config.LedgerPath when
@@ -95,13 +116,28 @@ func New(cfg Config) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	baseBackoff := cfg.RetryBaseBackoff
+	if baseBackoff <= 0 {
+		baseBackoff = 200 * time.Millisecond
+	}
+	maxBackoff := cfg.RetryMaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
 	return &Client{
-		baseURL:    strings.TrimRight(cfg.BaseURL, "/"),
-		http:       hc,
-		obf:        obf,
-		ledger:     ledger,
-		ledgerPath: cfg.LedgerPath,
-		r:          rng.New(cfg.Seed),
+		baseURL:     strings.TrimRight(cfg.BaseURL, "/"),
+		http:        hc,
+		obf:         obf,
+		ledger:      ledger,
+		ledgerPath:  cfg.LedgerPath,
+		r:           rng.New(cfg.Seed),
+		maxAttempts: maxAttempts,
+		baseBackoff: baseBackoff,
+		maxBackoff:  maxBackoff,
 	}, nil
 }
 
@@ -183,10 +219,17 @@ func (c *Client) VerifySchedule(ctx context.Context) error {
 	return nil
 }
 
-// Take answers a survey at the given privacy level: it validates the raw
-// answers strictly, obfuscates them at source, uploads only the noisy
-// versions, and records the privacy cost in the local ledger.
-func (c *Client) Take(ctx context.Context, sv *survey.Survey, workerID string, raw []survey.Answer, level core.Level) (*TakeResult, error) {
+// Prepare runs everything that must happen on the device before an
+// upload: verify the published schedule, validate the raw answers
+// strictly, obfuscate them at source, and charge the ledger. The
+// returned response holds only noisy answers and is ready for upload —
+// either by Take's inline post or through a batching Submitter.
+//
+// The ledger is charged here, at noise-generation time, before any
+// upload attempt: if the upload is retried the same disclosure must
+// not be charged twice, and a conservative ledger never understates
+// the loss.
+func (c *Client) Prepare(ctx context.Context, sv *survey.Survey, workerID string, raw []survey.Answer, level core.Level) (*survey.Response, error) {
 	if sv == nil {
 		return nil, fmt.Errorf("client: nil survey")
 	}
@@ -201,39 +244,62 @@ func (c *Client) Take(ctx context.Context, sv *survey.Survey, workerID string, r
 	if err := rawResp.Validate(sv); err != nil {
 		return nil, fmt.Errorf("client: raw answers invalid: %w", err)
 	}
-	// The ledger is charged at noise-generation time, before the upload:
-	// if the upload is retried the same disclosure must not be charged
-	// twice, and a conservative ledger never understates the loss.
 	noisy, err := c.obf.ObfuscateResponse(sv, raw, level, c.r, c.ledger)
 	if err != nil {
 		return nil, err
 	}
-	upload := survey.Response{
+	return &survey.Response{
 		SurveyID:     sv.ID,
 		WorkerID:     workerID,
 		Answers:      noisy,
 		PrivacyLevel: level.String(),
 		Obfuscated:   level != core.None,
+	}, nil
+}
+
+// Take answers a survey at the given privacy level: it validates the raw
+// answers strictly, obfuscates them at source, uploads only the noisy
+// versions, and records the privacy cost in the local ledger.
+func (c *Client) Take(ctx context.Context, sv *survey.Survey, workerID string, raw []survey.Answer, level core.Level) (*TakeResult, error) {
+	upload, err := c.Prepare(ctx, sv, workerID, raw, level)
+	if err != nil {
+		return nil, err
 	}
 	var ack server.SubmitResult
-	if err := c.postJSON(ctx, "/api/v1/surveys/"+sv.ID+"/responses", &upload, &ack); err != nil {
+	if err := c.postJSON(ctx, "/api/v1/surveys/"+sv.ID+"/responses", upload, &ack); err != nil {
 		return nil, err
 	}
 	if !ack.Accepted {
 		return nil, fmt.Errorf("client: server did not accept response to %q", sv.ID)
 	}
-	if c.ledgerPath != "" {
-		if err := c.ledger.SaveFile(c.ledgerPath); err != nil {
-			return nil, fmt.Errorf("client: persist ledger: %w", err)
-		}
+	if err := c.SaveLedger(); err != nil {
+		return nil, err
 	}
+	return c.takeResult(raw, upload), nil
+}
+
+// SaveLedger persists the ledger when a ledger path is configured; the
+// Submitter calls it after its own uploads succeed.
+func (c *Client) SaveLedger() error {
+	if c.ledgerPath == "" {
+		return nil
+	}
+	if err := c.ledger.SaveFile(c.ledgerPath); err != nil {
+		return fmt.Errorf("client: persist ledger: %w", err)
+	}
+	return nil
+}
+
+// takeResult reports the disclosure of one uploaded response.
+func (c *Client) takeResult(raw []survey.Answer, upload *survey.Response) *TakeResult {
+	lvl, _ := core.ParseLevel(upload.PrivacyLevel)
 	return &TakeResult{
 		Raw:         raw,
-		Uploaded:    noisy,
-		Level:       level,
+		Uploaded:    upload.Answers,
+		Level:       lvl,
 		Spent:       c.ledger.Spent(),
 		Unprotected: c.ledger.Unprotected(),
-	}, nil
+	}
 }
 
 // Schedule fetches the server's published schedule info.
@@ -295,12 +361,131 @@ func parseBudgetError(resp *http.Response, body []byte) *BudgetError {
 	return be
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
-	if err != nil {
-		return fmt.Errorf("client: build request: %w", err)
+// ThrottleError is the typed form of a retryable refusal that is not a
+// budget rejection: the server shed the request at admission
+// ("overloaded"), the per-requester rate limit refused it
+// ("rate_limited"), or a dependency was unavailable (503). Unlike
+// BudgetError these clear on their own, so the client's backoff
+// retries them when Config.MaxAttempts allows.
+type ThrottleError struct {
+	// Code is the server's short error code ("overloaded",
+	// "rate_limited", or the raw error string on a 503).
+	Code string
+	// StatusCode is the HTTP status (429 or 503).
+	StatusCode int
+	// RetryAfter is the server's advisory back-off (zero when the
+	// header was absent or malformed).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("client: server refused upload: %s (HTTP %d, retry after %s)",
+		e.Code, e.StatusCode, e.RetryAfter)
+}
+
+// parseThrottleError recognizes retryable 429/503 refusals (run after
+// parseBudgetError, which claims the 429 budget_exhausted shape); nil
+// for every other error response.
+func parseThrottleError(resp *http.Response, body []byte) *ThrottleError {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil
 	}
-	return c.do(req, dst)
+	var e struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	_ = json.Unmarshal(body, &e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	te := &ThrottleError{Code: e.Error, StatusCode: resp.StatusCode}
+	secs := e.RetryAfterSeconds
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			secs = n
+		}
+	}
+	te.RetryAfter = time.Duration(secs) * time.Second
+	return te
+}
+
+// retryable reports whether an attempt's failure may clear on its own:
+// a throttle refusal or a transport-level error. Budget rejections and
+// every 4xx validation refusal are final.
+func retryable(err error) bool {
+	var te *ThrottleError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// errRetryAfter extracts the server's back-off hint, zero when absent.
+func errRetryAfter(err error) time.Duration {
+	var te *ThrottleError
+	if errors.As(err, &te) {
+		return te.RetryAfter
+	}
+	return 0
+}
+
+// backoffDelay computes one retry's sleep: capped exponential growth
+// from base with multiplicative jitter in [0.5, 1.0), floored by the
+// server's Retry-After when one was given.
+func backoffDelay(attempt int, base, maxBackoff, retryAfter time.Duration, u float64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	d = d/2 + time.Duration(u*float64(d/2))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// request runs one logical API call with the client's retry policy:
+// MaxAttempts attempts, backoff between them, context-cancellable
+// while sleeping. body is the marshaled JSON (nil for GET) — a fresh
+// reader per attempt keeps retries well-formed.
+func (c *Client) request(ctx context.Context, method, path string, body []byte, dst any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: build request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		lastErr := c.do(req, dst)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt+1 >= c.maxAttempts || !retryable(lastErr) {
+			return lastErr
+		}
+		delay := backoffDelay(attempt, c.baseBackoff, c.maxBackoff, errRetryAfter(lastErr), c.r.Float64())
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, dst any) error {
+	return c.request(ctx, http.MethodGet, path, nil, dst)
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, body, dst any) error {
@@ -308,12 +493,7 @@ func (c *Client) postJSON(ctx context.Context, path string, body, dst any) error
 	if err != nil {
 		return fmt.Errorf("client: marshal request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(b))
-	if err != nil {
-		return fmt.Errorf("client: build request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, dst)
+	return c.request(ctx, http.MethodPost, path, b, dst)
 }
 
 func (c *Client) do(req *http.Request, dst any) error {
@@ -329,6 +509,9 @@ func (c *Client) do(req *http.Request, dst any) error {
 	if resp.StatusCode >= 300 {
 		if be := parseBudgetError(resp, body); be != nil {
 			return be
+		}
+		if te := parseThrottleError(resp, body); te != nil {
+			return te
 		}
 		var e struct {
 			Error string `json:"error"`

@@ -1,0 +1,439 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/rng"
+	"loki/internal/server"
+	"loki/internal/survey"
+)
+
+// Submitter is the client's batching async upload pipeline: callers
+// hand it prepared (already obfuscated — see Client.Prepare) responses
+// and it coalesces them into batches shipped to the server's batch
+// submit endpoint. A batch flushes when it reaches MaxBatch records or
+// when the oldest record has waited MaxWait, whichever comes first; at
+// most MaxInflight batches are on the wire at once, and a full
+// pipeline backpressures the enqueue rather than growing without
+// bound.
+//
+// Durable-ack accounting is per record: a record the server acked is
+// settled immediately and never re-sent, whatever happens to the rest
+// of its batch. Records refused with the retryable vocabulary (429
+// overloaded / rate_limited, 503) are retried — only the refused
+// subset — with capped exponential backoff, jitter, and the server's
+// Retry-After honored. Everything else fails the record permanently.
+//
+// A Submitter is safe for concurrent use. It shares only the owning
+// Client's base URL and HTTP transport; obfuscation, the noise stream,
+// and the ledger stay on the caller's side (Client.Prepare is not
+// concurrency-safe, like the phone app it models).
+type Submitter struct {
+	c   *Client
+	cfg SubmitterConfig
+
+	in       chan *pendingUpload
+	inflight chan struct{}
+	runDone  chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	jmu sync.Mutex
+	jr  *rng.RNG
+
+	stats submitterCounters
+}
+
+// SubmitterConfig tunes a Submitter. The zero value is usable: 64
+// records per batch, 50ms linger, 4 in-flight batches, 5 attempts per
+// record with 100ms..5s backoff.
+type SubmitterConfig struct {
+	// MaxBatch flushes a batch when it reaches this many records
+	// (default 64, the server caps batches at 1024).
+	MaxBatch int
+	// MaxWait flushes a non-empty batch when its oldest record has
+	// waited this long (default 50ms) — the latency bound under light
+	// load.
+	MaxWait time.Duration
+	// MaxInflight bounds concurrently shipping batches (default 4); a
+	// full pipeline backpressures the flush loop, which backpressures
+	// Submit.
+	MaxInflight int
+	// MaxAttempts bounds upload attempts per record (default 5).
+	MaxAttempts int
+	// BaseBackoff / MaxBackoff shape the retry backoff before jitter
+	// (defaults 100ms / 5s); the server's Retry-After overrides a
+	// smaller computed delay.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the retry jitter.
+	Seed uint64
+}
+
+// SubmitOutcome is one record's final verdict: durably stored (Stored
+// carries the shard's count, the submit ack figure) or failed with the
+// terminal error.
+type SubmitOutcome struct {
+	SurveyID string
+	Stored   int
+	Err      error
+}
+
+// SubmitterStats are cumulative pipeline counters.
+type SubmitterStats struct {
+	// Submitted counts records accepted into the pipeline, Acked the
+	// durably stored, Failed the permanently refused.
+	Submitted int64
+	Acked     int64
+	Failed    int64
+	// Batches counts shipped HTTP requests (retries included);
+	// Retries the backoff rounds, Throttled the per-record retryable
+	// refusals observed.
+	Batches   int64
+	Retries   int64
+	Throttled int64
+}
+
+type submitterCounters struct {
+	submitted atomic.Int64
+	acked     atomic.Int64
+	failed    atomic.Int64
+	batches   atomic.Int64
+	retries   atomic.Int64
+	throttled atomic.Int64
+}
+
+type pendingUpload struct {
+	resp *survey.Response
+	done chan SubmitOutcome
+}
+
+// ErrSubmitterClosed is returned by Submit once Close has begun; the
+// records already enqueued still flush.
+var ErrSubmitterClosed = errors.New("client: submitter is closed")
+
+// NewSubmitter starts a batching submit pipeline over this client's
+// server connection. Close it to flush and stop.
+func (c *Client) NewSubmitter(cfg SubmitterConfig) *Submitter {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 50 * time.Millisecond
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	s := &Submitter{
+		c:        c,
+		cfg:      cfg,
+		in:       make(chan *pendingUpload, 2*cfg.MaxBatch),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		runDone:  make(chan struct{}),
+		jr:       rng.New(cfg.Seed),
+	}
+	go s.run()
+	return s
+}
+
+// Submit enqueues one prepared response and returns the channel its
+// outcome will be delivered on (buffered; the caller may read it
+// whenever). It blocks only when the whole pipeline is backed up —
+// batch buffer full and MaxInflight batches on the wire — and unblocks
+// on context cancellation.
+func (s *Submitter) Submit(ctx context.Context, resp *survey.Response) (<-chan SubmitOutcome, error) {
+	if resp == nil {
+		return nil, errors.New("client: nil response")
+	}
+	p := &pendingUpload{resp: resp, done: make(chan SubmitOutcome, 1)}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrSubmitterClosed
+	}
+	select {
+	case s.in <- p:
+		s.stats.submitted.Add(1)
+		return p.done, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SubmitWait enqueues one prepared response and blocks for its
+// outcome.
+func (s *Submitter) SubmitWait(ctx context.Context, resp *survey.Response) (SubmitOutcome, error) {
+	done, err := s.Submit(ctx, resp)
+	if err != nil {
+		return SubmitOutcome{}, err
+	}
+	select {
+	case out := <-done:
+		return out, nil
+	case <-ctx.Done():
+		return SubmitOutcome{}, ctx.Err()
+	}
+}
+
+// Close flushes everything enqueued, waits for every in-flight batch
+// (retries included) to settle, and stops the pipeline. Submit after
+// Close errors.
+func (s *Submitter) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.runDone
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.in)
+	s.mu.Unlock()
+	<-s.runDone
+	s.wg.Wait()
+}
+
+// Stats reports the pipeline's cumulative counters.
+func (s *Submitter) Stats() SubmitterStats {
+	return SubmitterStats{
+		Submitted: s.stats.submitted.Load(),
+		Acked:     s.stats.acked.Load(),
+		Failed:    s.stats.failed.Load(),
+		Batches:   s.stats.batches.Load(),
+		Retries:   s.stats.retries.Load(),
+		Throttled: s.stats.throttled.Load(),
+	}
+}
+
+// run is the coalescing loop: collect records into a batch, flush on
+// MaxBatch or MaxWait, dispatch each batch to its own shipping
+// goroutine gated by the inflight bound.
+func (s *Submitter) run() {
+	defer close(s.runDone)
+	var batch []*pendingUpload
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	for {
+		select {
+		case p, ok := <-s.in:
+			if !ok {
+				stopTimer()
+				if len(batch) > 0 {
+					s.dispatch(batch)
+				}
+				return
+			}
+			if len(batch) == 0 {
+				timer.Reset(s.cfg.MaxWait)
+			}
+			batch = append(batch, p)
+			if len(batch) >= s.cfg.MaxBatch {
+				stopTimer()
+				s.dispatch(batch)
+				batch = nil
+			}
+		case <-timer.C:
+			if len(batch) > 0 {
+				s.dispatch(batch)
+				batch = nil
+			}
+		}
+	}
+}
+
+// dispatch hands a batch to a shipping goroutine, blocking while
+// MaxInflight batches are already on the wire (the backpressure that
+// keeps the pipeline bounded).
+func (s *Submitter) dispatch(batch []*pendingUpload) {
+	s.inflight <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer func() {
+			<-s.inflight
+			s.wg.Done()
+		}()
+		s.ship(batch)
+	}()
+}
+
+// ship drives one batch to settlement: post the pending subset, settle
+// acked records immediately (never re-sent), keep retryably refused
+// records for the next attempt, fail the rest. Whole-request failures
+// (transport, shed 429, 503) retry the entire pending subset.
+func (s *Submitter) ship(batch []*pendingUpload) {
+	pending := batch
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		res, err := s.post(pending)
+		var retryAfter time.Duration
+		if err == nil {
+			var next []*pendingUpload
+			for i, p := range pending {
+				item := res.Results[i]
+				switch {
+				case item.Accepted:
+					s.stats.acked.Add(1)
+					p.done <- SubmitOutcome{SurveyID: item.SurveyID, Stored: item.Stored}
+				case retryableItem(item):
+					s.stats.throttled.Add(1)
+					next = append(next, p)
+					if ra := time.Duration(item.RetryAfterSeconds) * time.Second; ra > retryAfter {
+						retryAfter = ra
+					}
+					lastErr = &ThrottleError{
+						Code:       item.Error,
+						StatusCode: item.Status,
+						RetryAfter: time.Duration(item.RetryAfterSeconds) * time.Second,
+					}
+				default:
+					s.stats.failed.Add(1)
+					p.done <- SubmitOutcome{SurveyID: p.resp.SurveyID,
+						Err: fmt.Errorf("client: server refused response: %s (HTTP %d)", item.Error, item.Status)}
+				}
+			}
+			pending = next
+			if len(pending) == 0 {
+				return
+			}
+		} else {
+			if !retryable(err) {
+				s.settleAll(pending, err)
+				return
+			}
+			lastErr = err
+			retryAfter = errRetryAfter(err)
+		}
+		if attempt+1 >= s.cfg.MaxAttempts {
+			s.settleAll(pending, fmt.Errorf("client: %d attempts exhausted: %w", s.cfg.MaxAttempts, lastErr))
+			return
+		}
+		s.stats.retries.Add(1)
+		time.Sleep(backoffDelay(attempt, s.cfg.BaseBackoff, s.cfg.MaxBackoff, retryAfter, s.jitter()))
+	}
+}
+
+func (s *Submitter) settleAll(pending []*pendingUpload, err error) {
+	for _, p := range pending {
+		s.stats.failed.Add(1)
+		p.done <- SubmitOutcome{SurveyID: p.resp.SurveyID, Err: err}
+	}
+}
+
+// retryableItem reports whether a refused record may clear on its own:
+// the retryable shed/throttle vocabulary, but never budget exhaustion
+// (a privacy budget does not replenish on a clock).
+func retryableItem(item server.BatchSubmitItem) bool {
+	if item.Status == http.StatusServiceUnavailable {
+		return true
+	}
+	return item.Status == http.StatusTooManyRequests && item.Error != "budget_exhausted"
+}
+
+// post ships one batch request and decodes the request-aligned reply.
+func (s *Submitter) post(pending []*pendingUpload) (*server.BatchSubmitResult, error) {
+	s.stats.batches.Add(1)
+	reqBody := server.BatchSubmitRequest{Responses: make([]survey.Response, len(pending))}
+	for i, p := range pending {
+		reqBody.Responses[i] = *p.resp
+	}
+	b, err := json.Marshal(&reqBody)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal batch: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, s.c.baseURL+"/api/v1/responses", bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: POST /api/v1/responses: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if be := parseBudgetError(resp, body); be != nil {
+			return nil, be
+		}
+		if te := parseThrottleError(resp, body); te != nil {
+			return nil, te
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("client: batch submit: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("client: batch submit: HTTP %d", resp.StatusCode)
+	}
+	var out server.BatchSubmitResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("client: decode batch reply: %w", err)
+	}
+	if len(out.Results) != len(pending) {
+		return nil, fmt.Errorf("client: batch reply has %d results for %d records", len(out.Results), len(pending))
+	}
+	return &out, nil
+}
+
+// TakeVia answers a survey like Client.Take but uploads through a
+// batching Submitter: Prepare runs on the caller's side (obfuscation
+// and the ledger charge), the noisy response rides the pipeline, and
+// the call blocks for its durable ack.
+func (c *Client) TakeVia(ctx context.Context, sub *Submitter, sv *survey.Survey, workerID string, raw []survey.Answer, level core.Level) (*TakeResult, error) {
+	upload, err := c.Prepare(ctx, sv, workerID, raw, level)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sub.SubmitWait(ctx, upload)
+	if err != nil {
+		return nil, err
+	}
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	if err := c.SaveLedger(); err != nil {
+		return nil, err
+	}
+	return c.takeResult(raw, upload), nil
+}
+
+func (s *Submitter) jitter() float64 {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.jr.Float64()
+}

@@ -1,0 +1,278 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/server"
+	"loki/internal/survey"
+)
+
+// batchRecorder is a fake batch submit endpoint that scripts per-record
+// verdicts and counts how many times each worker ID arrives, so tests
+// can assert the exactly-once contract: an acked-durable record is
+// never re-sent, and a throttled record is re-sent alone.
+type batchRecorder struct {
+	mu       sync.Mutex
+	received map[string]int
+	// verdict decides a record's reply given its worker ID and how many
+	// times it has now been seen (1 on first receipt).
+	verdict func(workerID string, seen int) server.BatchSubmitItem
+}
+
+func (br *batchRecorder) handler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/api/v1/responses" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		var req server.BatchSubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		br.mu.Lock()
+		res := server.BatchSubmitResult{Results: make([]server.BatchSubmitItem, len(req.Responses))}
+		for i, resp := range req.Responses {
+			br.received[resp.WorkerID]++
+			item := br.verdict(resp.WorkerID, br.received[resp.WorkerID])
+			item.SurveyID = resp.SurveyID
+			if item.Accepted {
+				res.Accepted++
+			}
+			res.Results[i] = item
+		}
+		br.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	})
+}
+
+func (br *batchRecorder) count(workerID string) int {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.received[workerID]
+}
+
+func newBatchClient(t *testing.T, url string) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: url, Schedule: core.DefaultSchedule(), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func batchResponse(workerID string) *survey.Response {
+	return &survey.Response{
+		SurveyID: survey.AwarenessID,
+		WorkerID: workerID,
+		Answers: []survey.Answer{
+			survey.ChoiceAnswer("aware", 0),
+			survey.ChoiceAnswer("participate", 1),
+		},
+		PrivacyLevel: "none",
+	}
+}
+
+// TestSubmitterRetriesOnlyUnacked: in a batch where one record is
+// accepted and the other throttled, the retry carries only the
+// throttled record — the durable ack is never re-sent.
+func TestSubmitterRetriesOnlyUnacked(t *testing.T) {
+	br := &batchRecorder{
+		received: map[string]int{},
+		verdict: func(workerID string, seen int) server.BatchSubmitItem {
+			if workerID == "slow" && seen == 1 {
+				return server.BatchSubmitItem{
+					Status: http.StatusTooManyRequests,
+					Error:  server.OverloadedCode,
+				}
+			}
+			return server.BatchSubmitItem{Accepted: true, Stored: 1}
+		},
+	}
+	ts := httptest.NewServer(br.handler(t))
+	defer ts.Close()
+
+	c := newBatchClient(t, ts.URL)
+	sub := c.NewSubmitter(SubmitterConfig{
+		MaxBatch:    2,
+		MaxWait:     5 * time.Millisecond,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        7,
+	})
+	defer sub.Close()
+
+	ctx := t.Context()
+	fastDone, err := sub.Submit(ctx, batchResponse("fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowDone, err := sub.Submit(ctx, batchResponse("slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := <-fastDone, <-slowDone
+	if fast.Err != nil || fast.Stored != 1 {
+		t.Fatalf("fast outcome = %+v", fast)
+	}
+	if slow.Err != nil || slow.Stored != 1 {
+		t.Fatalf("slow outcome = %+v", slow)
+	}
+	if got := br.count("fast"); got != 1 {
+		t.Fatalf("acked record was sent %d times, want exactly 1", got)
+	}
+	if got := br.count("slow"); got != 2 {
+		t.Fatalf("throttled record was sent %d times, want exactly 2", got)
+	}
+	st := sub.Stats()
+	if st.Acked != 2 || st.Retries == 0 || st.Throttled == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSubmitterExhaustsAttempts: a record that is throttled on every
+// attempt fails with a throttle error once MaxAttempts is spent, and
+// the wire carries it exactly MaxAttempts times.
+func TestSubmitterExhaustsAttempts(t *testing.T) {
+	br := &batchRecorder{
+		received: map[string]int{},
+		verdict: func(string, int) server.BatchSubmitItem {
+			return server.BatchSubmitItem{
+				Status: http.StatusServiceUnavailable,
+				Error:  "shard unavailable",
+			}
+		},
+	}
+	ts := httptest.NewServer(br.handler(t))
+	defer ts.Close()
+
+	c := newBatchClient(t, ts.URL)
+	sub := c.NewSubmitter(SubmitterConfig{
+		MaxBatch:    1,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        7,
+	})
+	defer sub.Close()
+
+	out, err := sub.SubmitWait(t.Context(), batchResponse("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == nil {
+		t.Fatal("exhausted submit reported success")
+	}
+	if got := br.count("doomed"); got != 3 {
+		t.Fatalf("record was sent %d times, want MaxAttempts = 3", got)
+	}
+	if st := sub.Stats(); st.Failed != 1 || st.Acked != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSubmitterPermanentRefusalDoesNotRetry: a 400-class per-record
+// refusal settles immediately; no second attempt hits the wire.
+func TestSubmitterPermanentRefusalDoesNotRetry(t *testing.T) {
+	br := &batchRecorder{
+		received: map[string]int{},
+		verdict: func(string, int) server.BatchSubmitItem {
+			return server.BatchSubmitItem{
+				Status: http.StatusBadRequest,
+				Error:  "malformed answer",
+			}
+		},
+	}
+	ts := httptest.NewServer(br.handler(t))
+	defer ts.Close()
+
+	c := newBatchClient(t, ts.URL)
+	sub := c.NewSubmitter(SubmitterConfig{MaxBatch: 1, MaxAttempts: 5, Seed: 7})
+	defer sub.Close()
+
+	out, err := sub.SubmitWait(t.Context(), batchResponse("bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == nil {
+		t.Fatal("refused submit reported success")
+	}
+	if got := br.count("bad"); got != 1 {
+		t.Fatalf("permanently refused record was sent %d times, want 1", got)
+	}
+}
+
+// TestSubmitterBudgetExhaustedNotRetried: budget_exhausted is a 429
+// that never clears on a clock, so the submitter must not burn retries
+// on it.
+func TestSubmitterBudgetExhaustedNotRetried(t *testing.T) {
+	br := &batchRecorder{
+		received: map[string]int{},
+		verdict: func(string, int) server.BatchSubmitItem {
+			return server.BatchSubmitItem{
+				Status:            http.StatusTooManyRequests,
+				Error:             "budget_exhausted",
+				RetryAfterSeconds: server.BudgetRetryAfterSeconds,
+			}
+		},
+	}
+	ts := httptest.NewServer(br.handler(t))
+	defer ts.Close()
+
+	c := newBatchClient(t, ts.URL)
+	sub := c.NewSubmitter(SubmitterConfig{MaxBatch: 1, MaxAttempts: 5, Seed: 7})
+	defer sub.Close()
+
+	out, err := sub.SubmitWait(t.Context(), batchResponse("broke"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == nil {
+		t.Fatal("budget-exhausted submit reported success")
+	}
+	if got := br.count("broke"); got != 1 {
+		t.Fatalf("budget-exhausted record was sent %d times, want 1", got)
+	}
+}
+
+// TestSubmitterCloseFlushes: records waiting for the linger timer are
+// shipped, not dropped, when the submitter closes.
+func TestSubmitterCloseFlushes(t *testing.T) {
+	br := &batchRecorder{
+		received: map[string]int{},
+		verdict: func(string, int) server.BatchSubmitItem {
+			return server.BatchSubmitItem{Accepted: true, Stored: 1}
+		},
+	}
+	ts := httptest.NewServer(br.handler(t))
+	defer ts.Close()
+
+	c := newBatchClient(t, ts.URL)
+	sub := c.NewSubmitter(SubmitterConfig{MaxBatch: 64, MaxWait: time.Hour, Seed: 7})
+	done, err := sub.Submit(t.Context(), batchResponse("lingering"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	out := <-done
+	if out.Err != nil {
+		t.Fatalf("flush-on-close outcome: %v", out.Err)
+	}
+	if got := br.count("lingering"); got != 1 {
+		t.Fatalf("lingering record was sent %d times, want 1", got)
+	}
+	if _, err := sub.Submit(t.Context(), batchResponse("late")); !errors.Is(err, ErrSubmitterClosed) {
+		t.Fatalf("submit after close = %v, want ErrSubmitterClosed", err)
+	}
+}

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -372,6 +373,127 @@ func (n *Node) AppendShardBatchCharged(global int, rs []survey.Response, charges
 }
 
 var _ shardrpc.ChargedBackend = (*Node)(nil)
+
+// AppendShardBatchAdmitted implements shardrpc.AdmittedBackend: run a
+// routed batch through the node's admission gate and per-requester
+// rate limit, then hand the admitted records to the plain or charged
+// append path. With both controls off (the default) the reply is
+// exactly what AppendShardBatch / AppendShardBatchCharged produce —
+// the wire does not change until an operator turns a knob on.
+//
+// A shed batch fails whole with OverloadedError before any state
+// changes. Throttled records answer per entry: the reply is then
+// request-aligned throughout (Throttled, Stored, AppendErrs), because
+// a refused record mid-batch breaks the durable-prefix contract.
+func (n *Node) AppendShardBatchAdmitted(global int, rs []survey.Response, charges []budget.Charge) (*shardrpc.SubmitResult, error) {
+	if len(charges) > 0 && len(charges) != len(rs) {
+		return nil, fmt.Errorf("server: %d charges for %d responses", len(charges), len(rs))
+	}
+	if a := n.srv.adm; a != nil {
+		if !a.acquire(context.Background()) {
+			return nil, &shardrpc.OverloadedError{RetryAfterSeconds: OverloadRetryAfterSeconds}
+		}
+		defer a.release()
+	}
+	var throttled []bool
+	retryAfter := 0
+	anyThrottled := false
+	if l := n.srv.limiter; l != nil {
+		throttled = make([]bool, len(rs))
+		for k := range rs {
+			if ra, ok := l.allow(rs[k].WorkerID); !ok {
+				throttled[k] = true
+				anyThrottled = true
+				if ra > retryAfter {
+					retryAfter = ra
+				}
+			}
+		}
+	}
+	if !anyThrottled {
+		if len(charges) > 0 {
+			return n.AppendShardBatchCharged(global, rs, charges)
+		}
+		counts, err := n.AppendShardBatch(global, rs)
+		if err != nil {
+			return nil, &shardrpc.PartialAppendError{Appended: len(counts), Err: err}
+		}
+		return &shardrpc.SubmitResult{Appended: len(counts), Stored: counts}, nil
+	}
+	// Some records were throttled: append only the admitted subset and
+	// map its results back onto request positions. Ownership is checked
+	// up front so a misrouted batch still answers 421 whole, not an
+	// in-band error sprinkled over admitted entries.
+	if _, err := n.localShard(global); err != nil {
+		return nil, err
+	}
+	idx := make([]int, 0, len(rs))
+	sub := make([]survey.Response, 0, len(rs))
+	var subCharges []budget.Charge
+	for k := range rs {
+		if throttled[k] {
+			continue
+		}
+		idx = append(idx, k)
+		sub = append(sub, rs[k])
+		if len(charges) > 0 {
+			subCharges = append(subCharges, charges[k])
+		}
+	}
+	res := &shardrpc.SubmitResult{
+		Stored:            make([]int, len(rs)),
+		Throttled:         throttled,
+		RetryAfterSeconds: retryAfter,
+	}
+	if len(sub) == 0 {
+		return res, nil
+	}
+	if len(subCharges) > 0 {
+		sr, err := n.AppendShardBatchCharged(global, sub, subCharges)
+		if err != nil {
+			// Charged-path errors happen before any state changes, so
+			// failing the whole call (throttle verdicts included) is
+			// safe: nothing was appended or charged.
+			return nil, err
+		}
+		res.Appended = sr.Appended
+		res.Outcomes = make([]budget.Outcome, len(rs))
+		for j, k := range idx {
+			res.Stored[k] = sr.Stored[j]
+			res.Outcomes[k] = sr.Outcomes[j]
+			if j < len(sr.ChargeErrs) && sr.ChargeErrs[j] != "" {
+				if res.ChargeErrs == nil {
+					res.ChargeErrs = make([]string, len(rs))
+				}
+				res.ChargeErrs[k] = sr.ChargeErrs[j]
+			}
+			if j < len(sr.AppendErrs) && sr.AppendErrs[j] != "" {
+				if res.AppendErrs == nil {
+					res.AppendErrs = make([]string, len(rs))
+				}
+				res.AppendErrs[k] = sr.AppendErrs[j]
+			}
+		}
+		return res, nil
+	}
+	counts, err := n.AppendShardBatch(global, sub)
+	for j, k := range idx {
+		if j < len(counts) {
+			res.Stored[k] = counts[j]
+			res.Appended++
+			continue
+		}
+		if err != nil {
+			if res.AppendErrs == nil {
+				res.AppendErrs = make([]string, len(rs))
+			}
+			res.AppendErrs[k] = err.Error()
+		}
+	}
+	return res, nil
+}
+
+var _ shardrpc.AdmittedBackend = (*Node)(nil)
 
 // advanceShard best-effort folds one shard's partial after a routed
 // append (the shardrpc twin of the public submit handler's warm-up).

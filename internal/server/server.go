@@ -39,6 +39,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,28 @@ type Config struct {
 	// with 429 budget_exhausted. Empty defaults to "enforce" when
 	// Budget is set, "off" otherwise.
 	BudgetEnforce string
+	// SubmitInflight, when positive, bounds how many submit requests
+	// execute the submit path concurrently (admission control). Further
+	// requests wait for a slot in a bounded queue of SubmitQueue; any
+	// request beyond inflight+queue is shed immediately with 429 +
+	// Retry-After — overload sheds instead of piling up goroutines.
+	// Zero disables admission control (the pre-admission behavior).
+	SubmitInflight int
+	// SubmitQueue is the admission queue bound (how many submits may
+	// wait for an inflight slot). Zero with SubmitInflight set means
+	// shed as soon as every slot is busy. Setting SubmitQueue without
+	// SubmitInflight enables admission with a default inflight bound of
+	// 4x GOMAXPROCS.
+	SubmitQueue int
+	// RateLimitRPS, when positive, enforces a per-requester token
+	// bucket on the submit path: each worker accrues RateLimitRPS
+	// tokens/second up to RateLimitBurst and a submit spends one; an
+	// empty bucket answers 429 rate_limited with a Retry-After hint.
+	// Zero disables (the default).
+	RateLimitRPS float64
+	// RateLimitBurst caps a worker's token bucket (default
+	// ceil(RateLimitRPS), at least 1).
+	RateLimitBurst int
 }
 
 // Budget enforcement modes (parsed from Config.BudgetEnforce).
@@ -153,6 +176,12 @@ type Server struct {
 	obf            *core.Obfuscator
 	budgetMode     int
 	budgetRejected atomic.Int64
+
+	// adm is the bounded submit admission gate and limiter the
+	// per-requester rate limit; both nil (no gate, no branch on the
+	// hot path) unless the corresponding Config knobs are set.
+	adm     *admission
+	limiter *rateLimiter
 
 	// live holds per-survey live aggregate state (one partial per
 	// shard) so reads are O(1) in stored responses; see liveSet.
@@ -256,7 +285,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ClusterShards <= 0 {
 		cfg.ClusterShards = router.Shards()
 	}
+	if cfg.SubmitQueue > 0 && cfg.SubmitInflight <= 0 {
+		cfg.SubmitInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.SubmitQueue < 0 || cfg.SubmitInflight < 0 {
+		return nil, errors.New("server: submit queue/inflight bounds must be non-negative")
+	}
+	if cfg.RateLimitRPS < 0 {
+		return nil, errors.New("server: rate limit rps must be non-negative")
+	}
 	s := &Server{cfg: cfg, router: router, est: est, obf: obf, budgetMode: budgetMode, mux: http.NewServeMux(), live: make(map[string]*liveSet)}
+	if cfg.SubmitInflight > 0 {
+		s.adm = newAdmission(cfg.SubmitInflight, cfg.SubmitQueue)
+	}
+	if cfg.RateLimitRPS > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimitRPS, cfg.RateLimitBurst)
+	}
 	if pf, ok := router.(partialFetcher); ok {
 		s.partials = pf
 		if cfg.FrontendCacheTTL >= 0 {
@@ -290,7 +334,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/surveys", s.handleListSurveys)
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}", s.handleGetSurvey)
 	s.mux.HandleFunc("POST /api/v1/surveys", s.requireToken(s.mutating(s.handlePublishSurvey)))
-	s.mux.HandleFunc("POST /api/v1/surveys/{id}/responses", s.mutating(s.handleSubmitResponse))
+	s.mux.HandleFunc("POST /api/v1/surveys/{id}/responses", s.mutating(s.admit(s.handleSubmitResponse)))
+	s.mux.HandleFunc("POST /api/v1/responses", s.mutating(s.admit(s.handleSubmitBatch)))
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/aggregate", s.requireToken(s.handleAggregate))
 	s.mux.HandleFunc("GET /api/v1/surveys/{id}/quality", s.requireToken(s.handleQuality))
 	s.mux.HandleFunc("GET /api/v1/schedule", s.handleSchedule)
@@ -558,29 +603,85 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("response survey_id %q does not match URL %q", resp.SurveyID, id))
 		return
 	}
+	stored, ref := s.submitOne(sv, &resp)
+	if ref != nil {
+		s.writeRefusal(w, ref)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SubmitResult{
+		SurveyID: id,
+		Accepted: true,
+		Stored:   stored,
+	})
+}
+
+// submitRefusal is a refused submit before it is written to the wire:
+// the HTTP status, the short wire code (when one exists — batch items
+// report it instead of the long message), the human message, the
+// Retry-After hint for retryable refusals, and the budget outcome when
+// the refusal is the enriched budget_exhausted shape.
+type submitRefusal struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter int
+	budget     *budget.Outcome
+}
+
+// wireError is what a batch item reports for this refusal.
+func (ref *submitRefusal) wireError() string {
+	if ref.code != "" {
+		return ref.code
+	}
+	return ref.msg
+}
+
+// writeRefusal renders a refusal as the single-submit error response,
+// preserving the exact pre-batch wire shapes: budget refusals keep the
+// enriched BudgetExhaustedError body, retryable shed/throttle refusals
+// carry Retry-After on header and body, everything else is the plain
+// {"error": msg} envelope.
+func (s *Server) writeRefusal(w http.ResponseWriter, ref *submitRefusal) {
+	if ref.budget != nil {
+		s.writeBudgetExhausted(w, *ref.budget)
+		return
+	}
+	if ref.retryAfter > 0 && ref.status == http.StatusTooManyRequests {
+		writeOverload(w, ref.wireError(), ref.retryAfter)
+		return
+	}
+	writeError(w, ref.status, ref.msg)
+}
+
+// submitOne runs the whole submit pipeline for one response whose
+// survey is already resolved: per-requester rate limit, privacy-level
+// contract, validation, budget admission, durable append, and live
+// bookkeeping. A nil refusal means the response is durably stored and
+// counted.
+func (s *Server) submitOne(sv *survey.Survey, resp *survey.Response) (int, *submitRefusal) {
+	if ref := s.throttle(resp.WorkerID); ref != nil {
+		return 0, ref
+	}
 	lvl, err := core.ParseLevel(resp.PrivacyLevel)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return 0, &submitRefusal{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	// The server cannot verify noise was added (by design it never sees
 	// the raw answers), but it enforces the declared contract: a level
 	// above none must be marked obfuscated.
 	if lvl != core.None && !resp.Obfuscated {
-		writeError(w, http.StatusBadRequest,
-			"responses at privacy levels above none must be obfuscated at source")
-		return
+		return 0, &submitRefusal{status: http.StatusBadRequest,
+			msg: "responses at privacy levels above none must be obfuscated at source"}
 	}
 	if err := resp.Validate(sv); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return 0, &submitRefusal{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	// Charge the worker's privacy budget and append — fused into one
 	// node RPC when the router can piggyback the charge, two steps
 	// (charge, then append, refunding on failure) otherwise.
-	stored, ok := s.admitAndAppend(w, sv, &resp, lvl)
-	if !ok {
-		return
+	stored, ref := s.admitAndAppend(sv, resp, lvl)
+	if ref != nil {
+		return 0, ref
 	}
 	s.served.Add(1)
 	s.levelTally[lvl].Add(1)
@@ -594,19 +695,149 @@ func (s *Server) handleSubmitResponse(w http.ResponseWriter, r *http.Request) {
 	// merge that predates this submit (read-your-writes).
 	if s.partials == nil {
 		if ls, err := s.liveFor(sv); err == nil {
-			p := ls.parts[s.router.Route(id, resp.WorkerID)]
+			p := ls.parts[s.router.Route(sv.ID, resp.WorkerID)]
 			if err := p.advance(s.router); err != nil {
-				s.logf("live aggregate catch-up for %q shard %d: %v", id, p.shard, err)
+				s.logf("live aggregate catch-up for %q shard %d: %v", sv.ID, p.shard, err)
 			}
 		}
 	} else if s.cache != nil && stored > 0 {
-		s.cache.noteSubmit(id, s.router.Route(id, resp.WorkerID), uint64(stored))
+		s.cache.noteSubmit(sv.ID, s.router.Route(sv.ID, resp.WorkerID), uint64(stored))
 	}
-	writeJSON(w, http.StatusCreated, SubmitResult{
-		SurveyID: id,
-		Accepted: true,
-		Stored:   stored,
-	})
+	return stored, nil
+}
+
+// maxBatchSubmit bounds a batch submit request; the 1 MiB body bound
+// keeps realistic batches far below it, this is a defense in depth.
+const maxBatchSubmit = 1024
+
+// batchSubmitFanout bounds the per-request goroutines a batch fans out
+// across so its appends coalesce in the store's group commit (or the
+// remote router's shard batcher) without unbounded concurrency.
+const batchSubmitFanout = 32
+
+// BatchSubmitRequest is the batching client's submit body: a set of
+// already-obfuscated responses, each carrying its own survey_id.
+type BatchSubmitRequest struct {
+	Responses []survey.Response `json:"responses"`
+}
+
+// BatchSubmitItem is one record's verdict in a batch submit reply,
+// aligned with the request's Responses. Accepted records are durable;
+// refused records carry the single-submit error vocabulary (the short
+// code for shed/throttle/budget refusals, the message otherwise), the
+// HTTP status the record would have received as a single submit, and
+// the Retry-After hint when the refusal is retryable.
+type BatchSubmitItem struct {
+	SurveyID          string `json:"survey_id"`
+	Accepted          bool   `json:"accepted"`
+	Stored            int    `json:"stored,omitempty"`
+	Status            int    `json:"status,omitempty"`
+	Error             string `json:"error,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// BatchSubmitResult is a batch submit reply. The HTTP status is 200
+// whenever the batch itself was processed — per-record failures travel
+// in Results, because a mixed batch has no single status.
+type BatchSubmitResult struct {
+	Accepted int               `json:"accepted"`
+	Results  []BatchSubmitItem `json:"results"`
+}
+
+// handleSubmitBatch is the batching submit endpoint
+// (POST /api/v1/responses): every record runs the same pipeline as a
+// single submit, fanned out over a bounded pool so concurrent appends
+// coalesce downstream, and each record answers for itself in a
+// request-aligned result. Admission control gates the whole request
+// (one queue slot per batch); the per-requester rate limit is spent
+// per record.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSubmitRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Responses) == 0 {
+		writeError(w, http.StatusBadRequest, "batch must contain at least one response")
+		return
+	}
+	if len(req.Responses) > maxBatchSubmit {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d responses exceeds the %d-record bound", len(req.Responses), maxBatchSubmit))
+		return
+	}
+	// Resolve each distinct survey once; a missing survey refuses its
+	// records without failing the batch.
+	svs := make(map[string]*survey.Survey)
+	svRefs := make(map[string]*submitRefusal)
+	for i := range req.Responses {
+		id := req.Responses[i].SurveyID
+		if id == "" {
+			continue
+		}
+		if _, seen := svs[id]; seen {
+			continue
+		}
+		if _, seen := svRefs[id]; seen {
+			continue
+		}
+		sv, err := s.router.Survey(id)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, store.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			svRefs[id] = &submitRefusal{status: status, msg: err.Error()}
+			continue
+		}
+		svs[id] = sv
+	}
+	type slot struct {
+		stored int
+		ref    *submitRefusal
+	}
+	out := make([]slot, len(req.Responses))
+	sem := make(chan struct{}, batchSubmitFanout)
+	var wg sync.WaitGroup
+	for i := range req.Responses {
+		resp := &req.Responses[i]
+		if resp.SurveyID == "" {
+			out[i].ref = &submitRefusal{status: http.StatusBadRequest, msg: "response missing survey_id"}
+			continue
+		}
+		sv := svs[resp.SurveyID]
+		if sv == nil {
+			out[i].ref = svRefs[resp.SurveyID]
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, sv *survey.Survey, resp *survey.Response) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			out[i].stored, out[i].ref = s.submitOne(sv, resp)
+		}(i, sv, resp)
+	}
+	wg.Wait()
+	res := BatchSubmitResult{Results: make([]BatchSubmitItem, len(out))}
+	for i := range out {
+		item := BatchSubmitItem{SurveyID: req.Responses[i].SurveyID}
+		if ref := out[i].ref; ref != nil {
+			item.Status = ref.status
+			item.Error = ref.wireError()
+			item.RetryAfterSeconds = ref.retryAfter
+			if ref.budget != nil && item.RetryAfterSeconds == 0 {
+				item.RetryAfterSeconds = BudgetRetryAfterSeconds
+			}
+		} else {
+			item.Accepted = true
+			item.Stored = out[i].stored
+			res.Accepted++
+		}
+		res.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, &res)
 }
 
 // piggybackRouter is the optional router surface that fuses a budget
@@ -624,18 +855,17 @@ type piggybackRouter interface {
 // the submit RPC — the worker's budget shard lives on the response
 // shard's node — the two fuse into one round-trip; otherwise the
 // charge ships first and a failed append is compensated by a refund.
-// Returns the stored count and whether the submit succeeded; on false
-// the response has been written.
-func (s *Server) admitAndAppend(w http.ResponseWriter, sv *survey.Survey, resp *survey.Response, lvl core.Level) (int, bool) {
+// Returns the stored count, or the refusal to answer with.
+func (s *Server) admitAndAppend(sv *survey.Survey, resp *survey.Response, lvl core.Level) (int, *submitRefusal) {
 	if s.budgetMode != budgetOff {
 		shard := s.router.Route(resp.SurveyID, resp.WorkerID)
 		if pr, ok := s.router.(piggybackRouter); ok && pr.CanPiggybackCharge(shard, resp.WorkerID) {
-			return s.appendCharged(w, pr, shard, sv, resp, lvl)
+			return s.appendCharged(pr, shard, sv, resp, lvl)
 		}
 	}
-	charged, ok := s.chargeBudget(w, sv, resp, lvl)
-	if !ok {
-		return 0, false
+	charged, ref := s.chargeBudget(sv, resp, lvl)
+	if ref != nil {
+		return 0, ref
 	}
 	stored, err := s.router.Append(resp)
 	if err != nil {
@@ -644,32 +874,55 @@ func (s *Server) admitAndAppend(w http.ResponseWriter, sv *survey.Survey, resp *
 				s.logf("budget refund for worker %q after failed append: %v", resp.WorkerID, rerr)
 			}
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
-		return 0, false
+		return 0, appendRefusal(err)
 	}
-	return stored, true
+	return stored, nil
+}
+
+// appendRefusal maps an append failure to a refusal. A downstream
+// node's shed or throttle verdict (an overloaded cluster node behind
+// this frontend) keeps its retryable 429 vocabulary so the client's
+// backoff engages; anything else is the pre-admission 400.
+func appendRefusal(err error) *submitRefusal {
+	var oe *shardrpc.OverloadedError
+	if errors.As(err, &oe) {
+		ra := oe.RetryAfterSeconds
+		if ra <= 0 {
+			ra = OverloadRetryAfterSeconds
+		}
+		return &submitRefusal{status: http.StatusTooManyRequests, code: OverloadedCode,
+			msg: err.Error(), retryAfter: ra}
+	}
+	var te *shardrpc.ThrottledError
+	if errors.As(err, &te) {
+		ra := te.RetryAfterSeconds
+		if ra <= 0 {
+			ra = OverloadRetryAfterSeconds
+		}
+		return &submitRefusal{status: http.StatusTooManyRequests, code: RateLimitedCode,
+			msg: err.Error(), retryAfter: ra}
+	}
+	return &submitRefusal{status: http.StatusBadRequest, msg: err.Error()}
 }
 
 // appendCharged is the fused path: one RPC decides the debit and
 // appends. The error vocabulary mirrors chargeBudget's status mapping;
 // a failed append's charge was already refunded on the node.
-func (s *Server) appendCharged(w http.ResponseWriter, pr piggybackRouter, shard int, sv *survey.Survey, resp *survey.Response, lvl core.Level) (int, bool) {
-	ch, ok := s.buildCharge(w, sv, resp, lvl)
-	if !ok {
-		return 0, false
+func (s *Server) appendCharged(pr piggybackRouter, shard int, sv *survey.Survey, resp *survey.Response, lvl core.Level) (int, *submitRefusal) {
+	ch, ref := s.buildCharge(sv, resp, lvl)
+	if ref != nil {
+		return 0, ref
 	}
 	stored, out, err := pr.AppendCharged(shard, resp, *ch)
 	switch {
 	case errors.Is(err, budget.ErrExhausted):
 		s.budgetRejected.Add(1)
-		s.writeBudgetExhausted(w, out)
-		return 0, false
+		return 0, s.budgetRefusal(out)
 	case errors.Is(err, budget.ErrUndecided):
-		writeError(w, http.StatusServiceUnavailable, "privacy-budget charge failed: "+err.Error())
-		return 0, false
+		return 0, &submitRefusal{status: http.StatusServiceUnavailable,
+			msg: "privacy-budget charge failed: " + err.Error()}
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
-		return 0, false
+		return 0, appendRefusal(err)
 	}
 	// A zero outcome on a stored response is the log-mode fail-open
 	// signature: the node could not decide the charge but appended
@@ -679,7 +932,7 @@ func (s *Server) appendCharged(w http.ResponseWriter, pr piggybackRouter, shard 
 	} else if out.OverCap {
 		s.logOverCap(resp.WorkerID, out, lvl)
 	}
-	return stored, true
+	return stored, nil
 }
 
 // BudgetRetryAfterSeconds is the advisory Retry-After on 429
@@ -713,13 +966,24 @@ func (s *Server) writeBudgetExhausted(w http.ResponseWriter, out budget.Outcome)
 	})
 }
 
-// buildCharge prices one submit for the ledger; on false the response
-// has been written.
-func (s *Server) buildCharge(w http.ResponseWriter, sv *survey.Survey, resp *survey.Response, lvl core.Level) (*budget.Charge, bool) {
+// budgetRefusal is the enriched budget_exhausted refusal: the short
+// wire code, the standing Retry-After hint, and the outcome carrying
+// the worker's remaining headroom for the single-submit body.
+func (s *Server) budgetRefusal(out budget.Outcome) *submitRefusal {
+	return &submitRefusal{
+		status:     http.StatusTooManyRequests,
+		code:       budget.ErrExhausted.Error(),
+		msg:        budget.ErrExhausted.Error(),
+		retryAfter: BudgetRetryAfterSeconds,
+		budget:     &out,
+	}
+}
+
+// buildCharge prices one submit for the ledger.
+func (s *Server) buildCharge(sv *survey.Survey, resp *survey.Response, lvl core.Level) (*budget.Charge, *submitRefusal) {
 	rho, unprotected, err := s.obf.ResponseRho(sv, lvl)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return nil, false
+		return nil, &submitRefusal{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	return &budget.Charge{
 		WorkerID:    resp.WorkerID,
@@ -727,7 +991,7 @@ func (s *Server) buildCharge(w http.ResponseWriter, sv *survey.Survey, resp *sur
 		Rho:         rho,
 		Unprotected: unprotected,
 		Enforce:     s.budgetMode == budgetEnforcing,
-	}, true
+	}, nil
 }
 
 func (s *Server) logOverCap(workerID string, out budget.Outcome, lvl core.Level) {
@@ -737,8 +1001,8 @@ func (s *Server) logOverCap(workerID string, out budget.Outcome, lvl core.Level)
 
 // chargeBudget debits the submitting worker's privacy budget over the
 // separate charge RPC. It returns the charge to refund on a later
-// append failure (nil when nothing was charged) and whether the submit
-// may proceed; on false the response has been written.
+// append failure (nil when nothing was charged) and the refusal to
+// answer with when the submit may not proceed.
 //
 // Failure policy: in enforce mode an undecidable charge (shard down,
 // WAL failure) fails the submit closed with 503 — admitting unmetered
@@ -747,33 +1011,32 @@ func (s *Server) logOverCap(workerID string, out budget.Outcome, lvl core.Level)
 // charge routed to a budget shard this server's charger does not host
 // (a direct-to-node submit whose worker lives on another node's shard)
 // is skipped: enforcement for that worker happens at the frontier.
-func (s *Server) chargeBudget(w http.ResponseWriter, sv *survey.Survey, resp *survey.Response, lvl core.Level) (*budget.Charge, bool) {
+func (s *Server) chargeBudget(sv *survey.Survey, resp *survey.Response, lvl core.Level) (*budget.Charge, *submitRefusal) {
 	if s.budgetMode == budgetOff {
-		return nil, true
+		return nil, nil
 	}
-	ch, ok := s.buildCharge(w, sv, resp, lvl)
-	if !ok {
-		return nil, false
+	ch, ref := s.buildCharge(sv, resp, lvl)
+	if ref != nil {
+		return nil, ref
 	}
 	out, err := s.cfg.Budget.Charge(*ch)
 	switch {
 	case errors.Is(err, budget.ErrNotHosted):
-		return nil, true
+		return nil, nil
 	case err != nil && s.budgetMode == budgetEnforcing:
-		writeError(w, http.StatusServiceUnavailable, "privacy-budget charge failed: "+err.Error())
-		return nil, false
+		return nil, &submitRefusal{status: http.StatusServiceUnavailable,
+			msg: "privacy-budget charge failed: " + err.Error()}
 	case err != nil:
 		s.logf("budget charge for worker %q failed (log mode, submit admitted): %v", resp.WorkerID, err)
-		return nil, true
+		return nil, nil
 	case out.Rejected:
 		s.budgetRejected.Add(1)
-		s.writeBudgetExhausted(w, out)
-		return nil, false
+		return nil, s.budgetRefusal(out)
 	}
 	if out.OverCap {
 		s.logOverCap(resp.WorkerID, out, lvl)
 	}
-	return ch, true
+	return ch, nil
 }
 
 // surveyEstimate is the shared read path of /aggregate and /quality:
@@ -1064,6 +1327,10 @@ type AdminStoreInfo struct {
 	// Budget reports the privacy-budget ledger (mode, cap, per-shard
 	// stats); only when a budget charger is configured.
 	Budget *BudgetInfo `json:"budget,omitempty"`
+	// Admission reports the submit admission gate and the
+	// per-requester rate limit (queue depth, inflight, shed and
+	// throttle counters); only when either control is configured.
+	Admission *AdmissionInfo `json:"admission,omitempty"`
 }
 
 // BudgetInfo is the admin surface's view of the budget service.
@@ -1140,6 +1407,7 @@ func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
 		PoisonedRecords: s.poisoned.Load(),
 		Checkpoints:     s.checkpointInfo(),
 		FrontendCache:   s.frontendCacheInfo(),
+		Admission:       s.admissionInfo(),
 	}
 	if l, ok := s.router.(*shardset.Local); ok {
 		info.Journals = l.JournalStats()

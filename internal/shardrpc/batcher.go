@@ -160,6 +160,26 @@ func (b *shardBatcher) ship(batch []*pendingSubmit) {
 		}
 		return
 	}
+	if len(res.Throttled) == len(batch) {
+		// A node with rate limiting answered per record: throttled
+		// entries were not appended and settle with the retryable
+		// vocabulary; the rest are request-aligned (see SubmitResult).
+		for i, p := range batch {
+			switch {
+			case res.Throttled[i]:
+				p.done <- submitDone{err: &ThrottledError{RetryAfterSeconds: res.RetryAfterSeconds}}
+			case i < len(res.AppendErrs) && res.AppendErrs[i] != "":
+				p.done <- submitDone{err: errors.New(res.AppendErrs[i])}
+			default:
+				stored := 0
+				if i < len(res.Stored) {
+					stored = res.Stored[i]
+				}
+				p.done <- submitDone{stored: stored}
+			}
+		}
+		return
+	}
 	for i, p := range batch {
 		stored := 0
 		if i < len(res.Stored) {
@@ -176,6 +196,9 @@ func (b *shardBatcher) ship(batch []*pendingSubmit) {
 // errored was still appended — it settles as stored with a zero
 // outcome, and the caller can tell from the empty outcome worker id.
 func settleCharged(res *SubmitResult, i int, p *pendingSubmit) submitDone {
+	if i < len(res.Throttled) && res.Throttled[i] {
+		return submitDone{err: &ThrottledError{RetryAfterSeconds: res.RetryAfterSeconds}}
+	}
 	if i < len(res.AppendErrs) && res.AppendErrs[i] != "" {
 		return submitDone{err: errors.New(res.AppendErrs[i])}
 	}

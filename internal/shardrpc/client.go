@@ -45,6 +45,9 @@ type remoteError struct {
 	// Appended is the durable prefix of a failed submit batch (from
 	// AppendedHeader); 0 for every other call.
 	Appended int
+	// RetryAfter is the peer's Retry-After header in seconds (a shed
+	// batch from an overloaded node); 0 when absent.
+	RetryAfter int
 }
 
 // Error implements error.
@@ -53,13 +56,17 @@ func (e *remoteError) Error() string {
 }
 
 // Unwrap maps transport statuses back to the sentinels the local path
-// returns, so callers handle local and remote stores identically.
+// returns, so callers handle local and remote stores identically. A
+// 429 is a peer's admission shed — it unwraps to OverloadedError so
+// the frontend's submit path keeps the retryable vocabulary.
 func (e *remoteError) Unwrap() error {
 	switch e.Status {
 	case http.StatusNotFound:
 		return store.ErrNotFound
 	case http.StatusConflict:
 		return store.ErrExists
+	case http.StatusTooManyRequests:
+		return &OverloadedError{RetryAfterSeconds: e.RetryAfter}
 	default:
 		return nil
 	}
@@ -119,7 +126,8 @@ func (c *Client) do(method, path string, query url.Values, in, out any) error {
 			payload.Error = resp.Status
 		}
 		appended, _ := strconv.Atoi(resp.Header.Get(AppendedHeader))
-		return &remoteError{Status: resp.StatusCode, Msg: payload.Error, Appended: appended}
+		retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return &remoteError{Status: resp.StatusCode, Msg: payload.Error, Appended: appended, RetryAfter: retryAfter}
 	}
 	if out == nil {
 		return nil

@@ -73,9 +73,15 @@ func (h *Handler) guard(fn http.HandlerFunc) http.HandlerFunc {
 // so the sender does not blindly retry a rejected record.
 func writeBackendErr(w http.ResponseWriter, err error) {
 	var notOwned *ErrNotOwned
+	var overloaded *OverloadedError
 	switch {
 	case errors.As(err, &notOwned):
 		writeErr(w, http.StatusMisdirectedRequest, err.Error())
+	case errors.As(err, &overloaded):
+		// The node shed the batch at admission: nothing was appended,
+		// the sender retries the whole batch after the hint.
+		w.Header().Set("Retry-After", strconv.Itoa(overloaded.RetryAfterSeconds))
+		writeErr(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, store.ErrNotFound):
 		writeErr(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, store.ErrExists):
@@ -96,6 +102,28 @@ func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Responses) == 0 {
 		writeErr(w, http.StatusBadRequest, "submit batch is empty")
+		return
+	}
+	if len(req.Charges) > 0 && len(req.Charges) != len(req.Responses) {
+		writeErr(w, http.StatusBadRequest, "charges are not aligned with responses")
+		return
+	}
+	// An overload-aware backend runs the batch through its admission
+	// and rate-limit gates and answers per record; with both gates off
+	// its reply is byte-identical to the plain paths below.
+	if ab, ok := h.backend.(AdmittedBackend); ok {
+		res, err := ab.AppendShardBatchAdmitted(req.Shard, req.Responses, req.Charges)
+		if err != nil {
+			var pe *PartialAppendError
+			if errors.As(err, &pe) {
+				w.Header().Set(AppendedHeader, strconv.Itoa(pe.Appended))
+				writeBackendErr(w, pe.Err)
+				return
+			}
+			writeBackendErr(w, err)
+			return
+		}
+		writeOK(w, res)
 		return
 	}
 	if len(req.Charges) > 0 {

@@ -91,6 +91,16 @@ type SubmitResult struct {
 	// ledger whose append then failed; their charges were refunded on
 	// the node before the reply.
 	AppendErrs []string `json:"append_errs,omitempty"`
+	// Throttled, when present, is aligned with the request's Responses
+	// and marks entries the node's per-requester rate limit refused —
+	// they were not appended and should be retried after
+	// RetryAfterSeconds. A reply with Throttled set is request-aligned
+	// throughout (Stored, and AppendErrs when appends failed), because
+	// a throttled entry in the middle of the batch means the durable
+	// set is no longer a prefix. Absent on nodes without rate limiting.
+	Throttled []bool `json:"throttled,omitempty"`
+	// RetryAfterSeconds is the back-off hint for the Throttled entries.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 // AppendedHeader is the response header a failed submit carries: how
@@ -216,6 +226,55 @@ type Backend interface {
 type ChargedBackend interface {
 	AppendShardBatchCharged(shard int, rs []survey.Response, charges []budget.Charge) (*SubmitResult, error)
 }
+
+// AdmittedBackend is the optional overload-aware submit surface: a
+// node with admission control or per-requester rate limiting runs the
+// whole batch through its gates and answers with per-record verdicts
+// (see SubmitResult.Throttled). A shed batch fails with
+// OverloadedError before any state changes; a partially appended plain
+// batch fails with PartialAppendError so the Handler can keep the
+// AppendedHeader wire contract. With both controls off the result is
+// identical to the plain AppendShardBatch / AppendShardBatchCharged
+// paths.
+type AdmittedBackend interface {
+	AppendShardBatchAdmitted(shard int, rs []survey.Response, charges []budget.Charge) (*SubmitResult, error)
+}
+
+// OverloadedError reports a node that shed the whole batch at
+// admission (queue full): nothing was appended, the sender should
+// retry the entire batch after RetryAfterSeconds. The Handler maps it
+// to 429 with a Retry-After header; the Client maps the 429 back.
+type OverloadedError struct{ RetryAfterSeconds int }
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("shardrpc: node overloaded, retry after %ds", e.RetryAfterSeconds)
+}
+
+// ThrottledError reports one record refused by a node's per-requester
+// rate limit (it was not appended). The batcher settles throttled
+// entries with it so the caller's Retry-After-aware backoff engages.
+type ThrottledError struct{ RetryAfterSeconds int }
+
+// Error implements error.
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("shardrpc: rate limited, retry after %ds", e.RetryAfterSeconds)
+}
+
+// PartialAppendError wraps a plain batch's append failure with its
+// durable prefix length, so an AdmittedBackend can report partial
+// progress through the same AppendedHeader contract the plain path
+// uses.
+type PartialAppendError struct {
+	Appended int
+	Err      error
+}
+
+// Error implements error.
+func (e *PartialAppendError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying append failure.
+func (e *PartialAppendError) Unwrap() error { return e.Err }
 
 // ErrNotOwned is the sentinel a Backend returns from shard-addressed
 // calls for global shards outside its owned subset; the Handler maps it

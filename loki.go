@@ -294,6 +294,32 @@ type (
 	// BudgetError is the client-side typed form of a 429
 	// budget_exhausted refusal: Retry-After plus remaining (ε, δ).
 	BudgetError = client.BudgetError
+	// ThrottleError is the client-side typed form of a 429
+	// overloaded/rate_limited refusal: the short code plus the server's
+	// Retry-After hint.
+	ThrottleError = client.ThrottleError
+	// Submitter is the client's batching async submit pipeline:
+	// responses coalesce into batch uploads, settlement is per record,
+	// acked-durable records are never re-sent, throttled records retry
+	// with backoff honoring Retry-After.
+	Submitter = client.Submitter
+	// SubmitterConfig tunes batch size, linger, inflight bound and the
+	// retry policy.
+	SubmitterConfig = client.SubmitterConfig
+	// SubmitOutcome is one record's final verdict from a Submitter.
+	SubmitOutcome = client.SubmitOutcome
+	// SubmitterStats are a Submitter's cumulative pipeline counters.
+	SubmitterStats = client.SubmitterStats
+	// AdmissionInfo is the server's overload-protection admin snapshot
+	// (inflight/queue depth with high-water marks, admitted/shed/
+	// throttled counters) — present only when admission knobs are set.
+	AdmissionInfo = server.AdmissionInfo
+	// BatchSubmitRequest and BatchSubmitResult are the batching submit
+	// endpoint's wire shapes (POST /api/v1/responses); BatchSubmitItem
+	// is one record's request-aligned verdict.
+	BatchSubmitRequest = server.BatchSubmitRequest
+	BatchSubmitResult  = server.BatchSubmitResult
+	BatchSubmitItem    = server.BatchSubmitItem
 )
 
 // File store sync policies.
@@ -380,6 +406,10 @@ var (
 // cumulative privacy spend would exceed the configured cap; the HTTP
 // surface maps it to 429 with code "budget_exhausted".
 var ErrBudgetExhausted = budget.ErrExhausted
+
+// ErrSubmitterClosed is returned by Submitter.Submit once Close has
+// begun; already-enqueued records still flush.
+var ErrSubmitterClosed = client.ErrSubmitterClosed
 
 // Experiments: every figure and table of the paper.
 var (
