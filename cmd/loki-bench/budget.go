@@ -199,7 +199,7 @@ func measureBudgetMode(sv *survey.Survey, enforce bool) (float64, latencySummary
 			os.RemoveAll(dir)
 			return 0, latencySummary{}, 0, err
 		}
-		rps, lat, err := driveSubmits(h.handler, sv, budgetResponses)
+		rps, lat, err := driveSubmits(h.handler, sv, 0, budgetResponses)
 		if err != nil {
 			h.close()
 			os.RemoveAll(dir)

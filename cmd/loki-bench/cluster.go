@@ -121,6 +121,9 @@ type clusterReport struct {
 	// CacheTTLMillis is the caching frontend's staleness bound.
 	CacheTTLMillis float64         `json:"cache_ttl_millis"`
 	Results        []clusterResult `json:"results"`
+	// Failover is the -kill-node fault-injection timeline (absent when
+	// the flag is off).
+	Failover *failoverResult `json:"failover,omitempty"`
 }
 
 // deviceID returns a printable device id for the filesystem holding
@@ -297,10 +300,11 @@ func newClusterHarness(dir string, sv *survey.Survey, nodes int) (*clusterHarnes
 	return h, nil
 }
 
-// driveSubmits pushes n deterministic responses through the handler
-// with the configured worker count and returns accepted responses/sec
-// plus per-submit latency percentiles.
-func driveSubmits(h http.Handler, sv *survey.Survey, n int) (float64, latencySummary, error) {
+// driveSubmits pushes n deterministic responses (indices base..base+n-1
+// — distinct bases keep worker-id spaces disjoint across phases) through
+// the handler with the configured worker count and returns accepted
+// responses/sec plus per-submit latency percentiles.
+func driveSubmits(h http.Handler, sv *survey.Survey, base, n int) (float64, latencySummary, error) {
 	var lat latencyRecorder
 	var wg sync.WaitGroup
 	errCh := make(chan error, clusterWorkers)
@@ -339,7 +343,7 @@ func driveSubmits(h http.Handler, sv *survey.Survey, n int) (float64, latencySum
 feed:
 	for i := 0; i < n; i++ {
 		select {
-		case next <- i:
+		case next <- base + i:
 		case <-failed:
 			break feed
 		}
@@ -446,7 +450,7 @@ func measureReads(h http.Handler, surveyID string) (float64, time.Duration, erro
 // count, asserts read equivalence, and writes the report.
 func runClusterBench(nodeCounts []int) error {
 	sv := clusterSurvey()
-	report := clusterReport{Schema: 3, CacheTTLMillis: float64(clusterCacheTTL) / 1e6}
+	report := clusterReport{Schema: 4, CacheTTLMillis: float64(clusterCacheTTL) / 1e6}
 
 	// Baseline: single process, one fsync stream.
 	baseDir, err := os.MkdirTemp("", "loki-bench-cluster-*")
@@ -469,7 +473,7 @@ func runClusterBench(nodeCounts []int) error {
 	if err != nil {
 		return err
 	}
-	baseRPS, baseSubmitLat, err := driveSubmits(base.handler, sv, clusterResponses)
+	baseRPS, baseSubmitLat, err := driveSubmits(base.handler, sv, 0, clusterResponses)
 	if err != nil {
 		base.close()
 		return fmt.Errorf("cluster bench: baseline submits: %w", err)
@@ -501,7 +505,7 @@ func runClusterBench(nodeCounts []int) error {
 			os.RemoveAll(dir)
 			return err
 		}
-		rps, submitLat, err := driveSubmits(h.handler, sv, clusterResponses)
+		rps, submitLat, err := driveSubmits(h.handler, sv, 0, clusterResponses)
 		if err != nil {
 			h.close()
 			os.RemoveAll(dir)
@@ -574,6 +578,17 @@ func runClusterBench(nodeCounts []int) error {
 			r.Nodes, r.SubmitRPS, r.SubmitLatency.P50Millis, r.SubmitLatency.P99Millis, r.SubmitSpeedup,
 			r.ReadQPS, r.ReadMillis,
 			r.CachedReadQPS, r.CachedReadMillis, r.CachedSpeedup, r.Equivalent)
+	}
+	if clusterKillNode {
+		fo, err := runFailoverBench()
+		if err != nil {
+			return err
+		}
+		report.Failover = fo
+		fmt.Fprintf(out, "  failover  kill-node: detect %.0fms  first read %.1fms  promote %.0fms  submits resume %.0fms\n",
+			fo.DetectMillis, fo.FirstReadMillis, fo.PromoteMillis, fo.SubmitRecoveryMillis)
+		fmt.Fprintf(out, "            reads through failover %d ok / %d failed (stale-served %d)  submits %d refused (503) then %d accepted  merged==single: %v\n",
+			fo.ReadsDuringFailover, fo.ReadFailures, fo.StaleReads, fo.SubmitsRefused, fo.SubmitsRecovered, fo.Equivalent)
 	}
 	fmt.Fprintln(out)
 

@@ -69,6 +69,8 @@ func main() {
 		"responses the cluster experiment submits per configuration")
 	flag.IntVar(&clusterWorkers, "cluster-workers", clusterWorkers,
 		"concurrent submit workers in the cluster experiment")
+	flag.BoolVar(&clusterKillNode, "kill-node", clusterKillNode,
+		"add the failover fault injection to the cluster experiment: kill the primary mid-run and measure read/submit availability through detection, failover and promotion")
 	flag.StringVar(&budgetJSONPath, "budget-json", budgetJSONPath,
 		"where the budget experiment writes its machine-readable report (empty disables)")
 	flag.IntVar(&budgetResponses, "budget-responses", budgetResponses,

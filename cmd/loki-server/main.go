@@ -33,6 +33,22 @@
 //	replica     tails the node at -follow via WAL shipping and serves
 //	            the read-only half of the public API with a staleness
 //	            cursor on the admin surface. Submits/publishes get 403.
+//	            Also serves shardrpc, so frontends can fail reads over
+//	            to it, and can be promoted to a shard's writable
+//	            primary (POST /api/v1/admin/promote/{shard}, or
+//	            automatically after -promote-after of the primary being
+//	            unreachable).
+//
+// High availability (-manifest): cluster roles can share a versioned
+// placement manifest (JSON: shard -> primary + replicas, each shard
+// with a fencing epoch) instead of positional -peers. Every role
+// watches the file (-manifest-poll): frontends route by it, probe node
+// health (-probe-interval) and fail reads over to replicas when a
+// primary dies (writes to the failed shard answer 503 + Retry-After
+// until promotion); a promotion bumps the shard's epoch in the
+// manifest, which re-routes every frontend and fences the old
+// primary's writes with 412 when it returns. -advertise tells a node
+// or replica which manifest entry is itself.
 //
 // With -store mem the server keeps everything in memory; with -store
 // ingest:DIR it opens the sharded segmented-WAL ingest store rooted at
@@ -82,6 +98,7 @@ import (
 	"loki/internal/checkpoint"
 	"loki/internal/core"
 	"loki/internal/ingest"
+	"loki/internal/placement"
 	"loki/internal/server"
 	"loki/internal/shardrpc"
 	"loki/internal/shardset"
@@ -104,6 +121,12 @@ type clusterFlags struct {
 	journalRetain  int           // node: journal retained-entry bound
 	followerID     string        // replica: stable follower id for truncation acks
 	followerAckTTL time.Duration // node: expire silent follower acks after this long
+
+	manifest      string        // all cluster roles: shared placement manifest path
+	manifestPoll  time.Duration // manifest watch interval
+	advertise     string        // node/replica: this process's base URL in the manifest
+	probeInterval time.Duration // frontend: health-probe interval of the failure detector
+	promoteAfter  time.Duration // replica: auto-promote after the tail has failed this long (0 = operator only)
 
 	budgetDir     string  // node/standalone: budget WAL directory (empty = in-memory)
 	budgetCap     float64 // epsilon ceiling per worker
@@ -169,6 +192,15 @@ func main() {
 		"replica: stable follower id for journal-truncation acks (defaults to a process-scoped id)")
 	flag.DurationVar(&cf.followerAckTTL, "follower-ack-ttl", 10*time.Minute,
 		"node: drop a replica's journal-truncation ack after this long without a tail from it, so dead replicas stop pinning retention (0 keeps acks forever)")
+	flag.StringVar(&cf.manifest, "manifest", "",
+		"path of the shared placement manifest (versioned JSON mapping shard -> primary + replicas with per-shard epochs); watched by every cluster role, so promotions re-route frontends and fence demoted nodes without restarts")
+	flag.DurationVar(&cf.manifestPoll, "manifest-poll", time.Second, "placement manifest watch interval")
+	flag.StringVar(&cf.advertise, "advertise", "",
+		"node/replica: this process's base URL exactly as the manifest names it (required with -manifest on those roles)")
+	flag.DurationVar(&cf.probeInterval, "probe-interval", 500*time.Millisecond,
+		"frontend: health-probe interval of the per-node failure detector (with -manifest)")
+	flag.DurationVar(&cf.promoteAfter, "promote-after", 0,
+		"replica: promote a followed shard automatically after its tail has been failing this long (0 promotes only on the operator signal)")
 	flag.StringVar(&cf.budgetDir, "budget-dir", "",
 		"directory for the durable per-worker privacy-budget ledgers (empty keeps them in memory)")
 	flag.Float64Var(&cf.budgetCap, "budget-cap-epsilon", 10,
@@ -414,6 +446,19 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 		if err != nil {
 			return err
 		}
+		if cf.manifest != "" {
+			if cf.advertise == "" {
+				return errors.New("node with -manifest needs -advertise (its URL as the manifest names it)")
+			}
+			w, err := placement.Watch(cf.manifest, cf.manifestPoll, func(m *placement.Manifest) {
+				node.ApplyManifest(m, cf.advertise)
+			})
+			if err != nil {
+				return fmt.Errorf("placement manifest %s: %w", cf.manifest, err)
+			}
+			closers = append(closers, func() error { w.Close(); return nil })
+			logger.Printf("watching placement manifest %s every %v (advertised as %s)", cf.manifest, cf.manifestPoll, cf.advertise)
+		}
 		logger.Printf("node %d/%d owns global shards %v", cf.nodeIndex, cf.clusterNodes, owned)
 		mux := http.NewServeMux()
 		mux.Handle("/shardrpc/", rpc)
@@ -421,23 +466,58 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 		handler = mux
 
 	case "frontend":
-		if cf.peers == "" {
-			return errors.New("frontend needs -peers")
+		if cf.peers == "" && cf.manifest == "" {
+			return errors.New("frontend needs -peers or -manifest")
 		}
-		var clients []*shardrpc.Client
-		for _, p := range strings.Split(cf.peers, ",") {
-			p = strings.TrimSpace(p)
-			if p == "" {
-				continue
+		var remote *shardrpc.Remote
+		var peerURLs []string
+		if cf.manifest != "" {
+			// Manifest-driven routing: shard -> primary + replicas with
+			// per-shard epochs, reloaded on file change (a promotion
+			// re-routes without a restart), plus the health-probing
+			// failure detector that fails reads over to replicas.
+			m, err := placement.Load(cf.manifest)
+			if err != nil {
+				return fmt.Errorf("placement manifest %s: %w", cf.manifest, err)
 			}
-			clients = append(clients, shardrpc.NewClient(p, cf.clusterToken, nil))
-		}
-		if len(clients) == 0 {
-			return errors.New("frontend needs at least one peer")
-		}
-		remote, err := shardrpc.NewRemoteRoundRobin(clients, cf.clusterShards)
-		if err != nil {
-			return err
+			remote, err = shardrpc.NewRemoteFromManifest(m, cf.clusterToken, nil)
+			if err != nil {
+				return err
+			}
+			peerURLs = m.Nodes()
+			w, err := placement.Watch(cf.manifest, cf.manifestPoll, func(m *placement.Manifest) {
+				if err := remote.ApplyManifest(m); err != nil {
+					logger.Printf("placement manifest reload: %v", err)
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("placement manifest %s: %w", cf.manifest, err)
+			}
+			closers = append(closers, func() error { w.Close(); return nil })
+			// A fenced write means a newer manifest exists somewhere:
+			// re-poll immediately instead of waiting out the interval.
+			remote.OnFenced(w.Poll)
+			remote.EnableFailover(shardrpc.FailoverOptions{ProbeInterval: cf.probeInterval})
+			closers = append(closers, remote.Close)
+			logger.Printf("watching placement manifest %s every %v (probe interval %v)", cf.manifest, cf.manifestPoll, cf.probeInterval)
+		} else {
+			var clients []*shardrpc.Client
+			for _, p := range strings.Split(cf.peers, ",") {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					continue
+				}
+				peerURLs = append(peerURLs, p)
+				clients = append(clients, shardrpc.NewClient(p, cf.clusterToken, nil))
+			}
+			if len(clients) == 0 {
+				return errors.New("frontend needs at least one peer")
+			}
+			rr, err := shardrpc.NewRemoteRoundRobin(clients, cf.clusterShards)
+			if err != nil {
+				return err
+			}
+			remote = rr
 		}
 		if seedCatalog {
 			if err := seedStore(remote, logger); err != nil {
@@ -455,7 +535,11 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 		}
 		cf.admission(&scfg)
 		if cf.budgetEnforce != "off" {
-			charger, err := shardrpc.NewRemoteCharger(clients, cf.clusterShards, cf.budgetConfig())
+			chargeClients := make([]*shardrpc.Client, len(peerURLs))
+			for i, p := range peerURLs {
+				chargeClients[i] = shardrpc.NewClient(p, cf.clusterToken, nil)
+			}
+			charger, err := shardrpc.NewRemoteCharger(chargeClients, cf.clusterShards, cf.budgetConfig())
 			if err != nil {
 				return err
 			}
@@ -468,7 +552,7 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 			scfg.Budget = charger
 			scfg.BudgetEnforce = cf.budgetEnforce
 			logger.Printf("privacy budget %s: charging %d budget shards across %d nodes, cap ε=%g at δ=%g",
-				cf.budgetEnforce, cf.clusterShards, len(clients), cf.budgetCap, cf.budgetDelta)
+				cf.budgetEnforce, cf.clusterShards, len(peerURLs), cf.budgetCap, cf.budgetDelta)
 		}
 		srv, err := server.New(scfg)
 		if err != nil {
@@ -476,16 +560,19 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 		}
 		closers = append(closers, srv.Close)
 		if cf.cacheTTL < 0 {
-			logger.Printf("frontend routing %d shards across %d nodes (partial cache disabled)", cf.clusterShards, len(clients))
+			logger.Printf("frontend routing %d shards across %d nodes (partial cache disabled)", cf.clusterShards, len(peerURLs))
 		} else {
 			logger.Printf("frontend routing %d shards across %d nodes (partial cache TTL %v, refresh %v)",
-				cf.clusterShards, len(clients), cf.cacheTTL, cf.cacheRefresh)
+				cf.clusterShards, len(peerURLs), cf.cacheTTL, cf.cacheRefresh)
 		}
 		handler = srv
 
 	case "replica":
 		if cf.follow == "" {
 			return errors.New("replica needs -follow")
+		}
+		if cf.manifest != "" && cf.advertise == "" {
+			return errors.New("replica with -manifest needs -advertise (its URL as the manifest names it)")
 		}
 		rep, err := server.NewReplica(server.ReplicaConfig{
 			Client:         shardrpc.NewClient(cf.follow, cf.clusterToken, nil),
@@ -494,13 +581,39 @@ func run(addr, storePath, token string, seedCatalog bool, icfg ingest.Config, st
 			Logger:         logger,
 			PollInterval:   cf.pollInterval,
 			FollowerID:     cf.followerID,
+			JournalRetain:  cf.journalRetain,
+			ManifestPath:   cf.manifest,
+			SelfURL:        cf.advertise,
+			PromoteAfter:   cf.promoteAfter,
 		})
 		if err != nil {
 			return err
 		}
 		closers = append(closers, rep.Close)
-		logger.Printf("replica tailing %s every %v", cf.follow, cf.pollInterval)
-		handler = rep
+		// The replica serves shardrpc too: frontends fail reads over to
+		// it while its node is down, and after a promotion it is the
+		// shard's write path and its followers' tail source.
+		rpc, err := shardrpc.NewHandler(rep, cf.clusterToken)
+		if err != nil {
+			return err
+		}
+		if cf.manifest != "" {
+			w, err := placement.Watch(cf.manifest, cf.manifestPoll, rep.ApplyManifest)
+			if err != nil {
+				return fmt.Errorf("placement manifest %s: %w", cf.manifest, err)
+			}
+			closers = append(closers, func() error { w.Close(); return nil })
+			logger.Printf("watching placement manifest %s every %v (advertised as %s)", cf.manifest, cf.manifestPoll, cf.advertise)
+		}
+		if cf.promoteAfter > 0 {
+			logger.Printf("replica tailing %s every %v (auto-promote after %v unreachable)", cf.follow, cf.pollInterval, cf.promoteAfter)
+		} else {
+			logger.Printf("replica tailing %s every %v", cf.follow, cf.pollInterval)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/shardrpc/", rpc)
+		mux.Handle("/", rep)
+		handler = mux
 
 	default:
 		return fmt.Errorf("unknown role %q (standalone, node, frontend, replica)", cf.role)

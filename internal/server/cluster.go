@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"loki/internal/budget"
 	"loki/internal/core"
+	"loki/internal/placement"
 	"loki/internal/shardrpc"
 	"loki/internal/shardset"
 	"loki/internal/store"
@@ -39,6 +41,21 @@ type Node struct {
 	// budget, when set via HostBudget, is the node's hosted budget shard
 	// subset; it makes the node a shardrpc.BudgetBackend.
 	budget *budget.Set
+
+	// fences is the node's view of the placement manifest for its owned
+	// shards, keyed by global index: the epoch every incoming write's
+	// stamp is checked against, and the demotion bit that fences a shard
+	// wholesale once the manifest names someone else primary. Empty
+	// until ApplyManifest — a manifest-less node fences nothing, the
+	// pre-manifest behavior.
+	fenceMu sync.RWMutex
+	fences  map[int]shardFence
+}
+
+// shardFence is one owned shard's fencing state from the manifest.
+type shardFence struct {
+	epoch   uint64
+	demoted bool
 }
 
 // NewNode wraps a Server for shardrpc serving. The server's router must
@@ -186,6 +203,81 @@ func (n *Node) Survey(id string) (*survey.Survey, error) { return n.local.Survey
 func (n *Node) Surveys() ([]*survey.Survey, error) { return n.local.Surveys() }
 
 var _ shardrpc.Backend = (*Node)(nil)
+
+// ApplyManifest updates the node's fencing state from a placement
+// manifest: for every owned shard it records the manifest epoch, and —
+// when the manifest names another node primary — demotes the shard,
+// fencing all writes to it. Demotion is the clean half of failover for
+// a returned old primary: its data stays readable, its writes bounce
+// with 412, and the operator restarts it as a replica of the new
+// primary to rejoin (the promoted replica serves Tail, so re-bootstrap
+// is the ordinary follower path). self is this node's base URL as it
+// appears in the manifest.
+func (n *Node) ApplyManifest(m *placement.Manifest, self string) {
+	fences := make(map[int]shardFence, n.local.Shards())
+	hs := make([]ShardHealth, 0, n.local.Shards())
+	for i := 0; i < n.local.Shards(); i++ {
+		g := n.local.GlobalID(i)
+		sp := m.Placement(g)
+		if sp == nil {
+			continue
+		}
+		f := shardFence{epoch: sp.Epoch, demoted: sp.Primary != self}
+		fences[g] = f
+		role := "primary"
+		if f.demoted {
+			role = "fenced"
+		}
+		hs = append(hs, ShardHealth{Shard: g, Role: role, Epoch: sp.Epoch})
+	}
+	n.fenceMu.Lock()
+	for g, f := range fences {
+		if f.demoted && !n.fences[g].demoted {
+			n.srv.logf("shard %d demoted by manifest v%d (primary now %s): writes fenced, rejoin as a replica",
+				g, m.Version, m.Placement(g).Primary)
+		}
+	}
+	n.fences = fences
+	n.fenceMu.Unlock()
+	n.srv.setShardHealth(hs)
+}
+
+// Demoted reports whether the manifest has fenced an owned shard's
+// writes away from this node.
+func (n *Node) Demoted(global int) bool {
+	n.fenceMu.RLock()
+	defer n.fenceMu.RUnlock()
+	return n.fences[global].demoted
+}
+
+// CheckFence implements shardrpc.FencedBackend: the epoch gate every
+// submit passes before admission, charging, or appending. A demoted
+// shard fences everything (stamped or not); a primary shard fences
+// stamps older than the manifest the node has applied; an unstamped
+// write to a primary shard passes (legacy positional senders). Stamps
+// NEWER than the node's manifest pass too — the sender read a manifest
+// the node has not seen yet, under which the node is still primary (or
+// the frontend would not have routed here).
+func (n *Node) CheckFence(global int, epoch uint64) error {
+	if _, err := n.localShard(global); err != nil {
+		return err
+	}
+	n.fenceMu.RLock()
+	f, ok := n.fences[global]
+	n.fenceMu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if f.demoted {
+		return &shardrpc.FencedError{Shard: global, Epoch: epoch, Current: f.epoch}
+	}
+	if epoch != 0 && epoch < f.epoch {
+		return &shardrpc.FencedError{Shard: global, Epoch: epoch, Current: f.epoch}
+	}
+	return nil
+}
+
+var _ shardrpc.FencedBackend = (*Node)(nil)
 
 // ---------------------------------------------------------------------------
 // Node budget hosting
@@ -581,6 +673,23 @@ type ReplicaConfig struct {
 	// replica restart re-registers as the same follower instead of
 	// leaking a stale ack.
 	FollowerID string
+	// JournalRetain bounds the replica's own per-shard journal (the one
+	// it serves to downstream followers and to the demoted primary after
+	// a promotion). Default 65536 entries.
+	JournalRetain int
+	// ManifestPath, when set with SelfURL, lets promotion rewrite the
+	// shared placement manifest: the shard's epoch bumps, this replica
+	// becomes the primary, and every watcher re-routes. Without it,
+	// promotion only flips the local shard writable (tests, ad-hoc ops).
+	ManifestPath string
+	// SelfURL is this replica's base URL as the manifest should name it.
+	SelfURL string
+	// PromoteAfter, when positive, is the failover lease: a shard whose
+	// tail has been failing with transport errors (node unreachable) for
+	// longer than this is promoted automatically, exactly as if the
+	// operator had posted the promote signal. Zero (the default) leaves
+	// promotion to the operator.
+	PromoteAfter time.Duration
 }
 
 // Replica is a read-only follower of one node: it tails every shard the
@@ -594,9 +703,19 @@ type Replica struct {
 	srv    *Server
 	local  *shardset.Local
 	stores []*resettableStore
+	total  int
+	g2l    map[int]int
 
 	mu    sync.Mutex
 	state []ReplicaShardInfo
+	// promoted marks local shards this replica now owns the writes for
+	// (see Promote); fences holds each promoted shard's manifest epoch
+	// (0 = no manifest, accept any stamp). failSince tracks when each
+	// shard's tail started failing with transport errors, for the
+	// PromoteAfter lease.
+	promoted  []bool
+	fences    []uint64
+	failSince []time.Time
 
 	// syncMu serializes whole replication cycles: an overlapping cycle
 	// would read the same journal offset twice and double-apply.
@@ -622,6 +741,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.FollowerID == "" {
 		cfg.FollowerID = fmt.Sprintf("replica-%d", os.Getpid())
 	}
+	if cfg.JournalRetain <= 0 {
+		cfg.JournalRetain = 65536
+	}
 	meta, err := cfg.Client.Meta()
 	if err != nil {
 		return nil, fmt.Errorf("server: replica meta fetch: %w", err)
@@ -630,19 +752,32 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, errors.New("server: followed node owns no shards")
 	}
 	r := &Replica{
-		cfg:    cfg,
-		stores: make([]*resettableStore, len(meta.OwnedShards)),
-		state:  make([]ReplicaShardInfo, len(meta.OwnedShards)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:       cfg,
+		stores:    make([]*resettableStore, len(meta.OwnedShards)),
+		total:     meta.TotalShards,
+		g2l:       make(map[int]int, len(meta.OwnedShards)),
+		state:     make([]ReplicaShardInfo, len(meta.OwnedShards)),
+		promoted:  make([]bool, len(meta.OwnedShards)),
+		fences:    make([]uint64, len(meta.OwnedShards)),
+		failSince: make([]time.Time, len(meta.OwnedShards)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	stores := make([]store.Store, len(meta.OwnedShards))
 	for i := range r.stores {
 		r.stores[i] = newResettableStore()
 		stores[i] = r.stores[i]
 		r.state[i] = ReplicaShardInfo{Shard: meta.OwnedShards[i]}
+		r.g2l[meta.OwnedShards[i]] = i
 	}
-	local, err := shardset.NewLocal(stores, shardset.LocalOptions{GlobalIDs: meta.OwnedShards})
+	// The replica journals its own applied stream: downstream followers
+	// (and, after a promotion, the demoted old primary rejoining as a
+	// replica) tail it exactly like they would a node's.
+	local, err := shardset.NewLocal(stores, shardset.LocalOptions{
+		GlobalIDs:     meta.OwnedShards,
+		Journal:       true,
+		JournalRetain: cfg.JournalRetain,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -655,6 +790,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		Role:            "replica",
 		ReadOnly:        true,
 		ReplicationInfo: r.replicationInfo,
+		Promote:         r.Promote,
 	})
 	if err != nil {
 		return nil, err
@@ -681,12 +817,23 @@ func (r *Replica) Close() error {
 }
 
 // replicationInfo snapshots the staleness cursors for the admin
-// surface.
+// surface. Roles are derived at snapshot time: a shard this replica has
+// been promoted on reports "primary", the rest "replica".
 func (r *Replica) replicationInfo() *ReplicationInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	info := &ReplicationInfo{Source: r.cfg.Client.BaseURL()}
 	info.Shards = append([]ReplicaShardInfo(nil), r.state...)
+	for i := range info.Shards {
+		if r.promoted[i] {
+			info.Shards[i].Role = "primary"
+			info.Shards[i].Epoch = r.fences[i]
+			info.Shards[i].LagRecords = 0
+			info.Shards[i].LastError = ""
+		} else {
+			info.Shards[i].Role = "replica"
+		}
+	}
 	return info
 }
 
@@ -716,10 +863,14 @@ func (r *Replica) SyncOnce() {
 	defer r.syncMu.Unlock()
 	surveys, err := r.cfg.Client.Surveys()
 	if err != nil {
+		// Keep going: an unreachable node must still drive the per-shard
+		// tail cycle, because that is where transport failures feed the
+		// failover lease — returning here would make a dead node immune
+		// to automatic promotion.
 		r.logf("replica survey sync: %v", err)
-		return
+	} else {
+		r.syncSurveys(surveys)
 	}
-	r.syncSurveys(surveys)
 	for i := range r.stores {
 		r.syncShard(i)
 	}
@@ -748,8 +899,15 @@ func (r *Replica) syncSurveys(surveys []*survey.Survey) {
 }
 
 // syncShard drains one shard's journal tail, resyncing from scratch on
-// an epoch change (the node restarted; its journal order is new).
+// an epoch change (the node restarted; its journal order is new). A
+// promoted shard is skipped: this replica is its primary now, and the
+// old stream has nothing more to say. Transport errors (the node is
+// unreachable) start the failover lease clock; once a shard's tail has
+// been failing that way for PromoteAfter, the shard self-promotes.
 func (r *Replica) syncShard(i int) {
+	if r.isPromoted(i) {
+		return
+	}
 	r.mu.Lock()
 	st := r.state[i] // copy; written back under the lock below
 	r.mu.Unlock()
@@ -758,14 +916,25 @@ func (r *Replica) syncShard(i int) {
 		batch, err := r.cfg.Client.Tail(global, st.Epoch, st.AppliedOffset, r.cfg.TailPage, r.cfg.FollowerID)
 		if err != nil {
 			st.LastError = err.Error()
+			if r.leaseExpired(i, err) {
+				if _, perr := r.promoteLocked(i); perr != nil {
+					r.logf("replica shard %d: lease promotion: %v", global, perr)
+				} else {
+					// promoteLocked owns the shard's state from here; the
+					// stale tail cursor must not be written back over it.
+					return
+				}
+			}
 			break
 		}
+		r.clearFail(i)
 		if batch.Epoch != st.Epoch {
 			// Epoch reset: discard the local copy of this shard and
 			// resync from offset zero. Live partials go too — their
 			// cursors index the old stream.
 			r.logf("replica shard %d: journal epoch %d -> %d, resyncing", global, st.Epoch, batch.Epoch)
 			r.stores[i].Reset()
+			r.resetOwnJournal(i)
 			r.srv.ResetLive()
 			if st.Epoch != 0 {
 				st.Resets++
@@ -791,6 +960,7 @@ func (r *Replica) syncShard(i int) {
 			r.logf("replica shard %d: journal truncated below offset %d, rebuilding from store scans (resume at %d)",
 				global, st.AppliedOffset, batch.NextOffset)
 			r.stores[i].Reset()
+			r.resetOwnJournal(i)
 			r.srv.ResetLive()
 			// Unlike the epoch path above — which resumes at offset 0 and
 			// self-heals a failed definition sync record by record — this
@@ -834,6 +1004,44 @@ func (r *Replica) syncShard(i int) {
 	r.mu.Unlock()
 }
 
+// bootstrapScanAttempts bounds the per-page retry of a bootstrap scan
+// whose transport flaked: a rebuild is expensive to restart from
+// scratch (the whole shard resets again next cycle), so a blip
+// mid-rebuild gets a few jittered-backoff retries before the cycle
+// gives up. Non-transport errors (the node answered, and said no)
+// fail immediately — retrying a 4xx is noise.
+const bootstrapScanAttempts = 4
+
+// bootstrapScan fetches one scan page with bounded retry: attempts
+// spaced 50ms, 100ms, 200ms apart, each with up to its own length of
+// random jitter so a fleet of recovering replicas does not stampede a
+// node that just came back.
+func (r *Replica) bootstrapScan(global int, surveyID string, cursor uint64) (*shardrpc.ScanBatch, error) {
+	var lastErr error
+	for attempt := 0; attempt < bootstrapScanAttempts; attempt++ {
+		if attempt > 0 {
+			d := 50 * time.Millisecond << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d) + 1))
+			select {
+			case <-time.After(d):
+			case <-r.stop:
+				return nil, lastErr
+			}
+		}
+		batch, err := r.cfg.Client.Scan(global, surveyID, cursor, r.cfg.TailPage)
+		if err == nil {
+			return batch, nil
+		}
+		lastErr = err
+		if !shardrpc.IsTransportError(err) {
+			break
+		}
+		r.logf("replica shard %d: bootstrap scan %q from %d (attempt %d/%d): %v",
+			global, surveyID, cursor, attempt+1, bootstrapScanAttempts, err)
+	}
+	return nil, lastErr
+}
+
 // bootstrapShard rebuilds one (freshly reset) local shard from the
 // source's paged store scans: every replicated survey's shard slice,
 // in per-shard seq order, verified to land on identical local seqs.
@@ -847,7 +1055,7 @@ func (r *Replica) bootstrapShard(i, global int) error {
 	for _, sv := range svs {
 		var cursor uint64
 		for {
-			batch, err := r.cfg.Client.Scan(global, sv.ID, cursor, r.cfg.TailPage)
+			batch, err := r.bootstrapScan(global, sv.ID, cursor)
 			if err != nil {
 				return fmt.Errorf("bootstrap scan %q from %d: %w", sv.ID, cursor, err)
 			}
@@ -932,3 +1140,296 @@ func (r *Replica) logf(format string, args ...any) {
 		r.cfg.Logger.Printf(format, args...)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Replica promotion and fencing
+
+func (r *Replica) isPromoted(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promoted[i]
+}
+
+// clearFail resets a shard's failover lease clock after a successful
+// tail.
+func (r *Replica) clearFail(i int) {
+	r.mu.Lock()
+	if !r.failSince[i].IsZero() {
+		r.failSince[i] = time.Time{}
+	}
+	r.mu.Unlock()
+}
+
+// leaseExpired feeds one tail error into the failover lease: transport
+// errors (node unreachable) start or continue the clock and report
+// whether it has run past PromoteAfter; anything the node itself
+// answered resets it — a node healthy enough to refuse is healthy
+// enough to keep its shards.
+func (r *Replica) leaseExpired(i int, err error) bool {
+	if !shardrpc.IsTransportError(err) {
+		r.clearFail(i)
+		return false
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if r.failSince[i].IsZero() {
+		r.failSince[i] = now
+	}
+	since := r.failSince[i]
+	r.mu.Unlock()
+	return r.cfg.PromoteAfter > 0 && now.Sub(since) >= r.cfg.PromoteAfter
+}
+
+// resetOwnJournal clears the replica's own journal for a shard whose
+// local store was just reset: downstream followers of this replica must
+// resync exactly like this replica resyncs from its node.
+func (r *Replica) resetOwnJournal(i int) {
+	if err := r.local.ResetJournal(i); err != nil {
+		r.logf("replica shard %d: own-journal reset: %v", r.local.GlobalID(i), err)
+	}
+}
+
+// Promote makes this replica the writable primary for one global shard:
+// the operator signal half of failover (the lease in syncShard is the
+// automatic half; both land in promoteLocked). The shard's journal
+// epoch bumps so downstream followers resync onto the new stream, and —
+// when the replica knows the shared manifest — the manifest is
+// rewritten with the shard's placement epoch incremented, which is what
+// fences the old primary's writes everywhere and re-routes every
+// watching frontend. Idempotent: promoting a promoted shard returns its
+// fence epoch.
+func (r *Replica) Promote(global int) (uint64, error) {
+	if _, err := r.localShard(global); err != nil {
+		return 0, err
+	}
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	return r.promoteLocked(r.g2l[global])
+}
+
+// promoteLocked is Promote's body; the caller holds syncMu (so no sync
+// cycle is mid-flight while ownership flips).
+func (r *Replica) promoteLocked(i int) (uint64, error) {
+	global := r.local.GlobalID(i)
+	r.mu.Lock()
+	already := r.promoted[i]
+	fence := r.fences[i]
+	r.mu.Unlock()
+	if already {
+		return fence, nil
+	}
+	// Promotion proceeds from whatever offset this replica has applied:
+	// records the dead primary accepted but never shipped are its to
+	// re-offer when it rejoins — asynchronous replication's standard
+	// failover contract, and why the bench measures equivalence against
+	// the cluster's actual post-failover contents.
+	if _, err := r.local.BumpEpoch(i); err != nil {
+		return 0, fmt.Errorf("promote shard %d: journal epoch: %w", global, err)
+	}
+	if r.cfg.ManifestPath != "" && r.cfg.SelfURL != "" {
+		m, err := placement.Load(r.cfg.ManifestPath)
+		if err != nil {
+			return 0, fmt.Errorf("promote shard %d: manifest: %w", global, err)
+		}
+		fence, err = m.Promote(global, r.cfg.SelfURL)
+		if err != nil {
+			return 0, fmt.Errorf("promote shard %d: %w", global, err)
+		}
+		if err := m.Save(r.cfg.ManifestPath); err != nil {
+			return 0, fmt.Errorf("promote shard %d: manifest save: %w", global, err)
+		}
+	}
+	r.mu.Lock()
+	r.promoted[i] = true
+	r.fences[i] = fence
+	r.failSince[i] = time.Time{}
+	r.mu.Unlock()
+	r.logf("replica shard %d: promoted to primary (placement epoch %d)", global, fence)
+	return fence, nil
+}
+
+// ApplyManifest lets a manifest watcher drive promotion from the
+// outside: when a (re)loaded manifest names this replica primary for a
+// shard it follows, the shard promotes exactly as if the operator had
+// posted the promote signal — the file is the signal. Manifests naming
+// someone else change nothing here; a replica holds no writes to fence.
+func (r *Replica) ApplyManifest(m *placement.Manifest) {
+	if r.cfg.SelfURL == "" {
+		return
+	}
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	for i := 0; i < r.local.Shards(); i++ {
+		g := r.local.GlobalID(i)
+		sp := m.Placement(g)
+		if sp == nil || sp.Primary != r.cfg.SelfURL {
+			continue
+		}
+		if r.isPromoted(i) {
+			r.mu.Lock()
+			if sp.Epoch > r.fences[i] {
+				r.fences[i] = sp.Epoch
+			}
+			r.mu.Unlock()
+			continue
+		}
+		if _, err := r.promoteLocked(i); err != nil {
+			r.logf("replica shard %d: manifest promotion: %v", g, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replica shardrpc backend
+//
+// A replica serves the same internal transport a node does, which is
+// what lets frontends fail reads over to it when the node dies: scans,
+// partials (marked stale until promotion), survey meta, and journal
+// tails for its own downstream followers. Writes are fenced until the
+// shard is promoted.
+
+func (r *Replica) localShard(global int) (int, error) {
+	i, ok := r.g2l[global]
+	if !ok {
+		return 0, &shardrpc.ErrNotOwned{Shard: global}
+	}
+	return i, nil
+}
+
+// Meta implements shardrpc.Backend.
+func (r *Replica) Meta() shardrpc.Meta {
+	owned := make([]int, r.local.Shards())
+	for i := range owned {
+		owned[i] = r.local.GlobalID(i)
+	}
+	return shardrpc.Meta{TotalShards: r.total, OwnedShards: owned}
+}
+
+// AppendShardBatch implements shardrpc.Backend. An unpromoted shard
+// fences every write (a replica is read-only until failover makes it
+// primary); a promoted one appends exactly like a node.
+func (r *Replica) AppendShardBatch(global int, rs []survey.Response) ([]int, error) {
+	i, err := r.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	if !r.isPromoted(i) {
+		r.mu.Lock()
+		fence := r.fences[i]
+		r.mu.Unlock()
+		return nil, &shardrpc.FencedError{Shard: global, Epoch: 0, Current: fence}
+	}
+	counts, err := r.local.AppendShardBatch(i, rs)
+	for _, id := range uniqueSurveyIDs(rs[:len(counts)]) {
+		r.srv.advanceShard(id, i)
+	}
+	return counts, err
+}
+
+// ScanShard implements shardrpc.Backend.
+func (r *Replica) ScanShard(global int, surveyID string, fromSeq uint64, fn func(seq uint64, rec *survey.Response) error) error {
+	i, err := r.localShard(global)
+	if err != nil {
+		return err
+	}
+	return r.local.ScanShard(i, surveyID, fromSeq, fn)
+}
+
+// CountShard implements shardrpc.Backend.
+func (r *Replica) CountShard(global int, surveyID string) int {
+	i, err := r.localShard(global)
+	if err != nil {
+		return 0
+	}
+	return r.local.CountShard(i, surveyID)
+}
+
+// PartialState implements shardrpc.Backend: the replica's shard
+// partial, marked stale while the shard still follows (the replica's
+// copy trails the primary by at most one poll plus a round-trip).
+func (r *Replica) PartialState(global int, surveyID string, have uint64) (*shardrpc.Partial, error) {
+	i, err := r.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	p, err := r.srv.PartialState(i, surveyID, have)
+	if err != nil {
+		return nil, err
+	}
+	p.Shard = global
+	if !r.isPromoted(i) {
+		p.Stale = true
+	}
+	return p, nil
+}
+
+// Tail implements shardrpc.Backend: the replica's own journal, serving
+// downstream followers — including a demoted old primary rejoining as a
+// replica of the shard's new home.
+func (r *Replica) Tail(global int, epoch, offset uint64, max int, follower string) (*shardset.TailBatch, error) {
+	i, err := r.localShard(global)
+	if err != nil {
+		return nil, err
+	}
+	return r.local.Tail(i, epoch, offset, max, follower)
+}
+
+// PutSurvey implements shardrpc.Backend. Publish broadcasts race the
+// replica's own definition sync, so a same-fingerprint duplicate is
+// success, not 409.
+func (r *Replica) PutSurvey(sv *survey.Survey) error {
+	if err := sv.Validate(); err != nil {
+		return err
+	}
+	err := r.local.PutSurvey(sv)
+	if errors.Is(err, store.ErrExists) {
+		if cur, gerr := r.local.Survey(sv.ID); gerr == nil && cur.Fingerprint() == sv.Fingerprint() {
+			return nil
+		}
+	}
+	return err
+}
+
+// ReplaceSurvey implements shardrpc.Backend.
+func (r *Replica) ReplaceSurvey(sv *survey.Survey) error {
+	if err := sv.Validate(); err != nil {
+		return err
+	}
+	if err := r.local.ReplaceSurvey(sv); err != nil {
+		return err
+	}
+	r.srv.invalidateLive(sv.ID)
+	return nil
+}
+
+// Survey implements shardrpc.Backend.
+func (r *Replica) Survey(id string) (*survey.Survey, error) { return r.local.Survey(id) }
+
+// Surveys implements shardrpc.Backend.
+func (r *Replica) Surveys() ([]*survey.Survey, error) { return r.local.Surveys() }
+
+var _ shardrpc.Backend = (*Replica)(nil)
+
+// CheckFence implements shardrpc.FencedBackend: every write bounces
+// until promotion; after it, stamps older than the promotion epoch
+// bounce (a frontend still routing by the pre-failover manifest), and
+// unstamped or newer stamps pass.
+func (r *Replica) CheckFence(global int, epoch uint64) error {
+	i, err := r.localShard(global)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	promoted := r.promoted[i]
+	fence := r.fences[i]
+	r.mu.Unlock()
+	if !promoted {
+		return &shardrpc.FencedError{Shard: global, Epoch: epoch, Current: fence}
+	}
+	if epoch != 0 && epoch < fence {
+		return &shardrpc.FencedError{Shard: global, Epoch: epoch, Current: fence}
+	}
+	return nil
+}
+
+var _ shardrpc.FencedBackend = (*Replica)(nil)

@@ -82,6 +82,12 @@ type cachedSurvey struct {
 	// or not. Written by the submit path without the entry lock.
 	expected []atomic.Uint64
 
+	// degraded lists shards the last revalidation could not reach (nor
+	// any of their replicas): cold ones contribute nothing to est, warm
+	// ones contribute their last fetched state. Nil when the last
+	// revalidation covered every shard.
+	degraded []int
+
 	// lastRead (unix nanos) marks the entry hot for the background
 	// refresher.
 	lastRead atomic.Int64
@@ -154,20 +160,20 @@ func (cs *cachedSurvey) freshLocked(ttl time.Duration) bool {
 // returns the cached merge directly; a stale one revalidates under the
 // entry's singleflight lock — concurrent readers of the same survey
 // wait for one fan-out instead of issuing their own.
-func (s *Server) cachedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstimate, error) {
+func (s *Server) cachedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstimate, []int, error) {
 	cs := s.cache.entry(sv, s.router.Shards())
 	cs.lastRead.Store(time.Now().UnixNano())
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if cs.freshLocked(s.cache.ttl) {
 		cs.hits.Add(1)
-		return cs.est, nil
+		return cs.est, append([]int(nil), cs.degraded...), nil
 	}
 	cs.misses.Add(1)
 	if err := s.revalidateLocked(sv, cs); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return cs.est, nil
+	return cs.est, append([]int(nil), cs.degraded...), nil
 }
 
 // revalidateLocked brings the entry current: one conditional RPC per
@@ -192,15 +198,36 @@ func (s *Server) revalidateLocked(sv *survey.Survey, cs *cachedSurvey) error {
 		}(i)
 	}
 	wg.Wait()
+	// A shard whose fetch failed in transport (node down, replicas too)
+	// degrades instead of failing the read: a warm cached part keeps
+	// serving its last state, a cold one is merged around and marked.
+	// Errors the owner answered still fail whole — see
+	// mergedRemoteEstimate.
+	var degraded []int
+	reached := 0
 	for i, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+			reached++
+		case shardrpc.IsTransportError(err):
+			degraded = append(degraded, i)
+		default:
 			return fmt.Errorf("shard %d partial: %w", i, err)
 		}
+	}
+	if reached == 0 {
+		return fmt.Errorf("every shard unreachable (first: shard %d: %w)", degraded[0], errs[degraded[0]])
+	}
+	if len(degraded) > 0 {
+		s.logf("cached read of %q degraded: shards %v unreachable", sv.ID, degraded)
 	}
 	if cs.parts == nil {
 		cs.parts = make([]*aggregate.Accumulator, n)
 	}
 	for i, p := range fetched {
+		if p == nil {
+			continue // degraded; cs.parts[i] (possibly nil) stands in
+		}
 		if p.Fingerprint != cs.fp {
 			// A republish is still propagating: the node folded under a
 			// different definition than the frontend resolved. Drop the
@@ -244,6 +271,9 @@ func (s *Server) revalidateLocked(sv *survey.Survey, cs *cachedSurvey) error {
 		return err
 	}
 	for i, part := range cs.parts {
+		if part == nil {
+			continue // cold degraded shard: nothing to contribute yet
+		}
 		if err := merged.Merge(part); err != nil {
 			return fmt.Errorf("shard %d partial: %w", i, err)
 		}
@@ -253,6 +283,7 @@ func (s *Server) revalidateLocked(sv *survey.Survey, cs *cachedSurvey) error {
 		return err
 	}
 	cs.est = est
+	cs.degraded = degraded
 	cs.fetched = time.Now()
 	return nil
 }

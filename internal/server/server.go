@@ -39,6 +39,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"sync"
@@ -118,6 +119,10 @@ type Config struct {
 	// ReplicationInfo, when non-nil, is polled by the admin surface for
 	// the replica's staleness cursors.
 	ReplicationInfo func() *ReplicationInfo
+	// Promote, when non-nil, handles POST /api/v1/admin/promote/{shard}:
+	// the operator's failover signal. A replica wires its promotion here;
+	// every other role answers 404.
+	Promote func(shard int) (uint64, error)
 	// Budget, when non-nil, is the privacy-budget charger the submit
 	// path debits per-worker epsilon accounts through before appending:
 	// an in-process budget.Set (standalone, node) or a shardrpc remote
@@ -190,6 +195,10 @@ type Server struct {
 	// poisoned counts stored records the live read path has rejected
 	// (see PoisonError), for the admin surface.
 	poisoned atomic.Int64
+
+	// shardHealth holds the node's per-shard health rows ([]ShardHealth,
+	// set by Node.ApplyManifest) for the unauthenticated health probe.
+	shardHealth atomic.Value
 
 	// partials, when non-nil, is the remote-merge read path: the router
 	// can hand over already-folded per-shard partials (a frontend
@@ -342,6 +351,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/admin/store", s.requireToken(s.handleAdminStore))
 	s.mux.HandleFunc("GET /api/v1/admin/budget/{worker}", s.requireToken(s.handleAdminBudget))
 	s.mux.HandleFunc("POST /api/v1/admin/accumulator/{id}/clear", s.requireToken(s.mutating(s.handleAccumulatorClear)))
+	// Health is deliberately unauthenticated (like healthz): it is the
+	// probe target of failover detectors and load balancers.
+	s.mux.HandleFunc("GET /api/v1/admin/health", s.handleAdminHealth)
+	// Promote is NOT wrapped in mutating: the whole point is flipping a
+	// read-only replica writable.
+	s.mux.HandleFunc("POST /api/v1/admin/promote/{shard}", s.requireToken(s.handlePromote))
 }
 
 // ServeHTTP implements http.Handler with panic recovery and logging.
@@ -434,6 +449,12 @@ type AggregateResult struct {
 	SurveyID  string                       `json:"survey_id"`
 	Questions []aggregate.QuestionEstimate `json:"questions"`
 	Choices   []aggregate.ChoiceEstimate   `json:"choices,omitempty"`
+	// DegradedShards lists shards whose owner (and every replica) was
+	// unreachable when this aggregate was merged: their responses are
+	// missing from the estimates. Empty on a complete read. The marker
+	// is how a frontend keeps answering through a node outage instead
+	// of failing the whole merged read.
+	DegradedShards []int `json:"degraded_shards,omitempty"`
 }
 
 // QualityResult reports how many stored responses pass the survey's
@@ -648,6 +669,14 @@ func (s *Server) writeRefusal(w http.ResponseWriter, ref *submitRefusal) {
 	}
 	if ref.retryAfter > 0 && ref.status == http.StatusTooManyRequests {
 		writeOverload(w, ref.wireError(), ref.retryAfter)
+		return
+	}
+	if ref.retryAfter > 0 && ref.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(ref.retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, OverloadError{
+			Error:             ref.wireError(),
+			RetryAfterSeconds: ref.retryAfter,
+		})
 		return
 	}
 	writeError(w, ref.status, ref.msg)
@@ -879,10 +908,31 @@ func (s *Server) admitAndAppend(sv *survey.Survey, resp *survey.Response, lvl co
 	return stored, nil
 }
 
+// FailoverRetryAfterSeconds is the Retry-After on 503s for writes to a
+// failed-over shard: short, because promotion typically lands within a
+// probe interval or two and the client should retry promptly.
+const FailoverRetryAfterSeconds = 1
+
+// Failover wire codes on 503 refusals.
+const (
+	// FailedOverCode: the shard's primary is down and its replica has
+	// not been promoted yet — writes are fenced until promotion.
+	FailedOverCode = "shard_failed_over"
+	// FencedCode: the write carried a placement epoch older than the
+	// one the owning node has applied (a promotion is propagating).
+	FencedCode = "write_fenced"
+	// NodeUnreachableCode: the RPC to the owning node never completed.
+	NodeUnreachableCode = "node_unreachable"
+)
+
 // appendRefusal maps an append failure to a refusal. A downstream
 // node's shed or throttle verdict (an overloaded cluster node behind
 // this frontend) keeps its retryable 429 vocabulary so the client's
-// backoff engages; anything else is the pre-admission 400.
+// backoff engages. Failover refusals — a shard whose primary is down,
+// a write fenced by a newer placement epoch, a node that never answered
+// — are 503 + Retry-After: the condition is the cluster's, not the
+// request's, and clears once promotion lands. Anything else is the
+// pre-admission 400.
 func appendRefusal(err error) *submitRefusal {
 	var oe *shardrpc.OverloadedError
 	if errors.As(err, &oe) {
@@ -901,6 +951,23 @@ func appendRefusal(err error) *submitRefusal {
 		}
 		return &submitRefusal{status: http.StatusTooManyRequests, code: RateLimitedCode,
 			msg: err.Error(), retryAfter: ra}
+	}
+	var fo *shardrpc.FailoverError
+	if errors.As(err, &fo) {
+		return &submitRefusal{status: http.StatusServiceUnavailable, code: FailedOverCode,
+			msg: err.Error(), retryAfter: FailoverRetryAfterSeconds}
+	}
+	if errors.Is(err, shardrpc.ErrFenced) {
+		return &submitRefusal{status: http.StatusServiceUnavailable, code: FencedCode,
+			msg: err.Error(), retryAfter: FailoverRetryAfterSeconds}
+	}
+	// A *url.Error is specifically an RPC that never completed (only the
+	// shardrpc client produces one here); local append failures keep the
+	// 400 below.
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return &submitRefusal{status: http.StatusServiceUnavailable, code: NodeUnreachableCode,
+			msg: err.Error(), retryAfter: FailoverRetryAfterSeconds}
 	}
 	return &submitRefusal{status: http.StatusBadRequest, msg: err.Error()}
 }
@@ -1045,7 +1112,7 @@ func (s *Server) chargeBudget(sv *survey.Survey, resp *survey.Response, lvl core
 // — fold, Merge, finalize). On a frontend the partials come from the
 // owning nodes instead of local folds. Cost is independent of how many
 // responses the store holds.
-func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Survey, *aggregate.SurveyEstimate, bool) {
+func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Survey, *aggregate.SurveyEstimate, []int, bool) {
 	sv, err := s.router.Survey(id)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -1053,14 +1120,15 @@ func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Surve
 			status = http.StatusNotFound
 		}
 		writeError(w, status, err.Error())
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	var fin *aggregate.SurveyEstimate
+	var degraded []int
 	switch {
 	case s.cache != nil:
-		fin, err = s.cachedRemoteEstimate(sv)
+		fin, degraded, err = s.cachedRemoteEstimate(sv)
 	case s.partials != nil:
-		fin, err = s.mergedRemoteEstimate(sv)
+		fin, degraded, err = s.mergedRemoteEstimate(sv)
 	default:
 		var ls *liveSet
 		if ls, err = s.liveFor(sv); err == nil {
@@ -1069,9 +1137,9 @@ func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Surve
 	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return sv, fin, true
+	return sv, fin, degraded, true
 }
 
 // mergedRemoteEstimate is the uncached frontend read path: fetch every
@@ -1081,7 +1149,15 @@ func (s *Server) surveyEstimate(w http.ResponseWriter, id string) (*survey.Surve
 // read costs one small RPC per shard regardless of how much data the
 // cluster holds. It is what a frontend runs with caching disabled, and
 // what a cold cache's first fill is equivalent to.
-func (s *Server) mergedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstimate, error) {
+//
+// A shard whose RPC failed in transport (node down, every replica with
+// it) degrades instead of failing the whole read: the merge proceeds
+// without it and the shard lands in the returned degraded list. Errors
+// the owner itself answered (fingerprint skew, unknown survey) still
+// fail whole — the node is alive and disagreeing, which no marker can
+// paper over. A read where every shard degrades fails: there is
+// nothing left to serve.
+func (s *Server) mergedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstimate, []int, error) {
 	n := s.router.Shards()
 	parts := make([]*shardrpc.Partial, n)
 	errs := make([]error, n)
@@ -1094,41 +1170,59 @@ func (s *Server) mergedRemoteEstimate(sv *survey.Survey) (*aggregate.SurveyEstim
 		}(i)
 	}
 	wg.Wait()
+	var degraded []int
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("shard %d partial: %w", i, err)
+			if shardrpc.IsTransportError(err) {
+				degraded = append(degraded, i)
+				continue
+			}
+			return nil, nil, fmt.Errorf("shard %d partial: %w", i, err)
 		}
+	}
+	if len(degraded) == n {
+		return nil, nil, fmt.Errorf("every shard unreachable (first: shard %d: %w)", degraded[0], errs[degraded[0]])
+	}
+	if len(degraded) > 0 {
+		s.logf("merged read of %q degraded: shards %v unreachable", sv.ID, degraded)
 	}
 	fp := sv.Fingerprint()
 	merged, err := aggregate.NewAccumulator(s.cfg.Schedule, sv)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, p := range parts {
+		if p == nil {
+			continue // degraded
+		}
 		if p.Fingerprint != fp {
 			// A republish is still propagating: the node folded under a
 			// different definition than the frontend resolved. Refusing
 			// beats merging bins from two question sets.
-			return nil, fmt.Errorf("shard %d partial folded under definition %s, frontend has %s (republish in flight?)",
+			return nil, nil, fmt.Errorf("shard %d partial folded under definition %s, frontend has %s (republish in flight?)",
 				i, p.Fingerprint, fp)
 		}
 		part, err := aggregate.RestoreAccumulator(s.cfg.Schedule, sv, p.State)
 		if err != nil {
-			return nil, fmt.Errorf("shard %d partial: %w", i, err)
+			return nil, nil, fmt.Errorf("shard %d partial: %w", i, err)
 		}
 		if err := merged.Merge(part); err != nil {
-			return nil, fmt.Errorf("shard %d partial: %w", i, err)
+			return nil, nil, fmt.Errorf("shard %d partial: %w", i, err)
 		}
 	}
-	return merged.Finalize()
+	fin, err := merged.Finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return fin, degraded, nil
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	sv, fin, ok := s.surveyEstimate(w, r.PathValue("id"))
+	sv, fin, degraded, ok := s.surveyEstimate(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
-	out := AggregateResult{SurveyID: sv.ID}
+	out := AggregateResult{SurveyID: sv.ID, DegradedShards: degraded}
 	for i := range sv.Questions {
 		if qe, ok := fin.Questions[sv.Questions[i].ID]; ok {
 			out.Questions = append(out.Questions, *qe)
@@ -1141,7 +1235,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
-	sv, fin, ok := s.surveyEstimate(w, r.PathValue("id"))
+	sv, fin, _, ok := s.surveyEstimate(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -1252,6 +1346,9 @@ type SurveyHistoryInfo struct {
 type ReplicaShardInfo struct {
 	// Shard is the global shard index being followed.
 	Shard int `json:"shard"`
+	// Role is "replica" while the shard follows its primary, "primary"
+	// once this replica has been promoted for it.
+	Role string `json:"role,omitempty"`
 	// Epoch is the source journal epoch the replica is applying.
 	Epoch uint64 `json:"epoch"`
 	// AppliedOffset is how far into the source journal the replica has
@@ -1532,6 +1629,142 @@ func (s *Server) surveyHistories(stores []store.Store) []SurveyHistoryInfo {
 		return out
 	}
 	return nil
+}
+
+// ShardHealth is one shard's row on the health surface: the role this
+// server plays for it, the placement epoch it is at, its replication
+// lag (replica rows only), and the last error touching it.
+type ShardHealth struct {
+	Shard int    `json:"shard"`
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// LagRecords is the replication lag in records (replica rows).
+	LagRecords uint64 `json:"lag_records,omitempty"`
+	// PrimaryDown marks a frontend row whose routed primary the failure
+	// detector currently considers dead.
+	PrimaryDown bool   `json:"primary_down,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// HealthInfo is the GET /api/v1/admin/health body — the probe target
+// for failover detectors, load balancers, and the bench harness. It is
+// served without auth (like healthz) and assembled per role: a node
+// reports its owned shards' fence state, a replica its staleness
+// cursors and promotions, a frontend its routing table with the
+// failure detector's verdicts.
+type HealthInfo struct {
+	Status string        `json:"status"`
+	Role   string        `json:"role"`
+	Shards []ShardHealth `json:"shards,omitempty"`
+	// ManifestVersion is the placement manifest version a frontend has
+	// applied; 0 off-frontend or pre-manifest.
+	ManifestVersion int64 `json:"manifest_version,omitempty"`
+	// StaleReads / FencedWrites count replica-served partial fetches
+	// and epoch-fenced submits on a frontend.
+	StaleReads   uint64 `json:"stale_reads,omitempty"`
+	FencedWrites uint64 `json:"fenced_writes,omitempty"`
+}
+
+// setShardHealth publishes a node's per-shard health rows (called by
+// the cluster glue when a placement manifest is applied).
+func (s *Server) setShardHealth(hs []ShardHealth) { s.shardHealth.Store(hs) }
+
+// failoverReporter is the optional router capability behind the
+// frontend health view (shardrpc.Remote implements it once a manifest
+// is applied).
+type failoverReporter interface {
+	FailoverInfo() *shardrpc.FailoverInfo
+}
+
+func (s *Server) handleAdminHealth(w http.ResponseWriter, _ *http.Request) {
+	info := HealthInfo{Status: "ok", Role: s.cfg.Role}
+	switch {
+	case s.cfg.ReplicationInfo != nil:
+		// Replica: staleness cursors, with promoted shards as primaries.
+		if ri := s.cfg.ReplicationInfo(); ri != nil {
+			for _, sh := range ri.Shards {
+				info.Shards = append(info.Shards, ShardHealth{
+					Shard:      sh.Shard,
+					Role:       sh.Role,
+					Epoch:      sh.Epoch,
+					LagRecords: sh.LagRecords,
+					LastError:  sh.LastError,
+				})
+			}
+		}
+	default:
+		if fr, ok := s.router.(failoverReporter); ok {
+			if fi := fr.FailoverInfo(); fi != nil {
+				// Frontend: the routing table as the failure detector sees
+				// it.
+				info.ManifestVersion = fi.ManifestVersion
+				info.StaleReads = fi.StaleReads
+				info.FencedWrites = fi.FencedWrites
+				for _, sh := range fi.Shards {
+					role := "primary"
+					if sh.PrimaryDown {
+						role = "failed-over"
+					}
+					info.Shards = append(info.Shards, ShardHealth{
+						Shard:       sh.Shard,
+						Role:        role,
+						Epoch:       sh.Epoch,
+						PrimaryDown: sh.PrimaryDown,
+						LastError:   sh.LastError,
+					})
+				}
+				break
+			}
+		}
+		if hs, ok := s.shardHealth.Load().([]ShardHealth); ok {
+			// Node with a manifest applied: fence state per owned shard.
+			info.Shards = append(info.Shards, hs...)
+			break
+		}
+		if l, ok := s.router.(*shardset.Local); ok {
+			// Manifest-less node or standalone: every owned shard is an
+			// unfenced primary.
+			for i := 0; i < l.Shards(); i++ {
+				info.Shards = append(info.Shards, ShardHealth{Shard: l.GlobalID(i), Role: "primary"})
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// PromoteResult acknowledges an operator promotion.
+type PromoteResult struct {
+	Shard int `json:"shard"`
+	// Epoch is the shard's placement epoch after promotion (0 when the
+	// replica manages no manifest).
+	Epoch uint64 `json:"epoch"`
+}
+
+// handlePromote is the operator failover signal: flip one followed
+// shard writable on this replica (bumping its placement epoch through
+// the shared manifest when one is configured). Idempotent.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Promote == nil {
+		writeError(w, http.StatusNotFound, "promotion is not available on this server (not a replica)")
+		return
+	}
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || shard < 0 {
+		writeError(w, http.StatusBadRequest, "shard must be a non-negative integer")
+		return
+	}
+	epoch, err := s.cfg.Promote(shard)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var no *shardrpc.ErrNotOwned
+		if errors.As(err, &no) {
+			status = http.StatusMisdirectedRequest
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	s.logf("shard %d promoted via admin surface (placement epoch %d)", shard, epoch)
+	writeJSON(w, http.StatusOK, PromoteResult{Shard: shard, Epoch: epoch})
 }
 
 // AccumulatorClearResult acknowledges an admin accumulator clear.

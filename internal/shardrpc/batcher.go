@@ -43,18 +43,22 @@ type submitDone struct {
 }
 
 // shardBatcher owns one shard's submit queue and its single shipping
-// goroutine (started lazily on the first append).
+// goroutine (started lazily on the first append). The target node is
+// resolved through the router at every ship, not bound at construction:
+// a manifest swap (failover promotion) redirects the very next batch,
+// and a shard whose primary is down fails its batches fast with
+// FailoverError instead of burning a connection timeout per batch.
 type shardBatcher struct {
 	shard  int
-	client *Client
+	remote *Remote
 
 	mu      sync.Mutex
 	queue   []*pendingSubmit
 	running bool
 }
 
-func newShardBatcher(shard int, client *Client) *shardBatcher {
-	return &shardBatcher{shard: shard, client: client}
+func newShardBatcher(shard int, remote *Remote) *shardBatcher {
+	return &shardBatcher{shard: shard, remote: remote}
 }
 
 // append enqueues one response and blocks until its batch is durable on
@@ -111,6 +115,15 @@ func (b *shardBatcher) run() {
 // leading records it durably appended before failing (AppendedHeader) —
 // that prefix succeeds without a per-record count, the rest fail.
 func (b *shardBatcher) ship(batch []*pendingSubmit) {
+	client, epoch, terr := b.remote.submitTarget(b.shard)
+	if terr != nil {
+		// The shard is failed over (primary down, replica unpromoted):
+		// nothing to send to — settle fast with the retryable vocabulary.
+		for _, p := range batch {
+			p.done <- submitDone{err: terr}
+		}
+		return
+	}
 	responses := make([]survey.Response, len(batch))
 	charged := false
 	for i, p := range batch {
@@ -124,7 +137,8 @@ func (b *shardBatcher) ship(batch []*pendingSubmit) {
 				charges[i] = *p.charge
 			}
 		}
-		res, err := b.client.SubmitCharged(b.shard, responses, charges)
+		res, err := client.SubmitFenced(b.shard, epoch, responses, charges)
+		b.noteShip(client, err)
 		if err != nil {
 			// A charged submit reports append failures inside a 200
 			// reply; a transport-level error means the node refused the
@@ -140,7 +154,8 @@ func (b *shardBatcher) ship(batch []*pendingSubmit) {
 		}
 		return
 	}
-	res, err := b.client.Submit(b.shard, responses)
+	res, err := client.SubmitFenced(b.shard, epoch, responses, nil)
+	b.noteShip(client, err)
 	if err != nil {
 		appended := 0
 		var re *remoteError
@@ -186,6 +201,17 @@ func (b *shardBatcher) ship(batch []*pendingSubmit) {
 			stored = res.Stored[i]
 		}
 		p.done <- submitDone{stored: stored}
+	}
+}
+
+// noteShip feeds the router's failure detector and fence accounting
+// from a shipped batch's outcome: a transport error marks the node
+// down (the next ship fails fast and reads fail over), a fenced reply
+// nudges a manifest refresh.
+func (b *shardBatcher) noteShip(client *Client, err error) {
+	b.remote.noteResult(client, err)
+	if errors.Is(err, ErrFenced) {
+		b.remote.noteFenced()
 	}
 }
 

@@ -67,6 +67,10 @@ func (e *remoteError) Unwrap() error {
 		return store.ErrExists
 	case http.StatusTooManyRequests:
 		return &OverloadedError{RetryAfterSeconds: e.RetryAfter}
+	case http.StatusPreconditionFailed:
+		// A peer's epoch fence; the structured fields stay behind on the
+		// node, but errors.Is(err, ErrFenced) works across the wire.
+		return ErrFenced
 	default:
 		return nil
 	}
@@ -173,9 +177,17 @@ func (c *Client) Submit(shard int, responses []survey.Response) (*SubmitResult, 
 // (aligned 1:1 with responses; an empty worker id carries no charge) —
 // see ChargedBackend for the node-side contract.
 func (c *Client) SubmitCharged(shard int, responses []survey.Response, charges []budget.Charge) (*SubmitResult, error) {
+	return c.SubmitFenced(shard, 0, responses, charges)
+}
+
+// SubmitFenced is SubmitCharged with a placement-epoch stamp: the
+// fencing token a manifest-routed frontend sends so a node that has
+// applied a newer manifest refuses the batch (412 → ErrFenced) instead
+// of appending under stale ownership. Epoch 0 sends an unstamped batch.
+func (c *Client) SubmitFenced(shard int, epoch uint64, responses []survey.Response, charges []budget.Charge) (*SubmitResult, error) {
 	var res SubmitResult
 	err := c.do(http.MethodPost, "/shardrpc/v1/submit", nil,
-		&SubmitRequest{Shard: shard, Responses: responses, Charges: charges}, &res)
+		&SubmitRequest{Shard: shard, Epoch: epoch, Responses: responses, Charges: charges}, &res)
 	if err != nil {
 		return nil, err
 	}

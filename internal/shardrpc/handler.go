@@ -77,6 +77,10 @@ func writeBackendErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &notOwned):
 		writeErr(w, http.StatusMisdirectedRequest, err.Error())
+	case errors.Is(err, ErrFenced):
+		// An epoch fence: the sender's placement view is stale. Nothing
+		// was appended; the sender refreshes its manifest, not the batch.
+		writeErr(w, http.StatusPreconditionFailed, err.Error())
 	case errors.As(err, &overloaded):
 		// The node shed the batch at admission: nothing was appended,
 		// the sender retries the whole batch after the hint.
@@ -107,6 +111,15 @@ func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(req.Charges) > 0 && len(req.Charges) != len(req.Responses) {
 		writeErr(w, http.StatusBadRequest, "charges are not aligned with responses")
 		return
+	}
+	// The epoch fence runs before admission, charging, or appending: a
+	// batch routed under stale shard ownership must not change any state
+	// on a node that knows better.
+	if fb, ok := h.backend.(FencedBackend); ok {
+		if err := fb.CheckFence(req.Shard, req.Epoch); err != nil {
+			writeBackendErr(w, err)
+			return
+		}
 	}
 	// An overload-aware backend runs the batch through its admission
 	// and rate-limit gates and answers per record; with both gates off

@@ -3,7 +3,9 @@ package shardrpc
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loki/internal/budget"
@@ -24,6 +26,10 @@ import (
 // publishing directly to a node), which nodes tolerate anyway — they
 // re-validate every append.
 type Remote struct {
+	// clients and placement are guarded by routeMu: manifest application
+	// can grow the client list (new replicas/primaries) and repoint
+	// placement, both hot-swapped under the lock. A positional router
+	// never mutates them, so the RLock on the hot paths is uncontended.
 	clients   []*Client
 	placement []int // placement[globalShard] = index into clients
 	// batchers group-batch the submit path per shard (see batcher.go).
@@ -38,6 +44,28 @@ type Remote struct {
 	metaAt    time.Time
 	metaList  []*survey.Survey
 	metaIndex map[string]*survey.Survey
+
+	// Failover state (see failover.go). token and httpc let manifest
+	// application dial nodes the router has no client for yet; routes is
+	// the manifest-derived routing table (nil = positional routing).
+	token string
+	httpc *http.Client
+
+	routeMu         sync.RWMutex
+	routes          []shardRoute
+	manifestVersion int64
+	clientsByURL    map[string]*Client
+
+	healthMu    sync.Mutex
+	healthByURL map[string]*nodeHealth
+
+	staleReads   atomic.Uint64
+	fencedWrites atomic.Uint64
+	onFenced     atomic.Value // func()
+
+	probeOnce sync.Once
+	probeStop chan struct{}
+	probeDone chan struct{}
 }
 
 // RoundRobinPlacement spreads a global shard space across n nodes:
@@ -69,7 +97,7 @@ func NewRemote(clients []*Client, placement []int) (*Remote, error) {
 	r := &Remote{clients: clients, placement: placement, metaTTL: time.Second}
 	r.batchers = make([]*shardBatcher, len(placement))
 	for s := range r.batchers {
-		r.batchers[s] = newShardBatcher(s, clients[placement[s]])
+		r.batchers[s] = newShardBatcher(s, r)
 	}
 	return r, nil
 }
@@ -107,7 +135,39 @@ func (r *Remote) clientFor(shard int) (*Client, error) {
 	if shard < 0 || shard >= len(r.placement) {
 		return nil, fmt.Errorf("shardrpc: shard %d outside [0, %d)", shard, len(r.placement))
 	}
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
 	return r.clients[r.placement[shard]], nil
+}
+
+// readTargets orders one shard's read candidates: the primary first
+// unless the detector believes it down, then the replicas. stale[i]
+// marks candidates whose answers must carry the stale-read label
+// (anything that is not the shard's primary). Positional routers get
+// the single fixed client.
+func (r *Remote) readTargets(shard int) (clients []*Client, stale []bool, err error) {
+	rt, ok := r.routeFor(shard)
+	if !ok {
+		c, err := r.clientFor(shard)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*Client{c}, []bool{false}, nil
+	}
+	if !r.nodeDown(rt.primary.BaseURL()) {
+		clients = append(clients, rt.primary)
+		stale = append(stale, false)
+	}
+	for _, rep := range rt.replicas {
+		clients = append(clients, rep)
+		stale = append(stale, true)
+	}
+	if len(clients) == 0 {
+		// Primary down and no replicas placed: reads have nowhere to go.
+		clients = append(clients, rt.primary)
+		stale = append(stale, false)
+	}
+	return clients, stale, nil
 }
 
 // invalidateMeta drops the survey cache (after any publish).
@@ -120,21 +180,45 @@ func (r *Remote) invalidateMeta() {
 }
 
 // refreshMetaLocked refetches the survey list when the cache is stale.
-// Caller holds metaMu.
+// Definitions are replicated to every node, so any reachable one can
+// answer: believed-up nodes are tried first, every node as a last
+// resort, so a dead first peer does not take survey resolution (and
+// with it the whole submit path) down. Caller holds metaMu.
 func (r *Remote) refreshMetaLocked() error {
 	if r.metaIndex != nil && time.Since(r.metaAt) < r.metaTTL {
 		return nil
 	}
-	svs, err := r.clients[0].Surveys()
-	if err != nil {
-		return err
+	clients := r.allClients()
+	ordered := make([]*Client, 0, len(clients))
+	for _, c := range clients {
+		if !r.nodeDown(c.BaseURL()) {
+			ordered = append(ordered, c)
+		}
 	}
-	idx := make(map[string]*survey.Survey, len(svs))
-	for _, sv := range svs {
-		idx[sv.ID] = sv
+	for _, c := range clients {
+		if r.nodeDown(c.BaseURL()) {
+			ordered = append(ordered, c)
+		}
 	}
-	r.metaList, r.metaIndex, r.metaAt = svs, idx, time.Now()
-	return nil
+	var lastErr error
+	for _, c := range ordered {
+		svs, err := c.Surveys()
+		r.noteResult(c, err)
+		if err != nil {
+			lastErr = err
+			if IsTransportError(err) {
+				continue
+			}
+			return err
+		}
+		idx := make(map[string]*survey.Survey, len(svs))
+		for _, sv := range svs {
+			idx[sv.ID] = sv
+		}
+		r.metaList, r.metaIndex, r.metaAt = svs, idx, time.Now()
+		return nil
+	}
+	return lastErr
 }
 
 // PutSurvey implements shardset.ShardRouter: broadcast to every node.
@@ -146,7 +230,7 @@ func (r *Remote) refreshMetaLocked() error {
 func (r *Remote) PutSurvey(sv *survey.Survey) error {
 	defer r.invalidateMeta()
 	var exists error
-	for _, c := range r.clients {
+	for _, c := range r.allClients() {
 		if err := c.Publish(sv, false); err != nil {
 			if errors.Is(err, store.ErrExists) {
 				exists = err
@@ -161,7 +245,7 @@ func (r *Remote) PutSurvey(sv *survey.Survey) error {
 // ReplaceSurvey implements shardset.ShardRouter: broadcast to every node.
 func (r *Remote) ReplaceSurvey(sv *survey.Survey) error {
 	defer r.invalidateMeta()
-	for _, c := range r.clients {
+	for _, c := range r.allClients() {
 		if err := c.Publish(sv, true); err != nil {
 			return err
 		}
@@ -224,8 +308,11 @@ func (r *Remote) EnablePiggybackCharges(budgetShards int) error {
 	if budgetShards <= 0 {
 		return fmt.Errorf("shardrpc: piggyback charges need a positive budget shard count, got %d", budgetShards)
 	}
+	r.routeMu.RLock()
+	nodes := len(r.clients)
+	r.routeMu.RUnlock()
 	bp := make([]int, budgetShards)
-	for node, owned := range RoundRobinPlacement(budgetShards, len(r.clients)) {
+	for node, owned := range RoundRobinPlacement(budgetShards, nodes) {
 		for _, s := range owned {
 			bp[s] = node
 		}
@@ -242,7 +329,10 @@ func (r *Remote) CanPiggybackCharge(shard int, workerID string) bool {
 	if r.budgetPlacement == nil || shard < 0 || shard >= len(r.placement) {
 		return false
 	}
-	return r.budgetPlacement[budget.Route(workerID, len(r.budgetPlacement))] == r.placement[shard]
+	r.routeMu.RLock()
+	owner := r.placement[shard]
+	r.routeMu.RUnlock()
+	return r.budgetPlacement[budget.Route(workerID, len(r.budgetPlacement))] == owner
 }
 
 // AppendCharged submits one response with its budget charge fused into
@@ -262,44 +352,67 @@ func (r *Remote) AppendCharged(shard int, resp *survey.Response, ch budget.Charg
 }
 
 // ScanShard implements shardset.ShardRouter by paging through the
-// owning node's scan endpoint.
+// owning node's scan endpoint. Under manifest routing a down primary
+// fails over to the shard's replicas; the target is fixed at scan start
+// (switching providers mid-scan could re-deliver records to a
+// non-idempotent callback, so a primary dying mid-scan fails the scan
+// and the caller retries onto the replica).
 func (r *Remote) ScanShard(shard int, surveyID string, fromSeq uint64, fn func(seq uint64, resp *survey.Response) error) error {
-	c, err := r.clientFor(shard)
+	clients, _, err := r.readTargets(shard)
 	if err != nil {
 		return err
 	}
-	cursor := fromSeq
-	for {
-		batch, err := c.Scan(shard, surveyID, cursor, maxScanPage)
-		if err != nil {
-			return err
-		}
-		for i := range batch.Records {
-			rec := &batch.Records[i]
-			if err := fn(rec.Seq, &rec.Response); err != nil {
+	var lastErr error
+	for _, c := range clients {
+		cursor := fromSeq
+		delivered := false
+		for {
+			batch, err := c.Scan(shard, surveyID, cursor, maxScanPage)
+			r.noteResult(c, err)
+			if err != nil {
+				// Fail over only before anything was delivered: a fresh
+				// start on the replica re-delivers nothing.
+				if IsTransportError(err) && !delivered {
+					lastErr = err
+					break
+				}
 				return err
 			}
+			for i := range batch.Records {
+				rec := &batch.Records[i]
+				if err := fn(rec.Seq, &rec.Response); err != nil {
+					return err
+				}
+				delivered = true
+			}
+			if !batch.More {
+				return nil
+			}
+			cursor = batch.NextSeq
 		}
-		if !batch.More {
-			return nil
-		}
-		cursor = batch.NextSeq
 	}
+	return lastErr
 }
 
 // CountShard implements shardset.ShardRouter. The interface cannot
-// carry an error; an unreachable node reads as zero, matching how a
-// local router reports an unknown survey.
+// carry an error; an unreachable shard (primary and replicas) reads as
+// zero, matching how a local router reports an unknown survey.
 func (r *Remote) CountShard(shard int, surveyID string) int {
-	c, err := r.clientFor(shard)
+	clients, _, err := r.readTargets(shard)
 	if err != nil {
 		return 0
 	}
-	n, err := c.Count(shard, surveyID)
-	if err != nil {
-		return 0
+	for _, c := range clients {
+		n, err := c.Count(shard, surveyID)
+		r.noteResult(c, err)
+		if err == nil {
+			return n
+		}
+		if !IsTransportError(err) {
+			return 0
+		}
 	}
-	return n
+	return 0
 }
 
 // Partial fetches one shard's full partial accumulator from its owning
@@ -310,17 +423,47 @@ func (r *Remote) Partial(shard int, surveyID string) (*Partial, error) {
 
 // PartialSince is the conditional fetch behind the frontend's partial
 // cache: the owning node answers not-modified, a delta past have, or a
-// full snapshot.
+// full snapshot. Under manifest routing a down (or just-died) primary
+// fails over to the shard's replicas; a replica-served answer carries
+// the Stale mark and bumps the stale-read counter — degraded reads are
+// labeled, never guessed.
 func (r *Remote) PartialSince(shard int, surveyID string, have uint64) (*Partial, error) {
-	c, err := r.clientFor(shard)
+	clients, stale, err := r.readTargets(shard)
 	if err != nil {
 		return nil, err
 	}
-	return c.PartialSince(shard, surveyID, have)
+	var lastErr error
+	for i, c := range clients {
+		p, err := c.PartialSince(shard, surveyID, have)
+		r.noteResult(c, err)
+		if err == nil {
+			if stale[i] {
+				p.Stale = true
+				r.staleReads.Add(1)
+			}
+			return p, nil
+		}
+		lastErr = err
+		if !IsTransportError(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
-// Close implements shardset.ShardRouter. The HTTP clients hold no
-// resources worth tearing down.
-func (r *Remote) Close() error { return nil }
+// Close implements shardset.ShardRouter: stops the failover prober when
+// one was started. The HTTP clients hold no resources worth tearing
+// down.
+func (r *Remote) Close() error {
+	if r.probeStop != nil {
+		select {
+		case <-r.probeStop:
+		default:
+			close(r.probeStop)
+		}
+		<-r.probeDone
+	}
+	return nil
+}
 
 var _ shardset.ShardRouter = (*Remote)(nil)

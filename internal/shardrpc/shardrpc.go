@@ -29,6 +29,7 @@
 package shardrpc
 
 import (
+	"errors"
 	"fmt"
 
 	"loki/internal/aggregate"
@@ -52,6 +53,16 @@ type Meta struct {
 type SubmitRequest struct {
 	Shard     int               `json:"shard"`
 	Responses []survey.Response `json:"responses"`
+	// Epoch is the placement epoch the sender routed under — the
+	// fencing token from the shared placement manifest. A node that has
+	// applied a newer manifest refuses the batch with FencedError (412)
+	// before any state changes: after a promotion, a frontend still
+	// routing to the demoted primary (or stamping the old epoch at the
+	// new one) cannot land writes. Zero means the sender is not
+	// manifest-routed (legacy positional -peers); such writes pass the
+	// epoch comparison but are still refused wholesale by a demoted
+	// node.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Charges, when present, piggybacks privacy-budget debits on the
 	// submit round-trip: aligned 1:1 with Responses (an empty WorkerID
 	// carries no charge), each debit is decided against the worker's
@@ -161,6 +172,11 @@ type Partial struct {
 	// it over a cached copy whose cursor is exactly From.
 	Delta bool   `json:"delta,omitempty"`
 	From  uint64 `json:"from,omitempty"`
+	// Stale marks state served by a replica that has not been promoted:
+	// it may lag the failed primary's last durable appends. Frontends
+	// propagate the mark to their admin surface so degraded reads are
+	// labeled, never guessed.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // PublishRequest broadcasts a survey definition. Replace selects the
@@ -284,4 +300,73 @@ type ErrNotOwned struct{ Shard int }
 // Error implements error.
 func (e *ErrNotOwned) Error() string {
 	return fmt.Sprintf("shardrpc: shard %d not owned by this node", e.Shard)
+}
+
+// ErrFenced is the sentinel inside every epoch-fencing refusal, local
+// or remote: errors.Is(err, ErrFenced) answers "was this write refused
+// because the sender's view of shard ownership is stale?" uniformly on
+// both sides of the wire.
+var ErrFenced = errors.New("shardrpc: write fenced by shard placement epoch")
+
+// FencedError refuses a write whose placement epoch is stale, or any
+// write addressed to a shard the receiver no longer (or does not yet)
+// own the writes for: a demoted primary fences everything, an
+// unpromoted replica fences everything, a current primary fences
+// epochs older than the manifest it has applied. Nothing was appended.
+// The Handler maps it to 412 (precondition failed); the Client maps
+// the 412 back. The sender's correct move is to refresh its placement
+// manifest and re-route — the frontend surfaces it to workers as a 503
+// with Retry-After while the failover completes.
+type FencedError struct {
+	Shard int
+	// Epoch is the stale epoch the write carried (0 = unstamped).
+	Epoch uint64
+	// Current is the receiver's epoch for the shard, when it has one.
+	Current uint64
+}
+
+// Error implements error.
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("shardrpc: shard %d write fenced (sender epoch %d, current %d)", e.Shard, e.Epoch, e.Current)
+}
+
+// Unwrap ties every fencing refusal to the ErrFenced sentinel.
+func (e *FencedError) Unwrap() error { return ErrFenced }
+
+// FencedBackend is the optional epoch-fencing surface: a backend that
+// tracks per-shard placement epochs (a node applying manifest updates,
+// a replica with promoted shards) checks every submit's epoch stamp
+// before the batch is dispatched. The Handler consults it first, so a
+// fenced batch is refused before admission, charging, or appending.
+type FencedBackend interface {
+	// CheckFence returns nil when the shard accepts writes under the
+	// given epoch stamp, a *FencedError when it does not, and may
+	// return *ErrNotOwned for shards outside the backend's subset.
+	CheckFence(shard int, epoch uint64) error
+}
+
+// FailoverError reports a shard whose primary the frontend currently
+// believes dead and whose replica has not been promoted: writes have
+// nowhere safe to land. Nothing was sent. The server maps it to a 503
+// with Retry-After — the worker retries once promotion (seconds, not
+// minutes) swaps the manifest.
+type FailoverError struct{ Shard int }
+
+// Error implements error.
+func (e *FailoverError) Error() string {
+	return fmt.Sprintf("shardrpc: shard %d failed over, writes fenced until promotion", e.Shard)
+}
+
+// IsTransportError reports whether a Client call failed before an HTTP
+// status came back — connection refused/reset, timeout, DNS: the
+// signature of a dead or unreachable peer, as opposed to a peer that
+// answered with an error. The failover detector treats it as evidence
+// the node is down; every status-carrying failure unwraps through
+// remoteError instead.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *remoteError
+	return !errors.As(err, &re)
 }

@@ -203,6 +203,38 @@ type JournalStats struct {
 	ExpiredFollowers uint64 `json:"expired_followers,omitempty"`
 }
 
+// setEpoch installs a fresh epoch without touching the entries: a
+// promoted replica's history is intact, but followers that tailed the
+// shard under the old ownership must resync from zero before trusting
+// offsets again.
+func (j *journal) setEpoch(epoch uint64) {
+	j.mu.Lock()
+	j.epoch = epoch
+	j.mu.Unlock()
+}
+
+// currentEpoch reads the journal's epoch.
+func (j *journal) currentEpoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// reset empties the journal under a fresh epoch — the pairing operation
+// for a store reset. A replica that wipes a shard store (epoch change or
+// truncation resync from its own upstream) must also wipe the journal it
+// serves to downstream followers, or tail would hand out entries whose
+// records no longer exist.
+func (j *journal) reset(epoch uint64) {
+	j.mu.Lock()
+	j.epoch = epoch
+	j.base = 0
+	j.entries = nil
+	j.retainedBytes = 0
+	j.followers = make(map[string]followerAck)
+	j.mu.Unlock()
+}
+
 // stats snapshots the journal for the admin surface.
 func (j *journal) stats() JournalStats {
 	j.mu.Lock()

@@ -256,6 +256,49 @@ func (l *Local) Tail(shard int, epoch uint64, offset uint64, max int, follower s
 	return l.journals[shard].tail(l.stores[shard], epoch, offset, max, follower)
 }
 
+// BumpEpoch installs a fresh epoch on one local shard's journal and
+// returns it — the promotion primitive. The entries stay: the promoted
+// shard's history is intact and a new follower tails it from offset
+// zero, but any follower still holding the pre-promotion epoch resyncs,
+// which is exactly the fencing semantic promotion needs in the
+// WAL-shipping protocol. Errors when journaling is disabled.
+func (l *Local) BumpEpoch(shard int) (uint64, error) {
+	if l.journals == nil {
+		return 0, errors.New("shardset: epoch bump needs a journaling router")
+	}
+	if shard < 0 || shard >= len(l.stores) {
+		return 0, fmt.Errorf("shardset: shard %d outside [0, %d)", shard, len(l.stores))
+	}
+	e := nextEpoch()
+	l.journals[shard].setEpoch(e)
+	return e, nil
+}
+
+// JournalEpoch reports one local shard journal's current epoch; zero
+// when journaling is disabled.
+func (l *Local) JournalEpoch(shard int) uint64 {
+	if l.journals == nil || shard < 0 || shard >= len(l.stores) {
+		return 0
+	}
+	return l.journals[shard].currentEpoch()
+}
+
+// ResetJournal empties one local shard's journal under a fresh epoch.
+// It must accompany any out-of-band wipe of the shard's store (a
+// replica resyncing from its upstream), keeping the journal served to
+// downstream followers coherent with the records actually present.
+// No-op without journaling.
+func (l *Local) ResetJournal(shard int) error {
+	if l.journals == nil {
+		return nil
+	}
+	if shard < 0 || shard >= len(l.stores) {
+		return fmt.Errorf("shardset: shard %d outside [0, %d)", shard, len(l.stores))
+	}
+	l.journals[shard].reset(nextEpoch())
+	return nil
+}
+
 // JournalStats reports every shard journal's retention state for the
 // admin surface (shards keyed by global index); nil when journaling is
 // disabled.
